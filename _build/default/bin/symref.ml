@@ -1,0 +1,534 @@
+(* symref: numerical reference generation for symbolic analysis of analog
+   circuits (Garcia-Vargas et al., DATE 1997).
+
+   Subcommands: info, coeffs, bode, ac, sbg, poles, sensitivity, margins,
+   noise, mc, tables. *)
+
+module N = Symref_circuit.Netlist
+module Nodal = Symref_mna.Nodal
+module Ac = Symref_mna.Ac
+module Parser = Symref_spice.Parser
+module Reference = Symref_core.Reference
+module Adaptive = Symref_core.Adaptive
+module Report = Symref_core.Report
+module Evaluator = Symref_core.Evaluator
+module Naive = Symref_core.Naive
+module Fixed_scale = Symref_core.Fixed_scale
+module Sbg = Symref_symbolic.Sbg
+module Grid = Symref_numeric.Grid
+module Ef = Symref_numeric.Extfloat
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let netlist_arg =
+  let doc = "SPICE-subset netlist file (first line is the title)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc)
+
+let input_arg =
+  let doc =
+    "Input drive: the name of a grounded voltage source in the netlist \
+     (e.g. $(b,v1)), or $(b,diff:P,M) for a differential +-1/2 V drive, or \
+     $(b,node:P) for a unit drive at node P, or $(b,current:P) for a unit \
+     current injection."
+  in
+  Arg.(value & opt string "v1" & info [ "i"; "input" ] ~docv:"INPUT" ~doc)
+
+let output_arg =
+  let doc = "Output: node name, or $(b,P,M) for a differential output." in
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+
+let sigma_arg =
+  let doc = "Significant digits for the validity criterion (eq. 12)." in
+  Arg.(value & opt int 6 & info [ "sigma" ] ~docv:"DIGITS" ~doc)
+
+let r_arg =
+  let doc = "Band-placement tuning factor of eq. 14." in
+  Arg.(value & opt float 1.0 & info [ "r" ] ~doc)
+
+let no_reduce_arg =
+  let doc = "Disable the problem reduction of eq. 17." in
+  Arg.(value & flag & info [ "no-reduce" ] ~doc)
+
+let no_conj_arg =
+  let doc = "Disable the conjugate-symmetry optimisation (full-circle LU)." in
+  Arg.(value & flag & info [ "no-conjugate-symmetry" ] ~doc)
+
+let from_arg =
+  Arg.(value & opt float 1. & info [ "from" ] ~docv:"HZ" ~doc:"Sweep start frequency.")
+
+let to_arg =
+  Arg.(value & opt float 1e8 & info [ "to" ] ~docv:"HZ" ~doc:"Sweep stop frequency.")
+
+let per_decade_arg =
+  Arg.(value & opt int 4 & info [ "per-decade" ] ~doc:"Sweep points per decade.")
+
+let parse_input circuit s =
+  let split_pair v =
+    match String.split_on_char ',' v with
+    | [ a; b ] -> (a, b)
+    | _ -> failwith "expected two comma-separated node names"
+  in
+  match String.index_opt s ':' with
+  | None -> (
+      match N.find_element circuit s with
+      | Some _ -> Nodal.Vsrc_element s
+      | None -> failwith (Printf.sprintf "no element named %s in the netlist" s))
+  | Some i -> (
+      let kind = String.sub s 0 i
+      and v = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "diff" ->
+          let p, m = split_pair v in
+          Nodal.V_diff (p, m)
+      | "node" -> Nodal.V_single v
+      | "current" -> Nodal.I_single v
+      | k -> failwith (Printf.sprintf "unknown input kind %s" k))
+
+let parse_output s =
+  match String.split_on_char ',' s with
+  | [ a ] -> Nodal.Out_node a
+  | [ a; b ] -> Nodal.Out_diff (a, b)
+  | _ -> failwith "output must be NODE or NODE,NODE"
+
+let load file = Parser.parse_file file
+
+(* Reference generation and the other nodal analyses need the nodal class;
+   inductors enter it exactly through the gyrator-C transformation. *)
+let load_nodal file =
+  let c = load file in
+  let t = Symref_circuit.Transform.inductors_to_gyrators c in
+  if t != c then
+    Printf.eprintf "note: inductors replaced by gyrator-C equivalents\n";
+  t
+
+let wrap f =
+  try f () with
+  | Failure m | Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+  | Parser.Parse_error { line; message } ->
+      Printf.eprintf "parse error at line %d: %s\n" line message;
+      exit 1
+  | Nodal.Unsupported m ->
+      Printf.eprintf "unsupported circuit: %s\n" m;
+      exit 1
+
+(* --- info --- *)
+
+let info_cmd =
+  let run file =
+    wrap (fun () ->
+        let c = load file in
+        Format.printf "%a@." N.pp_summary c;
+        Printf.printf "nodal class (reference generation supported): %b\n"
+          (N.is_nodal_class c
+          || List.for_all
+               (fun (e : Symref_circuit.Element.t) ->
+                 Symref_circuit.Element.is_nodal_class e
+                 ||
+                 match e.Symref_circuit.Element.kind with
+                 | Symref_circuit.Element.Vsrc _ -> true
+                 | _ -> false)
+               (N.elements c));
+        Printf.printf "connected: %b\n" (N.is_connected c);
+        List.iter
+          (fun e -> print_endline ("  " ^ Symref_circuit.Element.describe e))
+          (N.elements c))
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print a netlist summary and its element list.")
+    Term.(const run $ netlist_arg)
+
+(* --- coeffs --- *)
+
+let config_of sigma r no_reduce no_conj =
+  {
+    Adaptive.default_config with
+    Adaptive.sigma;
+    r;
+    reduce = not no_reduce;
+    conj_symmetry = not no_conj;
+  }
+
+let coeffs_cmd =
+  let run file input output sigma r no_reduce no_conj =
+    wrap (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let config = config_of sigma r no_reduce no_conj in
+        let t = Reference.generate ~config c ~input ~output in
+        print_string (Report.reference_summary t);
+        print_endline "numerator coefficients:";
+        Array.iteri
+          (fun i v -> Printf.printf "  n%-3d %s\n" i (Ef.to_string v))
+          t.Reference.num.Adaptive.coeffs;
+        print_endline "denominator coefficients:";
+        Array.iteri
+          (fun i v -> Printf.printf "  d%-3d %s\n" i (Ef.to_string v))
+          t.Reference.den.Adaptive.coeffs;
+        Printf.printf "DC gain: %g\n" (Reference.dc_gain t))
+  in
+  Cmd.v
+    (Cmd.info "coeffs"
+       ~doc:
+         "Generate numerical references (network-function coefficients) with \
+          the adaptive scaling algorithm.")
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg $ sigma_arg $ r_arg
+      $ no_reduce_arg $ no_conj_arg)
+
+(* --- bode --- *)
+
+let bode_cmd =
+  let plot_arg =
+    Arg.(value & flag & info [ "plot" ] ~doc:"Render ASCII Bode plots (Fig. 2 style).")
+  in
+  let run file input output from_ to_ per_decade plot =
+    wrap (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let t = Reference.generate c ~input ~output in
+        let freqs = Grid.decades ~start:from_ ~stop:to_ ~per_decade in
+        let out_p, out_m =
+          match output with
+          | Nodal.Out_node p -> (p, None)
+          | Nodal.Out_diff (p, m) -> (p, Some m)
+        in
+        let sim = Ac.bode c ~out_p ?out_m freqs in
+        let interp = Reference.bode t freqs in
+        if plot then
+          print_string (Symref_core.Ascii_plot.bode_figure ~interpolated:interp ~simulator:sim)
+        else print_string (Report.bode_table ~interpolated:interp ~simulator:sim);
+        let dmag, dph = Reference.bode_vs_simulator t sim in
+        Printf.printf "max deltas: %.4g dB, %.4g deg\n" dmag dph)
+  in
+  Cmd.v
+    (Cmd.info "bode"
+       ~doc:
+         "Bode diagram from the interpolated coefficients, compared against \
+          the direct AC simulation (Fig. 2).  The netlist's own sources drive \
+          the AC side; --input drives the reference side.")
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg $ from_arg $ to_arg
+      $ per_decade_arg $ plot_arg)
+
+(* --- ac --- *)
+
+let ac_cmd =
+  let run file output from_ to_ per_decade =
+    wrap (fun () ->
+        let c = load file in
+        let out_p, out_m =
+          match parse_output output with
+          | Nodal.Out_node p -> (p, None)
+          | Nodal.Out_diff (p, m) -> (p, Some m)
+        in
+        let freqs = Grid.decades ~start:from_ ~stop:to_ ~per_decade in
+        Array.iter
+          (fun (p : Ac.bode_point) ->
+            Printf.printf "%12.5g  %10.4f dB  %10.3f deg\n" p.Ac.freq_hz p.Ac.mag_db
+              p.Ac.phase_deg)
+          (Ac.bode c ~out_p ?out_m freqs))
+  in
+  Cmd.v
+    (Cmd.info "ac"
+       ~doc:"Small-signal AC sweep (full MNA: supports all element types).")
+    Term.(const run $ netlist_arg $ output_arg $ from_arg $ to_arg $ per_decade_arg)
+
+(* --- sbg --- *)
+
+let sbg_cmd =
+  let tol_db =
+    Arg.(value & opt float 0.5 & info [ "tol-db" ] ~doc:"Magnitude tolerance (dB).")
+  in
+  let tol_deg =
+    Arg.(value & opt float 5. & info [ "tol-deg" ] ~doc:"Phase tolerance (degrees).")
+  in
+  let run file input output from_ to_ per_decade tdb tdeg =
+    wrap (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let freqs = Grid.decades ~start:from_ ~stop:to_ ~per_decade in
+        let config =
+          { Sbg.default_config with Sbg.tolerance_db = tdb; tolerance_deg = tdeg }
+        in
+        let o = Sbg.prune ~config c ~input ~output ~freqs in
+        Printf.printf "removed %d of %d candidates; residual %.3f dB / %.2f deg\n"
+          (List.length o.Sbg.removed) o.Sbg.candidates o.Sbg.error_db o.Sbg.error_deg;
+        List.iter (fun name -> print_endline ("  - " ^ name)) o.Sbg.removed;
+        print_string (Symref_spice.Writer.to_string o.Sbg.pruned))
+  in
+  Cmd.v
+    (Cmd.info "sbg"
+       ~doc:
+         "Simplification Before Generation: prune negligible elements and \
+          print the reduced netlist.")
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg $ from_arg $ to_arg
+      $ per_decade_arg $ tol_db $ tol_deg)
+
+(* --- poles --- *)
+
+let poles_cmd =
+  let run file input output =
+    wrap (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let t = Reference.generate c ~input ~output in
+        let a = Symref_core.Poles.analyse t in
+        Format.printf "%a@?" Symref_core.Poles.pp a)
+  in
+  Cmd.v
+    (Cmd.info "poles"
+       ~doc:
+         "Extract poles and zeros from the generated references (Aberth \
+          iteration on the extended-range coefficients).")
+    Term.(const run $ netlist_arg $ input_arg $ output_arg)
+
+(* --- sensitivity --- *)
+
+let sensitivity_cmd =
+  let freq_arg =
+    Arg.(
+      value & opt float 1e3
+      & info [ "freq" ] ~docv:"HZ" ~doc:"Analysis frequency for the detailed table.")
+  in
+  let top_arg =
+    Arg.(value & opt int 15 & info [ "top" ] ~doc:"Rows to print.")
+  in
+  let run file input output freq top from_ to_ per_decade =
+    wrap (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let entries =
+          Symref_mna.Sensitivity.adjoint_at c ~input ~output ~freq_hz:freq
+        in
+        Printf.printf
+          "normalised sensitivities at %g Hz (adjoint method, top %d):\n" freq top;
+        Printf.printf "%-16s %-12s %-10s %-14s %-14s\n" "element" "value" "|S|"
+          "dB per +1%" "deg per +1%";
+        List.iteri
+          (fun i (e : Symref_mna.Sensitivity.entry) ->
+            if i < top then
+              Printf.printf "%-16s %-12s %-10.4f %-14.5f %-14.5f\n"
+                e.Symref_mna.Sensitivity.element
+                (Symref_spice.Units.format_si e.Symref_mna.Sensitivity.value)
+                (Complex.norm e.Symref_mna.Sensitivity.s)
+                e.Symref_mna.Sensitivity.mag_db_per_percent
+                e.Symref_mna.Sensitivity.phase_deg_per_percent)
+          entries;
+        let freqs = Grid.decades ~start:from_ ~stop:to_ ~per_decade in
+        let ranking =
+          Symref_mna.Sensitivity.worst_case c ~input ~output ~freqs
+        in
+        Printf.printf "\nworst-case |S| over %g..%g Hz (top %d):\n" from_ to_ top;
+        List.iteri
+          (fun i (name, v) ->
+            if i < top then Printf.printf "%-16s %.4f\n" name v)
+          ranking)
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Element sensitivities of the transfer function (perturbation).")
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg $ freq_arg $ top_arg
+      $ from_arg $ to_arg $ per_decade_arg)
+
+(* --- margins --- *)
+
+let margins_cmd =
+  let run file input output =
+    wrap (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let t = Reference.generate c ~input ~output in
+        Format.printf "%a@?" Symref_core.Margins.pp (Symref_core.Margins.analyse t))
+  in
+  Cmd.v
+    (Cmd.info "margins"
+       ~doc:"Stability margins (unity-gain frequency, phase/gain margin, GBW).")
+    Term.(const run $ netlist_arg $ input_arg $ output_arg)
+
+(* --- noise --- *)
+
+let noise_cmd =
+  let freq_arg =
+    Arg.(value & opt float 1e3 & info [ "freq" ] ~docv:"HZ" ~doc:"Analysis frequency.")
+  in
+  let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Contributors to list.") in
+  let run file input output freq top =
+    wrap (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let p = Symref_mna.Noise.at c ~input ~output ~freq_hz:freq in
+        Printf.printf "at %g Hz: output %.4g V^2/Hz (%.4g V/rtHz), input-referred %.4g V/rtHz\n"
+          freq p.Symref_mna.Noise.output_density
+          (Float.sqrt p.Symref_mna.Noise.output_density)
+          (Float.sqrt p.Symref_mna.Noise.input_density);
+        Printf.printf "top contributors:\n";
+        List.iteri
+          (fun i (e : Symref_mna.Noise.contribution) ->
+            if i < top then
+              Printf.printf "  %-16s %.4g V^2/Hz (%.1f%%)\n" e.Symref_mna.Noise.element
+                e.Symref_mna.Noise.output_density
+                (100. *. e.Symref_mna.Noise.output_density
+                /. p.Symref_mna.Noise.output_density))
+          p.Symref_mna.Noise.contributions)
+  in
+  Cmd.v
+    (Cmd.info "noise" ~doc:"Output and input-referred noise with contributor ranking.")
+    Term.(const run $ netlist_arg $ input_arg $ output_arg $ freq_arg $ top_arg)
+
+(* --- monte carlo --- *)
+
+let mc_cmd =
+  let samples_arg =
+    Arg.(value & opt int 100 & info [ "samples" ] ~doc:"Monte-Carlo samples.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let run file input output from_ to_ per_decade samples seed =
+    wrap (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let freqs = Grid.decades ~start:from_ ~stop:to_ ~per_decade in
+        let config =
+          { Symref_mna.Monte_carlo.default_config with
+            Symref_mna.Monte_carlo.samples;
+            seed }
+        in
+        let stats =
+          Symref_mna.Monte_carlo.gain_spread ~config c ~input ~output ~freqs
+        in
+        Printf.printf "%-12s  %-10s %-10s %-8s %-10s %-10s\n" "freq (Hz)" "nominal"
+          "mean" "std" "min" "max";
+        Array.iter
+          (fun (s : Symref_mna.Monte_carlo.stat) ->
+            Printf.printf "%-12.4g  %-10.3f %-10.3f %-8.3f %-10.3f %-10.3f\n"
+              s.Symref_mna.Monte_carlo.freq_hz s.Symref_mna.Monte_carlo.nominal_db
+              s.Symref_mna.Monte_carlo.mean_db s.Symref_mna.Monte_carlo.std_db
+              s.Symref_mna.Monte_carlo.min_db s.Symref_mna.Monte_carlo.max_db)
+          stats)
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc:"Monte-Carlo gain spread under element tolerances (dB).")
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg $ from_arg $ to_arg
+      $ per_decade_arg $ samples_arg $ seed_arg)
+
+(* --- transient --- *)
+
+let transient_cmd =
+  let tstop_arg =
+    Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~docv:"S" ~doc:"Simulation length.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 2000 & info [ "steps" ] ~doc:"Time steps.")
+  in
+  let sine_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sine" ] ~docv:"HZ" ~doc:"Sine input at this frequency (default: unit step).")
+  in
+  let plot_arg = Arg.(value & flag & info [ "plot" ] ~doc:"ASCII waveform plot.") in
+  let run file input output tstop steps sine plot =
+    wrap (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let waveform =
+          match sine with
+          | None -> Symref_mna.Transient.step ()
+          | Some f -> Symref_mna.Transient.sine ~freq_hz:f ()
+        in
+        let r =
+          Symref_mna.Transient.simulate c ~input ~output ~waveform ~t_stop:tstop
+            ~steps
+        in
+        if plot then begin
+          (* Time axis is linear; reuse the log-x canvas by shifting time. *)
+          let n = Array.length r.Symref_mna.Transient.times in
+          let xs = Array.init n (fun i -> float_of_int (i + 1)) in
+          print_string
+            (Symref_core.Ascii_plot.render ~y_label:"output (V) vs step number"
+               [ { Symref_core.Ascii_plot.label = "v(out)"; xs;
+                   ys = r.Symref_mna.Transient.output } ])
+        end
+        else
+          Array.iteri
+            (fun i t ->
+              if i mod (Int.max 1 (steps / 40)) = 0 then
+                Printf.printf "%12.5g  %14.6g\n" t r.Symref_mna.Transient.output.(i))
+            r.Symref_mna.Transient.times)
+  in
+  Cmd.v
+    (Cmd.info "transient"
+       ~doc:"Time-domain response (trapezoidal integration) to a step or sine.")
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg $ tstop_arg $ steps_arg
+      $ sine_arg $ plot_arg)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let run file =
+    wrap (fun () -> print_string (Symref_spice.Dot.to_dot (load file)))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the netlist topology as Graphviz DOT.")
+    Term.(const run $ netlist_arg)
+
+(* --- tables: the built-in paper workloads --- *)
+
+let tables_cmd =
+  let run () =
+    wrap (fun () ->
+        let module Ota = Symref_circuit.Ota in
+        let problem =
+          Nodal.make Ota.circuit
+            ~input:(Nodal.V_diff (Ota.input_p, Ota.input_n))
+            ~output:(Nodal.Out_node Ota.output)
+        in
+        let num = Naive.run (Evaluator.of_nodal problem ~num:true) in
+        let den = Naive.run (Evaluator.of_nodal problem ~num:false) in
+        print_string (Report.naive_table ~title:"[T1a] OTA, unit circle:" ~num ~den ());
+        print_newline ();
+        print_string
+          (Report.fixed_scale_table ~title:"[T1b] OTA denominator, f = 1e9:"
+             (Fixed_scale.run ~f:1e9 (Evaluator.of_nodal problem ~num:false)));
+        print_newline ();
+        let module Ua741 = Symref_circuit.Ua741 in
+        let t =
+          Reference.generate Ua741.circuit
+            ~input:(Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+            ~output:(Nodal.Out_node Ua741.output)
+        in
+        print_string
+          (Report.adaptive_summary ~title:"[T2-T3] uA741 denominator passes:"
+             t.Reference.den))
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce the paper's tables on the built-in circuits.")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "numerical reference generation for symbolic analysis of analog circuits" in
+  Cmd.group
+    (Cmd.info "symref" ~version:"1.0.0" ~doc)
+    [
+      info_cmd;
+      coeffs_cmd;
+      bode_cmd;
+      ac_cmd;
+      sbg_cmd;
+      poles_cmd;
+      sensitivity_cmd;
+      margins_cmd;
+      noise_cmd;
+      mc_cmd;
+      transient_cmd;
+      dot_cmd;
+      tables_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

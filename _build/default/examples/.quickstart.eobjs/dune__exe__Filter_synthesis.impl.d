@@ -1,0 +1,1 @@
+examples/filter_synthesis.ml: Array Complex Float List Printf Symref_circuit Symref_core Symref_mna Symref_numeric

@@ -1,0 +1,1 @@
+examples/ladder_sweep.ml: Array List Printf Symref_circuit Symref_core Symref_mna Symref_numeric Symref_poly

@@ -1,0 +1,1 @@
+examples/ladder_sweep.mli:

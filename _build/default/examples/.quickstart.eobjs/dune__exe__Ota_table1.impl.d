@@ -1,0 +1,1 @@
+examples/ota_table1.ml: Printf Symref_circuit Symref_core Symref_mna

@@ -1,0 +1,1 @@
+examples/ota_table1.mli:

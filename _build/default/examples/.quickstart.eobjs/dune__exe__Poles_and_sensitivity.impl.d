@@ -1,0 +1,1 @@
+examples/poles_and_sensitivity.ml: Complex Float Format List Printf String Symref_circuit Symref_core Symref_mna Symref_numeric

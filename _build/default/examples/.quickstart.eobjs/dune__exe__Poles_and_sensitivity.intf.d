@@ -1,0 +1,1 @@
+examples/poles_and_sensitivity.mli:

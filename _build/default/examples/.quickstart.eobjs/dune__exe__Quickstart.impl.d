@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Complex Float Format Printf Symref_circuit Symref_core Symref_mna Symref_numeric

@@ -1,0 +1,1 @@
+examples/sbg_demo.ml: Format List Printf String Symref_circuit Symref_mna Symref_numeric Symref_symbolic

@@ -1,0 +1,1 @@
+examples/sbg_demo.mli:

@@ -1,0 +1,1 @@
+examples/sdg_demo.ml: Array List Printf Seq Symref_circuit Symref_core Symref_mna Symref_numeric Symref_symbolic

@@ -1,0 +1,1 @@
+examples/sdg_demo.mli:

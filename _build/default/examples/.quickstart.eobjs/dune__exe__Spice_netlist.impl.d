@@ -1,0 +1,1 @@
+examples/spice_netlist.ml: Array Complex Float Format Printf Symref_circuit Symref_core Symref_mna Symref_numeric Symref_spice

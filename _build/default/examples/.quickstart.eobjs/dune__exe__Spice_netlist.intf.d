@@ -1,0 +1,1 @@
+examples/spice_netlist.mli:

@@ -1,0 +1,1 @@
+examples/tolerance_and_noise.ml: Array Complex Float Format List Printf Symref_core Symref_mna Symref_numeric Symref_spice

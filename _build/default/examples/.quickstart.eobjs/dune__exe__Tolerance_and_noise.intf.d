@@ -1,0 +1,1 @@
+examples/tolerance_and_noise.mli:

@@ -1,0 +1,1 @@
+examples/ua741_adaptive.ml: Float Format List Printf Symref_circuit Symref_core Symref_mna Symref_numeric

@@ -1,0 +1,1 @@
+examples/ua741_adaptive.mli:

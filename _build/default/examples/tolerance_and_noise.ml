@@ -1,0 +1,81 @@
+(* Production analyses on top of the same substrate: noise breakdown,
+   stability margins and Monte-Carlo gain spread of a two-stage bipolar
+   amplifier described as a SPICE netlist.
+
+     dune exec examples/tolerance_and_noise.exe
+*)
+
+module Parser = Symref_spice.Parser
+module Nodal = Symref_mna.Nodal
+module Noise = Symref_mna.Noise
+module Mc = Symref_mna.Monte_carlo
+module Reference = Symref_core.Reference
+module Margins = Symref_core.Margins
+module Grid = Symref_numeric.Grid
+
+let netlist =
+  {|two-stage amplifier for robustness analyses
+v1 in 0 ac 1
+rs in b1 600
+q1 c1 b1 e1 nfast
+re1 e1 0 220
+rc1 c1 0 4.7k
+cc c1 b2 10u
+q2 c2 b2 0 nslow
+rb2 b2 0 47k
+rc2 c2 0 2.2k
+cl c2 0 50p
+.model nfast bjtss ic=2m beta=180 tf=350p cmu=1.5p rb=150 ccs=1p
+.model nslow bjtss ic=5m beta=120 tf=600p cmu=2p rb=200 ccs=1.5p
+.end
+|}
+
+let () =
+  let c = Parser.parse_string netlist in
+  let input = Nodal.Vsrc_element "v1" and output = Nodal.Out_node "c2" in
+
+  (* --- noise --- *)
+  let p = Noise.at c ~input ~output ~freq_hz:10e3 in
+  Printf.printf "noise at 10 kHz: %.3g V/rtHz out, %.3g nV/rtHz input-referred\n"
+    (Float.sqrt p.Noise.output_density)
+    (1e9 *. Float.sqrt p.Noise.input_density);
+  print_endline "  top contributors:";
+  List.iteri
+    (fun i (e : Noise.contribution) ->
+      if i < 5 then
+        Printf.printf "    %-10s %5.1f%%\n" e.Noise.element
+          (100. *. e.Noise.output_density /. p.Noise.output_density))
+    p.Noise.contributions;
+  let band = Grid.logspace 10. 1e8 200 in
+  Printf.printf "  integrated 10 Hz - 100 MHz: %.3g mV rms at the output\n\n"
+    (1e3 *. Noise.integrate_rms (Noise.sweep c ~input ~output ~freqs:band));
+
+  (* --- margins (from the adaptive references) --- *)
+  let r = Reference.generate c ~input ~output in
+  Format.printf "%a@." Margins.pp (Margins.analyse r);
+
+  (* --- Monte-Carlo gain spread --- *)
+  let freqs = Grid.decades ~start:1e2 ~stop:1e8 ~per_decade:1 in
+  let config = { Mc.default_config with Mc.samples = 200 } in
+  let stats = Mc.gain_spread ~config c ~input ~output ~freqs in
+  print_endline "Monte-Carlo gain spread (200 samples, 10% R/C, 20% gm):";
+  Printf.printf "  %-12s %-9s %-9s %-7s %-16s\n" "freq (Hz)" "nominal" "mean" "std"
+    "min .. max";
+  Array.iter
+    (fun (s : Mc.stat) ->
+      Printf.printf "  %-12.3g %-9.2f %-9.2f %-7.2f %6.2f .. %-6.2f\n" s.Mc.freq_hz
+        s.Mc.nominal_db s.Mc.mean_db s.Mc.std_db s.Mc.min_db s.Mc.max_db)
+    stats;
+
+  (* --- yield against a midband gain spec --- *)
+  let spec h =
+    Array.for_all
+      (fun (z : Complex.t) ->
+        let db = 20. *. Float.log10 (Complex.norm z) in
+        db > 56. && db < 61.)
+      h
+  in
+  let y =
+    Mc.yield_ ~config c ~input ~output ~accept:spec ~freqs:[| 1e3; 1e4 |]
+  in
+  Printf.printf "\nyield against a 56..61 dB midband spec: %.0f%%\n" (100. *. y)

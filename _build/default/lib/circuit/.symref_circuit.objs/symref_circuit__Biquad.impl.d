@@ -1,0 +1,1 @@
+lib/circuit/biquad.ml: Complex Float List Netlist Printf

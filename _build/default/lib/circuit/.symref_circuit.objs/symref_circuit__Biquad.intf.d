@@ -1,0 +1,1 @@
+lib/circuit/biquad.mli: Complex Netlist

@@ -1,0 +1,1 @@
+lib/circuit/devices.ml: Netlist

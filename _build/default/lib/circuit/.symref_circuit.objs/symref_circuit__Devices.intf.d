@@ -1,0 +1,1 @@
+lib/circuit/devices.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/filter_design.ml: Array Biquad Complex Float List Netlist Printf Symref_poly

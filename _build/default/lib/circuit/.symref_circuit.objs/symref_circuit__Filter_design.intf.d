@@ -1,0 +1,1 @@
+lib/circuit/filter_design.mli: Biquad Complex Netlist

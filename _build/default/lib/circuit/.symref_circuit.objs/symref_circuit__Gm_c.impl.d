@@ -1,0 +1,1 @@
+lib/circuit/gm_c.ml: Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuit/gm_c.mli: Netlist

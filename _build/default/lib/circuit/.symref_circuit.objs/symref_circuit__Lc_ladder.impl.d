@@ -1,0 +1,1 @@
+lib/circuit/lc_ladder.ml: Float Netlist Printf Transform

@@ -1,0 +1,1 @@
+lib/circuit/lc_ladder.mli: Netlist

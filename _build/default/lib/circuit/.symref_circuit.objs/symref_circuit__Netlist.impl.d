@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Element Format Fun Hashtbl List Printf Symref_numeric

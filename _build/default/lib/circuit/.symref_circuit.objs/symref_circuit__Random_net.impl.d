@@ -1,0 +1,1 @@
+lib/circuit/random_net.ml: Float Netlist Option Printf

@@ -1,0 +1,1 @@
+lib/circuit/rc_ladder.ml: List Netlist Printf Symref_numeric Symref_poly

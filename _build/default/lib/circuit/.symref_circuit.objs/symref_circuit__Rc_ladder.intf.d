@@ -1,0 +1,1 @@
+lib/circuit/rc_ladder.mli: Netlist Symref_poly

@@ -1,0 +1,1 @@
+lib/circuit/transform.ml: Element List Netlist Symref_numeric

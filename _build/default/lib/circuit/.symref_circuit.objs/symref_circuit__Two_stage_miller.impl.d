@@ -1,0 +1,1 @@
+lib/circuit/two_stage_miller.ml: Devices Float Netlist

@@ -1,0 +1,1 @@
+lib/circuit/ua741.ml: Devices Netlist

@@ -1,0 +1,1 @@
+lib/circuit/ua741.mli: Netlist

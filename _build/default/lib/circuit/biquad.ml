@@ -1,0 +1,47 @@
+type design = { f0_hz : float; q : float; gm : float }
+
+let check d =
+  if not (d.f0_hz > 0. && d.q > 0. && d.gm > 0.) then
+    invalid_arg "Biquad: f0, q and gm must be positive"
+
+(* Equal capacitors, equal loop transconductances: C = gm / w0, gmq = gm/q. *)
+let section b ~prefix ~input ~output (d : design) =
+  check d;
+  let module B = Netlist.Builder in
+  let w0 = 2. *. Float.pi *. d.f0_hz in
+  let c = d.gm /. w0 in
+  let v1 = prefix ^ ".v1" in
+  B.capacitor b (prefix ^ ".c1") ~a:v1 ~b:"0" c;
+  B.capacitor b (prefix ^ ".c2") ~a:output ~b:"0" c;
+  B.vccs b (prefix ^ ".gm1") ~p:"0" ~m:v1 ~cp:input ~cm:"0" d.gm;
+  B.conductance b (prefix ^ ".gmq") ~a:v1 ~b:"0" (d.gm /. d.q);
+  B.vccs b (prefix ^ ".gm2") ~p:v1 ~m:"0" ~cp:output ~cm:"0" d.gm;
+  B.vccs b (prefix ^ ".gm3") ~p:"0" ~m:output ~cp:v1 ~cm:"0" d.gm
+
+let cascade designs =
+  if designs = [] then invalid_arg "Biquad.cascade: empty list";
+  let module B = Netlist.Builder in
+  let n = List.length designs in
+  let b = B.create ~title:(Printf.sprintf "gm-C biquad cascade (%d sections)" n) () in
+  B.vsrc b "vin" ~p:"in" ~m:"0" 1.;
+  List.iteri
+    (fun i d ->
+      let input = if i = 0 then "in" else Printf.sprintf "s%d" i in
+      let output = if i = n - 1 then "out" else Printf.sprintf "s%d" (i + 1) in
+      section b ~prefix:(Printf.sprintf "b%d" (i + 1)) ~input ~output d)
+    designs;
+  B.finish b
+
+let poles d =
+  check d;
+  let w0 = 2. *. Float.pi *. d.f0_hz in
+  let re = -.w0 /. (2. *. d.q) in
+  if d.q > 0.5 then begin
+    let im = w0 *. Float.sqrt (1. -. (1. /. (4. *. d.q *. d.q))) in
+    ({ Complex.re; im }, { Complex.re; im = -.im })
+  end
+  else begin
+    (* Overdamped: two real poles. *)
+    let disc = w0 *. Float.sqrt ((1. /. (4. *. d.q *. d.q)) -. 1.) in
+    ({ Complex.re = re +. disc; im = 0. }, { Complex.re = re -. disc; im = 0. })
+  end

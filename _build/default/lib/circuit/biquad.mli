@@ -1,0 +1,31 @@
+(** gm-C biquad sections and cascades with analytically known poles.
+
+    The two-integrator-loop (Tow-Thomas style) gm-C biquad:
+
+    {v
+      C1 dv1/dt = gm1*vin - gmq*v1 - gm2*v2
+      C2 dv2/dt = gm3*v1
+    v}
+
+    has the lowpass transfer [H(s) = (gm1*gm3/C1C2) / (s^2 + s*gmq/C1 +
+    gm2*gm3/(C1*C2))]: pole frequency [w0 = sqrt (gm2*gm3/(C1*C2))] and
+    quality factor [Q = w0 * C1 / gmq] by design — a workload whose poles the
+    pole-extraction pipeline must reproduce exactly. *)
+
+type design = {
+  f0_hz : float;  (** pole frequency *)
+  q : float;      (** quality factor *)
+  gm : float;     (** transconductance used for the loop, S *)
+}
+
+val section :
+  Netlist.Builder.t -> prefix:string -> input:string -> output:string -> design -> unit
+(** Add one biquad between the named nodes (output = the lowpass node). *)
+
+val cascade : design list -> Netlist.t
+(** A chain of biquads driven by a voltage source ["vin"] at node ["in"];
+    the output of stage [i] is node ["s<i>"] (1-based), overall output
+    ["out"].  @raise Invalid_argument on an empty list. *)
+
+val poles : design -> Complex.t * Complex.t
+(** The section's design poles (conjugate pair for [q > 0.5]), rad/s. *)

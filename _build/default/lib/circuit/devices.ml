@@ -1,0 +1,57 @@
+type mos = {
+  gm : float;
+  gds : float;
+  cgs : float;
+  cgd : float;
+  cdb : float;
+  csb : float;
+}
+
+let mos_default =
+  { gm = 300e-6; gds = 5e-6; cgs = 100e-15; cgd = 20e-15; cdb = 0.; csb = 0. }
+
+let add_mos builder name ~d ~g ~s (p : mos) =
+  let module B = Netlist.Builder in
+  B.vccs builder (name ^ ".gm") ~p:d ~m:s ~cp:g ~cm:s p.gm;
+  B.conductance builder (name ^ ".gds") ~a:d ~b:s p.gds;
+  if p.cgs > 0. then B.capacitor builder (name ^ ".cgs") ~a:g ~b:s p.cgs;
+  if p.cgd > 0. then B.capacitor builder (name ^ ".cgd") ~a:g ~b:d p.cgd;
+  if p.cdb > 0. then B.capacitor builder (name ^ ".cdb") ~a:d ~b:"0" p.cdb;
+  if p.csb > 0. then B.capacitor builder (name ^ ".csb") ~a:s ~b:"0" p.csb
+
+type bjt = {
+  gm : float;
+  gpi : float;
+  go : float;
+  cpi : float;
+  cmu : float;
+  rb : float;
+  ccs : float;
+}
+
+let thermal_voltage = 0.02585
+
+let bjt_of_bias ?(beta = 200.) ?(va = 100.) ?(tf = 400e-12) ?(cmu = 2e-12)
+    ?(rb = 0.) ?(ccs = 0.) ~ic () =
+  if not (ic > 0.) then invalid_arg "Devices.bjt_of_bias: ic must be > 0";
+  let gm = ic /. thermal_voltage in
+  { gm; gpi = gm /. beta; go = ic /. va; cpi = (gm *. tf) +. 2e-12; cmu; rb; ccs }
+
+let add_bjt builder name ~c ~b ~e (p : bjt) =
+  let module B = Netlist.Builder in
+  (* With base resistance the junctions and the control voltage live on an
+     internal node, as in the SPICE Gummel-Poon small-signal expansion. *)
+  let bx =
+    if p.rb > 0. then begin
+      let bx = name ^ ".bx" in
+      B.resistor builder (name ^ ".rb") ~a:b ~b:bx p.rb;
+      bx
+    end
+    else b
+  in
+  B.vccs builder (name ^ ".gm") ~p:c ~m:e ~cp:bx ~cm:e p.gm;
+  B.conductance builder (name ^ ".gpi") ~a:bx ~b:e p.gpi;
+  B.conductance builder (name ^ ".go") ~a:c ~b:e p.go;
+  B.capacitor builder (name ^ ".cpi") ~a:bx ~b:e p.cpi;
+  B.capacitor builder (name ^ ".cmu") ~a:bx ~b:c p.cmu;
+  if p.ccs > 0. then B.capacitor builder (name ^ ".ccs") ~a:c ~b:"0" p.ccs

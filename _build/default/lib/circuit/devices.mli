@@ -1,0 +1,68 @@
+(** Small-signal device models.
+
+    Transistors are linearised into the nodal-class primitives at their
+    operating point, which is what symbolic analysis of analog ICs works on:
+    the paper's terms are "products of admittances: transconductances and
+    capacitors".
+
+    MOS quasi-static model: [gm] from gate, [gds] drain-source conductance,
+    [Cgs], [Cgd] (and optional junction caps [Cdb], [Csb]).
+
+    BJT hybrid-pi model: [gm], [gpi = 1/r_pi], [go = 1/r_o], [Cpi], [Cmu]. *)
+
+type mos = {
+  gm : float;   (** transconductance, S *)
+  gds : float;  (** output conductance, S *)
+  cgs : float;  (** gate-source capacitance, F; [0.] omits the element *)
+  cgd : float;  (** gate-drain capacitance, F; [0.] omits the element *)
+  cdb : float;  (** drain-bulk capacitance, F; [0.] omits the element *)
+  csb : float;  (** source-bulk capacitance, F; [0.] omits the element *)
+}
+
+val mos_default : mos
+(** A typical 1990s CMOS operating point: [gm = 300uS], [gds = 5uS],
+    [cgs = 100fF], [cgd = 20fF], no junction caps. *)
+
+val add_mos :
+  Netlist.Builder.t -> string -> d:string -> g:string -> s:string -> mos -> unit
+(** [add_mos b name ~d ~g ~s params] stamps the quasi-static model between
+    drain, gate and source nodes (bulk tied to AC ground for the junction
+    caps).  Elements are named [name.gm], [name.gds], [name.cgs], ... *)
+
+type bjt = {
+  gm : float;
+  gpi : float;  (** base-emitter conductance [1/r_pi], S *)
+  go : float;   (** output conductance [1/r_o], S *)
+  cpi : float;  (** base-emitter capacitance, F *)
+  cmu : float;  (** base-collector capacitance, F *)
+  rb : float;   (** base-spreading resistance, ohm; [0.] omits the internal
+                    base node (vintage devices: 100..500 ohm).  With [rb > 0]
+                    the junction capacitances and the controlling voltage sit
+                    on an internal node [<name>.bx], which adds a state and a
+                    node per transistor — this is what pushes a full opamp
+                    netlist to the ~50th-order denominators the paper
+                    analyses. *)
+  ccs : float;  (** collector-substrate capacitance, F; [0.] omits it.
+                    Large for vintage lateral/substrate PNPs. *)
+}
+
+val bjt_of_bias :
+  ?beta:float ->
+  ?va:float ->
+  ?tf:float ->
+  ?cmu:float ->
+  ?rb:float ->
+  ?ccs:float ->
+  ic:float ->
+  unit ->
+  bjt
+(** Hybrid-pi parameters from a collector bias current: [gm = ic/VT]
+    (VT = 25.85 mV), [gpi = gm/beta], [go = ic/va], [cpi = gm*tf + 2pF],
+    defaults [beta = 200], [va = 100V], [tf = 400ps], [cmu = 2pF],
+    [rb = 0.], [ccs = 0.] — a fair sketch of the 741's vintage bipolar
+    process. *)
+
+val add_bjt :
+  Netlist.Builder.t -> string -> c:string -> b:string -> e:string -> bjt -> unit
+(** Stamps the hybrid-pi model between collector, base and emitter.
+    Substrate (for [ccs]) is AC ground. *)

@@ -1,0 +1,122 @@
+type node = int
+
+type kind =
+  | Conductance of { a : node; b : node; siemens : float }
+  | Resistor of { a : node; b : node; ohms : float }
+  | Capacitor of { a : node; b : node; farads : float }
+  | Inductor of { a : node; b : node; henries : float }
+  | Vccs of { p : node; m : node; cp : node; cm : node; gm : float }
+  | Vcvs of { p : node; m : node; cp : node; cm : node; gain : float }
+  | Cccs of { p : node; m : node; vname : string; gain : float }
+  | Ccvs of { p : node; m : node; vname : string; ohms : float }
+  | Isrc of { a : node; b : node; amps : float }
+  | Vsrc of { p : node; m : node; volts : float }
+
+type t = { name : string; kind : kind }
+
+let check_value ~name ~what ~positive v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Element %s: %s is not finite" name what);
+  if positive && not (v > 0.) then
+    invalid_arg (Printf.sprintf "Element %s: %s must be > 0" name what);
+  if (not positive) && v = 0. then
+    invalid_arg (Printf.sprintf "Element %s: %s must be non-zero" name what)
+
+let nodes_of_kind = function
+  | Conductance { a; b; _ } | Resistor { a; b; _ } | Capacitor { a; b; _ }
+  | Inductor { a; b; _ } | Isrc { a; b; _ } ->
+      [ a; b ]
+  | Vsrc { p; m; _ } | Cccs { p; m; _ } | Ccvs { p; m; _ } -> [ p; m ]
+  | Vccs { p; m; cp; cm; _ } | Vcvs { p; m; cp; cm; _ } -> [ p; m; cp; cm ]
+
+let make name kind =
+  if name = "" then invalid_arg "Element.make: empty name";
+  List.iter
+    (fun n -> if n < 0 then invalid_arg (Printf.sprintf "Element %s: negative node" name))
+    (nodes_of_kind kind);
+  (match kind with
+  | Conductance { siemens; _ } ->
+      check_value ~name ~what:"conductance" ~positive:false siemens
+  | Resistor { ohms; _ } -> check_value ~name ~what:"resistance" ~positive:true ohms
+  | Capacitor { farads; _ } -> check_value ~name ~what:"capacitance" ~positive:true farads
+  | Inductor { henries; _ } -> check_value ~name ~what:"inductance" ~positive:true henries
+  | Vccs { gm; _ } -> check_value ~name ~what:"transconductance" ~positive:false gm
+  | Vcvs { gain; _ } -> check_value ~name ~what:"gain" ~positive:false gain
+  | Cccs { gain; _ } -> check_value ~name ~what:"gain" ~positive:false gain
+  | Ccvs { ohms; _ } -> check_value ~name ~what:"transresistance" ~positive:false ohms
+  | Isrc { amps; _ } ->
+      if not (Float.is_finite amps) then
+        invalid_arg (Printf.sprintf "Element %s: current not finite" name)
+  | Vsrc { volts; _ } ->
+      if not (Float.is_finite volts) then
+        invalid_arg (Printf.sprintf "Element %s: voltage not finite" name));
+  { name; kind }
+
+let nodes t = nodes_of_kind t.kind
+
+let is_nodal_class t =
+  match t.kind with
+  | Conductance _ | Resistor _ | Capacitor _ | Vccs _ | Isrc _ -> true
+  | Inductor _ | Vcvs _ | Cccs _ | Ccvs _ | Vsrc _ -> false
+
+let conductance_value t =
+  match t.kind with
+  | Conductance { siemens; _ } -> Some (Float.abs siemens)
+  | Resistor { ohms; _ } -> Some (1. /. ohms)
+  | Vccs { gm; _ } -> Some (Float.abs gm)
+  | Capacitor _ | Inductor _ | Vcvs _ | Cccs _ | Ccvs _ | Isrc _ | Vsrc _ -> None
+
+let capacitance_value t =
+  match t.kind with
+  | Capacitor { farads; _ } -> Some farads
+  | Conductance _ | Resistor _ | Inductor _ | Vccs _ | Vcvs _ | Cccs _ | Ccvs _
+  | Isrc _ | Vsrc _ ->
+      None
+
+let principal_value t =
+  match t.kind with
+  | Conductance { siemens; _ } -> siemens
+  | Resistor { ohms; _ } -> ohms
+  | Capacitor { farads; _ } -> farads
+  | Inductor { henries; _ } -> henries
+  | Vccs { gm; _ } -> gm
+  | Vcvs { gain; _ } -> gain
+  | Cccs { gain; _ } -> gain
+  | Ccvs { ohms; _ } -> ohms
+  | Isrc { amps; _ } -> amps
+  | Vsrc { volts; _ } -> volts
+
+let scale_value t k =
+  let kind =
+    match t.kind with
+    | Conductance c -> Conductance { c with siemens = c.siemens *. k }
+    | Resistor r -> Resistor { r with ohms = r.ohms *. k }
+    | Capacitor c -> Capacitor { c with farads = c.farads *. k }
+    | Inductor l -> Inductor { l with henries = l.henries *. k }
+    | Vccs v -> Vccs { v with gm = v.gm *. k }
+    | Vcvs v -> Vcvs { v with gain = v.gain *. k }
+    | Cccs v -> Cccs { v with gain = v.gain *. k }
+    | Ccvs v -> Ccvs { v with ohms = v.ohms *. k }
+    | Isrc i -> Isrc { i with amps = i.amps *. k }
+    | Vsrc v -> Vsrc { v with volts = v.volts *. k }
+  in
+  make t.name kind
+
+let describe t =
+  let k =
+    match t.kind with
+    | Conductance { a; b; siemens } -> Printf.sprintf "G(%d,%d)=%gS" a b siemens
+    | Resistor { a; b; ohms } -> Printf.sprintf "R(%d,%d)=%gohm" a b ohms
+    | Capacitor { a; b; farads } -> Printf.sprintf "C(%d,%d)=%gF" a b farads
+    | Inductor { a; b; henries } -> Printf.sprintf "L(%d,%d)=%gH" a b henries
+    | Vccs { p; m; cp; cm; gm } ->
+        Printf.sprintf "VCCS(%d,%d<-%d,%d)=%gS" p m cp cm gm
+    | Vcvs { p; m; cp; cm; gain } ->
+        Printf.sprintf "VCVS(%d,%d<-%d,%d)=%g" p m cp cm gain
+    | Cccs { p; m; vname; gain } -> Printf.sprintf "CCCS(%d,%d<-%s)=%g" p m vname gain
+    | Ccvs { p; m; vname; ohms } ->
+        Printf.sprintf "CCVS(%d,%d<-%s)=%gohm" p m vname ohms
+    | Isrc { a; b; amps } -> Printf.sprintf "I(%d,%d)=%gA" a b amps
+    | Vsrc { p; m; volts } -> Printf.sprintf "V(%d,%d)=%gV" p m volts
+  in
+  t.name ^ ": " ^ k

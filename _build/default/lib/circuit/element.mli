@@ -1,0 +1,71 @@
+(** Linear(ised) circuit elements.
+
+    Node [0] is ground.  Values are small-signal: transistors enter a netlist
+    already expanded into their hybrid-pi / quasi-static models (see
+    {!Devices}).
+
+    Elements split into two classes:
+
+    - the {e nodal class} — conductances, resistors, capacitors, VCCS and
+      independent current sources — for which every nodal-determinant
+      monomial is a product of admittances.  This homogeneity is what makes
+      the paper's conductance/frequency scaling (eq. 11) exact, so the
+      reference generator accepts only this class (plus grounded voltage
+      sources, which are eliminated).
+    - general MNA elements (floating/independent voltage sources, VCVS,
+      CCCS, CCVS, inductors) that need auxiliary current rows; the AC
+      simulator supports all of them. *)
+
+type node = int
+
+type kind =
+  | Conductance of { a : node; b : node; siemens : float }
+  | Resistor of { a : node; b : node; ohms : float }
+  | Capacitor of { a : node; b : node; farads : float }
+  | Inductor of { a : node; b : node; henries : float }
+  | Vccs of { p : node; m : node; cp : node; cm : node; gm : float }
+      (** Current [gm * (v cp - v cm)] flows from [p] to [m] (through the
+          source), i.e. it is injected into node [m] and drawn from [p]
+          following the SPICE [G] element convention. *)
+  | Vcvs of { p : node; m : node; cp : node; cm : node; gain : float }
+  | Cccs of { p : node; m : node; vname : string; gain : float }
+      (** Controlled by the current through the voltage source [vname]. *)
+  | Ccvs of { p : node; m : node; vname : string; ohms : float }
+  | Isrc of { a : node; b : node; amps : float }
+      (** AC magnitude; current flows from [a] through the source to [b]. *)
+  | Vsrc of { p : node; m : node; volts : float }  (** AC magnitude. *)
+
+type t = { name : string; kind : kind }
+
+val make : string -> kind -> t
+(** @raise Invalid_argument on empty name, negative node, non-finite or
+    non-positive value where positivity is required (R, C, L must be
+    [> 0]; G and gm may be negative — e.g. positive feedback — but not
+    zero). *)
+
+val nodes : t -> node list
+(** Every node the element touches (including controlling nodes). *)
+
+val is_nodal_class : t -> bool
+(** True for elements compatible with pure nodal analysis (see above);
+    grounded voltage sources are {e not} in the class (they are handled by
+    node elimination one level up). *)
+
+val conductance_value : t -> float option
+(** Magnitude entering the conductance-mean heuristic: conductances,
+    resistors (as [1/R]) and VCCS transconductances. *)
+
+val capacitance_value : t -> float option
+
+val principal_value : t -> float
+(** The element's defining value (ohms, farads, siemens, gain, source
+    magnitude ...). *)
+
+val scale_value : t -> float -> t
+(** [scale_value e k] multiplies the principal value by [k] (same name, same
+    nodes) — the perturbation primitive of sensitivity analysis.
+    @raise Invalid_argument when the scaled value is invalid for the kind
+    (e.g. non-positive resistance). *)
+
+val describe : t -> string
+(** One-line human-readable form. *)

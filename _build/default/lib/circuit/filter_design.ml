@@ -1,0 +1,104 @@
+type kind = Butterworth | Chebyshev of float | Bessel
+
+type section = Second_order of Biquad.design | First_order of float
+
+let butterworth_poles n =
+  Array.init n (fun k ->
+      let th =
+        Float.pi *. ((2. *. float_of_int (k + 1)) +. float_of_int n -. 1.)
+        /. (2. *. float_of_int n)
+      in
+      { Complex.re = Float.cos th; im = Float.sin th })
+
+let chebyshev_poles ripple_db n =
+  if not (ripple_db > 0.) then invalid_arg "Filter_design: ripple must be > 0";
+  let epsilon = Float.sqrt ((10. ** (ripple_db /. 10.)) -. 1.) in
+  let a = Float.log ((1. /. epsilon) +. Float.sqrt ((1. /. (epsilon *. epsilon)) +. 1.)) /. float_of_int n in
+  Array.init n (fun k ->
+      let th = (2. *. float_of_int (k + 1) -. 1.) *. Float.pi /. (2. *. float_of_int n) in
+      { Complex.re = -.Float.sinh a *. Float.sin th; im = Float.cosh a *. Float.cos th })
+
+(* Reverse Bessel polynomial by the standard recurrence; poles are its
+   roots, rescaled so the -3 dB point sits at 1 rad/s. *)
+let bessel_poles n =
+  let module Poly = Symref_poly.Poly in
+  let rec theta k =
+    if k = 0 then Poly.one
+    else if k = 1 then Poly.of_list [ 1.; 1. ]
+    else
+      Poly.add
+        (Poly.scale (2. *. float_of_int k -. 1.) (theta (k - 1)))
+        (Poly.mul (Poly.of_list [ 0.; 0.; 1. ]) (theta (k - 2)))
+  in
+  let b = theta n in
+  let roots, q = Symref_poly.Roots.find_real b in
+  if not q.Symref_poly.Roots.converged then failwith "Filter_design: Bessel roots";
+  (* |H(jw)|^2 = b(0)^2 / |b(jw)|^2; bisect for the -3 dB frequency. *)
+  let b0 = Poly.eval b 0. in
+  let mag2 w =
+    let v = Poly.eval_complex b { Complex.re = 0.; im = w } in
+    b0 *. b0 /. (Complex.norm v *. Complex.norm v)
+  in
+  let rec bisect lo hi i =
+    if i = 0 then (lo +. hi) /. 2.
+    else
+      let mid = (lo +. hi) /. 2. in
+      if mag2 mid > 0.5 then bisect mid hi (i - 1) else bisect lo mid (i - 1)
+  in
+  let rec upper w = if mag2 w > 0.5 then upper (2. *. w) else w in
+  let w3 = bisect 0. (upper 1.) 60 in
+  Array.map (fun (p : Complex.t) -> { Complex.re = p.re /. w3; im = p.im /. w3 }) roots
+
+let prototype_poles kind ~order =
+  if order < 1 then invalid_arg "Filter_design: order must be >= 1";
+  match kind with
+  | Butterworth -> butterworth_poles order
+  | Chebyshev r -> chebyshev_poles r order
+  | Bessel -> bessel_poles order
+
+let sections ?(gm = 50e-6) kind ~order ~f_cut_hz =
+  if not (f_cut_hz > 0.) then invalid_arg "Filter_design: f_cut must be > 0";
+  let poles = prototype_poles kind ~order in
+  let pairs, reals = Symref_poly.Roots.conjugate_pairs poles in
+  let of_pair ((p : Complex.t), _) =
+    let w = Complex.norm p in
+    Second_order
+      { Biquad.f0_hz = w *. f_cut_hz; q = w /. (2. *. Float.abs p.re); gm }
+  in
+  let of_real (p : Complex.t) = First_order (Complex.norm p *. f_cut_hz) in
+  let q_of = function Second_order d -> d.Biquad.q | First_order _ -> 0.5 in
+  List.sort
+    (fun a b -> Float.compare (q_of a) (q_of b))
+    (List.map of_pair pairs @ List.map of_real reals)
+
+let realize ?(gm = 50e-6) kind ~order ~f_cut_hz =
+  let secs = sections ~gm kind ~order ~f_cut_hz in
+  let module B = Netlist.Builder in
+  let b =
+    B.create
+      ~title:
+        (Printf.sprintf "%s lowpass order %d at %g Hz"
+           (match kind with
+           | Butterworth -> "butterworth"
+           | Chebyshev r -> Printf.sprintf "chebyshev-%.2gdB" r
+           | Bessel -> "bessel")
+           order f_cut_hz)
+      ()
+  in
+  B.vsrc b "vin" ~p:"in" ~m:"0" 1.;
+  let n = List.length secs in
+  List.iteri
+    (fun i sec ->
+      let input = if i = 0 then "in" else Printf.sprintf "s%d" i in
+      let output = if i = n - 1 then "out" else Printf.sprintf "s%d" (i + 1) in
+      let prefix = Printf.sprintf "f%d" (i + 1) in
+      match sec with
+      | Second_order d -> Biquad.section b ~prefix ~input ~output d
+      | First_order f0 ->
+          (* One-pole unity-gain gm-C section: C dv/dt = gm (vin - v). *)
+          let c = gm /. (2. *. Float.pi *. f0) in
+          B.vccs b (prefix ^ ".gm") ~p:"0" ~m:output ~cp:input ~cm:"0" gm;
+          B.conductance b (prefix ^ ".gterm") ~a:output ~b:"0" gm;
+          B.capacitor b (prefix ^ ".c") ~a:output ~b:"0" c)
+    secs;
+  B.finish b

@@ -1,0 +1,32 @@
+(** Classical all-pole lowpass synthesis: Butterworth, Chebyshev-I and
+    Bessel prototypes mapped onto gm-C biquad cascades (plus one first-order
+    section for odd orders).
+
+    Pole placement follows the textbook formulas (Butterworth circle,
+    Chebyshev ellipse); Bessel poles are the roots of the reverse Bessel
+    polynomial, found with the library's own root finder and rescaled so the
+    [-3 dB] point lands on the requested cutoff (bisection on the
+    prototype's magnitude). *)
+
+type kind =
+  | Butterworth
+  | Chebyshev of float  (** passband ripple, dB (> 0) *)
+  | Bessel
+
+type section =
+  | Second_order of Biquad.design
+  | First_order of float  (** real pole frequency, Hz *)
+
+val sections : ?gm:float -> kind -> order:int -> f_cut_hz:float -> section list
+(** Pole pairs of the prototype, highest Q last (the conventional cascade
+    ordering).  [gm] (default [50e-6] S) is carried into the biquad designs.
+    @raise Invalid_argument when [order < 1] or the ripple is not
+    positive. *)
+
+val realize : ?gm:float -> kind -> order:int -> f_cut_hz:float -> Netlist.t
+(** Build the gm-C cascade: voltage source ["vin"] at ["in"], output
+    ["out"]. *)
+
+val prototype_poles : kind -> order:int -> Complex.t array
+(** Normalised poles (cutoff 1 rad/s: Butterworth/Bessel at their [-3 dB]
+    point, Chebyshev at the ripple-band edge). *)

@@ -1,0 +1,29 @@
+let input_node = "in"
+let output_node n = Printf.sprintf "v%d" n
+
+let circuit ?(gm = 50e-6) ?(c = 5e-12) ?(grade = 1.05) n =
+  if n < 1 then invalid_arg "Gm_c.circuit: order must be >= 1";
+  if not (grade > 0.) then invalid_arg "Gm_c.circuit: grade must be > 0";
+  let module B = Netlist.Builder in
+  let b = B.create ~title:(Printf.sprintf "gm-C leapfrog order %d" n) () in
+  let v i = output_node i in
+  let gmi i = gm *. (grade ** float_of_int i) in
+  let ci i = c *. (grade ** float_of_int (-i)) in
+  (* State capacitors. *)
+  for i = 1 to n do
+    B.capacitor b (Printf.sprintf "c%d" i) ~a:(v i) ~b:"0" (ci i)
+  done;
+  (* Input coupling and terminations. *)
+  B.vccs b "gmin" ~p:"0" ~m:(v 1) ~cp:input_node ~cm:"0" (gmi 0);
+  B.conductance b "gterm1" ~a:(v 1) ~b:"0" (gmi 0);
+  B.conductance b "gtermn" ~a:(v n) ~b:"0" (gmi n);
+  (* Leapfrog couplings: node i is driven by +gm*v(i-1) and -gm*v(i+1). *)
+  for i = 1 to n - 1 do
+    B.vccs b
+      (Printf.sprintf "gmf%d" i)
+      ~p:"0" ~m:(v (i + 1)) ~cp:(v i) ~cm:"0" (gmi i);
+    B.vccs b
+      (Printf.sprintf "gmb%d" i)
+      ~p:(v i) ~m:"0" ~cp:(v (i + 1)) ~cm:"0" (gmi i)
+  done;
+  B.finish b

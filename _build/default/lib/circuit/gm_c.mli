@@ -1,0 +1,18 @@
+(** Scalable gm-C leapfrog ladder filters.
+
+    The standard transconductor-capacitor emulation of a doubly-terminated
+    LC ladder: one grounded capacitor per state, antisymmetric gm couplings
+    between neighbours, gm terminations at both ends.  Entirely inside the
+    nodal class (VCCS + C + G), with exactly [n] capacitors and [n] internal
+    nodes — an [n]-th order all-pole lowpass of arbitrary size, the "large
+    analog circuit" scaling workload. *)
+
+val circuit : ?gm:float -> ?c:float -> ?grade:float -> int -> Netlist.t
+(** [circuit n] builds an [n]-th order filter.  Defaults [gm = 50e-6] S,
+    [c = 5e-12] F; [grade] (default [1.05]) geometrically spreads element
+    values so coefficient magnitudes drift as in extracted netlists.
+    Input node ["in"] (drive with a voltage source), output ["v<n>"].
+    @raise Invalid_argument when [n < 1]. *)
+
+val input_node : string
+val output_node : int -> string

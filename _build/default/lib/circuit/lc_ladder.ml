@@ -1,0 +1,36 @@
+let input_node = "in"
+let output_node = "out"
+
+let butterworth ?(r = 600.) ?(f_cut = 1e6) n =
+  if n < 1 then invalid_arg "Lc_ladder.butterworth: order must be >= 1";
+  if not (r > 0. && f_cut > 0.) then
+    invalid_arg "Lc_ladder.butterworth: r and f_cut must be positive";
+  let wc = 2. *. Float.pi *. f_cut in
+  let g k = 2. *. Float.sin ((2. *. float_of_int k -. 1.) *. Float.pi /. (2. *. float_of_int n)) in
+  let module B = Netlist.Builder in
+  let b = B.create ~title:(Printf.sprintf "butterworth LC ladder order %d" n) () in
+  B.vsrc b "vin" ~p:input_node ~m:"0" 1.;
+  (* Node chain: in -rs- l1 ... ; odd g's are shunt capacitors, even g's
+     series inductors (first-element-shunt convention). *)
+  (* Ladder nodes 0 .. n/2; the last one carries the load. *)
+  let node i = if i >= n / 2 then output_node else Printf.sprintf "l%d" (i + 1) in
+  B.resistor b "rs" ~a:input_node ~b:(node 0) r;
+  for k = 1 to n do
+    let i = (k - 1) / 2 in
+    if k mod 2 = 1 then
+      (* shunt capacitor at node i: C = g / (R wc) *)
+      B.capacitor b
+        (Printf.sprintf "c%d" k)
+        ~a:(node i) ~b:"0"
+        (g k /. (r *. wc))
+    else
+      (* series inductor from node i-? to next: L = g R / wc *)
+      B.inductor b
+        (Printf.sprintf "l%d" k)
+        ~a:(node i) ~b:(node (i + 1))
+        (g k *. r /. wc)
+  done;
+  B.resistor b "rload" ~a:output_node ~b:"0" r;
+  B.finish b
+
+let nodal ?r ?f_cut n = Transform.inductors_to_gyrators (butterworth ?r ?f_cut n)

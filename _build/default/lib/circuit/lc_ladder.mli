@@ -1,0 +1,25 @@
+(** Doubly-terminated LC ladder filters (Butterworth prototypes).
+
+    The classical passive realisation: source resistor, alternating shunt-C /
+    series-L ladder from the normalised g-values
+    [g_k = 2 sin((2k-1) pi / (2n))], load resistor.  Inductors keep these
+    circuits outside the nodal class until {!Transform.inductors_to_gyrators}
+    is applied — which is exactly the workload the paper's footnote-1
+    transformation argument needs.
+
+    Known answers for validation: DC gain [1/2] (equal terminations), [-3 dB]
+    relative attenuation at the cutoff, and all [n] poles on the circle of
+    radius [2 pi f_cut] in the left half plane. *)
+
+val butterworth : ?r:float -> ?f_cut:float -> int -> Netlist.t
+(** [butterworth n] builds the [n]-th order prototype.  Defaults:
+    [r = 600] ohm terminations, [f_cut = 1e6] Hz.  Input source ["vin"] at
+    node ["in"], output node ["out"].
+    @raise Invalid_argument when [n < 1]. *)
+
+val nodal : ?r:float -> ?f_cut:float -> int -> Netlist.t
+(** {!butterworth} composed with {!Transform.inductors_to_gyrators}: ready
+    for reference generation. *)
+
+val input_node : string
+val output_node : string

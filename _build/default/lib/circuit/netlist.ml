@@ -1,0 +1,225 @@
+type t = {
+  title : string;
+  node_names : string array;
+  elements : Element.t list; (* insertion order *)
+}
+
+module Builder = struct
+  type builder = {
+    title : string;
+    names : (string, int) Hashtbl.t;
+    mutable name_list : string list; (* reverse order, excludes ground *)
+    mutable next : int;
+    mutable elems : Element.t list; (* reverse order *)
+    elem_names : (string, unit) Hashtbl.t;
+  }
+
+  type t = builder
+
+  let create ?(title = "untitled") () =
+    let names = Hashtbl.create 16 in
+    Hashtbl.replace names "0" 0;
+    Hashtbl.replace names "gnd" 0;
+    {
+      title;
+      names;
+      name_list = [];
+      next = 1;
+      elems = [];
+      elem_names = Hashtbl.create 16;
+    }
+
+  let ground = 0
+
+  let node b name =
+    match Hashtbl.find_opt b.names name with
+    | Some id -> id
+    | None ->
+        let id = b.next in
+        b.next <- id + 1;
+        Hashtbl.replace b.names name id;
+        b.name_list <- name :: b.name_list;
+        id
+
+  let add b (e : Element.t) =
+    if Hashtbl.mem b.elem_names e.Element.name then
+      invalid_arg (Printf.sprintf "Netlist: duplicate element name %s" e.Element.name);
+    List.iter
+      (fun n ->
+        if n >= b.next then
+          invalid_arg
+            (Printf.sprintf "Netlist: element %s uses unknown node %d" e.Element.name n))
+      (Element.nodes e);
+    Hashtbl.replace b.elem_names e.Element.name ();
+    b.elems <- e :: b.elems
+
+  (* Bind node lookups explicitly: interning order must follow source order,
+     and OCaml evaluates arguments right-to-left. *)
+  let two b name ~a ~b:bb mk =
+    let na = node b a in
+    let nb = node b bb in
+    add b (Element.make name (mk na nb))
+
+  let conductance b name ~a ~b:bb v =
+    two b name ~a ~b:bb (fun a b -> Element.Conductance { a; b; siemens = v })
+
+  let resistor b name ~a ~b:bb v =
+    two b name ~a ~b:bb (fun a b -> Element.Resistor { a; b; ohms = v })
+
+  let capacitor b name ~a ~b:bb v =
+    two b name ~a ~b:bb (fun a b -> Element.Capacitor { a; b; farads = v })
+
+  let inductor b name ~a ~b:bb v =
+    two b name ~a ~b:bb (fun a b -> Element.Inductor { a; b; henries = v })
+
+  let four b name ~p ~m ~cp ~cm mk =
+    let np = node b p in
+    let nm = node b m in
+    let ncp = node b cp in
+    let ncm = node b cm in
+    add b (Element.make name (mk np nm ncp ncm))
+
+  let vccs b name ~p ~m ~cp ~cm gm =
+    four b name ~p ~m ~cp ~cm (fun p m cp cm -> Element.Vccs { p; m; cp; cm; gm })
+
+  let vcvs b name ~p ~m ~cp ~cm gain =
+    four b name ~p ~m ~cp ~cm (fun p m cp cm -> Element.Vcvs { p; m; cp; cm; gain })
+
+  let cccs b name ~p ~m ~vname gain =
+    let np = node b p in
+    let nm = node b m in
+    add b (Element.make name (Element.Cccs { p = np; m = nm; vname; gain }))
+
+  let ccvs b name ~p ~m ~vname ohms =
+    let np = node b p in
+    let nm = node b m in
+    add b (Element.make name (Element.Ccvs { p = np; m = nm; vname; ohms }))
+
+  let isrc b name ~a ~b:bb amps =
+    two b name ~a ~b:bb (fun a b -> Element.Isrc { a; b; amps })
+
+  let vsrc b name ~p ~m volts =
+    let np = node b p in
+    let nm = node b m in
+    add b (Element.make name (Element.Vsrc { p = np; m = nm; volts }))
+
+  let finish b =
+    let elements = List.rev b.elems in
+    (* Controlled-source references must resolve. *)
+    let vsrc_names =
+      List.filter_map
+        (fun (e : Element.t) ->
+          match e.Element.kind with Element.Vsrc _ -> Some e.Element.name | _ -> None)
+        elements
+    in
+    List.iter
+      (fun (e : Element.t) ->
+        match e.Element.kind with
+        | Element.Cccs { vname; _ } | Element.Ccvs { vname; _ } ->
+            if not (List.mem vname vsrc_names) then
+              invalid_arg
+                (Printf.sprintf "Netlist: %s controls through unknown source %s"
+                   e.Element.name vname)
+        | _ -> ())
+      elements;
+    let node_names = Array.make b.next "0" in
+    List.iteri
+      (fun i name -> node_names.(b.next - 1 - i) <- name)
+      b.name_list;
+    { title = b.title; node_names; elements }
+end
+
+let title t = t.title
+let node_count t = Array.length t.node_names - 1
+let elements t = t.elements
+let element_count t = List.length t.elements
+
+let node_name t n =
+  if n < 0 || n >= Array.length t.node_names then
+    invalid_arg "Netlist.node_name: out of range"
+  else t.node_names.(n)
+
+let node_id t name =
+  if name = "0" || name = "gnd" then Some 0
+  else
+    let rec go i =
+      if i >= Array.length t.node_names then None
+      else if t.node_names.(i) = name then Some i
+      else go (i + 1)
+    in
+    go 1
+
+let find_element t name =
+  List.find_opt (fun (e : Element.t) -> e.Element.name = name) t.elements
+
+let remove_element t name =
+  if find_element t name = None then raise Not_found;
+  { t with elements = List.filter (fun (e : Element.t) -> e.Element.name <> name) t.elements }
+
+let extend t f =
+  let b = Builder.create ~title:t.title () in
+  (* Re-intern nodes in id order so existing elements keep their indices. *)
+  for i = 1 to Array.length t.node_names - 1 do
+    let id = Builder.node b t.node_names.(i) in
+    assert (id = i)
+  done;
+  List.iter (Builder.add b) t.elements;
+  f b;
+  Builder.finish b
+
+let scale_element t name k =
+  if find_element t name = None then raise Not_found;
+  {
+    t with
+    elements =
+      List.map
+        (fun (e : Element.t) ->
+          if e.Element.name = name then Element.scale_value e k else e)
+        t.elements;
+  }
+
+let conductance_values t = List.filter_map Element.conductance_value t.elements
+let capacitor_values t = List.filter_map Element.capacitance_value t.elements
+let capacitor_count t = List.length (capacitor_values t)
+
+let mean_conductance t =
+  match conductance_values t with
+  | [] -> invalid_arg "Netlist.mean_conductance: no conductances"
+  | vs -> Symref_numeric.Stats.mean vs
+
+let mean_capacitance t =
+  match capacitor_values t with
+  | [] -> invalid_arg "Netlist.mean_capacitance: no capacitors"
+  | vs -> Symref_numeric.Stats.mean vs
+
+let is_nodal_class t = List.for_all Element.is_nodal_class t.elements
+
+let is_connected t =
+  let n = Array.length t.node_names in
+  if n = 1 then true
+  else begin
+    let seen = Array.make n false in
+    seen.(0) <- true;
+    (* Repeated relaxation; element count is small. *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun e ->
+          let ns = Element.nodes e in
+          if List.exists (fun x -> seen.(x)) ns then
+            List.iter
+              (fun x ->
+                if not seen.(x) then begin
+                  seen.(x) <- true;
+                  changed := true
+                end)
+              ns)
+        t.elements
+    done;
+    Array.for_all Fun.id seen
+  end
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d nodes, %d elements (%d capacitors)" t.title
+    (node_count t) (element_count t) (capacitor_count t)

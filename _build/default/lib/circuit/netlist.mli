@@ -1,0 +1,91 @@
+(** Circuits: an immutable element list plus a node-name table, and a mutable
+    builder that interns node names.
+
+    Node [0] is always ground and answers to the names ["0"] and ["gnd"]. *)
+
+type t
+(** An immutable circuit. *)
+
+module Builder : sig
+  type circuit := t
+  type t
+
+  val create : ?title:string -> unit -> t
+
+  val node : t -> string -> Element.node
+  (** Intern a node name, creating the node on first use. *)
+
+  val ground : Element.node
+  (** The node [0]. *)
+
+  val add : t -> Element.t -> unit
+  (** @raise Invalid_argument on duplicate element name or an element
+      referring to a node that was never interned. *)
+
+  (* Convenience constructors; nodes given by name. *)
+  val conductance : t -> string -> a:string -> b:string -> float -> unit
+  val resistor : t -> string -> a:string -> b:string -> float -> unit
+  val capacitor : t -> string -> a:string -> b:string -> float -> unit
+  val inductor : t -> string -> a:string -> b:string -> float -> unit
+
+  val vccs :
+    t -> string -> p:string -> m:string -> cp:string -> cm:string -> float -> unit
+
+  val vcvs :
+    t -> string -> p:string -> m:string -> cp:string -> cm:string -> float -> unit
+
+  val cccs : t -> string -> p:string -> m:string -> vname:string -> float -> unit
+  val ccvs : t -> string -> p:string -> m:string -> vname:string -> float -> unit
+  val isrc : t -> string -> a:string -> b:string -> float -> unit
+  val vsrc : t -> string -> p:string -> m:string -> float -> unit
+
+  val finish : t -> circuit
+  (** Freeze.  @raise Invalid_argument when a CCCS/CCVS names a voltage
+      source that does not exist. *)
+end
+
+val title : t -> string
+
+val node_count : t -> int
+(** Number of non-ground nodes. *)
+
+val elements : t -> Element.t list
+(** In insertion order. *)
+
+val element_count : t -> int
+val node_name : t -> Element.node -> string
+val node_id : t -> string -> Element.node option
+val find_element : t -> string -> Element.t option
+
+val remove_element : t -> string -> t
+(** @raise Not_found when no element has that name. *)
+
+val extend : t -> (Builder.t -> unit) -> t
+(** [extend c f] rebuilds [c] in a fresh builder (same nodes and elements)
+    and lets [f] add elements — e.g. attach sources or loads to a library
+    circuit. *)
+
+val scale_element : t -> string -> float -> t
+(** [scale_element c name k] multiplies the named element's principal value
+    by [k] (see {!Element.scale_value}).
+    @raise Not_found when no element has that name. *)
+
+val conductance_values : t -> float list
+(** Conductance-dimensioned magnitudes (G, 1/R, |gm|) — the paper's
+    conductance-mean heuristic input. *)
+
+val capacitor_values : t -> float list
+val capacitor_count : t -> int
+val mean_conductance : t -> float
+(** @raise Invalid_argument when the circuit has no conductances. *)
+
+val mean_capacitance : t -> float
+(** @raise Invalid_argument when the circuit has no capacitors. *)
+
+val is_nodal_class : t -> bool
+(** All elements in the nodal class (voltage sources excluded). *)
+
+val is_connected : t -> bool
+(** Every node reachable from ground through element terminals. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+let input_p = "inp"
+let input_n = "inn"
+let output = "out"
+let capacitor_count = 9
+
+(* Typical magnitudes of a 1990s CMOS OTA: transconductances of hundreds of
+   uS, output conductances of a few uS, parasitics of tens of fF — giving the
+   1e6..1e9 ratio between consecutive transfer coefficients that defeats the
+   unscaled interpolation (paper §2.2). *)
+let circuit =
+  let module B = Netlist.Builder in
+  let b = B.create ~title:"positive-feedback OTA (Fig. 1)" () in
+  let mos = Devices.mos_default in
+  (* Differential pair, common tail node "t". *)
+  Devices.add_mos b "m1" ~d:"x1" ~g:input_p ~s:"t"
+    { mos with gm = 310e-6; gds = 4e-6; cgs = 120e-15; cgd = 25e-15 };
+  Devices.add_mos b "m2" ~d:"x2" ~g:input_n ~s:"t"
+    { mos with gm = 310e-6; gds = 4e-6; cgs = 120e-15; cgd = 25e-15 };
+  (* Cross-coupled load pair: the positive feedback.  Their gate-source
+     capacitance is merged into the diode loads' output capacitance. *)
+  Devices.add_mos b "m3" ~d:"x1" ~g:"x2" ~s:"0"
+    { mos with gm = 170e-6; gds = 6e-6; cgs = 0.; cgd = 30e-15 };
+  Devices.add_mos b "m4" ~d:"x2" ~g:"x1" ~s:"0"
+    { mos with gm = 170e-6; gds = 6e-6; cgs = 0.; cgd = 30e-15 };
+  (* Diode-connected companions act as conductances at the load nodes. *)
+  B.conductance b "m5.gdiode" ~a:"x1" ~b:"0" 180e-6;
+  B.conductance b "m6.gdiode" ~a:"x2" ~b:"0" 180e-6;
+  (* Output stage. *)
+  Devices.add_mos b "m7" ~d:output ~g:"x2" ~s:"0"
+    { mos with gm = 450e-6; gds = 9e-6; cgs = 60e-15; cgd = 35e-15 };
+  (* Tail current source output conductance. *)
+  B.conductance b "gtail" ~a:"t" ~b:"0" 1e-6;
+  (* Output load. *)
+  B.conductance b "gload" ~a:output ~b:"0" 10e-6;
+  B.capacitor b "cload" ~a:output ~b:"0" 250e-15;
+  B.finish b
+
+let () = assert (List.length (Netlist.capacitor_values circuit) = capacitor_count)

@@ -1,0 +1,24 @@
+(** The positive-feedback OTA of Fig. 1 (paper §2.2), as a MOS small-signal
+    netlist.
+
+    Differential pair [M1]/[M2] into a cross-coupled load pair [M3]/[M4]
+    (the positive feedback that boosts the first-stage gain) with
+    diode-connected companions, followed by a common-source output stage
+    with a capacitive load.
+
+    The circuit contains exactly 9 capacitors — hence the "upper estimate on
+    the polynomial order for this circuit is 9" of §2.2 — while the true
+    denominator order is limited by the 4 internal nodes, which is why the
+    naive unit-circle interpolation of Table 1a produces round-off garbage
+    in the unused orders. *)
+
+val circuit : Netlist.t
+(** Input nodes ["inp"]/["inn"] (to be driven differentially), output
+    ["out"]. *)
+
+val input_p : string
+val input_n : string
+val output : string
+
+val capacitor_count : int
+(** 9, the order estimate of §2.2. *)

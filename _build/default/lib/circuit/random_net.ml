@@ -1,0 +1,85 @@
+let input_node = "in"
+
+(* Deterministic LCG (Numerical Recipes constants), 30-bit output. *)
+type lcg = { mutable state : int }
+
+let make_lcg seed = { state = (seed * 2654435761) land 0x3FFFFFFF }
+
+let next g =
+  g.state <- ((g.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  g.state
+
+let uniform g = float_of_int (next g) /. float_of_int 0x40000000
+
+let log_uniform g lo hi =
+  Float.exp (Float.log lo +. (uniform g *. (Float.log hi -. Float.log lo)))
+
+let int_below g n = next g mod n
+
+let node_name i = Printf.sprintf "n%d" (i + 1)
+
+let circuit ?(coupling_density = 0.3) ?gm_count ~seed ~nodes () =
+  if nodes < 1 then invalid_arg "Random_net.circuit: nodes must be >= 1";
+  let gm_count = Option.value gm_count ~default:(nodes / 2) in
+  let g = make_lcg seed in
+  let module B = Netlist.Builder in
+  let b = B.create ~title:(Printf.sprintf "random-net seed=%d nodes=%d" seed nodes) () in
+  B.vsrc b "vin" ~p:input_node ~m:"0" 1.;
+  (* Backbone: node i connects to a previous node (or input/ground),
+     guaranteeing connectivity and a DC path everywhere. *)
+  for i = 0 to nodes - 1 do
+    let target =
+      if i = 0 then input_node
+      else
+        match int_below g (i + 2) with
+        | 0 -> "0"
+        | 1 -> input_node
+        | k -> node_name (k - 2)
+    in
+    B.conductance b
+      (Printf.sprintf "gb%d" (i + 1))
+      ~a:(node_name i) ~b:target
+      (log_uniform g 1e-6 1e-3);
+    B.capacitor b
+      (Printf.sprintf "cg%d" (i + 1))
+      ~a:(node_name i) ~b:"0"
+      (log_uniform g 1e-14 1e-11);
+    (* Leak to ground keeps the DC matrix comfortably non-singular. *)
+    B.conductance b
+      (Printf.sprintf "gl%d" (i + 1))
+      ~a:(node_name i) ~b:"0"
+      (log_uniform g 1e-7 1e-5)
+  done;
+  (* Random couplings. *)
+  let couplings = int_of_float (coupling_density *. float_of_int (nodes * 2)) in
+  for k = 0 to couplings - 1 do
+    let a = int_below g nodes and b' = int_below g nodes in
+    if a <> b' then begin
+      if uniform g < 0.5 then
+        B.conductance b
+          (Printf.sprintf "gc%d" k)
+          ~a:(node_name a) ~b:(node_name b')
+          (log_uniform g 1e-6 1e-4)
+      else
+        B.capacitor b
+          (Printf.sprintf "cc%d" k)
+          ~a:(node_name a) ~b:(node_name b')
+          (log_uniform g 1e-14 1e-12)
+    end
+  done;
+  (* Transconductances, kept below the local conductance level so the
+     random network stays comfortably regular. *)
+  for k = 0 to gm_count - 1 do
+    let src = if int_below g 4 = 0 then input_node else node_name (int_below g nodes) in
+    let dst = node_name (int_below g nodes) in
+    if src <> dst then
+      B.vccs b
+        (Printf.sprintf "gm%d" k)
+        ~p:"0" ~m:dst ~cp:src ~cm:"0"
+        ((if uniform g < 0.25 then -1. else 1.) *. log_uniform g 1e-7 3e-5)
+  done;
+  B.finish b
+
+let output_node ~seed ~nodes =
+  let g = make_lcg (seed + 7919) in
+  node_name (int_below g nodes)

@@ -1,0 +1,27 @@
+(** Deterministic random nodal-class circuits, for property-based testing.
+
+    Generates connected G/C/VCCS networks with IC-typical value ranges
+    (conductances 1e-6..1e-3 S, capacitances 1e-14..1e-11 F, moderate
+    transconductances) so the generated transfer functions show the wide
+    coefficient spreads the reference generator is built for.  A linear
+    congruential generator keeps every circuit reproducible from its seed —
+    no global randomness. *)
+
+val circuit :
+  ?coupling_density:float ->
+  ?gm_count:int ->
+  seed:int ->
+  nodes:int ->
+  unit ->
+  Netlist.t
+(** [circuit ~seed ~nodes ()] builds a circuit with [nodes] internal nodes
+    plus a driven input node ["in"].  Every internal node has a conductance
+    path towards ground (connectivity by construction) and a grounded
+    capacitor; [coupling_density] (default [0.3]) adds node-to-node R/C
+    coupling, [gm_count] (default [nodes/2]) adds VCCS elements.
+    Node names are ["n1"..].  @raise Invalid_argument when [nodes < 1]. *)
+
+val input_node : string
+
+val output_node : seed:int -> nodes:int -> string
+(** A pseudo-random—but seed-stable—choice of observation node. *)

@@ -1,0 +1,57 @@
+module Epoly = Symref_poly.Epoly
+module Ef = Symref_numeric.Extfloat
+
+let input_node = "in"
+let output_node = "out"
+
+let section_values ?(r = 1e3) ?(c = 1e-12) ?(spread = 1.) n =
+  if n < 1 then invalid_arg "Rc_ladder: need at least one section";
+  if not (spread > 0.) then invalid_arg "Rc_ladder: spread must be > 0";
+  List.init n (fun i ->
+      let k = spread ** float_of_int i in
+      (r *. k, c /. k))
+
+let circuit ?r ?c ?spread n =
+  let sections = section_values ?r ?c ?spread n in
+  let b = Netlist.Builder.create ~title:(Printf.sprintf "rc-ladder-%d" n) () in
+  let node_of i = if i = n then output_node else Printf.sprintf "n%d" i in
+  Netlist.Builder.vsrc b "vin" ~p:input_node ~m:"0" 1.;
+  List.iteri
+    (fun i (ri, ci) ->
+      let prev = if i = 0 then input_node else node_of i in
+      let here = node_of (i + 1) in
+      Netlist.Builder.resistor b (Printf.sprintf "r%d" (i + 1)) ~a:prev ~b:here ri;
+      Netlist.Builder.capacitor b (Printf.sprintf "c%d" (i + 1)) ~a:here ~b:"0" ci)
+    sections;
+  Netlist.Builder.finish b
+
+(* 2x2 ABCD chain; only polynomials in s appear (Z = R, Y = s*C). *)
+type abcd = { a : Epoly.t; b : Epoly.t; c : Epoly.t; d : Epoly.t }
+
+let identity =
+  let one = Epoly.of_floats [| 1. |] in
+  let zero = Epoly.zero in
+  { a = one; b = zero; c = zero; d = one }
+
+let mul x y =
+  {
+    a = Epoly.add (Epoly.mul x.a y.a) (Epoly.mul x.b y.c);
+    b = Epoly.add (Epoly.mul x.a y.b) (Epoly.mul x.b y.d);
+    c = Epoly.add (Epoly.mul x.c y.a) (Epoly.mul x.d y.c);
+    d = Epoly.add (Epoly.mul x.c y.b) (Epoly.mul x.d y.d);
+  }
+
+let series_r r =
+  { identity with b = Epoly.of_floats [| r |] }
+
+let shunt_c c =
+  { identity with c = Epoly.of_coeffs [| Ef.zero; Ef.of_float c |] }
+
+let exact_denominator ?r ?c ?spread n =
+  let sections = section_values ?r ?c ?spread n in
+  let t =
+    List.fold_left
+      (fun acc (ri, ci) -> mul acc (mul (series_r ri) (shunt_c ci)))
+      identity sections
+  in
+  t.a

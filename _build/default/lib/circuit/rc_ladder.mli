@@ -1,0 +1,29 @@
+(** RC ladder networks with exact transfer-function coefficients.
+
+    An [n]-section ladder is [vin -R1- n1 -R2- n2 - ... -Rn- nn] with a
+    capacitor from every internal node to ground, driven by a voltage source
+    and observed (unloaded) at the last node.
+
+    The voltage transfer is [H(s) = 1 / A(s)] where [A] is the chain product
+    of ABCD matrices; because every product term is positive the recurrence
+    computes the denominator coefficients {e without cancellation}, providing
+    an exact oracle for the interpolation engines.  The denominator order is
+    exactly [n]. *)
+
+val circuit :
+  ?r:float -> ?c:float -> ?spread:float -> int -> Netlist.t
+(** [circuit n] builds an [n]-section ladder.  Defaults: [r = 1e3] ohm,
+    [c = 1e-12] F.  [spread] (default [1.]) geometrically grades the values,
+    section [i] getting [r * spread^i] and [c / spread^i], so large ladders
+    exercise wide coefficient ranges like real IC parasitics.
+    Input node: ["in"]; output node: ["out"]; input source: ["vin"].
+    @raise Invalid_argument when [n < 1]. *)
+
+val input_node : string
+val output_node : string
+
+val exact_denominator :
+  ?r:float -> ?c:float -> ?spread:float -> int -> Symref_poly.Epoly.t
+(** Denominator [A(s)] of the [n]-section ladder, normalised so the constant
+    coefficient is [1] (the numerator is the constant [1]).  Computed by the
+    cancellation-free ABCD recurrence in extended-range arithmetic. *)

@@ -1,0 +1,43 @@
+let inductors_to_gyrators ?g circuit =
+  let has_inductor =
+    List.exists
+      (fun (e : Element.t) ->
+        match e.Element.kind with Element.Inductor _ -> true | _ -> false)
+      (Netlist.elements circuit)
+  in
+  if not has_inductor then circuit
+  else begin
+    let g =
+      match g with
+      | Some v -> v
+      | None -> (
+          match Netlist.conductance_values circuit with
+          | [] -> 1e-3
+          | vs -> Symref_numeric.Stats.mean vs)
+    in
+    let module B = Netlist.Builder in
+    let b = B.create ~title:(Netlist.title circuit) () in
+    (* Keep node ids stable for all existing nodes. *)
+    for i = 1 to Netlist.node_count circuit do
+      ignore (B.node b (Netlist.node_name circuit i))
+    done;
+    List.iter
+      (fun (e : Element.t) ->
+        match e.Element.kind with
+        | Element.Inductor { a; b = b'; henries } ->
+            let name = e.Element.name in
+            let x = name ^ ".x" in
+            let na = Netlist.node_name circuit a
+            and nb = Netlist.node_name circuit b' in
+            (* Gyrator of transconductance g terminated by C = L * g^2:
+               i(a->b) = g * v_x and s*C*v_x = g * (v_a - v_b). *)
+            B.vccs b (name ^ ".gyr1") ~p:"0" ~m:x ~cp:na ~cm:nb g;
+            B.vccs b (name ^ ".gyr2") ~p:na ~m:nb ~cp:x ~cm:"0" g;
+            B.capacitor b (name ^ ".cgyr") ~a:x ~b:"0" (henries *. g *. g)
+        | Element.Conductance _ | Element.Resistor _ | Element.Capacitor _
+        | Element.Vccs _ | Element.Vcvs _ | Element.Cccs _ | Element.Ccvs _
+        | Element.Isrc _ | Element.Vsrc _ ->
+            B.add b e)
+      (Netlist.elements circuit);
+    B.finish b
+  end

@@ -1,0 +1,22 @@
+(** Network transformations that bring circuits into the nodal class.
+
+    The paper (footnote 1, after eq. 10) restricts the analysis to circuits
+    whose only frequency-dependent elements are capacitors, noting that
+    "circuits containing inductors can be analysed using transformation
+    methods".  The classic transformation is the gyrator-C equivalence: an
+    inductor [L] between two nodes behaves exactly like a gyrator of
+    transconductance [g] terminated by a grounded capacitor [C = L * g^2] —
+    and a gyrator is just a pair of VCCS elements, which {e are} in the
+    nodal class.
+
+    The transformation is exact at all frequencies (it adds one internal
+    node and one state per inductor; the network function is unchanged). *)
+
+val inductors_to_gyrators : ?g:float -> Netlist.t -> Netlist.t
+(** Replace every inductor by its gyrator-C equivalent.  [g] (default: the
+    circuit's mean conductance, falling back to [1e-3] S) sets the gyration
+    transconductance, hence the replacement capacitor value [L * g^2] — pick
+    it near the circuit's own conductance level so the transformed values
+    stay in range.  Inductor [lx] becomes elements [lx.gyr1], [lx.gyr2],
+    [lx.cgyr] and internal node [lx.x].  Circuits without inductors are
+    returned unchanged. *)

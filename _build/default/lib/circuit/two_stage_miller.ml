@@ -1,0 +1,54 @@
+type params = {
+  gm1 : float;
+  gm6 : float;
+  cc : float;
+  cl : float;
+  gtail : float;
+}
+
+let default_params =
+  { gm1 = 100e-6; gm6 = 1e-3; cc = 2e-12; cl = 5e-12; gtail = 1e-6 }
+
+let input_p = "inp"
+let input_n = "inn"
+let output = "out"
+
+(* Output conductances scale with the device currents; fixed at levels that
+   give the textbook ~68 dB two-stage gain with the default transconductances. *)
+let circuit ?(params = default_params) () =
+  let p = params in
+  let module B = Netlist.Builder in
+  let b = B.create ~title:"two-stage Miller opamp" () in
+  let mos = Devices.mos_default in
+  let gds1 = p.gm1 /. 500. in
+  (* Input pair. *)
+  Devices.add_mos b "m1" ~d:"x1" ~g:input_p ~s:"t"
+    { mos with gm = p.gm1; gds = gds1; cgs = 100e-15; cgd = 20e-15 };
+  Devices.add_mos b "m2" ~d:"x2" ~g:input_n ~s:"t"
+    { mos with gm = p.gm1; gds = gds1; cgs = 100e-15; cgd = 20e-15 };
+  (* Mirror load: diode-connected M3 mirrored by M4 into x2. *)
+  Devices.add_mos b "m3" ~d:"x1" ~g:"x1" ~s:"0"
+    { mos with gm = p.gm1; gds = gds1; cgs = 80e-15; cgd = 15e-15 };
+  Devices.add_mos b "m4" ~d:"x2" ~g:"x1" ~s:"0"
+    { mos with gm = p.gm1; gds = gds1; cgs = 80e-15; cgd = 15e-15 };
+  (* Tail current source. *)
+  B.conductance b "gtail" ~a:"t" ~b:"0" p.gtail;
+  B.capacitor b "ctail" ~a:"t" ~b:"0" 60e-15;
+  (* Second stage. *)
+  Devices.add_mos b "m6" ~d:output ~g:"x2" ~s:"0"
+    { mos with gm = p.gm6; gds = p.gm6 /. 200.; cgs = 200e-15; cgd = 40e-15 };
+  (* Current-source load of the second stage. *)
+  B.conductance b "g7" ~a:output ~b:"0" (p.gm6 /. 200.);
+  (* Compensation: nulling resistor Rz = 1/gm6 in series with Cc. *)
+  B.resistor b "rz" ~a:"x2" ~b:"z" (1. /. p.gm6);
+  B.capacitor b "cc" ~a:"z" ~b:output p.cc;
+  B.capacitor b "cload" ~a:output ~b:"0" p.cl;
+  B.finish b
+
+let gbw_hz p = p.gm1 /. (2. *. Float.pi *. p.cc)
+
+let dc_gain p =
+  let gds1 = p.gm1 /. 500. in
+  let r1 = 1. /. (2. *. gds1) in
+  let r2 = 1. /. (2. *. (p.gm6 /. 200.)) in
+  p.gm1 *. r1 *. p.gm6 *. r2

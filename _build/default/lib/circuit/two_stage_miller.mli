@@ -1,0 +1,34 @@
+(** The classic CMOS two-stage Miller-compensated opamp, as a small-signal
+    workload with textbook closed forms:
+
+    - gain-bandwidth product [GBW = gm1 / (2 pi Cc)];
+    - DC gain [gm1/go1 * gm6/go2];
+    - the right-half-plane zero [gm6/Cc] cancelled by the nulling resistor
+      [Rz = 1/gm6];
+    - common-mode rejection set by the tail conductance.
+
+    Differential pair M1/M2 with mirror load M3/M4, common-source second
+    stage M6, compensation branch [Rz + Cc] and a capacitive load. *)
+
+type params = {
+  gm1 : float;   (** input-pair transconductance, S *)
+  gm6 : float;   (** second-stage transconductance, S *)
+  cc : float;    (** Miller capacitor, F *)
+  cl : float;    (** load capacitor, F *)
+  gtail : float; (** tail current source output conductance, S *)
+}
+
+val default_params : params
+(** [gm1 = 100uS], [gm6 = 1mS], [cc = 2pF], [cl = 5pF], [gtail = 1uS]:
+    GBW ~ 8 MHz, DC gain ~ 68 dB. *)
+
+val circuit : ?params:params -> unit -> Netlist.t
+val input_p : string
+val input_n : string
+val output : string
+
+val gbw_hz : params -> float
+(** The design GBW, [gm1 / (2 pi cc)]. *)
+
+val dc_gain : params -> float
+(** The design DC gain (linear). *)

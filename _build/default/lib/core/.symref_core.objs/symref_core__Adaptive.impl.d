@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Band Evaluator Float Fun Hashtbl Int Interp List Scaling Symref_numeric

@@ -1,0 +1,1 @@
+lib/core/ascii_plot.ml: Array Buffer Float Int List Printf Reference String Symref_mna Symref_numeric

@@ -1,0 +1,1 @@
+lib/core/ascii_plot.mli: Reference Symref_mna

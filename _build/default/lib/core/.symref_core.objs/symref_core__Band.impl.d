@@ -1,0 +1,1 @@
+lib/core/band.ml: Array Symref_numeric

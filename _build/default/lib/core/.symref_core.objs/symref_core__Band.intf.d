@@ -1,0 +1,1 @@
+lib/core/band.mli: Symref_numeric

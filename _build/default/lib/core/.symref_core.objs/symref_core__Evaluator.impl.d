@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Array Complex Symref_mna Symref_numeric Symref_poly

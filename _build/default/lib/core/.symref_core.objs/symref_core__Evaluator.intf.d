@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Complex Symref_mna Symref_numeric Symref_poly

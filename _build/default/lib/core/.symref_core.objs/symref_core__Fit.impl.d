@@ -1,0 +1,1 @@
+lib/core/fit.ml: Array Complex Float Int List Rational Symref_linalg Symref_numeric Symref_poly

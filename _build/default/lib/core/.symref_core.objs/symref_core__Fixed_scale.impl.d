@@ -1,0 +1,1 @@
+lib/core/fixed_scale.ml: Array Band Evaluator Interp Scaling Symref_numeric

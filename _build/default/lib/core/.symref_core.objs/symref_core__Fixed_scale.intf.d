@@ -1,0 +1,1 @@
+lib/core/fixed_scale.mli: Band Evaluator Scaling Symref_numeric

@@ -1,0 +1,1 @@
+lib/core/interp.ml: Array Complex Evaluator Float Int List Scaling Symref_dft Symref_numeric Symref_poly

@@ -1,0 +1,1 @@
+lib/core/locus.ml: Array Complex Reference Symref_circuit Symref_poly

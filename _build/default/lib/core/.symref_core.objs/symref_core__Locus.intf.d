@@ -1,0 +1,1 @@
+lib/core/locus.mli: Adaptive Complex Symref_circuit Symref_mna

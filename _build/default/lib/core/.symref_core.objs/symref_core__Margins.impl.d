@@ -1,0 +1,1 @@
+lib/core/margins.ml: Array Float Format Option Reference Symref_mna Symref_numeric

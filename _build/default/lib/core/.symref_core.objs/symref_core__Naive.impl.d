@@ -1,0 +1,1 @@
+lib/core/naive.ml: Array Band Evaluator Interp Scaling Symref_numeric

@@ -1,0 +1,1 @@
+lib/core/naive.mli: Band Evaluator Symref_numeric

@@ -1,0 +1,1 @@
+lib/core/poles.ml: Array Complex Float Format List Reference Symref_poly

@@ -1,0 +1,1 @@
+lib/core/poles.mli: Complex Format Reference Symref_poly

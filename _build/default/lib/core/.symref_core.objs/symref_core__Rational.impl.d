@@ -1,0 +1,1 @@
+lib/core/rational.ml: Array Complex Float List Reference Symref_numeric Symref_poly

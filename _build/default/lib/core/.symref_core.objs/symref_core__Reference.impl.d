@@ -1,0 +1,1 @@
+lib/core/reference.ml: Adaptive Array Complex Evaluator Float Symref_mna Symref_numeric Symref_poly

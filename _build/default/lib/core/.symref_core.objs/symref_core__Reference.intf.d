@@ -1,0 +1,1 @@
+lib/core/reference.mli: Adaptive Complex Symref_circuit Symref_mna Symref_numeric Symref_poly

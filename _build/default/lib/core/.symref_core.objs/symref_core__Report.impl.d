@@ -1,0 +1,1 @@
+lib/core/report.ml: Adaptive Array Band Buffer Fixed_scale Float Int List Naive Printf Reference Scaling String Symref_mna Symref_numeric

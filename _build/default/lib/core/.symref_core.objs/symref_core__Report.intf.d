@@ -1,0 +1,1 @@
+lib/core/report.mli: Adaptive Fixed_scale Naive Reference Symref_mna

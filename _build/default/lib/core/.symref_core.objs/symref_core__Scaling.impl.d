@@ -1,0 +1,1 @@
+lib/core/scaling.ml: Evaluator Float Symref_numeric

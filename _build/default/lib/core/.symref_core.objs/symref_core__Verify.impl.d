@@ -1,0 +1,1 @@
+lib/core/verify.ml: Adaptive Array Complex Evaluator Float List Scaling Symref_numeric Symref_poly

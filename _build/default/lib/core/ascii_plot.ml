@@ -1,0 +1,104 @@
+module Ac = Symref_mna.Ac
+
+type series = { label : string; xs : float array; ys : float array }
+
+let render ?(width = 72) ?(height = 20) ?(y_label = "") series =
+  (match series with
+  | [] -> invalid_arg "Ascii_plot.render: no series"
+  | _ :: _ :: _ :: _ -> invalid_arg "Ascii_plot.render: at most two series"
+  | _ -> ());
+  List.iter
+    (fun s ->
+      if Array.length s.xs = 0 || Array.length s.xs <> Array.length s.ys then
+        invalid_arg "Ascii_plot.render: empty or mismatched series";
+      Array.iter
+        (fun x -> if not (x > 0.) then invalid_arg "Ascii_plot.render: x must be > 0")
+        s.xs)
+    series;
+  let all_x = List.concat_map (fun s -> Array.to_list s.xs) series in
+  let all_y = List.concat_map (fun s -> Array.to_list s.ys) series in
+  let x_lo, x_hi = Symref_numeric.Stats.min_max (List.map Float.log10 all_x) in
+  let y_lo, y_hi = Symref_numeric.Stats.min_max all_y in
+  let y_lo, y_hi = if y_hi -. y_lo < 1e-9 then (y_lo -. 1., y_hi +. 1.) else (y_lo, y_hi) in
+  let x_hi = if x_hi -. x_lo < 1e-9 then x_lo +. 1. else x_hi in
+  let grid = Array.make_matrix height width ' ' in
+  let col x =
+    let t = (Float.log10 x -. x_lo) /. (x_hi -. x_lo) in
+    Int.min (width - 1) (Int.max 0 (int_of_float (t *. float_of_int (width - 1))))
+  in
+  let row y =
+    let t = (y -. y_lo) /. (y_hi -. y_lo) in
+    let r = height - 1 - int_of_float (t *. float_of_int (height - 1)) in
+    Int.min (height - 1) (Int.max 0 r)
+  in
+  let marks = [| '*'; 'o' |] in
+  List.iteri
+    (fun si s ->
+      Array.iteri
+        (fun i x ->
+          let r = row s.ys.(i) and c = col x in
+          grid.(r).(c) <-
+            (match grid.(r).(c) with
+            | ' ' -> marks.(si)
+            | existing when existing <> marks.(si) -> '#'
+            | existing -> existing))
+        s.xs)
+    series;
+  let buf = Buffer.create (width * height * 2) in
+  if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+  Array.iteri
+    (fun r line ->
+      let label =
+        if r = 0 then Printf.sprintf "%10.3g |" y_hi
+        else if r = height - 1 then Printf.sprintf "%10.3g |" y_lo
+        else Printf.sprintf "%10s |" ""
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%10s  %-10.3g%*s%.3g Hz\n" "" (Float.exp (x_lo *. Float.log 10.))
+       (width - 20) ""
+       (Float.exp (x_hi *. Float.log 10.)));
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf (Printf.sprintf "%10s  %c = %s\n" "" marks.(si) s.label))
+    series;
+  Buffer.contents buf
+
+let bode_figure ~interpolated ~simulator =
+  let freqs_i = Array.map (fun (p : Reference.bode_point) -> p.Reference.freq_hz) interpolated in
+  let freqs_s = Array.map (fun (p : Ac.bode_point) -> p.Ac.freq_hz) simulator in
+  let mag =
+    render ~y_label:"Magnitude (dB)"
+      [
+        {
+          label = "interpolated";
+          xs = freqs_i;
+          ys = Array.map (fun p -> p.Reference.mag_db) interpolated;
+        };
+        {
+          label = "electrical simulator";
+          xs = freqs_s;
+          ys = Array.map (fun (p : Ac.bode_point) -> p.Ac.mag_db) simulator;
+        };
+      ]
+  in
+  let phase =
+    render ~y_label:"Phase (deg)"
+      [
+        {
+          label = "interpolated";
+          xs = freqs_i;
+          ys = Array.map (fun p -> p.Reference.phase_deg) interpolated;
+        };
+        {
+          label = "electrical simulator";
+          xs = freqs_s;
+          ys = Array.map (fun (p : Ac.bode_point) -> p.Ac.phase_deg) simulator;
+        };
+      ]
+  in
+  mag ^ "\n" ^ phase

@@ -1,0 +1,26 @@
+(** Terminal plotting of frequency responses: the Fig. 2 view without
+    leaving the shell.
+
+    Renders one or two series on a log-frequency axis into a character
+    grid with axis labels; two series share the canvas ([*] first, [o]
+    second, [#] where they coincide — Fig. 2's "interpolated vs electrical
+    simulator" overlay). *)
+
+type series = { label : string; xs : float array; ys : float array }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?y_label:string ->
+  series list ->
+  string
+(** [render series] draws up to two series ([width] x [height] characters,
+    defaults 72 x 20).  X values must be positive (log axis).
+    @raise Invalid_argument on empty input, mismatched lengths, more than
+    two series, or non-positive frequencies. *)
+
+val bode_figure :
+  interpolated:Reference.bode_point array ->
+  simulator:Symref_mna.Ac.bode_point array ->
+  string
+(** The Fig. 2 pair: magnitude and phase canvases of both curves. *)

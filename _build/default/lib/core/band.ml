@@ -1,0 +1,34 @@
+module Ef = Symref_numeric.Extfloat
+module Ec = Symref_numeric.Extcomplex
+
+type t = { lo : int; hi : int; peak : int; threshold : Ef.t }
+
+let noise_exponent = -13
+
+let detect ?(min_mag = Ef.zero) ~sigma ~base coeffs =
+  let mags = Array.map (fun c -> Ef.abs (Ec.re c)) coeffs in
+  let n = Array.length mags in
+  let peak = ref 0 in
+  for i = 1 to n - 1 do
+    if Ef.compare_mag mags.(i) mags.(!peak) > 0 then peak := i
+  done;
+  if n = 0 || Ef.is_zero mags.(!peak) || Ef.compare_mag mags.(!peak) min_mag < 0
+  then None
+  else begin
+    let relative =
+      Ef.mul mags.(!peak) (Ef.of_decimal 1. (noise_exponent + sigma))
+    in
+    let threshold = if Ef.compare_mag relative min_mag >= 0 then relative else min_mag in
+    let valid i = Ef.compare_mag mags.(i) threshold >= 0 in
+    let lo = ref !peak and hi = ref !peak in
+    while !lo > 0 && valid (!lo - 1) do
+      decr lo
+    done;
+    while !hi < n - 1 && valid (!hi + 1) do
+      incr hi
+    done;
+    Some { lo = base + !lo; hi = base + !hi; peak = base + !peak; threshold }
+  end
+
+let width b = b.hi - b.lo + 1
+let contains b i = i >= b.lo && i <= b.hi

@@ -1,0 +1,38 @@
+(** Valid-coefficient region detection (paper eq. 12).
+
+    After an interpolation, only coefficients whose magnitude (prior to
+    denormalisation) stays above [10^(sigma - 13) * max_i |p'_i|] carry
+    [sigma] significant digits; the rest is round-off.  The valid region is
+    the contiguous run around the maximum that clears this threshold. *)
+
+type t = {
+  lo : int;   (** first valid index (absolute power of [s]) *)
+  hi : int;   (** last valid index *)
+  peak : int; (** index of the largest-magnitude coefficient *)
+  threshold : Symref_numeric.Extfloat.t;  (** the validity cutoff used *)
+}
+
+val noise_exponent : int
+(** [-13]: the round-off floor of the double-precision interpolation relative
+    to the largest coefficient (16-digit machine, §2.2). *)
+
+val detect :
+  ?min_mag:Symref_numeric.Extfloat.t ->
+  sigma:int ->
+  base:int ->
+  Symref_numeric.Extcomplex.t array ->
+  t option
+(** [detect ~sigma ~base coeffs] finds the valid region of normalised
+    coefficients [coeffs] (index [t] holding the coefficient of
+    [s^(base + t)]).  Validity is judged on the real part — the circuits are
+    real, so imaginary components are pure round-off (§2.2).
+
+    [min_mag] is an absolute validity floor: in a deflated pass (eq. 17) the
+    round-off noise is set by the magnitude of the {e pre-deflation} values,
+    not by the largest recovered coefficient, so the caller passes
+    [10^(sigma-13) * ceiling / K]; without it a window containing no real
+    coefficients would promote pure noise.  [None] when no coefficient
+    clears the thresholds. *)
+
+val width : t -> int
+val contains : t -> int -> bool

@@ -1,0 +1,51 @@
+module Ec = Symref_numeric.Extcomplex
+module Ef = Symref_numeric.Extfloat
+module Epoly = Symref_poly.Epoly
+module Nodal = Symref_mna.Nodal
+
+type t = {
+  eval : f:float -> g:float -> Complex.t -> Ec.t;
+  gdeg : int;
+  order_bound : int;
+  f0 : float;
+  g0 : float;
+  name : string;
+  counter : int ref;
+}
+
+let of_nodal problem ~num =
+  let counter = ref 0 in
+  let eval ~f ~g s =
+    incr counter;
+    let v = Nodal.eval ~f ~g problem s in
+    if num then v.Nodal.num else v.Nodal.den
+  in
+  {
+    eval;
+    gdeg = (if num then Nodal.num_gdeg problem else Nodal.den_gdeg problem);
+    order_bound = Nodal.order_bound problem;
+    f0 = 1. /. Nodal.mean_capacitance problem;
+    g0 = 1. /. Nodal.mean_conductance problem;
+    name = (if num then "num" else "den");
+    counter;
+  }
+
+let of_epoly ?(name = "poly") ~gdeg ~f0 ~g0 p =
+  if Epoly.degree p > gdeg then
+    invalid_arg "Evaluator.of_epoly: degree exceeds homogeneity degree";
+  let counter = ref 0 in
+  let eval ~f ~g s =
+    incr counter;
+    (* Scale coefficients exactly: p_i -> p_i f^i g^(gdeg-i), then Horner. *)
+    let coeffs = Epoly.coeffs p in
+    let scaled =
+      Array.mapi
+        (fun i c ->
+          Ef.mul c (Ef.mul (Ef.float_pow_int f i) (Ef.float_pow_int g (gdeg - i))))
+        coeffs
+    in
+    Epoly.eval (Epoly.of_coeffs scaled) (Ec.of_complex s)
+  in
+  { eval; gdeg; order_bound = Epoly.degree p; f0; g0; name; counter }
+
+let eval_count t = !(t.counter)

@@ -1,0 +1,38 @@
+(** The evaluation-side interface of the interpolation engines.
+
+    An evaluator computes one scaled network-function polynomial
+    [P'(s) = sum_i p_i f^i g^(gdeg - i) s^i] at arbitrary complex points —
+    in practice by assembling the scaled nodal matrix and running a sparse
+    LU (eqs. 7-10), but the engines only see this record, which keeps them
+    testable against synthetic polynomials with known coefficients. *)
+
+type t = {
+  eval : f:float -> g:float -> Complex.t -> Symref_numeric.Extcomplex.t;
+      (** Value of the scaled polynomial at a point. *)
+  gdeg : int;
+      (** Conductance-homogeneity degree: the [s^i] coefficient carries
+          [g^(gdeg - i)] under conductance scaling (eq. 11). *)
+  order_bound : int;
+      (** Upper estimate of the polynomial order (number of capacitors
+          capped by the matrix dimension, paper §2.1). *)
+  f0 : float;  (** heuristic first frequency scale: [1 / mean C] (§3.2) *)
+  g0 : float;  (** heuristic first conductance scale: [1 / mean G] (§3.2) *)
+  name : string;  (** for reports: ["num"], ["den"], ... *)
+  counter : int ref;
+      (** Incremented on every [eval] call by the smart constructors below;
+          each call is one LU decomposition when the evaluator comes from
+          {!of_nodal} — the paper's cost metric. *)
+}
+
+val of_nodal : Symref_mna.Nodal.t -> num:bool -> t
+(** The numerator ([num:true]) or denominator evaluator of a prepared nodal
+    problem.  Each call performs one sparse LU factorisation (and solve, for
+    the numerator). *)
+
+val of_epoly :
+  ?name:string -> gdeg:int -> f0:float -> g0:float -> Symref_poly.Epoly.t -> t
+(** Synthetic evaluator around known extended-range coefficients, applying
+    the homogeneous scaling law exactly — the engines' unit-test oracle. *)
+
+val eval_count : t -> int
+(** [!(t.counter)]. *)

@@ -1,0 +1,113 @@
+module Dense = Symref_linalg.Dense
+module Epoly = Symref_poly.Epoly
+
+type result = {
+  model : Rational.t;
+  iterations : int;
+  max_relative_error : float;
+}
+
+(* Real least squares via normal equations, solved with the complex LU. *)
+let solve_least_squares rows rhs unknowns =
+  let m = Array.make_matrix unknowns unknowns Complex.zero in
+  let v = Array.make unknowns Complex.zero in
+  List.iter2
+    (fun (row : float array) (b : float) ->
+      for i = 0 to unknowns - 1 do
+        v.(i) <- Complex.add v.(i) { re = row.(i) *. b; im = 0. };
+        for j = 0 to unknowns - 1 do
+          m.(i).(j) <- Complex.add m.(i).(j) { re = row.(i) *. row.(j); im = 0. }
+        done
+      done)
+    rows rhs;
+  Array.map (fun (z : Complex.t) -> z.re) (Dense.solve (Dense.factor m) v)
+
+let rational ?(iterations = 8) ~num_degree ~den_degree ~freqs_hz values =
+  if num_degree < 0 || den_degree < 1 then
+    invalid_arg "Fit.rational: need num_degree >= 0 and den_degree >= 1";
+  let m = Array.length freqs_hz in
+  if m <> Array.length values then invalid_arg "Fit.rational: mismatched arrays";
+  let unknowns = num_degree + 1 + den_degree in
+  if m < unknowns then invalid_arg "Fit.rational: not enough samples";
+  Array.iter
+    (fun f -> if not (f > 0.) then invalid_arg "Fit.rational: frequencies must be > 0")
+    freqs_hz;
+  (* Normalised evaluation points for conditioning. *)
+  let w0 =
+    Symref_numeric.Stats.geometric_mean
+      (Array.to_list (Array.map (fun f -> 2. *. Float.pi *. f) freqs_hz))
+  in
+  let points =
+    Array.map (fun f -> { Complex.re = 0.; im = 2. *. Float.pi *. f /. w0 }) freqs_hz
+  in
+  (* Powers table: points.(i)^k. *)
+  let pow = Array.make_matrix m (Int.max (num_degree + 1) (den_degree + 1)) Complex.one in
+  Array.iteri
+    (fun i s ->
+      for k = 1 to Array.length pow.(0) - 1 do
+        pow.(i).(k) <- Complex.mul pow.(i).(k - 1) s
+      done)
+    points;
+  let weights = Array.make m 1. in
+  let num = Array.make (num_degree + 1) 0. and den = Array.make (den_degree + 1) 0. in
+  den.(0) <- 1.;
+  let iter_count = ref 0 in
+  for _ = 1 to iterations do
+    incr iter_count;
+    let rows = ref [] and rhs = ref [] in
+    for i = 0 to m - 1 do
+      let w = weights.(i) in
+      let h = values.(i) in
+      let row_re = Array.make unknowns 0. and row_im = Array.make unknowns 0. in
+      for k = 0 to num_degree do
+        let c = pow.(i).(k) in
+        row_re.(k) <- w *. c.Complex.re;
+        row_im.(k) <- w *. c.Complex.im
+      done;
+      for k = 1 to den_degree do
+        let c = Complex.mul h pow.(i).(k) in
+        row_re.(num_degree + k) <- -.w *. c.Complex.re;
+        row_im.(num_degree + k) <- -.w *. c.Complex.im
+      done;
+      rows := row_im :: row_re :: !rows;
+      rhs := (w *. h.Complex.im) :: (w *. h.Complex.re) :: !rhs
+    done;
+    let x = solve_least_squares (List.rev !rows) (List.rev !rhs) unknowns in
+    Array.blit x 0 num 0 (num_degree + 1);
+    for k = 1 to den_degree do
+      den.(k) <- x.(num_degree + k)
+    done;
+    (* SK reweighting. *)
+    for i = 0 to m - 1 do
+      let d = ref Complex.zero in
+      for k = den_degree downto 0 do
+        d := Complex.add (Complex.mul !d points.(i)) { re = den.(k); im = 0. }
+      done;
+      let mag = Complex.norm !d in
+      if mag > 1e-12 then weights.(i) <- 1. /. mag
+    done
+  done;
+  (* Denormalise: coefficient of s^k divides by w0^k. *)
+  let denorm coeffs =
+    Epoly.of_coeffs
+      (Array.mapi
+         (fun k c ->
+           Symref_numeric.Extfloat.mul
+             (Symref_numeric.Extfloat.of_float c)
+             (Symref_numeric.Extfloat.float_pow_int w0 (-k)))
+         coeffs)
+  in
+  let model = Rational.of_epolys ~num:(denorm num) ~den:(denorm den) in
+  let max_relative_error =
+    let worst = ref 0. in
+    Array.iteri
+      (fun i f ->
+        let h = Rational.eval model { Complex.re = 0.; im = 2. *. Float.pi *. f } in
+        let e =
+          Complex.norm (Complex.sub h values.(i)) /. (Complex.norm values.(i) +. 1e-300)
+        in
+        if e > !worst then worst := e)
+      freqs_hz;
+    !worst
+  in
+  { model; iterations = !iter_count; max_relative_error }

@@ -1,0 +1,30 @@
+(** Rational fitting of sampled frequency responses (Sanathanan-Koerner
+    iteration): from AC-sweep data back to an [N(s)/D(s)] model — the
+    inverse of what {!Reference} computes, and a useful cross-check
+    (fitting the simulator's sweep must recover the reference
+    coefficients' ratios).
+
+    The linearised least-squares problem at each iteration minimises
+    [sum |N(s_i) - h_i D(s_i)|^2 / |D_prev(s_i)|^2] with [d_0 = 1] fixed;
+    frequencies are normalised to their geometric mean for conditioning.
+    Normal equations are solved with the dense complex LU. *)
+
+type result = {
+  model : Rational.t;
+  iterations : int;
+  max_relative_error : float;
+      (** worst [|H_model - h| / |h|] over the samples *)
+}
+
+val rational :
+  ?iterations:int ->
+  num_degree:int ->
+  den_degree:int ->
+  freqs_hz:float array ->
+  Complex.t array ->
+  result
+(** [rational ~num_degree ~den_degree ~freqs_hz values] fits the samples
+    [values.(i) = H(j 2 pi freqs_hz.(i))].  Needs at least
+    [num_degree + den_degree + 1] samples.  [iterations] defaults to 8.
+    @raise Invalid_argument on bad degrees, too few samples or mismatched
+    arrays. *)

@@ -1,0 +1,30 @@
+module Ec = Symref_numeric.Extcomplex
+module Ef = Symref_numeric.Extfloat
+
+type t = {
+  scale : Scaling.pair;
+  normalized : Ec.t array;
+  band : Band.t option;
+  denormalized : Ef.t array;
+  points : int;
+  evaluations : int;
+}
+
+let run ?(conj_symmetry = true) ?(sigma = 6) ?(g = 1.) ~f (ev : Evaluator.t) =
+  let scale = { Scaling.f; g } in
+  let k = ev.Evaluator.order_bound + 1 in
+  let pass = Interp.run ~conj_symmetry ev ~scale ~k in
+  let normalized = pass.Interp.normalized in
+  let denormalized =
+    Array.mapi
+      (fun i c -> Scaling.denormalize ~gdeg:ev.Evaluator.gdeg scale i (Ec.re c))
+      normalized
+  in
+  {
+    scale;
+    normalized;
+    band = Band.detect ~sigma ~base:0 normalized;
+    denormalized;
+    points = pass.Interp.points;
+    evaluations = pass.Interp.evaluations;
+  }

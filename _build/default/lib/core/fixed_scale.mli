@@ -1,0 +1,25 @@
+(** Single-pass interpolation with user-chosen scale factors (paper §3,
+    Table 1b).  Rescues the conventional method for polynomials up to about
+    tenth order; beyond that no single scale pair keeps every coefficient
+    above the error level — which is what the adaptive algorithm fixes. *)
+
+type t = {
+  scale : Scaling.pair;
+  normalized : Symref_numeric.Extcomplex.t array;
+      (** coefficients at the chosen normalisation (Table 1b shows these) *)
+  band : Band.t option;  (** the valid region (shadowed cells of Table 1b) *)
+  denormalized : Symref_numeric.Extfloat.t array;
+      (** true coefficients; only indices inside [band] are meaningful *)
+  points : int;
+  evaluations : int;
+}
+
+val run :
+  ?conj_symmetry:bool ->
+  ?sigma:int ->
+  ?g:float ->
+  f:float ->
+  Evaluator.t ->
+  t
+(** [run ~f ev] interpolates once with frequency scale [f] (and conductance
+    scale [g], default [1.]). *)

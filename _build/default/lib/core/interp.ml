@@ -1,0 +1,103 @@
+module Ef = Symref_numeric.Extfloat
+module Ec = Symref_numeric.Extcomplex
+module Uc = Symref_dft.Unit_circle
+module Dft = Symref_dft.Dft
+module Epoly = Symref_poly.Epoly
+
+type t = {
+  scale : Scaling.pair;
+  base : int;
+  normalized : Ec.t array;
+  points : int;
+  evaluations : int;
+  ceiling : Ef.t;
+}
+
+(* Bring extended-range values to a common binary exponent and hand doubles
+   to the IDFT; the common factor is reapplied afterwards.  This emulates the
+   paper's double-precision pipeline (including its 1e-13 noise floor) while
+   never over/underflowing on wild scale factors. *)
+let idft_extended values =
+  let max_e =
+    Array.fold_left (fun acc (v : Ec.t) -> if Ec.is_zero v then acc else Int.max acc v.Ec.e)
+      min_int values
+  in
+  if max_e = min_int then Array.map (fun _ -> Ec.zero) values
+  else begin
+    let doubles =
+      Array.map
+        (fun (v : Ec.t) ->
+          if Ec.is_zero v then Complex.zero
+          else
+            let shift = v.Ec.e - max_e in
+            if shift < -1000 then Complex.zero
+            else
+              {
+                Complex.re = Float.ldexp v.Ec.c.Complex.re shift;
+                im = Float.ldexp v.Ec.c.Complex.im shift;
+              })
+        values
+    in
+    let inverse =
+      if Symref_dft.Fft.is_pow2 (Array.length doubles) then Symref_dft.Fft.inverse
+      else Dft.inverse
+    in
+    Array.map
+      (fun (c : Complex.t) ->
+        if c = Complex.zero then Ec.zero else Ec.make ~c ~e:max_e)
+      (inverse doubles)
+  end
+
+let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) (ev : Evaluator.t)
+    ~(scale : Scaling.pair) ~k =
+  if k < 1 then invalid_arg "Interp.run: k must be >= 1";
+  if base < 0 then invalid_arg "Interp.run: base must be >= 0";
+  (* Renormalise the known (denormalised) coefficients to this pass's scale
+     and build the deflation polynomial of eq. 17. *)
+  let deflation =
+    match known with
+    | [] -> None
+    | _ :: _ ->
+        let top = List.fold_left (fun acc (i, _) -> Int.max acc i) 0 known in
+        let arr = Array.make (top + 1) Ef.zero in
+        List.iter
+          (fun (i, p) ->
+            arr.(i) <- Scaling.normalize ~gdeg:ev.Evaluator.gdeg scale i p)
+          known;
+        Some (Epoly.of_coeffs arr)
+  in
+  let ceiling = ref Ef.zero in
+  let value_at j =
+    let s = Uc.point k j in
+    let raw = ev.Evaluator.eval ~f:scale.Scaling.f ~g:scale.Scaling.g s in
+    let mag = Ec.norm raw in
+    if Ef.compare_mag mag !ceiling > 0 then ceiling := mag;
+    let deflated =
+      match deflation with
+      | None -> raw
+      | Some poly -> Ec.sub raw (Epoly.eval poly (Ec.of_complex s))
+    in
+    if base = 0 then deflated
+    else
+      (* Divide by s^base: multiply by the conjugate root w^(-j*base). *)
+      Ec.mul_complex deflated (Uc.point k (-j * base))
+  in
+  let values, evaluations =
+    if conj_symmetry then begin
+      (* P(conj s) = conj (P s) for real circuits: evaluate only the upper
+         half circle (same symmetry as Dft.complete_real_spectrum, here on
+         extended-range values). *)
+      let half = Array.init ((k / 2) + 1) value_at in
+      ( Array.init k (fun i -> if i <= k / 2 then half.(i) else Ec.conj half.(k - i)),
+        (k / 2) + 1 )
+    end
+    else (Array.init k value_at, k)
+  in
+  {
+    scale;
+    base;
+    normalized = idft_extended values;
+    points = k;
+    evaluations;
+    ceiling = !ceiling;
+  }

@@ -1,0 +1,45 @@
+(** One polynomial interpolation pass: evaluate the (scaled) network
+    polynomial at [k] points on the unit circle and recover coefficients by
+    inverse DFT (paper §2.1, eqs. 4-6).
+
+    Supports the §3.3 problem reduction (eq. 17): when some coefficients are
+    already known, the pass evaluates
+    [P'(s) = (P(s) - sum_known p_i s^i) / s^base] and interpolates only the
+    [k] unknown coefficients starting at power [base], shrinking the number
+    of LU decompositions accordingly.
+
+    Values are collected in extended range and brought to a common binary
+    exponent before the double-precision IDFT, so badly-scaled passes
+    degrade exactly as on the paper's 16-digit machine instead of
+    overflowing. *)
+
+type t = {
+  scale : Scaling.pair;
+  base : int;  (** power of [s] of the first recovered coefficient *)
+  normalized : Symref_numeric.Extcomplex.t array;
+      (** [normalized.(i)] is the coefficient of [s^(base+i)] {e at the
+          pass's normalisation}. *)
+  points : int;       (** interpolation points used, [k] *)
+  evaluations : int;  (** LU evaluations actually performed (conjugate
+                          symmetry halves this) *)
+  ceiling : Symref_numeric.Extfloat.t;
+      (** largest pre-deflation value magnitude over the interpolation
+          points: the round-off noise in the recovered coefficients is
+          [~1e-16 * ceiling] regardless of deflation, which anchors the
+          validity floor (see {!Band.detect}) *)
+}
+
+val run :
+  ?conj_symmetry:bool ->
+  ?known:(int * Symref_numeric.Extfloat.t) list ->
+  ?base:int ->
+  Evaluator.t ->
+  scale:Scaling.pair ->
+  k:int ->
+  t
+(** [run ev ~scale ~k] interpolates [k] coefficients.  [known] lists
+    {e denormalised} coefficients to deflate (eq. 17); [base] (default [0])
+    is the first power to recover.  [conj_symmetry] (default [true])
+    evaluates only the upper half circle and completes by conjugation
+    (real-coefficient polynomials, §2.1).
+    @raise Invalid_argument when [k < 1] or [base < 0]. *)

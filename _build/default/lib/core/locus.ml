@@ -1,0 +1,24 @@
+module Netlist = Symref_circuit.Netlist
+module Roots = Symref_poly.Roots
+
+type point = {
+  factor : float;
+  poles : Complex.t array;
+  dc_gain : float;
+  evaluations : int;
+}
+
+let poles_vs_element ?config circuit ~input ~output ~element ~factors =
+  if Netlist.find_element circuit element = None then raise Not_found;
+  Array.map
+    (fun factor ->
+      let c = Netlist.scale_element circuit element factor in
+      let r = Reference.generate ?config c ~input ~output in
+      let poles, _ = Roots.find (Reference.denominator r) in
+      {
+        factor;
+        poles;
+        dc_gain = Reference.dc_gain r;
+        evaluations = Reference.total_evaluations r;
+      })
+    factors

@@ -1,0 +1,28 @@
+(** Pole/zero loci under element-value sweeps — the root-locus view a
+    designer uses to size a compensation element, computed by regenerating
+    references at each sweep point and extracting roots.
+
+    This is deliberately the expensive-but-exact route (a full adaptive run
+    per point): it exercises the reference generator the way a sizing loop
+    in a synthesis tool would (the paper's motivating application is
+    "repetitive evaluations in design automation"). *)
+
+type point = {
+  factor : float;          (** multiplier applied to the element value *)
+  poles : Complex.t array;
+  dc_gain : float;
+  evaluations : int;       (** LU evaluations spent at this point *)
+}
+
+val poles_vs_element :
+  ?config:Adaptive.config ->
+  Symref_circuit.Netlist.t ->
+  input:Symref_mna.Nodal.input ->
+  output:Symref_mna.Nodal.output ->
+  element:string ->
+  factors:float array ->
+  point array
+(** [poles_vs_element c ~element ~factors] scales the named element by each
+    factor and returns the pole set (and DC gain) at each point.
+    @raise Not_found when the element does not exist;
+    @raise Symref_mna.Nodal.Unsupported outside the nodal class. *)

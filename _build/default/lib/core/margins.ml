@@ -1,0 +1,82 @@
+module Grid = Symref_numeric.Grid
+module Ac = Symref_mna.Ac
+
+type t = {
+  dc_gain_db : float;
+  unity_gain_hz : float option;
+  phase_margin_deg : float option;
+  gain_margin_db : float option;
+  gbw_hz : float option;
+}
+
+(* Linear interpolation of the x where series y crosses level, scanning from
+   the left; x is interpolated in log-frequency. *)
+let crossing freqs y level =
+  let n = Array.length y in
+  let rec go i =
+    if i >= n - 1 then None
+    else
+      let a = y.(i) -. level and b = y.(i + 1) -. level in
+      if a = 0. then Some freqs.(i)
+      else if a *. b < 0. then begin
+        let t = a /. (a -. b) in
+        let lf = Float.log10 freqs.(i) +. (t *. (Float.log10 freqs.(i + 1) -. Float.log10 freqs.(i))) in
+        Some (Float.exp (lf *. Float.log 10.))
+      end
+      else go (i + 1)
+  in
+  go 0
+
+let interpolate freqs y f =
+  let n = Array.length freqs in
+  let rec go i =
+    if i >= n - 1 then y.(n - 1)
+    else if f <= freqs.(i + 1) then begin
+      let lf = Float.log10 f
+      and l0 = Float.log10 freqs.(i)
+      and l1 = Float.log10 freqs.(i + 1) in
+      let t = if l1 = l0 then 0. else (lf -. l0) /. (l1 -. l0) in
+      y.(i) +. (t *. (y.(i + 1) -. y.(i)))
+    end
+    else go (i + 1)
+  in
+  if f <= freqs.(0) then y.(0) else go 0
+
+let analyse ?(f_min = 1e-2) ?(f_max = 1e12) (r : Reference.t) =
+  let freqs = Grid.decades ~start:f_min ~stop:f_max ~per_decade:40 in
+  let pts = Reference.bode r freqs in
+  let mags = Array.map (fun p -> p.Reference.mag_db) pts in
+  let phases =
+    Ac.unwrap_phase_deg (Array.map (fun p -> p.Reference.phase_deg) pts)
+  in
+  let dc_gain_db = 20. *. Float.log10 (Float.abs (Reference.dc_gain r)) in
+  let unity_gain_hz = crossing freqs mags 0. in
+  (* Phase lag accumulated since the gain peak (midband): an inverting
+     amplifier starts at +-180, an AC-coupled one carries leading phase from
+     its coupling zeros — both are referenced out before counting lag. *)
+  let peak = ref 0 in
+  Array.iteri (fun i m -> if m > mags.(!peak) then peak := i) mags;
+  let p0 = phases.(!peak) in
+  let rel = Array.map (fun p -> p -. p0) phases in
+  let phase_margin_deg =
+    Option.map (fun f -> 180. +. interpolate freqs rel f) unity_gain_hz
+  in
+  let gain_margin_db =
+    Option.map (fun f -> -.interpolate freqs mags f) (crossing freqs rel (-180.))
+  in
+  let gbw_hz =
+    Option.map
+      (fun f3 -> Float.abs (Reference.dc_gain r) *. f3)
+      (crossing freqs mags (dc_gain_db -. 3.0103))
+  in
+  { dc_gain_db; unity_gain_hz; phase_margin_deg; gain_margin_db; gbw_hz }
+
+let pp ppf t =
+  let opt ppf = function
+    | None -> Format.fprintf ppf "n/a"
+    | Some v -> Format.fprintf ppf "%.4g" v
+  in
+  Format.fprintf ppf "DC gain %.1f dB, unity gain at %a Hz@." t.dc_gain_db opt
+    t.unity_gain_hz;
+  Format.fprintf ppf "phase margin %a deg, gain margin %a dB, GBW %a Hz@."
+    opt t.phase_margin_deg opt t.gain_margin_db opt t.gbw_hz

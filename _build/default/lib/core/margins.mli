@@ -1,0 +1,26 @@
+(** Loop-stability figures from reference coefficients: unity-gain
+    frequency, phase margin, gain margin — the numbers an opamp designer
+    reads off the Bode plot that Fig. 2 compares.
+
+    All quantities are computed from the extended-range [N]/[D] coefficient
+    polynomials by bisection on smooth magnitude/phase functions of
+    frequency, so they inherit the references' accuracy. *)
+
+type t = {
+  dc_gain_db : float;
+  unity_gain_hz : float option;
+      (** frequency where [|H| = 1] (0 dB crossover); [None] when the gain
+          never crosses unity in the searched range *)
+  phase_margin_deg : float option;
+      (** [180 + phase at the 0 dB crossover] *)
+  gain_margin_db : float option;
+      (** [-|H|dB] at the first [-180 deg] phase crossing *)
+  gbw_hz : float option;
+      (** gain-bandwidth product estimated at the dominant pole
+          ([dc gain * f_3dB]); [None] if no -3 dB corner is found *)
+}
+
+val analyse : ?f_min:float -> ?f_max:float -> Reference.t -> t
+(** Search range defaults to [1e-2 .. 1e12] Hz. *)
+
+val pp : Format.formatter -> t -> unit

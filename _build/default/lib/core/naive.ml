@@ -1,0 +1,35 @@
+module Ec = Symref_numeric.Extcomplex
+module Ef = Symref_numeric.Extfloat
+
+type t = {
+  coeffs : Ec.t array;
+  band : Band.t option;
+  points : int;
+  evaluations : int;
+}
+
+let run ?(conj_symmetry = true) ?(sigma = 6) (ev : Evaluator.t) =
+  let k = ev.Evaluator.order_bound + 1 in
+  let pass =
+    Interp.run ~conj_symmetry ev ~scale:{ Scaling.f = 1.; g = 1. } ~k
+  in
+  {
+    coeffs = pass.Interp.normalized;
+    band = Band.detect ~sigma ~base:0 pass.Interp.normalized;
+    points = pass.Interp.points;
+    evaluations = pass.Interp.evaluations;
+  }
+
+let garbage_fraction t =
+  let n = Array.length t.coeffs in
+  if n = 0 then 0.
+  else begin
+    let bad = ref 0 in
+    Array.iter
+      (fun c ->
+        let re = Ef.abs (Ec.re c) and im = Ef.abs (Ec.im c) in
+        if (not (Ef.is_zero im)) && Ef.compare_mag (Ef.mul_float im 10.) re >= 0 then
+          incr bad)
+      t.coeffs;
+    float_of_int !bad /. float_of_int n
+  end

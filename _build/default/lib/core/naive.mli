@@ -1,0 +1,23 @@
+(** The conventional method (paper §2): interpolation points on the unit
+    circle, no scaling.  Kept as the baseline whose failure on integrated
+    circuits (Table 1a) motivates the adaptive algorithm: for typical
+    magnitudes all but the lowest-order coefficients drown in round-off and
+    acquire imaginary parts comparable to their real parts. *)
+
+type t = {
+  coeffs : Symref_numeric.Extcomplex.t array;
+      (** raw interpolated coefficients, complex as in Table 1a *)
+  band : Band.t option;  (** which of them clear the error level (eq. 12) *)
+  points : int;
+  evaluations : int;
+}
+
+val run : ?conj_symmetry:bool -> ?sigma:int -> Evaluator.t -> t
+(** Interpolate with [order_bound + 1] unit-circle points and unit scale
+    factors.  [sigma] (default 6) only affects the reported band. *)
+
+val garbage_fraction : t -> float
+(** Fraction of coefficients whose imaginary part is at least a tenth of
+    their real part — the paper's symptom that "many coefficients have a
+    non-zero imaginary component ... the same order of magnitude as the real
+    parts". *)

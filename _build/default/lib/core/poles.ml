@@ -1,0 +1,51 @@
+module Roots = Symref_poly.Roots
+module Epoly = Symref_poly.Epoly
+
+type resonance = { pole : Complex.t; freq_hz : float; q : float }
+
+type analysis = {
+  poles : Complex.t array;
+  zeros : Complex.t array;
+  resonances : resonance list;
+  real_poles_hz : float list;
+  stable : bool;
+  quality : Roots.quality;
+}
+
+let two_pi = 2. *. Float.pi
+
+let analyse (t : Reference.t) =
+  let den = Reference.denominator t and num = Reference.numerator t in
+  let poles, quality = Roots.find den in
+  let zeros =
+    if Epoly.degree num < 1 then [||] else fst (Roots.find num)
+  in
+  let pairs, reals = Roots.conjugate_pairs poles in
+  let resonances =
+    List.map
+      (fun ((p : Complex.t), _) ->
+        let w = Complex.norm p in
+        { pole = p; freq_hz = w /. two_pi; q = w /. (2. *. Float.abs p.re) })
+      pairs
+    |> List.sort (fun a b -> Float.compare a.freq_hz b.freq_hz)
+  in
+  let real_poles_hz =
+    List.map (fun (p : Complex.t) -> Complex.norm p /. two_pi) reals
+    |> List.sort Float.compare
+  in
+  let stable = Array.for_all (fun (p : Complex.t) -> p.re < 0.) poles in
+  { poles; zeros; resonances; real_poles_hz; stable; quality }
+
+let pp ppf a =
+  Format.fprintf ppf "poles: %d (%s), zeros: %d@."
+    (Array.length a.poles)
+    (if a.stable then "stable" else "UNSTABLE")
+    (Array.length a.zeros);
+  List.iter
+    (fun f -> Format.fprintf ppf "  real pole at %.4g Hz@." f)
+    a.real_poles_hz;
+  List.iter
+    (fun r -> Format.fprintf ppf "  pole pair at %.4g Hz, Q = %.3f@." r.freq_hz r.q)
+    a.resonances;
+  Format.fprintf ppf "  (root finder: %d iterations, residual %.2g, converged %b)@."
+    a.quality.Roots.iterations a.quality.Roots.max_residual a.quality.Roots.converged

@@ -1,0 +1,25 @@
+(** Poles and zeros of a generated reference: the classic downstream use of
+    accurate network-function coefficients (pole/zero extraction is
+    meaningless on coefficients corrupted by round-off, which is another way
+    to see why the adaptive algorithm matters). *)
+
+type resonance = {
+  pole : Complex.t;      (** the upper-half representative *)
+  freq_hz : float;       (** |pole| / 2 pi *)
+  q : float;             (** |pole| / (2 |Re pole|); 0.5 for a real pole *)
+}
+
+type analysis = {
+  poles : Complex.t array;   (** roots of the denominator, rad/s *)
+  zeros : Complex.t array;   (** roots of the numerator, rad/s *)
+  resonances : resonance list;  (** complex pole pairs, ascending frequency *)
+  real_poles_hz : float list;   (** real poles as corner frequencies, ascending *)
+  stable : bool;             (** all poles strictly in the left half plane *)
+  quality : Symref_poly.Roots.quality;  (** denominator root-finder report *)
+}
+
+val analyse : Reference.t -> analysis
+(** @raise Invalid_argument when the denominator has degree < 1. *)
+
+val pp : Format.formatter -> analysis -> unit
+(** Human-readable pole/zero summary. *)

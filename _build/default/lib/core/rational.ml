@@ -1,0 +1,113 @@
+module Ef = Symref_numeric.Extfloat
+module Ec = Symref_numeric.Extcomplex
+module Epoly = Symref_poly.Epoly
+module Roots = Symref_poly.Roots
+
+type t = { num : Epoly.t; den : Epoly.t }
+
+let of_epolys ~num ~den =
+  if Epoly.is_zero den then invalid_arg "Rational.of_epolys: zero denominator";
+  { num; den }
+
+let of_reference (r : Reference.t) =
+  of_epolys ~num:(Reference.numerator r) ~den:(Reference.denominator r)
+
+let eval t (s : Complex.t) =
+  let z = Ec.of_complex s in
+  let n = Epoly.eval t.num z and d = Epoly.eval t.den z in
+  if Ec.is_zero d then { Complex.re = infinity; im = 0. }
+  else Ec.to_complex (Ec.div n d)
+
+let degree_num t = Epoly.degree t.num
+let degree_den t = Epoly.degree t.den
+
+let group_delay t ~freq_hz =
+  let w = 2. *. Float.pi *. freq_hz in
+  let z = Ec.of_complex { Complex.re = 0.; im = w } in
+  let ratio p =
+    let v = Epoly.eval p z in
+    if Ec.is_zero v then Complex.zero
+    else Ec.to_complex (Ec.div (Epoly.eval (Epoly.derivative p) z) v)
+  in
+  let d = Complex.sub (ratio t.num) (ratio t.den) in
+  (* tau = -d(arg H)/dw = -Re (N'/N - D'/D) at s = jw. *)
+  -.d.Complex.re
+
+type modes = {
+  poles : Complex.t array;
+  residues : Complex.t array;
+  direct : float;
+  quality : float;
+}
+
+let decompose t =
+  let dn = Epoly.degree t.num and dd = Epoly.degree t.den in
+  if dd < 1 then invalid_arg "Rational.decompose: constant denominator";
+  if dn > dd then invalid_arg "Rational.decompose: improper rational function";
+  let poles, _ = Roots.find t.den in
+  let d' = Epoly.derivative t.den in
+  let residues =
+    Array.map
+      (fun p ->
+        let z = Ec.of_complex p in
+        let n = Epoly.eval t.num z and dp = Epoly.eval d' z in
+        if Ec.is_zero dp then { Complex.re = infinity; im = 0. }
+        else Ec.to_complex (Ec.div n dp))
+      poles
+  in
+  let direct =
+    if dn = dd then Ef.to_float (Ef.div (Epoly.coeff t.num dn) (Epoly.coeff t.den dd))
+    else 0.
+  in
+  (* Quality: reconstruct H at probe points from the modes and compare. *)
+  let probe =
+    let wmax = Array.fold_left (fun acc (p : Complex.t) -> Float.max acc (Complex.norm p)) 1. poles in
+    [ { Complex.re = 0.1 *. wmax; im = 0.7 *. wmax }; { re = 0.; im = 0.31 *. wmax } ]
+  in
+  let quality =
+    List.fold_left
+      (fun acc s ->
+        let direct_c = { Complex.re = direct; im = 0. } in
+        let recon = ref direct_c in
+        Array.iteri
+          (fun k p ->
+            recon := Complex.add !recon (Complex.div residues.(k) (Complex.sub s p)))
+          poles;
+        let h = eval t s in
+        let e = Complex.norm (Complex.sub !recon h) /. (Complex.norm h +. 1e-300) in
+        Float.max acc e)
+      0. probe
+  in
+  { poles; residues; direct; quality }
+
+let get_modes ?modes t = match modes with Some m -> m | None -> decompose t
+
+let impulse_response ?modes t ~times =
+  let m = get_modes ?modes t in
+  Array.map
+    (fun time ->
+      let acc = ref 0. in
+      Array.iteri
+        (fun k (p : Complex.t) ->
+          let e = Complex.exp { Complex.re = p.re *. time; im = p.im *. time } in
+          acc := !acc +. (Complex.mul m.residues.(k) e).Complex.re)
+        m.poles;
+      !acc)
+    times
+
+let step_response ?modes t ~times =
+  let m = get_modes ?modes t in
+  let h0 =
+    let d0 = Epoly.coeff t.den 0 in
+    if Ef.is_zero d0 then infinity else Ef.to_float (Ef.div (Epoly.coeff t.num 0) d0)
+  in
+  Array.map
+    (fun time ->
+      let acc = ref h0 in
+      Array.iteri
+        (fun k (p : Complex.t) ->
+          let e = Complex.exp { Complex.re = p.re *. time; im = p.im *. time } in
+          acc := !acc +. (Complex.mul (Complex.div m.residues.(k) p) e).Complex.re)
+        m.poles;
+      !acc)
+    times

@@ -1,0 +1,48 @@
+(** Rational network functions built from reference coefficients: modal
+    decomposition (partial fractions), time-domain responses and group
+    delay.
+
+    These are the analyses a downstream design tool runs once the
+    coefficients exist — and they are only as good as the coefficients,
+    which is the reference generator's whole point.  All evaluation happens
+    in extended range; results are returned as doubles.
+
+    Partial fractions assume {e simple} poles (the generic case for circuit
+    determinants); {!decompose} reports a residual-based quality figure so
+    callers can detect near-degenerate pole clusters. *)
+
+type t
+(** A rational function [N(s)/D(s)] with extended-range coefficients. *)
+
+val of_reference : Reference.t -> t
+val of_epolys : num:Symref_poly.Epoly.t -> den:Symref_poly.Epoly.t -> t
+(** @raise Invalid_argument when the denominator is zero. *)
+
+val eval : t -> Complex.t -> Complex.t
+val degree_num : t -> int
+val degree_den : t -> int
+
+val group_delay : t -> freq_hz:float -> float
+(** [-d(arg H)/d omega] at [j*2*pi*freq], seconds, computed analytically
+    from [N'/N - D'/D] (no finite differences). *)
+
+type modes = {
+  poles : Complex.t array;
+  residues : Complex.t array;  (** [residue.(k) = N(p_k) / D'(p_k)] *)
+  direct : float;              (** feed-through term for [deg N = deg D] *)
+  quality : float;             (** max relative reconstruction error of [H]
+                                   at probe points; large values signal
+                                   repeated/clustered poles *)
+}
+
+val decompose : t -> modes
+(** @raise Invalid_argument when [deg N > deg D] (not a network function of
+    a passive-terminated system) or [deg D < 1]. *)
+
+val impulse_response : ?modes:modes -> t -> times:float array -> float array
+(** [h(t) = sum_k Re(r_k e^(p_k t))] (plus a delta at 0 for the direct term,
+    which is {e not} represented in the samples). *)
+
+val step_response : ?modes:modes -> t -> times:float array -> float array
+(** [s(t) = H(0) + sum_k Re((r_k / p_k) e^(p_k t))] — the inverse transform
+    of [H(s)/s]; the direct feed-through is included automatically. *)

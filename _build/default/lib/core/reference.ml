@@ -1,0 +1,68 @@
+module Ef = Symref_numeric.Extfloat
+module Ec = Symref_numeric.Extcomplex
+module Epoly = Symref_poly.Epoly
+module Nodal = Symref_mna.Nodal
+module Ac = Symref_mna.Ac
+
+type t = {
+  num : Adaptive.result;
+  den : Adaptive.result;
+  input : Nodal.input;
+  output : Nodal.output;
+  config : Adaptive.config;
+}
+
+let generate ?(config = Adaptive.default_config) circuit ~input ~output =
+  let problem = Nodal.make circuit ~input ~output in
+  let num = Adaptive.run ~config (Evaluator.of_nodal problem ~num:true) in
+  let den = Adaptive.run ~config (Evaluator.of_nodal problem ~num:false) in
+  { num; den; input; output; config }
+
+let numerator t = Epoly.of_coeffs t.num.Adaptive.coeffs
+let denominator t = Epoly.of_coeffs t.den.Adaptive.coeffs
+
+let eval t s =
+  let z = Ec.of_complex s in
+  let n = Epoly.eval (numerator t) z and d = Epoly.eval (denominator t) z in
+  if Ec.is_zero d then Complex.{ re = infinity; im = 0. }
+  else Ec.to_complex (Ec.div n d)
+
+let dc_gain t =
+  let n0 = Epoly.coeff (numerator t) 0 and d0 = Epoly.coeff (denominator t) 0 in
+  if Ef.is_zero d0 then infinity else Ef.to_float (Ef.div n0 d0)
+
+type bode_point = { freq_hz : float; mag_db : float; phase_deg : float }
+
+let bode t freqs =
+  let np = numerator t and dp = denominator t in
+  let raw =
+    Array.map
+      (fun f ->
+        let w = 2. *. Float.pi *. f in
+        let n = Epoly.eval_jomega np w and d = Epoly.eval_jomega dp w in
+        let mag_db = 20. *. (Ec.log10_norm n -. Ec.log10_norm d) in
+        let phase = (Ec.arg n -. Ec.arg d) *. 180. /. Float.pi in
+        (f, mag_db, phase))
+      freqs
+  in
+  let phases = Ac.unwrap_phase_deg (Array.map (fun (_, _, p) -> p) raw) in
+  Array.mapi
+    (fun i (f, m, _) -> { freq_hz = f; mag_db = m; phase_deg = phases.(i) })
+    raw
+
+let bode_vs_simulator t (sim : Ac.bode_point array) =
+  let ours = bode t (Array.map (fun p -> p.Ac.freq_hz) sim) in
+  let dmag = ref 0. and dph = ref 0. in
+  Array.iteri
+    (fun i p ->
+      let o = ours.(i) in
+      dmag := Float.max !dmag (Float.abs (o.mag_db -. p.Ac.mag_db));
+      (* Phase curves are unwrapped independently; compare modulo 360. *)
+      let d = Float.abs (o.phase_deg -. p.Ac.phase_deg) in
+      let d = Float.rem d 360. in
+      let d = Float.min d (360. -. d) in
+      dph := Float.max !dph d)
+    sim;
+  (!dmag, !dph)
+
+let total_evaluations t = t.num.Adaptive.evaluations + t.den.Adaptive.evaluations

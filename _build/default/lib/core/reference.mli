@@ -1,0 +1,48 @@
+(** The public façade: numerical references (network-function coefficients)
+    for a circuit, computed with the adaptive-scaling algorithm.
+
+    This is what SBG/SDG error control consumes (paper eq. 3): the value of
+    every coefficient of [H(s) = N(s) / D(s)] at the design point. *)
+
+module Ef = Symref_numeric.Extfloat
+
+type t = {
+  num : Adaptive.result;
+  den : Adaptive.result;
+  input : Symref_mna.Nodal.input;
+  output : Symref_mna.Nodal.output;
+  config : Adaptive.config;
+}
+
+val generate :
+  ?config:Adaptive.config ->
+  Symref_circuit.Netlist.t ->
+  input:Symref_mna.Nodal.input ->
+  output:Symref_mna.Nodal.output ->
+  t
+(** Runs the adaptive algorithm on the numerator and the denominator.
+    @raise Symref_mna.Nodal.Unsupported outside the nodal class. *)
+
+val numerator : t -> Symref_poly.Epoly.t
+val denominator : t -> Symref_poly.Epoly.t
+
+val eval : t -> Complex.t -> Complex.t
+(** [H(s)] from the reference coefficients (extended-range Horner and
+    division, rounded at the end). *)
+
+val dc_gain : t -> float
+(** [H(0) = n_0 / d_0]. *)
+
+type bode_point = { freq_hz : float; mag_db : float; phase_deg : float }
+
+val bode : t -> float array -> bode_point array
+(** Bode data from the interpolated coefficients (the "interpolated" curves
+    of Fig. 2), with unwrapped phase. *)
+
+val bode_vs_simulator :
+  t -> Symref_mna.Ac.bode_point array -> float * float
+(** [(max |delta mag|, max |delta phase|)] against an AC-simulator sweep of
+    the same frequencies — the Fig. 2 agreement metric. *)
+
+val total_evaluations : t -> int
+(** LU decompositions spent for both polynomials. *)

@@ -1,0 +1,132 @@
+module Ef = Symref_numeric.Extfloat
+module Ec = Symref_numeric.Extcomplex
+module Ac = Symref_mna.Ac
+
+let buffer_table ?title f =
+  let buf = Buffer.create 1024 in
+  (match title with
+  | None -> ()
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n');
+  f buf;
+  Buffer.contents buf
+
+let complex_cell c =
+  Printf.sprintf "%s %sj%s"
+    (Ef.to_string (Ec.re c))
+    (if Ef.sign (Ec.im c) >= 0 then "+" else "-")
+    (Ef.to_string (Ef.abs (Ec.im c)))
+
+let in_band band i =
+  match band with None -> false | Some b -> Band.contains b i
+
+let naive_table ?title ~(num : Naive.t) ~(den : Naive.t) () =
+  buffer_table ?title (fun buf ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-4s  %-28s  %-28s\n" "s^i" "Numerator" "Denominator");
+      let n = Int.max (Array.length num.Naive.coeffs) (Array.length den.Naive.coeffs) in
+      for i = 0 to n - 1 do
+        let cell (r : Naive.t) =
+          if i < Array.length r.Naive.coeffs then
+            Printf.sprintf "%s%s"
+              (complex_cell r.Naive.coeffs.(i))
+              (if in_band r.Naive.band i then " *" else "")
+          else ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "s^%-2d  %-28s  %-28s\n" i (cell num) (cell den))
+      done;
+      Buffer.add_string buf "(* = above the error level of eq. 12)\n")
+
+let fixed_scale_table ?title (r : Fixed_scale.t) =
+  buffer_table ?title (fun buf ->
+      Buffer.add_string buf
+        (Printf.sprintf "scale factors: f = %g, g = %g\n" r.Fixed_scale.scale.Scaling.f
+           r.Fixed_scale.scale.Scaling.g);
+      Buffer.add_string buf
+        (Printf.sprintf "%-4s  %-28s  %-15s  %s\n" "s^i" "Normalized (complex)"
+           "Denormalized" "valid");
+      Array.iteri
+        (fun i c ->
+          Buffer.add_string buf
+            (Printf.sprintf "s^%-2d  %-28s  %-15s  %s\n" i (complex_cell c)
+               (Ef.to_string r.Fixed_scale.denormalized.(i))
+               (if in_band r.Fixed_scale.band i then "*" else "")))
+        r.Fixed_scale.normalized)
+
+let adaptive_pass_table ?title ~pass (r : Adaptive.result) =
+  buffer_table ?title (fun buf ->
+      match List.find_opt (fun p -> p.Adaptive.pass = pass) r.Adaptive.reports with
+      | None -> Buffer.add_string buf (Printf.sprintf "no pass %d\n" pass)
+      | Some p ->
+          let scale = p.Adaptive.scale in
+          Buffer.add_string buf
+            (Printf.sprintf "interpolation %d: f = %.6g, g = %.6g, %d points\n" pass
+               scale.Scaling.f scale.Scaling.g p.Adaptive.points);
+          Buffer.add_string buf
+            (Printf.sprintf "%-4s  %-15s  %-15s\n" "s^i" "Normalized" "Denormalized");
+          let elided = ref false in
+          Array.iteri
+            (fun i owner ->
+              if owner = pass then begin
+                elided := false;
+                let normalized =
+                  Scaling.normalize ~gdeg:r.Adaptive.gdeg scale i r.Adaptive.coeffs.(i)
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf "s^%-2d  %-15s  %-15s\n" i (Ef.to_string normalized)
+                     (Ef.to_string r.Adaptive.coeffs.(i)))
+              end
+              else if not !elided then begin
+                elided := true;
+                Buffer.add_string buf "...\n"
+              end)
+            r.Adaptive.owners)
+
+let band_cell = function
+  | None -> "none"
+  | Some b -> Printf.sprintf "[%d..%d] peak %d" b.Band.lo b.Band.hi b.Band.peak
+
+let adaptive_summary ?title (r : Adaptive.result) =
+  buffer_table ?title (fun buf ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-5s  %-12s  %-12s  %-6s  %-20s  %s\n" "pass" "f" "g" "pts"
+           "valid band" "fresh");
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-5d  %-12.4g  %-12.4g  %-6d  %-20s  %d\n" p.Adaptive.pass
+               p.Adaptive.scale.Scaling.f p.Adaptive.scale.Scaling.g p.Adaptive.points
+               (band_cell p.Adaptive.band) p.Adaptive.fresh))
+        r.Adaptive.reports;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "effective order %d, %d LU evaluations, converged %b, overlap mismatch %.2e\n"
+           r.Adaptive.effective_order r.Adaptive.evaluations r.Adaptive.converged
+           r.Adaptive.max_overlap_mismatch))
+
+let reference_summary (t : Reference.t) =
+  String.concat ""
+    [
+      adaptive_summary ~title:"numerator:" t.Reference.num;
+      adaptive_summary ~title:"denominator:" t.Reference.den;
+      Printf.sprintf "total LU evaluations: %d\n" (Reference.total_evaluations t);
+    ]
+
+let bode_table ~(interpolated : Reference.bode_point array)
+    ~(simulator : Ac.bode_point array) =
+  buffer_table (fun buf ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s  %-10s %-10s %-8s   %-10s %-10s %-8s\n" "freq (Hz)"
+           "interp dB" "sim dB" "delta" "interp deg" "sim deg" "delta");
+      Array.iteri
+        (fun i (p : Reference.bode_point) ->
+          let s = simulator.(i) in
+          Buffer.add_string buf
+            (Printf.sprintf "%-12.4g  %-10.3f %-10.3f %-8.4f   %-10.2f %-10.2f %-8.4f\n"
+               p.Reference.freq_hz p.Reference.mag_db s.Ac.mag_db
+               (Float.abs (p.Reference.mag_db -. s.Ac.mag_db))
+               p.Reference.phase_deg s.Ac.phase_deg
+               (Float.abs (p.Reference.phase_deg -. s.Ac.phase_deg))))
+        interpolated)

@@ -1,0 +1,32 @@
+(** Paper-style table rendering for interpolation results.
+
+    These produce the textual analogues of the paper's tables: complex
+    coefficient listings (Table 1a), normalised/denormalised columns with
+    the valid band marked (Tables 1b, 2a, 2b, 3), and per-pass summaries of
+    an adaptive run. *)
+
+val naive_table :
+  ?title:string -> num:Naive.t -> den:Naive.t -> unit -> string
+(** Table 1a: complex numerator and denominator coefficients side by side;
+    an asterisk marks entries inside the (usually tiny) valid band. *)
+
+val fixed_scale_table : ?title:string -> Fixed_scale.t -> string
+(** Table 1b: normalised and denormalised columns, valid band marked. *)
+
+val adaptive_pass_table : ?title:string -> pass:int -> Adaptive.result -> string
+(** Tables 2a/2b/3: normalised and denormalised coefficient columns of one
+    interpolation pass of an adaptive run (coefficients owned by other
+    passes are elided as in the paper's "..." rows). *)
+
+val adaptive_summary : ?title:string -> Adaptive.result -> string
+(** One line per pass: scale factors, points, band, fresh coefficients. *)
+
+val reference_summary : Reference.t -> string
+(** Numerator and denominator adaptive summaries plus totals. *)
+
+val bode_table :
+  interpolated:Reference.bode_point array ->
+  simulator:Symref_mna.Ac.bode_point array ->
+  string
+(** Fig. 2 as numbers: frequency, magnitude and phase from both sources and
+    the deltas. *)

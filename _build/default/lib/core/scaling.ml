@@ -1,0 +1,61 @@
+module Ef = Symref_numeric.Extfloat
+
+type pair = { f : float; g : float }
+
+let initial (ev : Evaluator.t) = { f = ev.Evaluator.f0; g = ev.Evaluator.g0 }
+
+let magnitude_cap = 1e18
+
+(* Keep both factors inside [1/cap, cap] by shifting a common factor between
+   them; the tilt f/g is preserved, only the irrelevant overall level (and
+   hence the evaluation conditioning) changes. *)
+let rebalance { f; g } =
+  let shift v = if v > magnitude_cap then magnitude_cap /. v
+    else if v < 1. /. magnitude_cap then 1. /. (magnitude_cap *. v)
+    else 1.
+  in
+  let k = shift f in
+  let f = f *. k and g = g *. k in
+  let k = shift g in
+  { f = f *. k; g = g *. k }
+
+let tilt ?(policy = `Split) ~dir ~r ~edge ~edge_mag ~peak ~peak_mag { f; g } =
+  let decades = 13. +. r in
+  let sign = match dir with `Up -> 1. | `Down -> -1. in
+  let log_q =
+    if edge = peak then
+      (* Degenerate band: no slope information; move half a window. *)
+      sign *. decades /. 2.
+    else
+      let q =
+        (Ef.log10_abs peak_mag -. Ef.log10_abs edge_mag +. decades)
+        /. float_of_int (edge - peak)
+      in
+      (* A profile that disagrees with the direction of travel is noise;
+         fall back to the half-window step. *)
+      if q *. sign > 0. then q else sign *. decades /. 2.
+  in
+  match policy with
+  | `Split ->
+      (* Split q evenly: f' = f * sqrt q, g' = g / sqrt q (eq. 13). *)
+      let half = Float.exp (log_q /. 2. *. Float.log 10.) in
+      rebalance { f = f *. half; g = g /. half }
+  | `Frequency_only ->
+      (* The whole tilt on f, factors allowed to run away (no rebalance):
+         this is the failure mode §3.2's simultaneous scaling avoids. *)
+      let q = Float.exp (log_q *. Float.log 10.) in
+      { f = f *. q; g }
+
+let gap_fill a b =
+  rebalance { f = Float.sqrt (a.f *. b.f); g = Float.sqrt (a.g *. b.g) }
+
+let renormalize_factor ~gdeg ~from_ ~to_ i =
+  Ef.mul
+    (Ef.float_pow_int (to_.f /. from_.f) i)
+    (Ef.float_pow_int (to_.g /. from_.g) (gdeg - i))
+
+let normalize ~gdeg { f; g } i p =
+  Ef.mul p (Ef.mul (Ef.float_pow_int f i) (Ef.float_pow_int g (gdeg - i)))
+
+let denormalize ~gdeg { f; g } i p' =
+  Ef.mul p' (Ef.mul (Ef.float_pow_int f (-i)) (Ef.float_pow_int g (i - gdeg)))

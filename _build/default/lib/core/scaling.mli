@@ -1,0 +1,61 @@
+(** Scale-factor calculus of the adaptive algorithm (paper §3.2).
+
+    A scale pair [(f, g)] normalises coefficients as
+    [p'_i = p_i * f^i * g^(gdeg - i)]; the tilt between consecutive
+    coefficients is governed by [f/g] alone (eq. 11), and the paper splits
+    every tilt update [q] evenly between the two factors
+    ([f' = f*sqrt q], [g' = g/sqrt q], eq. 13) precisely to keep either
+    factor from exceeding ~1e18. *)
+
+type pair = { f : float; g : float }
+
+val initial : Evaluator.t -> pair
+(** First-interpolation heuristic: [f = 1/mean C], [g = 1/mean G] (§3.2). *)
+
+val magnitude_cap : float
+(** [1e18]: beyond this, evaluation of N and D at the interpolation points
+    degrades (§3.2). *)
+
+val tilt :
+  ?policy:[ `Split | `Frequency_only ] ->
+  dir:[ `Up | `Down ] ->
+  r:float ->
+  edge:int ->
+  edge_mag:Symref_numeric.Extfloat.t ->
+  peak:int ->
+  peak_mag:Symref_numeric.Extfloat.t ->
+  pair ->
+  pair
+(** One adaptive rescaling.  Solves eq. (14)/(15)
+    [|p_e| q^e = |p_m| q^m * 10^(13 + r)] for [q] ([e = edge] is the last
+    valid coefficient in the direction of travel, [m = peak] the maximum of
+    the last valid region, [r] the tuning factor), then applies eq. (13).
+    [dir] is the direction of travel ([`Up] towards higher powers); when the
+    band gives no usable slope ([edge = peak], or noise inverts the sign) a
+    fallback half-window tilt of [10^((13+r)/2)] total is used.
+
+    [policy] (default [`Split]) applies eq. 13's simultaneous scaling,
+    splitting [q] evenly between [f] and [g]; [`Frequency_only] puts the
+    whole tilt on [f] — the naive alternative the paper rejects because it
+    occasionally needs factors beyond ~1e18, degrading the evaluation of
+    N and D at the interpolation points (§3.2).  Under [`Frequency_only]
+    the result is {e not} rebalanced, so the degradation is observable.
+    Under [`Split] the result is rebalanced into [1/cap, cap]. *)
+
+val gap_fill : pair -> pair -> pair
+(** Eq. (16): geometric mean of two band scale pairs, for coefficients left
+    invalid between two consecutive valid regions. *)
+
+val renormalize_factor :
+  gdeg:int -> from_:pair -> to_:pair -> int -> Symref_numeric.Extfloat.t
+(** [renormalize_factor ~gdeg ~from_ ~to_ i] is the exact factor carrying the
+    coefficient of [s^i] from one normalisation to another:
+    [(f2/f1)^i * (g2/g1)^(gdeg-i)]. *)
+
+val denormalize :
+  gdeg:int -> pair -> int -> Symref_numeric.Extfloat.t -> Symref_numeric.Extfloat.t
+(** Inverse of eq. (11): [p_i = p'_i * f^(-i) * g^(i - gdeg)]. *)
+
+val normalize :
+  gdeg:int -> pair -> int -> Symref_numeric.Extfloat.t -> Symref_numeric.Extfloat.t
+(** Eq. (11): [p'_i = p_i * f^i * g^(gdeg - i)]. *)

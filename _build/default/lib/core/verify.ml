@@ -1,0 +1,52 @@
+module Ef = Symref_numeric.Extfloat
+module Ec = Symref_numeric.Extcomplex
+module Epoly = Symref_poly.Epoly
+
+type report = {
+  probes : int;
+  max_relative_residual : float;
+  passed : bool;
+}
+
+(* Off-circle probe points: radii away from 1 so these were never
+   interpolation points, angles away from the axes. *)
+let probe_points =
+  [
+    { Complex.re = 0.83 *. Float.cos 0.7; im = 0.83 *. Float.sin 0.7 };
+    { Complex.re = 1.21 *. Float.cos 2.1; im = 1.21 *. Float.sin 2.1 };
+    { Complex.re = -0.95 *. Float.cos 1.3; im = 0.95 *. Float.sin 1.3 };
+  ]
+
+let check ?(tolerance = 1e-4) (ev : Evaluator.t) (result : Adaptive.result) =
+  let gdeg = result.Adaptive.gdeg in
+  let scales =
+    List.filter_map
+      (fun p -> if p.Adaptive.fresh > 0 then Some p.Adaptive.scale else None)
+      result.Adaptive.reports
+  in
+  let probes = ref 0 in
+  let worst = ref 0. in
+  List.iter
+    (fun scale ->
+      (* Renormalise the full coefficient set to this band's scale. *)
+      let normalized =
+        Epoly.of_coeffs
+          (Array.mapi
+             (fun i c -> Scaling.normalize ~gdeg scale i c)
+             result.Adaptive.coeffs)
+      in
+      List.iter
+        (fun s ->
+          incr probes;
+          let reconstructed = Epoly.eval normalized (Ec.of_complex s) in
+          let fresh = ev.Evaluator.eval ~f:scale.Scaling.f ~g:scale.Scaling.g s in
+          let denom = Ec.norm fresh in
+          if not (Ef.is_zero denom) then begin
+            let residual =
+              Ef.to_float (Ef.div (Ec.norm (Ec.sub reconstructed fresh)) denom)
+            in
+            if residual > !worst then worst := residual
+          end)
+        probe_points)
+    scales;
+  { probes = !probes; max_relative_residual = !worst; passed = !worst <= tolerance }

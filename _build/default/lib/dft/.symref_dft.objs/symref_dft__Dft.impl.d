@@ -1,0 +1,1 @@
+lib/dft/dft.ml: Array Complex Unit_circle

@@ -1,0 +1,1 @@
+lib/dft/dft.mli: Complex

@@ -1,0 +1,1 @@
+lib/dft/fft.mli: Complex

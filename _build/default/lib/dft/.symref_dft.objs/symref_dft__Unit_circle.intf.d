@@ -1,0 +1,1 @@
+lib/dft/unit_circle.mli: Complex

@@ -1,0 +1,29 @@
+let transform ~sign (x : Complex.t array) =
+  let k = Array.length x in
+  if k = 0 then [||]
+  else
+    Array.init k (fun i ->
+        let acc = ref Complex.zero in
+        for j = 0 to k - 1 do
+          (* w^(sign * i * j); indices into the root table keep the twiddle
+             factors exact on the axes. *)
+          let idx = sign * i * j mod k in
+          acc := Complex.add !acc (Complex.mul x.(j) (Unit_circle.point k idx))
+        done;
+        !acc)
+
+let forward x = transform ~sign:1 x
+
+let inverse x =
+  let k = Array.length x in
+  if k = 0 then [||]
+  else
+    let inv_k = 1. /. float_of_int k in
+    Array.map
+      (fun z -> { Complex.re = z.Complex.re *. inv_k; im = z.Complex.im *. inv_k })
+      (transform ~sign:(-1) x)
+
+let complete_real_spectrum k half =
+  if Array.length half <> (k / 2) + 1 then
+    invalid_arg "Dft.complete_real_spectrum: need k/2 + 1 values";
+  Array.init k (fun i -> if i <= k / 2 then half.(i) else Complex.conj half.(k - i))

@@ -1,0 +1,26 @@
+(** Discrete Fourier transforms (direct [O(K^2)] evaluation).
+
+    The inverse transform recovers polynomial coefficients from values at the
+    roots of unity (eq. 5 of the paper):
+    [p_i = (1/K) * sum_k P(s_k) * e^(-2*pi*j*i*k/K)].
+
+    The direct algorithm is used for arbitrary [K] (the number of
+    interpolation points is [n+1] for an [n]-th order polynomial, rarely a
+    power of two); {!Fft} accelerates the power-of-two case.  In this
+    application the LU decompositions behind each [P(s_k)] dominate the run
+    time, not the transform. *)
+
+val forward : Complex.t array -> Complex.t array
+(** [forward p] evaluates the polynomial with coefficients [p] at the [K]
+    roots of unity ([K = Array.length p]): [X.(k) = sum_i p.(i) w^(ik)],
+    [w = e^(2*pi*j/K)]. *)
+
+val inverse : Complex.t array -> Complex.t array
+(** [inverse values] recovers coefficients from values at the roots of unity;
+    inverse of {!forward}. *)
+
+val complete_real_spectrum : int -> Complex.t array -> Complex.t array
+(** [complete_real_spectrum k half] expands values at the first [k/2 + 1]
+    roots of unity into all [k] values using the conjugate symmetry
+    [P(conj s) = conj (P s)] that holds for real-coefficient polynomials.
+    @raise Invalid_argument when [Array.length half <> k/2 + 1]. *)

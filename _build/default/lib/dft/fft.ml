@@ -1,0 +1,63 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Iterative Cooley-Tukey with bit-reversal permutation.  [sign = +1] matches
+   Dft.forward's convention (w = e^(+2*pi*j/K)); [-1] is its inverse modulo
+   the 1/K factor. *)
+let fft ~sign (input : Complex.t array) =
+  let n = Array.length input in
+  if not (is_pow2 n) then invalid_arg "Fft: length must be a power of two";
+  let a = Array.copy input in
+  let bits =
+    let rec go b p = if p = n then b else go (b + 1) (p * 2) in
+    go 0 1
+  in
+  let reverse i =
+    let r = ref 0 and x = ref i in
+    for _ = 1 to bits do
+      r := (!r lsl 1) lor (!x land 1);
+      x := !x lsr 1
+    done;
+    !r
+  in
+  Array.iteri
+    (fun i _ ->
+      let j = reverse i in
+      if i < j then begin
+        let t = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- t
+      end)
+    a;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let ang = float_of_int sign *. 2. *. Float.pi /. float_of_int !len in
+    let wlen = { Complex.re = Float.cos ang; im = Float.sin ang } in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = 0 to half - 1 do
+        let u = a.(!i + k) in
+        let v = Complex.mul a.(!i + k + half) !w in
+        a.(!i + k) <- Complex.add u v;
+        a.(!i + k + half) <- Complex.sub u v;
+        w := Complex.mul !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done;
+  a
+
+let forward x = fft ~sign:1 x
+
+let inverse x =
+  let n = Array.length x in
+  let inv_n = 1. /. float_of_int n in
+  Array.map
+    (fun z -> { Complex.re = z.Complex.re *. inv_n; im = z.Complex.im *. inv_n })
+    (fft ~sign:(-1) x)

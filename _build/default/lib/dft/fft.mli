@@ -1,0 +1,14 @@
+(** Radix-2 fast Fourier transform for power-of-two sizes.
+
+    Matches {!Dft.forward}/{!Dft.inverse} exactly in convention; used by the
+    interpolator when the point count is (rounded up to) a power of two. *)
+
+val is_pow2 : int -> bool
+val next_pow2 : int -> int
+(** Smallest power of two [>= n] (with [next_pow2 0 = 1]). *)
+
+val forward : Complex.t array -> Complex.t array
+(** @raise Invalid_argument when the length is not a power of two. *)
+
+val inverse : Complex.t array -> Complex.t array
+(** @raise Invalid_argument when the length is not a power of two. *)

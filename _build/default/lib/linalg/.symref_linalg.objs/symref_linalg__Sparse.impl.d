@@ -1,0 +1,1 @@
+lib/linalg/sparse.ml: Array Complex Hashtbl List Symref_numeric

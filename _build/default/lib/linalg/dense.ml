@@ -1,0 +1,90 @@
+module Ec = Symref_numeric.Extcomplex
+
+exception Singular
+
+type factor = {
+  n : int;
+  lu : Complex.t array array; (* L below diagonal (unit diag implicit), U on/above *)
+  perm : int array;           (* perm.(k) = original row pivoting step k *)
+  det : Ec.t;
+  singular : bool;
+}
+
+let factor a =
+  let n = Array.length a in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Dense.factor: not square")
+    a;
+  let lu = Array.map Array.copy a in
+  let perm = Array.init n Fun.id in
+  let det = ref Ec.one in
+  let singular = ref false in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: largest magnitude in column k at or below the
+       diagonal. *)
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Complex.norm lu.(i).(k) > Complex.norm lu.(!best).(k) then best := i
+    done;
+    if Complex.norm lu.(!best).(k) = 0. then singular := true
+    else begin
+      if !best <> k then begin
+        let t = lu.(k) in
+        lu.(k) <- lu.(!best);
+        lu.(!best) <- t;
+        let t = perm.(k) in
+        perm.(k) <- perm.(!best);
+        perm.(!best) <- t;
+        det := Ec.neg !det
+      end;
+      let piv = lu.(k).(k) in
+      det := Ec.mul !det (Ec.of_complex piv);
+      for i = k + 1 to n - 1 do
+        if lu.(i).(k) <> Complex.zero then begin
+          let m = Complex.div lu.(i).(k) piv in
+          lu.(i).(k) <- m;
+          for j = k + 1 to n - 1 do
+            lu.(i).(j) <- Complex.sub lu.(i).(j) (Complex.mul m lu.(k).(j))
+          done
+        end
+      done
+    end
+  done;
+  let det = if !singular then Ec.zero else !det in
+  { n; lu; perm; det; singular = !singular }
+
+let det f = f.det
+
+let solve f b =
+  if Array.length b <> f.n then invalid_arg "Dense.solve: dimension mismatch";
+  if f.singular then raise Singular;
+  let n = f.n in
+  (* Forward substitution on the permuted right-hand side. *)
+  let y = Array.make n Complex.zero in
+  for k = 0 to n - 1 do
+    let acc = ref b.(f.perm.(k)) in
+    for j = 0 to k - 1 do
+      acc := Complex.sub !acc (Complex.mul f.lu.(k).(j) y.(j))
+    done;
+    y.(k) <- !acc
+  done;
+  (* Back substitution. *)
+  let x = Array.make n Complex.zero in
+  for k = n - 1 downto 0 do
+    let acc = ref y.(k) in
+    for j = k + 1 to n - 1 do
+      acc := Complex.sub !acc (Complex.mul f.lu.(k).(j) x.(j))
+    done;
+    x.(k) <- Complex.div !acc f.lu.(k).(k)
+  done;
+  x
+
+let solve_matrix a b = solve (factor a) b
+
+let mul_vec a x =
+  Array.map
+    (fun row ->
+      let acc = ref Complex.zero in
+      Array.iteri (fun j v -> acc := Complex.add !acc (Complex.mul v x.(j))) row;
+      !acc)
+    a

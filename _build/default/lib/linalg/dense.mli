@@ -1,0 +1,32 @@
+(** Dense complex LU decomposition with partial (row) pivoting.
+
+    Serves as the correctness oracle for {!Sparse} and as the baseline of the
+    sparse-vs-dense ablation.  Determinants are accumulated in extended-range
+    arithmetic: for a 50-node analog circuit the product of pivots routinely
+    leaves IEEE-double range. *)
+
+exception Singular
+(** Raised when a solve hits a (numerically) singular matrix. *)
+
+type factor
+(** The result of factoring an [n x n] matrix. *)
+
+val factor : Complex.t array array -> factor
+(** [factor a] LU-factors a square matrix (the input is not modified).
+    Singular matrices are factored as far as possible; their determinant is
+    zero and {!solve} raises {!Singular}.
+    @raise Invalid_argument when [a] is not square. *)
+
+val det : factor -> Symref_numeric.Extcomplex.t
+(** Determinant (with pivoting sign), in extended range. *)
+
+val solve : factor -> Complex.t array -> Complex.t array
+(** [solve f b] returns [x] with [a x = b].
+    @raise Singular when the matrix was singular.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val solve_matrix : Complex.t array array -> Complex.t array -> Complex.t array
+(** One-shot [factor] + [solve]. *)
+
+val mul_vec : Complex.t array array -> Complex.t array -> Complex.t array
+(** Matrix-vector product (test helper). *)

@@ -1,0 +1,259 @@
+module Ec = Symref_numeric.Extcomplex
+
+exception Singular
+
+type builder = { n : int; rows : (int, Complex.t) Hashtbl.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Sparse.create: negative dimension";
+  { n; rows = Array.init n (fun _ -> Hashtbl.create 8) }
+
+let add b i j v =
+  if i < 0 || i >= b.n || j < 0 || j >= b.n then
+    invalid_arg "Sparse.add: index out of range";
+  let row = b.rows.(i) in
+  match Hashtbl.find_opt row j with
+  | None -> if v <> Complex.zero then Hashtbl.replace row j v
+  | Some old -> Hashtbl.replace row j (Complex.add old v)
+
+let dimension b = b.n
+let nnz b = Array.fold_left (fun acc r -> acc + Hashtbl.length r) 0 b.rows
+
+let to_dense b =
+  let a = Array.make_matrix b.n b.n Complex.zero in
+  Array.iteri (fun i row -> Hashtbl.iter (fun j v -> a.(i).(j) <- v) row) b.rows;
+  a
+
+let clear b = Array.iter Hashtbl.reset b.rows
+
+type factor = {
+  n : int;
+  pivot_rows : int array; (* step -> original row *)
+  pivot_cols : int array; (* step -> original column *)
+  pivots : Complex.t array;
+  lower : (int * int * Complex.t) array; (* (row, step, multiplier), in order *)
+  upper : (int * Complex.t) array array; (* step -> off-pivot U entries (orig col, v) *)
+  det : Ec.t;
+  fill_in : int;
+  singular : bool;
+}
+
+(* Parity of the permutation sending position k to perm.(k). *)
+let permutation_sign perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  let sign = ref 1 in
+  for k = 0 to n - 1 do
+    if not seen.(k) then begin
+      (* Walk the cycle containing k; a cycle of length L contributes
+         (-1)^(L-1). *)
+      let len = ref 0 and i = ref k in
+      while not seen.(!i) do
+        seen.(!i) <- true;
+        incr len;
+        i := perm.(!i)
+      done;
+      if !len mod 2 = 0 then sign := - !sign
+    end
+  done;
+  !sign
+
+let factor ?(pivot_threshold = 0.1) (b : builder) =
+  let n = b.n in
+  let rows = Array.map Hashtbl.copy b.rows in
+  let row_active = Array.make n true and col_active = Array.make n true in
+  (* Row/column occupancy counts over the active submatrix, incremental. *)
+  let col_count = Array.make n 0 in
+  let row_count = Array.make n 0 in
+  Array.iteri
+    (fun i row ->
+      row_count.(i) <- Hashtbl.length row;
+      Hashtbl.iter (fun j _ -> col_count.(j) <- col_count.(j) + 1) row)
+    rows;
+  let pivot_rows = Array.make n (-1)
+  and pivot_cols = Array.make n (-1)
+  and pivots = Array.make n Complex.zero in
+  let lower = ref [] and upper = Array.make n [||] in
+  let det_mag = ref Ec.one in
+  let fill = ref 0 in
+  let singular = ref false in
+  (* Markowitz search restricted to a few sparsest candidate rows: the
+     classical circuit-simulator compromise between fill-in optimality and
+     search cost (a full scan would dominate the factorisation). *)
+  let max_candidate_rows = 8 in
+  (try
+     for k = 0 to n - 1 do
+       let best = ref None in
+       let search_row i =
+         let row = rows.(i) in
+         let rmax = ref 0. in
+         Hashtbl.iter
+           (fun j v ->
+             if col_active.(j) then begin
+               let m = Complex.norm v in
+               if m > !rmax then rmax := m
+             end)
+           row;
+         if !rmax > 0. then
+           Hashtbl.iter
+             (fun j v ->
+               if col_active.(j) then begin
+                 let m = Complex.norm v in
+                 if m >= pivot_threshold *. !rmax then begin
+                   let cost = (row_count.(i) - 1) * (col_count.(j) - 1) in
+                   let better =
+                     match !best with
+                     | None -> true
+                     | Some (_, _, _, bcost, bmag) ->
+                         cost < bcost || (cost = bcost && m > bmag)
+                   in
+                   if better then best := Some (i, j, v, cost, m)
+                 end
+               end)
+             row
+       in
+       (* Examine only the sparsest active rows (counts within one of the
+          minimum), allocation-free. *)
+       let min_count = ref max_int in
+       for i = 0 to n - 1 do
+         if row_active.(i) && row_count.(i) > 0 && row_count.(i) < !min_count then
+           min_count := row_count.(i)
+       done;
+       if !min_count < max_int then begin
+         let examined = ref 0 in
+         let i = ref 0 in
+         while !examined < max_candidate_rows && !i < n do
+           if row_active.(!i) && row_count.(!i) > 0 && row_count.(!i) <= !min_count + 1
+           then begin
+             search_row !i;
+             incr examined
+           end;
+           incr i
+         done;
+         (* Threshold pivoting can reject every entry of the sparse candidate
+            rows; fall back to a full search before declaring singularity. *)
+         if !best = None then
+           for i = 0 to n - 1 do
+             if row_active.(i) && row_count.(i) > 0 then search_row i
+           done
+       end;
+       match !best with
+       | None ->
+           singular := true;
+           raise Exit
+       | Some (pi, pj, pv, _, _) ->
+           pivot_rows.(k) <- pi;
+           pivot_cols.(k) <- pj;
+           pivots.(k) <- pv;
+           det_mag := Ec.mul !det_mag (Ec.of_complex pv);
+           row_active.(pi) <- false;
+           col_active.(pj) <- false;
+           Hashtbl.iter (fun j _ -> col_count.(j) <- col_count.(j) - 1) rows.(pi);
+           (* Snapshot the U row (active columns other than the pivot). *)
+           let u = ref [] in
+           Hashtbl.iter
+             (fun j v -> if j <> pj && col_active.(j) then u := (j, v) :: !u)
+             rows.(pi);
+           upper.(k) <- Array.of_list !u;
+           (* Eliminate the pivot column from the remaining active rows. *)
+           for i = 0 to n - 1 do
+             if row_active.(i) then
+               match Hashtbl.find_opt rows.(i) pj with
+               | None -> ()
+               | Some v ->
+                   Hashtbl.remove rows.(i) pj;
+                   col_count.(pj) <- col_count.(pj) - 1;
+                   row_count.(i) <- row_count.(i) - 1;
+                   let m = Complex.div v pv in
+                   lower := (i, k, m) :: !lower;
+                   Array.iter
+                     (fun (j, u) ->
+                       let upd = Complex.neg (Complex.mul m u) in
+                       match Hashtbl.find_opt rows.(i) j with
+                       | None ->
+                           if upd <> Complex.zero then begin
+                             Hashtbl.replace rows.(i) j upd;
+                             col_count.(j) <- col_count.(j) + 1;
+                             row_count.(i) <- row_count.(i) + 1;
+                             incr fill
+                           end
+                       | Some w ->
+                           let nv = Complex.add w upd in
+                           Hashtbl.replace rows.(i) j nv)
+                     upper.(k)
+           done
+     done
+   with Exit -> ());
+  let det =
+    if !singular then Ec.zero
+    else
+      let sr = permutation_sign pivot_rows and sc = permutation_sign pivot_cols in
+      if sr * sc < 0 then Ec.neg !det_mag else !det_mag
+  in
+  {
+    n;
+    pivot_rows;
+    pivot_cols;
+    pivots;
+    lower = Array.of_list (List.rev !lower);
+    upper;
+    det;
+    fill_in = !fill;
+    singular = !singular;
+  }
+
+let det f = f.det
+let fill_in f = f.fill_in
+
+(* With row/column pivot orders P, Q and the stored unit-lower multipliers L
+   and upper rows U (step coordinates: M = P A Q = L U), the transpose system
+   A^T x = b becomes U^T L^T (P x) = Q^T b: a forward pass through U^T (using
+   the inverse column-pivot map), a reverse replay of the multipliers for
+   L^T, and the row-pivot scatter. *)
+let solve_transpose f b =
+  if Array.length b <> f.n then
+    invalid_arg "Sparse.solve_transpose: dimension mismatch";
+  if f.singular then raise Singular;
+  let n = f.n in
+  let step_of_col = Array.make n 0 in
+  Array.iteri (fun k c -> step_of_col.(c) <- k) f.pivot_cols;
+  let step_of_row = Array.make n 0 in
+  Array.iteri (fun k r -> step_of_row.(r) <- k) f.pivot_rows;
+  (* Forward: U^T w = Q^T b, scattering each solved w_k through U's row k. *)
+  let w = Array.init n (fun k -> b.(f.pivot_cols.(k))) in
+  for k = 0 to n - 1 do
+    w.(k) <- Complex.div w.(k) f.pivots.(k);
+    Array.iter
+      (fun (j, u) ->
+        let s = step_of_col.(j) in
+        w.(s) <- Complex.sub w.(s) (Complex.mul u w.(k)))
+      f.upper.(k)
+  done;
+  (* Backward: L^T v = w, replaying the multipliers in reverse. *)
+  for idx = Array.length f.lower - 1 downto 0 do
+    let i, k, m = f.lower.(idx) in
+    let s = step_of_row.(i) in
+    w.(k) <- Complex.sub w.(k) (Complex.mul m w.(s))
+  done;
+  (* P x = v. *)
+  let x = Array.make n Complex.zero in
+  Array.iteri (fun k r -> x.(r) <- w.(k)) f.pivot_rows;
+  x
+
+let solve f b =
+  if Array.length b <> f.n then invalid_arg "Sparse.solve: dimension mismatch";
+  if f.singular then raise Singular;
+  let y = Array.copy b in
+  (* Forward elimination replay: multipliers were recorded in order. *)
+  Array.iter
+    (fun (i, k, m) -> y.(i) <- Complex.sub y.(i) (Complex.mul m y.(f.pivot_rows.(k))))
+    f.lower;
+  let x = Array.make f.n Complex.zero in
+  for k = f.n - 1 downto 0 do
+    let acc = ref y.(f.pivot_rows.(k)) in
+    Array.iter
+      (fun (j, u) -> acc := Complex.sub !acc (Complex.mul u x.(j)))
+      f.upper.(k);
+    x.(f.pivot_cols.(k)) <- Complex.div !acc f.pivots.(k)
+  done;
+  x

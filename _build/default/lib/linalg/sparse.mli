@@ -1,0 +1,57 @@
+(** Sparse complex LU decomposition with Markowitz pivoting.
+
+    MNA matrices of analog circuits are extremely sparse (a handful of
+    entries per row); the paper notes its algorithm "has been implemented
+    using sparse matrix techniques".  This module provides a right-looking
+    LU with Markowitz ordering under threshold partial pivoting, the
+    classical choice for circuit simulators.
+
+    Typical use: assemble once with {!create}/{!add}, then {!factor} (at each
+    interpolation or AC frequency point), read the {!det} and {!solve}. *)
+
+exception Singular
+(** Raised by {!solve} when the matrix is (numerically) singular. *)
+
+type builder
+(** Mutable triplet-style accumulator for an [n x n] matrix. *)
+
+val create : int -> builder
+(** [create n] prepares an empty [n x n] builder. @raise Invalid_argument
+    when [n < 0]. *)
+
+val add : builder -> int -> int -> Complex.t -> unit
+(** [add b i j v] accumulates [v] into entry [(i, j)] (duplicates sum, as
+    element stamps require). @raise Invalid_argument when out of range. *)
+
+val dimension : builder -> int
+val nnz : builder -> int
+(** Number of structurally non-zero entries currently stored. *)
+
+val to_dense : builder -> Complex.t array array
+(** Materialise (test helper and dense-baseline bridge). *)
+
+val clear : builder -> unit
+(** Reset all entries, keeping the dimension (cheap re-assembly at the next
+    frequency point). *)
+
+type factor
+
+val factor : ?pivot_threshold:float -> builder -> factor
+(** LU-factorisation.  [pivot_threshold] (default [0.1]) is the threshold
+    partial pivoting parameter [tau]: a pivot candidate must satisfy
+    [|a| >= tau * max_row |a|]; among candidates the one minimising the
+    Markowitz count [(r-1)(c-1)] is chosen (ties broken by magnitude).
+    Singular matrices factor with determinant zero. *)
+
+val det : factor -> Symref_numeric.Extcomplex.t
+val fill_in : factor -> int
+(** Entries created during elimination (diagnostic). *)
+
+val solve : factor -> Complex.t array -> Complex.t array
+(** @raise Singular on singular matrices.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val solve_transpose : factor -> Complex.t array -> Complex.t array
+(** Solve [transpose A x = b] from the same factorisation — the adjoint
+    (transpose) network solve that yields every element sensitivity from a
+    single extra substitution.  Same exceptions as {!solve}. *)

@@ -1,0 +1,1 @@
+lib/mna/ac.ml: Array Complex Float Hashtbl List Printf Symref_circuit Symref_linalg

@@ -1,0 +1,1 @@
+lib/mna/ac.mli: Complex Symref_circuit

@@ -1,0 +1,1 @@
+lib/mna/monte_carlo.ml: Array Complex Float List Nodal Symref_circuit Symref_numeric

@@ -1,0 +1,1 @@
+lib/mna/monte_carlo.mli: Complex Nodal Symref_circuit

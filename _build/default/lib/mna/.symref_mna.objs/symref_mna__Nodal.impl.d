@@ -1,0 +1,1 @@
+lib/mna/nodal.ml: Array Complex Int List Printf Symref_circuit Symref_linalg Symref_numeric

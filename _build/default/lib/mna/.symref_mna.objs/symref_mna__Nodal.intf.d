@@ -1,0 +1,1 @@
+lib/mna/nodal.mli: Complex Symref_circuit Symref_numeric

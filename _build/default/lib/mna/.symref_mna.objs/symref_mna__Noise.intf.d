@@ -1,0 +1,1 @@
+lib/mna/noise.mli: Nodal Symref_circuit

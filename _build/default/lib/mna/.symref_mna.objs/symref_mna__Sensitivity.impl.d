@@ -1,0 +1,1 @@
+lib/mna/sensitivity.ml: Array Complex Float Hashtbl List Nodal Symref_circuit Symref_linalg Symref_numeric

@@ -1,0 +1,1 @@
+lib/mna/sensitivity.mli: Complex Nodal Symref_circuit

@@ -1,0 +1,1 @@
+lib/mna/transient.ml: Array Complex Float List Nodal Symref_circuit Symref_linalg Symref_numeric

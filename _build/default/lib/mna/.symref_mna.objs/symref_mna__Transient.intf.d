@@ -1,0 +1,1 @@
+lib/mna/transient.mli: Nodal Symref_circuit

@@ -1,0 +1,1 @@
+lib/mna/twoport.ml: Ac Complex Float List Symref_circuit

@@ -1,0 +1,1 @@
+lib/mna/twoport.mli: Complex Symref_circuit

@@ -1,0 +1,243 @@
+module Sparse = Symref_linalg.Sparse
+module Ec = Symref_numeric.Extcomplex
+module Element = Symref_circuit.Element
+module Netlist = Symref_circuit.Netlist
+
+type input =
+  | Vsrc_element of string
+  | V_single of string
+  | V_diff of string * string
+  | V_common of string * string
+  | I_single of string
+
+type output = Out_node of string | Out_diff of string * string
+
+exception Unsupported of string
+
+type role = Ground | Driven of float | Free of int
+
+type t = {
+  circuit : Netlist.t; (* input voltage source removed *)
+  roles : role array;
+  dim : int;
+  injections : (int * float) list; (* reduced row -> unit-current injection *)
+  out_p : int option;
+  out_m : int option;
+  den_gdeg : int;
+  num_gdeg : int;
+  order_bound : int;
+}
+
+type value = {
+  den : Ec.t;
+  num : Ec.t;
+  h : Complex.t;
+  singular : bool;
+}
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let resolve_node circuit name =
+  match Netlist.node_id circuit name with
+  | Some id -> id
+  | None -> unsupported "unknown node %s" name
+
+let make circuit ~input ~output =
+  (* Resolve the input into (circuit without source, driven nodes, current
+     injections). *)
+  let circuit, driven, injections_nodes =
+    match input with
+    | Vsrc_element name -> (
+        match Netlist.find_element circuit name with
+        | None -> unsupported "no element named %s" name
+        | Some { Element.kind = Element.Vsrc { p; m; volts }; _ } ->
+            let reduced = Netlist.remove_element circuit name in
+            if m = 0 && p <> 0 then (reduced, [ (p, volts) ], [])
+            else if p = 0 && m <> 0 then (reduced, [ (m, -.volts) ], [])
+            else unsupported "voltage source %s is not grounded" name
+        | Some _ -> unsupported "element %s is not a voltage source" name)
+    | V_single name ->
+        let n = resolve_node circuit name in
+        if n = 0 then unsupported "cannot drive ground";
+        (circuit, [ (n, 1.) ], [])
+    | V_diff (pn, mn) ->
+        let p = resolve_node circuit pn and m = resolve_node circuit mn in
+        if p = 0 || m = 0 || p = m then
+          unsupported "differential input needs two distinct non-ground nodes";
+        (circuit, [ (p, 0.5); (m, -0.5) ], [])
+    | V_common (pn, mn) ->
+        let p = resolve_node circuit pn and m = resolve_node circuit mn in
+        if p = 0 || m = 0 || p = m then
+          unsupported "common-mode input needs two distinct non-ground nodes";
+        (circuit, [ (p, 1.); (m, 1.) ], [])
+    | I_single name ->
+        let n = resolve_node circuit name in
+        if n = 0 then unsupported "cannot inject into ground";
+        (circuit, [], [ (n, 1.) ])
+  in
+  List.iter
+    (fun e ->
+      if not (Element.is_nodal_class e) then
+        unsupported "element %s is outside the nodal class (%s)" e.Element.name
+          (Element.describe e))
+    (Netlist.elements circuit);
+  let n_nodes = Netlist.node_count circuit in
+  let roles = Array.make (n_nodes + 1) Ground in
+  List.iter (fun (n, d) -> roles.(n) <- Driven d) driven;
+  let dim = ref 0 in
+  for i = 1 to n_nodes do
+    match roles.(i) with
+    | Ground ->
+        roles.(i) <- Free !dim;
+        incr dim
+    | Driven _ -> ()
+    | Free _ -> assert false
+  done;
+  let dim = !dim in
+  if dim = 0 then unsupported "no free nodes left";
+  let reduced_of name =
+    let n = resolve_node circuit name in
+    match roles.(n) with
+    | Ground -> None
+    | Free i -> Some i
+    | Driven _ -> unsupported "output node %s is driven" name
+  in
+  let out_p, out_m =
+    match output with
+    | Out_node name -> (reduced_of name, None)
+    | Out_diff (a, b) -> (reduced_of a, reduced_of b)
+  in
+  if out_p = None && out_m = None then unsupported "output is identically zero";
+  let injections =
+    List.map
+      (fun (n, v) ->
+        match roles.(n) with
+        | Free i -> (i, v)
+        | Ground | Driven _ -> unsupported "cannot inject into a driven node")
+      injections_nodes
+  in
+  let num_gdeg = match input with I_single _ -> dim - 1 | _ -> dim in
+  {
+    circuit;
+    roles;
+    dim;
+    injections;
+    out_p;
+    out_m;
+    den_gdeg = dim;
+    num_gdeg;
+    order_bound = Int.min (Netlist.capacitor_count circuit) dim;
+  }
+
+type plan = {
+  reduced_circuit : Netlist.t;
+  roles : role array;
+  plan_dim : int;
+  plan_out_p : int option;
+  plan_out_m : int option;
+  plan_injections : (int * float) list;
+}
+
+let plan t =
+  {
+    reduced_circuit = t.circuit;
+    roles = Array.copy t.roles;
+    plan_dim = t.dim;
+    plan_out_p = t.out_p;
+    plan_out_m = t.out_m;
+    plan_injections = t.injections;
+  }
+
+let dimension t = t.dim
+let order_bound t = t.order_bound
+let den_gdeg t = t.den_gdeg
+let num_gdeg t = t.num_gdeg
+let mean_conductance t = Netlist.mean_conductance t.circuit
+let mean_capacitance t = Netlist.mean_capacitance t.circuit
+
+let eval ?(f = 1.) ?(g = 1.) t s =
+  let entries = ref [] in
+  let rhs = Array.make t.dim Complex.zero in
+  (* One scalar entry of the full nodal matrix, routed to the reduced matrix
+     or (for driven columns) to the right-hand side. *)
+  let entry row col (v : Complex.t) =
+    match t.roles.(row) with
+    | Ground | Driven _ -> ()
+    | Free r -> (
+        match t.roles.(col) with
+        | Ground -> ()
+        | Driven d ->
+            rhs.(r) <-
+              Complex.sub rhs.(r) { re = v.re *. d; im = v.im *. d }
+        | Free c -> entries := (r, c, v) :: !entries)
+  in
+  let admittance a b y =
+    entry a a y;
+    entry b b y;
+    let ny = Complex.neg y in
+    entry a b ny;
+    entry b a ny
+  in
+  let transconductance p m cp cm gm =
+    let y = { Complex.re = gm; im = 0. } and ny = { Complex.re = -.gm; im = 0. } in
+    entry p cp y;
+    entry p cm ny;
+    entry m cp ny;
+    entry m cm y
+  in
+  let inject n amps =
+    match t.roles.(n) with
+    | Ground | Driven _ -> ()
+    | Free r -> rhs.(r) <- Complex.add rhs.(r) { re = amps; im = 0. }
+  in
+  List.iter
+    (fun (e : Element.t) ->
+      match e.Element.kind with
+      | Element.Conductance { a; b; siemens } ->
+          admittance a b { re = siemens *. g; im = 0. }
+      | Element.Resistor { a; b; ohms } -> admittance a b { re = g /. ohms; im = 0. }
+      | Element.Capacitor { a; b; farads } ->
+          admittance a b (Complex.mul s { re = farads *. f; im = 0. })
+      | Element.Vccs { p; m; cp; cm; gm } -> transconductance p m cp cm (gm *. g)
+      | Element.Isrc { a; b; amps } ->
+          inject a (-.amps);
+          inject b amps
+      | Element.Inductor _ | Element.Vcvs _ | Element.Cccs _ | Element.Ccvs _
+      | Element.Vsrc _ ->
+          assert false (* rejected in make *))
+    (Netlist.elements t.circuit);
+  List.iter (fun (r, v) -> rhs.(r) <- Complex.add rhs.(r) { re = v; im = 0. }) t.injections;
+  let build filter_col =
+    let b = Sparse.create t.dim in
+    List.iter
+      (fun (r, c, v) ->
+        match filter_col with
+        | Some col when c = col -> ()
+        | Some _ | None -> Sparse.add b r c v)
+      !entries;
+    (match filter_col with
+    | None -> ()
+    | Some col ->
+        Array.iteri (fun r v -> if v <> Complex.zero then Sparse.add b r col v) rhs);
+    b
+  in
+  let factor = Sparse.factor (build None) in
+  let den = Sparse.det factor in
+  if Ec.is_zero den then begin
+    (* A pole sits exactly on this interpolation point: H is undefined, but
+       the numerator value is still well-defined through Cramer's rule
+       (x_j * D = det of the matrix with column j replaced by the RHS). *)
+    let cramer = function
+      | None -> Ec.zero
+      | Some col -> Sparse.det (Sparse.factor (build (Some col)))
+    in
+    let num = Ec.sub (cramer t.out_p) (cramer t.out_m) in
+    { den = Ec.zero; num; h = Complex.zero; singular = true }
+  end
+  else begin
+    let x = Sparse.solve factor rhs in
+    let pick = function Some i -> x.(i) | None -> Complex.zero in
+    let h = Complex.sub (pick t.out_p) (pick t.out_m) in
+    let num = Ec.mul_complex den h in
+    { den; num; h; singular = false }
+  end

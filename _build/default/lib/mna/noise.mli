@@ -1,0 +1,47 @@
+(** Small-signal noise analysis.
+
+    Thermal noise of every resistive element (resistors and conductances,
+    [4kT G] A^2/Hz as a parallel current source) and shot noise of every
+    transconductance (treated as a device channel/collector current source
+    with spectral density [2 q I = 2 q (gm V_T)], i.e. [2 k T gm] for a
+    bipolar-like device — the standard small-signal shorthand) is propagated
+    to the output by one nodal solve per source per frequency, and summed in
+    power.
+
+    Input-referred noise divides by the signal gain computed with the same
+    machinery. *)
+
+type contribution = {
+  element : string;
+  output_density : float;  (** V^2/Hz at the output due to this source *)
+}
+
+type point = {
+  freq_hz : float;
+  output_density : float;     (** total, V^2/Hz *)
+  input_density : float;      (** output / |H|^2, V^2/Hz *)
+  contributions : contribution list;  (** descending *)
+}
+
+val temperature_kelvin : float ref
+(** Defaults to 300 K. *)
+
+val at :
+  Symref_circuit.Netlist.t ->
+  input:Nodal.input ->
+  output:Nodal.output ->
+  freq_hz:float ->
+  point
+(** @raise Nodal.Unsupported outside the nodal class; @raise Invalid_argument
+    when the network is singular at the requested frequency. *)
+
+val sweep :
+  Symref_circuit.Netlist.t ->
+  input:Nodal.input ->
+  output:Nodal.output ->
+  freqs:float array ->
+  point array
+
+val integrate_rms : point array -> float
+(** Total RMS output noise over the swept band (trapezoidal integration of
+    the output density), volts. *)

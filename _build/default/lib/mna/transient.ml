@@ -1,0 +1,137 @@
+module Sparse = Symref_linalg.Sparse
+module Element = Symref_circuit.Element
+module Netlist = Symref_circuit.Netlist
+
+type waveform = float -> float
+
+let step ?(amplitude = 1.) () = fun t -> if t >= 0. then amplitude else 0.
+
+let sine ?(amplitude = 1.) ~freq_hz () =
+ fun t -> amplitude *. Float.sin (2. *. Float.pi *. freq_hz *. t)
+
+type result = { times : float array; output : float array }
+
+type cap_state = {
+  ca : int;          (* node ids, 0 = ground *)
+  cb : int;
+  g_eq : float;      (* 2C/h *)
+  mutable v : float; (* capacitor voltage at the last accepted step *)
+  mutable i : float; (* capacitor current at the last accepted step *)
+}
+
+let simulate circuit ~input ~output ~waveform ~t_stop ~steps =
+  if steps < 1 then invalid_arg "Transient.simulate: steps must be >= 1";
+  if not (t_stop > 0.) then invalid_arg "Transient.simulate: t_stop must be > 0";
+  let problem = Nodal.make circuit ~input ~output in
+  let plan = Nodal.plan problem in
+  let dim = plan.Nodal.plan_dim in
+  let h = t_stop /. float_of_int steps in
+  (* Assemble the constant matrix with capacitor companion conductance
+     [coef * C / h]: coef = 2 for trapezoidal, 1 for the backward-Euler
+     start-up step that absorbs the inconsistent initial state. *)
+  let build coef =
+    let b = Sparse.create dim in
+    let g_drive = Array.make dim 0. in
+    let i_const = Array.make dim 0. in
+    let caps = ref [] in
+    let entry row col v =
+      match plan.Nodal.roles.(row) with
+      | Nodal.Ground | Nodal.Driven _ -> ()
+      | Nodal.Free r -> (
+          match plan.Nodal.roles.(col) with
+          | Nodal.Ground -> ()
+          | Nodal.Driven d -> g_drive.(r) <- g_drive.(r) +. (v *. d)
+          | Nodal.Free c -> Sparse.add b r c { Complex.re = v; im = 0. })
+    in
+    let conductance a b' g =
+      entry a a g;
+      entry b' b' g;
+      entry a b' (-.g);
+      entry b' a (-.g)
+    in
+    List.iter
+      (fun (e : Element.t) ->
+        match e.Element.kind with
+        | Element.Conductance { a; b = b'; siemens } -> conductance a b' siemens
+        | Element.Resistor { a; b = b'; ohms } -> conductance a b' (1. /. ohms)
+        | Element.Capacitor { a; b = b'; farads } ->
+            let g_eq = coef *. farads /. h in
+            conductance a b' g_eq;
+            caps := { ca = a; cb = b'; g_eq; v = 0.; i = 0. } :: !caps
+        | Element.Vccs { p; m; cp; cm; gm } ->
+            entry p cp gm;
+            entry p cm (-.gm);
+            entry m cp (-.gm);
+            entry m cm gm
+        | Element.Isrc { a; b = b'; amps } ->
+            (match plan.Nodal.roles.(a) with
+            | Nodal.Free r -> i_const.(r) <- i_const.(r) -. amps
+            | Nodal.Ground | Nodal.Driven _ -> ());
+            (match plan.Nodal.roles.(b') with
+            | Nodal.Free r -> i_const.(r) <- i_const.(r) +. amps
+            | Nodal.Ground | Nodal.Driven _ -> ())
+        | Element.Inductor _ | Element.Vcvs _ | Element.Cccs _ | Element.Ccvs _
+        | Element.Vsrc _ ->
+            assert false (* excluded by Nodal.make *))
+      (Netlist.elements plan.Nodal.reduced_circuit);
+    let factor = Sparse.factor b in
+    if Symref_numeric.Extcomplex.is_zero (Sparse.det factor) then
+      invalid_arg "Transient.simulate: singular system";
+    (factor, g_drive, i_const, !caps)
+  in
+  let factor, g_drive, i_const, caps = build 2. in
+  let be_factor, be_g_drive, be_i_const, _ = build 1. in
+  let caps = ref caps in
+  let x = Array.make dim 0. in
+  (* Voltage of a node given the current free solution and drive value. *)
+  let node_v u n =
+    match plan.Nodal.roles.(n) with
+    | Nodal.Ground -> 0.
+    | Nodal.Driven d -> d *. u
+    | Nodal.Free r -> x.(r)
+  in
+  let out () =
+    let pick = function None -> 0. | Some r -> x.(r) in
+    pick plan.Nodal.plan_out_p -. pick plan.Nodal.plan_out_m
+  in
+  let times = Array.init (steps + 1) (fun i -> float_of_int i *. h) in
+  let output = Array.make (steps + 1) 0. in
+  output.(0) <- 0.;
+  let rhs = Array.make dim Complex.zero in
+  for n = 1 to steps do
+    let t = times.(n) in
+    let u = waveform t in
+    (* Backward Euler on the first step (hist = g_be v_n, i unused), then
+       trapezoidal (hist = g_eq v_n + i_n). *)
+    let first = n = 1 in
+    let fct = if first then be_factor else factor in
+    let gd = if first then be_g_drive else g_drive in
+    let ic = if first then be_i_const else i_const in
+    Array.iteri (fun r g -> rhs.(r) <- { Complex.re = (-.g *. u) +. ic.(r); im = 0. }) gd;
+    List.iter
+      (fun c ->
+        let g = if first then c.g_eq /. 2. else c.g_eq in
+        let hist = (g *. c.v) +. (if first then 0. else c.i) in
+        (match plan.Nodal.roles.(c.ca) with
+        | Nodal.Free r -> rhs.(r) <- Complex.add rhs.(r) { re = hist; im = 0. }
+        | Nodal.Ground | Nodal.Driven _ -> ());
+        (match plan.Nodal.roles.(c.cb) with
+        | Nodal.Free r -> rhs.(r) <- Complex.add rhs.(r) { re = -.hist; im = 0. }
+        | Nodal.Ground | Nodal.Driven _ -> ()))
+      !caps;
+    let sol = Sparse.solve fct rhs in
+    Array.iteri (fun r (z : Complex.t) -> x.(r) <- z.re) sol;
+    (* Update capacitor states. *)
+    List.iter
+      (fun c ->
+        let v_new = node_v u c.ca -. node_v u c.cb in
+        let i_new =
+          if first then c.g_eq /. 2. *. (v_new -. c.v)
+          else (c.g_eq *. (v_new -. c.v)) -. c.i
+        in
+        c.v <- v_new;
+        c.i <- i_new)
+      !caps;
+    output.(n) <- out ()
+  done;
+  { times; output }

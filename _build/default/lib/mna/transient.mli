@@ -1,0 +1,37 @@
+(** Linear transient simulation of nodal-class circuits by trapezoidal
+    integration (capacitor companion models), with the input applied as a
+    time-domain waveform on the driven nodes.
+
+    The conductance part of the system matrix is constant, so it is factored
+    once and every time step is a single sparse solve — the standard linear
+    circuit-simulator fast path.  Results cross-validate against the modal
+    (partial-fraction) responses computed from the reference coefficients,
+    which is exactly the kind of independent agreement this repository is
+    about. *)
+
+type waveform = float -> float
+(** Input value at time [t] (seconds). *)
+
+val step : ?amplitude:float -> unit -> waveform
+(** Unit (or scaled) step at [t = 0]. *)
+
+val sine : ?amplitude:float -> freq_hz:float -> unit -> waveform
+
+type result = {
+  times : float array;
+  output : float array;  (** observed output voltage *)
+}
+
+val simulate :
+  Symref_circuit.Netlist.t ->
+  input:Nodal.input ->
+  output:Nodal.output ->
+  waveform:waveform ->
+  t_stop:float ->
+  steps:int ->
+  result
+(** Trapezoidal integration from zero initial conditions over [steps]
+    uniform steps.  The drive coefficients of [input] (e.g. the [+-1/2] of a
+    differential pair) scale the waveform.
+    @raise Nodal.Unsupported outside the nodal class;
+    @raise Invalid_argument when [steps < 1] or [t_stop <= 0.]. *)

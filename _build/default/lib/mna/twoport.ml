@@ -1,0 +1,75 @@
+module Netlist = Symref_circuit.Netlist
+
+type params = {
+  y11 : Complex.t;
+  y12 : Complex.t;
+  y21 : Complex.t;
+  y22 : Complex.t;
+}
+
+(* One excitation: v1/v2 volts forced at the two ports, port currents read
+   back from the sources' auxiliary rows (the stamped branch current flows
+   from the node into the source, so the current into the network is its
+   negation). *)
+let port_currents circuit ~port1 ~port2 ~freq_hz v1 v2 =
+  let driven =
+    Netlist.extend circuit (fun b ->
+        Netlist.Builder.vsrc b "_port1" ~p:port1 ~m:"0" v1;
+        Netlist.Builder.vsrc b "_port2" ~p:port2 ~m:"0" v2)
+  in
+  let sol = Ac.solve_full (Ac.make driven) ~omega:(2. *. Float.pi *. freq_hz) in
+  let current name =
+    match List.assoc_opt name sol.Ac.currents with
+    | Some i -> Complex.neg i
+    | None -> assert false
+  in
+  (current "_port1", current "_port2")
+
+let y_params circuit ~port1 ~port2 ~freq_hz =
+  let i11, i21 = port_currents circuit ~port1 ~port2 ~freq_hz 1. 0. in
+  let i12, i22 = port_currents circuit ~port1 ~port2 ~freq_hz 0. 1. in
+  { y11 = i11; y21 = i21; y12 = i12; y22 = i22 }
+
+let det (p : params) =
+  Complex.sub (Complex.mul p.y11 p.y22) (Complex.mul p.y12 p.y21)
+
+let z_params p =
+  let d = det p in
+  if Complex.norm d = 0. then None
+  else
+    Some
+      {
+        y11 = Complex.div p.y22 d;
+        y12 = Complex.neg (Complex.div p.y12 d);
+        y21 = Complex.neg (Complex.div p.y21 d);
+        y22 = Complex.div p.y11 d;
+      }
+
+(* S = (I - z0 Y) (I + z0 Y)^-1 for a real reference impedance. *)
+let s_params ?(z0 = 50.) p =
+  let scale k (z : Complex.t) = { Complex.re = k *. z.re; im = k *. z.im } in
+  let a11 = Complex.sub Complex.one (scale z0 p.y11)
+  and a12 = Complex.neg (scale z0 p.y12)
+  and a21 = Complex.neg (scale z0 p.y21)
+  and a22 = Complex.sub Complex.one (scale z0 p.y22) in
+  let b11 = Complex.add Complex.one (scale z0 p.y11)
+  and b12 = scale z0 p.y12
+  and b21 = scale z0 p.y21
+  and b22 = Complex.add Complex.one (scale z0 p.y22) in
+  let db = Complex.sub (Complex.mul b11 b22) (Complex.mul b12 b21) in
+  (* B^-1 *)
+  let i11 = Complex.div b22 db
+  and i12 = Complex.neg (Complex.div b12 db)
+  and i21 = Complex.neg (Complex.div b21 db)
+  and i22 = Complex.div b11 db in
+  {
+    y11 = Complex.add (Complex.mul a11 i11) (Complex.mul a12 i21);
+    y12 = Complex.add (Complex.mul a11 i12) (Complex.mul a12 i22);
+    y21 = Complex.add (Complex.mul a21 i11) (Complex.mul a22 i21);
+    y22 = Complex.add (Complex.mul a21 i12) (Complex.mul a22 i22);
+  }
+
+let is_reciprocal ?(rel = 1e-9) p =
+  let d = Complex.norm (Complex.sub p.y12 p.y21) in
+  d <= rel *. Float.max (Complex.norm p.y12) (Complex.norm p.y21)
+  || (Complex.norm p.y12 = 0. && Complex.norm p.y21 = 0.)

@@ -1,0 +1,30 @@
+(** Two-port parameter extraction.
+
+    Ports are node-to-ground; Y parameters come from two full-MNA solves
+    (drive one port with 1 V, short the other, read the port currents), and
+    Z/S parameters by the standard 2x2 conversions.  Reciprocity
+    ([y12 = y21]) on passive networks is a test invariant. *)
+
+type params = {
+  y11 : Complex.t;
+  y12 : Complex.t;
+  y21 : Complex.t;
+  y22 : Complex.t;
+}
+
+val y_params :
+  Symref_circuit.Netlist.t -> port1:string -> port2:string -> freq_hz:float -> params
+(** The circuit must not contain its own sources at the port nodes; any
+    internal independent sources are left untouched (superposition does not
+    apply — pass a source-free network for meaningful parameters).
+    @raise Symref_linalg.Sparse.Singular on a singular network. *)
+
+val z_params : params -> params option
+(** [None] when [det Y = 0] (e.g. a series element: no Z representation). *)
+
+val s_params : ?z0:float -> params -> params
+(** Scattering parameters for real reference impedance [z0] (default 50
+    ohm): [S = (I - z0 Y) (I + z0 Y)^-1]. *)
+
+val is_reciprocal : ?rel:float -> params -> bool
+(** [y12 = y21] within tolerance (default [1e-9]). *)

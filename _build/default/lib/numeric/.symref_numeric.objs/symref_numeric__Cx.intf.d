@@ -1,0 +1,1 @@
+lib/numeric/cx.mli: Complex Format

@@ -1,0 +1,1 @@
+lib/numeric/extcomplex.ml: Complex Extfloat Float Format Printf

@@ -1,0 +1,1 @@
+lib/numeric/extcomplex.mli: Complex Extfloat Format

@@ -1,0 +1,1 @@
+lib/numeric/extfloat.ml: Float Format Int Printf Stdlib

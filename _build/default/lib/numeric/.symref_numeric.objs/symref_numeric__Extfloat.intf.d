@@ -1,0 +1,1 @@
+lib/numeric/extfloat.mli: Format

@@ -1,0 +1,1 @@
+lib/numeric/grid.ml: Array Float Int

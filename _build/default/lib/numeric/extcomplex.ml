@@ -1,0 +1,80 @@
+type t = { c : Complex.t; e : int }
+
+let zero = { c = Complex.zero; e = 0 }
+
+(* Normalise so that the larger component's magnitude lies in [0.5, 1); this
+   keeps both components of the mantissa representable for any value. *)
+let norm_mantissa (c : Complex.t) e =
+  let a = Float.max (Float.abs c.re) (Float.abs c.im) in
+  if a = 0. then zero
+  else
+    let _, de = Float.frexp a in
+    { c = { re = Float.ldexp c.re (-de); im = Float.ldexp c.im (-de) }; e = e + de }
+
+let finite (c : Complex.t) = Float.is_finite c.re && Float.is_finite c.im
+
+let of_complex c =
+  if not (finite c) then invalid_arg "Extcomplex.of_complex: not finite"
+  else norm_mantissa c 0
+
+let one = of_complex Complex.one
+
+let to_complex { c; e } =
+  if c = Complex.zero then Complex.zero
+  else if e > 1030 then
+    let blow x = if x = 0. then 0. else x *. infinity in
+    { re = blow c.re; im = blow c.im }
+  else if e < -1080 then Complex.zero
+  else { re = Float.ldexp c.re e; im = Float.ldexp c.im e }
+
+let of_extfloat (x : Extfloat.t) =
+  norm_mantissa { re = x.Extfloat.m; im = 0. } x.Extfloat.e
+
+let make ~c ~e =
+  if not (finite c) then invalid_arg "Extcomplex.make: not finite"
+  else norm_mantissa c e
+
+let is_zero x = x.c = Complex.zero
+let neg x = { x with c = Complex.neg x.c }
+let conj x = { x with c = Complex.conj x.c }
+let mul a b = norm_mantissa (Complex.mul a.c b.c) (a.e + b.e)
+
+let div a b =
+  if is_zero b then raise Division_by_zero
+  else norm_mantissa (Complex.div a.c b.c) (a.e - b.e)
+
+let add a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else
+    let hi, lo = if a.e >= b.e then (a, b) else (b, a) in
+    let gap = hi.e - lo.e in
+    if gap > 60 then hi
+    else
+      let scaled =
+        { Complex.re = Float.ldexp lo.c.re (-gap); im = Float.ldexp lo.c.im (-gap) }
+      in
+      norm_mantissa (Complex.add hi.c scaled) hi.e
+
+let sub a b = add a (neg b)
+let mul_complex a z = mul a (of_complex z)
+let norm x = Extfloat.make ~m:(Complex.norm x.c) ~e:x.e
+let arg x = if is_zero x then 0. else Complex.arg x.c
+let re x = Extfloat.make ~m:x.c.re ~e:x.e
+let im x = Extfloat.make ~m:x.c.im ~e:x.e
+let log10_norm x = Extfloat.log10_abs (norm x)
+
+let approx_equal ?(rel = 1e-9) a b =
+  if is_zero a && is_zero b then true
+  else
+    let d = norm (sub a b) in
+    let m = Extfloat.(if compare_mag (norm a) (norm b) >= 0 then norm a else norm b) in
+    Extfloat.(compare_mag d (mul_float m rel)) <= 0
+
+let to_string x =
+  let r = re x and i = im x in
+  Printf.sprintf "%s%sj%s" (Extfloat.to_string r)
+    (if Extfloat.sign i >= 0 then "+" else "-")
+    (Extfloat.to_string (Extfloat.abs i))
+
+let pp ppf x = Format.pp_print_string ppf (to_string x)

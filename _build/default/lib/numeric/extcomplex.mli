@@ -1,0 +1,46 @@
+(** Extended-range complex numbers, [c * 2^e] with the mantissa normalised so
+    that [0.5 <= Complex.norm c < 1.] (or exactly zero).
+
+    Used to accumulate determinants of large MNA matrices (products of tens of
+    pivots under/overflow doubles) and to evaluate network-function
+    polynomials whose coefficients are {!Extfloat.t} values. *)
+
+type t = private { c : Complex.t; e : int }
+
+val zero : t
+val one : t
+
+val of_complex : Complex.t -> t
+(** @raise Invalid_argument when a component is not finite. *)
+
+val to_complex : t -> Complex.t
+(** Overflow saturates component-wise to infinities; underflow to [0.]. *)
+
+val of_extfloat : Extfloat.t -> t
+val make : c:Complex.t -> e:int -> t
+val is_zero : t -> bool
+val neg : t -> t
+val conj : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on zero divisor. *)
+
+val mul_complex : t -> Complex.t -> t
+val norm : t -> Extfloat.t
+(** Modulus, in extended range. *)
+
+val arg : t -> float
+(** Argument in radians, in [(-pi, pi]]; [0.] for zero. *)
+
+val re : t -> Extfloat.t
+val im : t -> Extfloat.t
+val log10_norm : t -> float
+(** [log10] of the modulus; [neg_infinity] for zero. *)
+
+val approx_equal : ?rel:float -> t -> t -> bool
+(** Relative comparison on the modulus of the difference. Default [1e-9]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

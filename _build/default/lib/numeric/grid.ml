@@ -1,0 +1,21 @@
+let linspace a b n =
+  if n < 2 then invalid_arg "Grid.linspace: need at least 2 points";
+  let h = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> if i = n - 1 then b else a +. (float_of_int i *. h))
+
+let logspace a b n =
+  if not (a > 0. && b > 0.) then invalid_arg "Grid.logspace: bounds must be positive";
+  let la = Float.log10 a and lb = Float.log10 b in
+  let g = Array.map (fun l -> Float.exp (l *. Float.log 10.)) (linspace la lb n) in
+  (* Pin the endpoints so callers can rely on exact bounds. *)
+  g.(0) <- a;
+  g.(n - 1) <- b;
+  g
+
+let decades ~start ~stop ~per_decade =
+  if per_decade < 1 then invalid_arg "Grid.decades: per_decade must be >= 1";
+  if not (start > 0. && stop > 0. && stop > start) then
+    invalid_arg "Grid.decades: need 0 < start < stop";
+  let n_dec = Float.log10 (stop /. start) in
+  let n = 1 + int_of_float (Float.ceil (n_dec *. float_of_int per_decade)) in
+  logspace start stop (Int.max 2 n)

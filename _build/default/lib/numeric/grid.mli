@@ -1,0 +1,14 @@
+(** Sampling grids for frequency sweeps and parameter scans. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] gives [n] equally-spaced points from [a] to [b]
+    inclusive. @raise Invalid_argument when [n < 2]. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace a b n] gives [n] logarithmically-spaced points from [a] to [b]
+    inclusive; [a] and [b] must be positive.
+    @raise Invalid_argument when [n < 2] or a bound is not positive. *)
+
+val decades : start:float -> stop:float -> per_decade:int -> float array
+(** Log grid with a fixed number of points per decade, like an AC analysis
+    card.  Both bounds positive, [per_decade >= 1]. *)

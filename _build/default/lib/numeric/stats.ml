@@ -1,0 +1,35 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | _ :: _ -> ()
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geometric_mean xs =
+  require_nonempty "Stats.geometric_mean" xs;
+  if List.exists (fun x -> not (x > 0.)) xs then
+    invalid_arg "Stats.geometric_mean: non-positive entry";
+  let log_sum = List.fold_left (fun acc x -> acc +. Float.log x) 0. xs in
+  Float.exp (log_sum /. float_of_int (List.length xs))
+
+let min_max xs =
+  require_nonempty "Stats.min_max" xs;
+  List.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (infinity, neg_infinity) xs
+
+let median xs =
+  require_nonempty "Stats.median" xs;
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let spread_decades xs =
+  let nz = List.filter_map (fun x -> if x = 0. then None else Some (Float.abs x)) xs in
+  match nz with
+  | [] | [ _ ] -> 0.
+  | _ :: _ :: _ ->
+      let lo, hi = min_max nz in
+      Float.log10 (hi /. lo)

@@ -1,0 +1,20 @@
+(** Basic descriptive statistics on float lists/arrays (used for the scale
+    factor heuristics: the paper's first interpolation uses the inverse of
+    the {e mean} capacitor and conductance values). *)
+
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val geometric_mean : float list -> float
+(** All inputs must be positive. @raise Invalid_argument on the empty list or
+    non-positive entries. *)
+
+val min_max : float list -> float * float
+(** @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val spread_decades : float list -> float
+(** [log10 (max / min)] of the absolute values of the non-zero entries; [0.]
+    when fewer than two non-zero entries. *)

@@ -1,0 +1,1 @@
+lib/poly/epoly.ml: Array Complex Format Int Poly Symref_numeric

@@ -1,0 +1,1 @@
+lib/poly/epoly.mli: Format Poly Symref_numeric

@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Array Complex Float Format Fun Int List Printf String

@@ -1,0 +1,1 @@
+lib/poly/poly.mli: Complex Format

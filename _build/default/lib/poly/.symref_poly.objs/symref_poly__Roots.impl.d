@@ -1,0 +1,1 @@
+lib/poly/roots.ml: Array Complex Epoly Float List Symref_numeric

@@ -1,0 +1,1 @@
+lib/poly/roots.mli: Complex Epoly Poly

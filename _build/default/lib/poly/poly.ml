@@ -1,0 +1,94 @@
+type t = float array
+(* Invariant: empty, or last element non-zero. *)
+
+let trim a =
+  let n = Array.length a in
+  let rec last i = if i >= 0 && a.(i) = 0. then last (i - 1) else i in
+  let d = last (n - 1) in
+  if d = n - 1 then Array.copy a else Array.sub a 0 (d + 1)
+
+let zero : t = [||]
+let one : t = [| 1. |]
+let s : t = [| 0.; 1. |]
+let of_coeffs a = trim a
+let of_list l = trim (Array.of_list l)
+let coeffs (p : t) = Array.copy p
+let coeff (p : t) i = if i < Array.length p then p.(i) else 0.
+let degree (p : t) = Array.length p - 1
+let is_zero (p : t) = Array.length p = 0
+
+let equal ?(rel = 0.) a b =
+  degree a = degree b
+  && Array.for_all2
+       (fun x y -> Float.abs (x -. y) <= rel *. Float.max (Float.abs x) (Float.abs y))
+       a b
+
+let add (a : t) (b : t) : t =
+  let n = Int.max (Array.length a) (Array.length b) in
+  trim (Array.init n (fun i -> coeff a i +. coeff b i))
+
+let neg (p : t) : t = Array.map Float.neg p
+let sub a b = add a (neg b)
+
+let mul (a : t) (b : t) : t =
+  if is_zero a || is_zero b then zero
+  else begin
+    let r = Array.make (Array.length a + Array.length b - 1) 0. in
+    Array.iteri
+      (fun i ai -> Array.iteri (fun k bk -> r.(i + k) <- r.(i + k) +. (ai *. bk)) b)
+      a;
+    trim r
+  end
+
+let scale k (p : t) : t = trim (Array.map (fun c -> k *. c) p)
+
+let mul_monomial (p : t) k : t =
+  if k < 0 then invalid_arg "Poly.mul_monomial: negative power";
+  if is_zero p then zero
+  else Array.append (Array.make k 0.) p
+
+let eval (p : t) x =
+  let acc = ref 0. in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let eval_complex (p : t) (z : Complex.t) =
+  let acc = ref Complex.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Complex.add (Complex.mul !acc z) { re = p.(i); im = 0. }
+  done;
+  !acc
+
+let scale_var (p : t) a : t =
+  let pow = ref 1. in
+  trim
+    (Array.mapi
+       (fun i c ->
+         if i > 0 then pow := !pow *. a;
+         c *. !pow)
+       p)
+
+let derivative (p : t) : t =
+  if Array.length p <= 1 then zero
+  else trim (Array.init (Array.length p - 1) (fun i -> float_of_int (i + 1) *. p.(i + 1)))
+
+let of_roots roots =
+  List.fold_left (fun acc r -> mul acc (of_list [ -.r; 1. ])) one roots
+
+let to_string ?(var = "s") (p : t) =
+  if is_zero p then "0"
+  else
+    let term i c =
+      if c = 0. then None
+      else
+        Some
+          (match i with
+          | 0 -> Printf.sprintf "%g" c
+          | 1 -> Printf.sprintf "%g*%s" c var
+          | _ -> Printf.sprintf "%g*%s^%d" c var i)
+    in
+    String.concat " + " (List.filter_map Fun.id (List.mapi term (Array.to_list p)))
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

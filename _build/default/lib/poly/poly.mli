@@ -1,0 +1,55 @@
+(** Dense univariate polynomials with [float] coefficients.
+
+    A polynomial is stored as a coefficient array indexed by power:
+    [p = c.(0) + c.(1) s + ... + c.(n) s^n].  The representation is kept
+    trimmed: the leading coefficient is non-zero (except for the zero
+    polynomial, an empty array). *)
+
+type t
+
+val zero : t
+val one : t
+val s : t
+(** The monomial [s]. *)
+
+val of_coeffs : float array -> t
+(** Copies and trims the input. *)
+
+val of_list : float list -> t
+val coeffs : t -> float array
+(** A fresh copy of the trimmed coefficient array. *)
+
+val coeff : t -> int -> float
+(** [coeff p i] is the coefficient of [s^i]; [0.] beyond the degree. *)
+
+val degree : t -> int
+(** Degree; [-1] for the zero polynomial. *)
+
+val is_zero : t -> bool
+val equal : ?rel:float -> t -> t -> bool
+(** Coefficient-wise comparison with relative tolerance (default exact). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val mul_monomial : t -> int -> t
+(** [mul_monomial p k] is [p * s^k]. *)
+
+val eval : t -> float -> float
+(** Horner evaluation at a real point. *)
+
+val eval_complex : t -> Complex.t -> Complex.t
+(** Horner evaluation at a complex point. *)
+
+val scale_var : t -> float -> t
+(** [scale_var p a] is [s -> p (a * s)]: coefficient [i] multiplied by
+    [a^i].  This is the frequency-scaling substitution of eq. (11). *)
+
+val derivative : t -> t
+val of_roots : float list -> t
+(** Monic polynomial with the given real roots. *)
+
+val to_string : ?var:string -> t -> string
+val pp : Format.formatter -> t -> unit

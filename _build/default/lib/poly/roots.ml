@@ -1,0 +1,168 @@
+module Ef = Symref_numeric.Extfloat
+
+type quality = { iterations : int; max_residual : float; converged : bool }
+
+(* Horner evaluation of p and p' at z, double precision. *)
+let eval_with_derivative coeffs (z : Complex.t) =
+  let n = Array.length coeffs in
+  let p = ref Complex.zero and dp = ref Complex.zero in
+  for i = n - 1 downto 0 do
+    dp := Complex.add (Complex.mul !dp z) !p;
+    p := Complex.add (Complex.mul !p z) coeffs.(i)
+  done;
+  (!p, !dp)
+
+(* Evaluation scale sum |c_i| |z|^i, for relative residuals. *)
+let eval_scale coeffs (z : Complex.t) =
+  let az = Complex.norm z in
+  let acc = ref 0. and pow = ref 1. in
+  Array.iter
+    (fun (c : Complex.t) ->
+      acc := !acc +. (Complex.norm c *. !pow);
+      pow := !pow *. az)
+    coeffs;
+  !acc
+
+let aberth ?(max_iterations = 200) ?(tolerance = 1e-12) (coeffs : Complex.t array) =
+  let n = Array.length coeffs - 1 in
+  (* Initial guesses: circle of the root-magnitude geometric estimate with an
+     irrational angle offset to break symmetry. *)
+  let c0 = Complex.norm coeffs.(0) and cn = Complex.norm coeffs.(n) in
+  let radius =
+    if c0 > 0. && cn > 0. then Float.exp (Float.log (c0 /. cn) /. float_of_int n)
+    else 1.
+  in
+  let z =
+    Array.init n (fun k ->
+        let t = (2. *. Float.pi *. float_of_int k /. float_of_int n) +. 0.4 in
+        { Complex.re = radius *. Float.cos t; im = radius *. Float.sin t })
+  in
+  let iterations = ref 0 and converged = ref false in
+  while (not !converged) && !iterations < max_iterations do
+    incr iterations;
+    let max_step = ref 0. in
+    for k = 0 to n - 1 do
+      let p, dp = eval_with_derivative coeffs z.(k) in
+      if Complex.norm p > 0. then begin
+        let newton = if Complex.norm dp = 0. then p else Complex.div p dp in
+        let repulsion = ref Complex.zero in
+        for j = 0 to n - 1 do
+          if j <> k then begin
+            let d = Complex.sub z.(k) z.(j) in
+            if Complex.norm d > 0. then
+              repulsion := Complex.add !repulsion (Complex.div Complex.one d)
+          end
+        done;
+        let denom = Complex.sub Complex.one (Complex.mul newton !repulsion) in
+        let w = if Complex.norm denom = 0. then newton else Complex.div newton denom in
+        z.(k) <- Complex.sub z.(k) w;
+        let rel = Complex.norm w /. (Complex.norm z.(k) +. radius *. 1e-30 +. 1e-300) in
+        if rel > !max_step then max_step := rel
+      end
+    done;
+    if !max_step < tolerance then converged := true
+  done;
+  let max_residual =
+    Array.fold_left
+      (fun acc zk ->
+        let p, _ = eval_with_derivative coeffs zk in
+        let scale = eval_scale coeffs zk in
+        if scale = 0. then acc else Float.max acc (Complex.norm p /. scale))
+      0. z
+  in
+  (* Tight root clusters can keep the last-step size flapping around the
+     tolerance even though every iterate already sits on a root to machine
+     precision; residuals at the round-off floor count as convergence. *)
+  let converged = !converged || max_residual < 1e-13 in
+  (z, { iterations = !iterations; max_residual; converged })
+
+let find ?max_iterations ?tolerance p =
+  let deg = Epoly.degree p in
+  if deg < 1 then invalid_arg "Roots.find: degree must be >= 1";
+  (* Roots at the origin: trailing structure of the coefficient array. *)
+  let coeffs = Epoly.coeffs p in
+  let rec zeros_at_origin i = if Ef.is_zero coeffs.(i) then 1 + zeros_at_origin (i + 1) else 0 in
+  let m = zeros_at_origin 0 in
+  let deg' = deg - m in
+  if deg' = 0 then
+    (Array.make m Complex.zero, { iterations = 0; max_residual = 0.; converged = true })
+  else begin
+    (* Exponent balancing: substitute s -> K * t with log10 K the least-squares
+       slope of log10 |c_i| over i, then normalise to the largest magnitude. *)
+    let logs =
+      Array.init (deg' + 1) (fun i -> Ef.log10_abs coeffs.(i + m))
+    in
+    let slope =
+      let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. in
+      let cnt = ref 0 in
+      Array.iteri
+        (fun i l ->
+          if Float.is_finite l then begin
+            let x = float_of_int i in
+            sx := !sx +. x;
+            sy := !sy +. l;
+            sxx := !sxx +. (x *. x);
+            sxy := !sxy +. (x *. l);
+            incr cnt
+          end)
+        logs;
+      let c = float_of_int !cnt in
+      if !cnt < 2 then 0.
+      else
+        let d = (c *. !sxx) -. (!sx *. !sx) in
+        if d = 0. then 0. else ((c *. !sxy) -. (!sx *. !sy)) /. d
+    in
+    let log_k = -.slope in
+    let balanced_logs = Array.mapi (fun i l -> l +. (float_of_int i *. log_k)) logs in
+    let top =
+      Array.fold_left
+        (fun acc l -> if Float.is_finite l then Float.max acc l else acc)
+        neg_infinity balanced_logs
+    in
+    let balanced =
+      Array.init (deg' + 1) (fun i ->
+          if Ef.is_zero coeffs.(i + m) then Complex.zero
+          else
+            let mag = Float.exp ((balanced_logs.(i) -. top) *. Float.log 10.) in
+            { Complex.re = float_of_int (Ef.sign coeffs.(i + m)) *. mag; im = 0. })
+    in
+    let roots, q = aberth ?max_iterations ?tolerance balanced in
+    (* Undo the substitution: s = K * t. *)
+    let k = Float.exp (log_k *. Float.log 10.) in
+    let scaled = Array.map (fun (z : Complex.t) -> { Complex.re = k *. z.re; im = k *. z.im }) roots in
+    (Array.append (Array.make m Complex.zero) scaled, q)
+  end
+
+let find_real ?max_iterations ?tolerance p =
+  find ?max_iterations ?tolerance (Epoly.of_poly p)
+
+let conjugate_pairs roots =
+  let is_real (z : Complex.t) = Float.abs z.im <= 1e-9 *. (Complex.norm z +. 1e-300) in
+  let reals = ref [] and pos = ref [] and neg = ref [] in
+  Array.iter
+    (fun (z : Complex.t) ->
+      if is_real z then reals := z :: !reals
+      else if z.im > 0. then pos := z :: !pos
+      else neg := z :: !neg)
+    roots;
+  (* Greedy nearest-match pairing of upper- and lower-half roots. *)
+  let pairs = ref [] in
+  List.iter
+    (fun (p : Complex.t) ->
+      match !neg with
+      | [] -> reals := p :: !reals
+      | _ :: _ ->
+          let best =
+            List.fold_left
+              (fun (bz, bd) (n : Complex.t) ->
+                let d = Complex.norm (Complex.sub (Complex.conj p) n) in
+                if d < bd then (n, d) else (bz, bd))
+              ({ Complex.re = 0.; im = 0. }, infinity)
+              !neg
+          in
+          let n, _ = best in
+          neg := List.filter (fun x -> x <> n) !neg;
+          pairs := (p, n) :: !pairs)
+    !pos;
+  List.iter (fun z -> reals := z :: !reals) !neg;
+  (List.rev !pairs, List.rev !reals)

@@ -1,0 +1,32 @@
+(** Polynomial root finding (Aberth-Ehrlich simultaneous iteration).
+
+    Network-function denominators produced by the reference generator have
+    coefficients spanning hundreds of decades; the roots — circuit poles —
+    are still well-conditioned in relative terms.  The solver therefore
+    works on an exponent-balanced copy of the polynomial: each coefficient
+    is pre-scaled by a variable substitution [s -> K*s] with [K] chosen from
+    the coefficient magnitudes, bringing the working polynomial into double
+    range without changing relative root positions (the roots are scaled
+    back afterwards). *)
+
+type quality = {
+  iterations : int;
+  max_residual : float;
+      (** max over roots of |p(root)| relative to local evaluation scale *)
+  converged : bool;
+}
+
+val find : ?max_iterations:int -> ?tolerance:float -> Epoly.t -> Complex.t array * quality
+(** [find p] returns all [degree p] complex roots.  [tolerance] (default
+    [1e-12]) is the relative step-size convergence criterion;
+    [max_iterations] defaults to [200].
+    @raise Invalid_argument on the zero polynomial or degree < 1. *)
+
+val find_real : ?max_iterations:int -> ?tolerance:float -> Poly.t -> Complex.t array * quality
+(** Same on a double-precision polynomial. *)
+
+val conjugate_pairs : Complex.t array -> (Complex.t * Complex.t) list * Complex.t list
+(** Split a real-polynomial root set into conjugate pairs (im > 0
+    representative first) and (near-)real singles.  Pairing is by nearest
+    conjugate match; roots whose imaginary part is below [1e-9] of their
+    magnitude are treated as real. *)

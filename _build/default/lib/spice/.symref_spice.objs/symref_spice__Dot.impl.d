@@ -1,0 +1,1 @@
+lib/spice/dot.ml: Buffer List Printf String Symref_circuit Units

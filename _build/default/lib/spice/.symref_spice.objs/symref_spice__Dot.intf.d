@@ -1,0 +1,1 @@
+lib/spice/dot.mli: Symref_circuit

@@ -1,0 +1,1 @@
+lib/spice/parser.ml: Fun Hashtbl List Option Printf String Symref_circuit Units

@@ -1,0 +1,1 @@
+lib/spice/units.ml: Float List Option Printf String

@@ -1,0 +1,1 @@
+lib/spice/writer.ml: Buffer List Printf String Symref_circuit Units

@@ -1,0 +1,1 @@
+lib/spice/writer.mli: Symref_circuit

@@ -1,0 +1,45 @@
+module N = Symref_circuit.Netlist
+module E = Symref_circuit.Element
+
+let quote s = "\"" ^ String.concat "" (String.split_on_char '"' s) ^ "\""
+
+let to_dot circuit =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph circuit {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  label=%s;\n  node [shape=circle fontsize=10];\n"
+       (quote (N.title circuit)));
+  Buffer.add_string buf "  \"0\" [shape=point label=\"gnd\"];\n";
+  let node n = quote (N.node_name circuit n) in
+  let edge ?(style = "solid") a b label =
+    Buffer.add_string buf
+      (Printf.sprintf "  %s -- %s [label=%s style=%s];\n" (node a) (node b)
+         (quote label) style)
+  in
+  List.iter
+    (fun (e : E.t) ->
+      let name = e.E.name in
+      let value v = Printf.sprintf "%s=%s" name (Units.format_si v) in
+      match e.E.kind with
+      | E.Resistor { a; b; ohms } -> edge a b (value ohms)
+      | E.Conductance { a; b; siemens } -> edge a b (value siemens)
+      | E.Capacitor { a; b; farads } -> edge a b (value farads)
+      | E.Inductor { a; b; henries } -> edge a b (value henries)
+      | E.Isrc { a; b; amps } -> edge a b (value amps)
+      | E.Vsrc { p; m; volts } -> edge p m (value volts)
+      | E.Vccs { p; m; cp; cm; gm } ->
+          edge p m (value gm);
+          edge ~style:"dashed" cp cm (name ^ ".ctrl")
+      | E.Vcvs { p; m; cp; cm; gain } ->
+          edge p m (value gain);
+          edge ~style:"dashed" cp cm (name ^ ".ctrl")
+      | E.Cccs { p; m; gain; _ } -> edge p m (value gain)
+      | E.Ccvs { p; m; ohms; _ } -> edge p m (value ohms))
+    (N.elements circuit);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file path circuit =
+  let oc = open_out path in
+  output_string oc (to_dot circuit);
+  close_out oc

@@ -1,0 +1,10 @@
+(** Graphviz export of circuit topology: nodes as graph vertices, elements
+    as labelled edges (controlled sources additionally show dashed edges
+    from their controlling nodes).  Render with [dot -Tsvg] or any Graphviz
+    viewer — the quickest way to sanity-check a generated or parsed
+    netlist. *)
+
+val to_dot : Symref_circuit.Netlist.t -> string
+(** An undirected [graph { ... }] document. *)
+
+val to_file : string -> Symref_circuit.Netlist.t -> unit

@@ -1,0 +1,44 @@
+(** SPICE-subset netlist parser.
+
+    Classic conventions: the first line is the title; ['*'] starts a comment
+    line; ['+'] continues the previous card; everything is case-insensitive;
+    parsing stops at [.end].  Node ["0"] (or ["gnd"]) is ground.
+
+    Supported cards:
+
+    {v
+    Rname a b value            resistor
+    Cname a b value            capacitor
+    Lname a b value            inductor
+    Gname p m cp cm gm         VCCS
+    Ename p m cp cm gain       VCVS
+    Fname p m vsrc gain        CCCS (control current through vsrc)
+    Hname p m vsrc ohms        CCVS
+    Vname p m [dc|ac] value    independent voltage source (AC magnitude)
+    Iname a b [dc|ac] value    independent current source
+    Qname c b e model          BJT (small-signal, see .model)
+    Mname d g s model          MOSFET (small-signal)
+    Xname n1 .. nN subname     subcircuit instance
+    .subckt subname p1 .. pN   ... .ends
+    .model name bjtss ic=.. [beta=..] [va=..] [tf=..] [cmu=..] [rb=..] [ccs=..]
+    .model name mosss gm=.. gds=.. [cgs=..] [cgd=..] [cdb=..] [csb=..]
+    .end
+    v}
+
+    Subcircuits expand structurally (as in SPICE): instance [x1] of a body
+    element [rs] becomes element ["x1.rs"], a local node [m] becomes
+    ["x1.m"], and nesting composes names left to right.  [.model] cards are
+    global.
+
+    Transistors are expanded on the spot into their hybrid-pi/quasi-static
+    models ({!Symref_circuit.Devices}), since the library analyses linear(ised)
+    networks — the [.model] cards carry small-signal parameters, not SPICE
+    level-1 DC parameters. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Symref_circuit.Netlist.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Symref_circuit.Netlist.t
+(** @raise Parse_error and [Sys_error]. *)

@@ -1,0 +1,88 @@
+let suffixes =
+  [
+    ("meg", 1e6);
+    ("t", 1e12);
+    ("g", 1e9);
+    ("k", 1e3);
+    ("m", 1e-3);
+    ("u", 1e-6);
+    ("n", 1e-9);
+    ("p", 1e-12);
+    ("f", 1e-15);
+  ]
+
+let parse s =
+  let s = String.lowercase_ascii (String.trim s) in
+  if s = "" then None
+  else begin
+    (* Longest numeric prefix. *)
+    let n = String.length s in
+    let is_num_char i c =
+      match c with
+      | '0' .. '9' | '.' | '+' | '-' -> true
+      | 'e' ->
+          (* exponent only if followed by digit or sign+digit *)
+          i + 1 < n
+          && (match s.[i + 1] with
+             | '0' .. '9' -> true
+             | '+' | '-' -> i + 2 < n && s.[i + 2] >= '0' && s.[i + 2] <= '9'
+             | _ -> false)
+      | _ -> false
+    in
+    let rec span i =
+      if i < n && is_num_char i s.[i] then
+        if s.[i] = 'e' then
+          (* consume exponent: e[+-]?digits *)
+          let j = if s.[i + 1] = '+' || s.[i + 1] = '-' then i + 2 else i + 1 in
+          let rec digits j = if j < n && s.[j] >= '0' && s.[j] <= '9' then digits (j + 1) else j in
+          digits j
+        else span (i + 1)
+      else i
+    in
+    let stop = span 0 in
+    if stop = 0 then None
+    else
+      match float_of_string_opt (String.sub s 0 stop) with
+      | None -> None
+      | Some v ->
+          let rest = String.sub s stop (n - stop) in
+          let mult =
+            if rest = "" then Some 1.
+            else
+              (* "meg" first (otherwise "m" would shadow it). *)
+              match
+                List.find_opt
+                  (fun (suf, _) ->
+                    String.length rest >= String.length suf
+                    && String.sub rest 0 (String.length suf) = suf)
+                  suffixes
+              with
+              | Some (_, m) -> Some m
+              | None ->
+                  (* Unknown trailing letters with no suffix: SPICE ignores
+                     pure unit annotations like "ohm", "hz", "v", "a", "s". *)
+                  if String.for_all (fun c -> c >= 'a' && c <= 'z') rest then Some 1.
+                  else None
+          in
+          Option.map (fun m -> v *. m) mult
+  end
+
+let parse_exn s =
+  match parse s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Units.parse: cannot read %S as a number" s)
+
+let format_si v =
+  if v = 0. then "0"
+  else
+    let a = Float.abs v in
+    let pick =
+      [ (1e12, "t"); (1e9, "g"); (1e6, "meg"); (1e3, "k"); (1., "");
+        (1e-3, "m"); (1e-6, "u"); (1e-9, "n"); (1e-12, "p"); (1e-15, "f") ]
+    in
+    match List.find_opt (fun (m, _) -> a >= m && a < m *. 1e3) pick with
+    | Some (m, suf) ->
+        let scaled = v /. m in
+        (* Up to 6 significant digits without a trailing ".": %g does it. *)
+        Printf.sprintf "%g%s" scaled suf
+    | None -> Printf.sprintf "%g" v

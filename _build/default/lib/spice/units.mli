@@ -1,0 +1,16 @@
+(** SPICE engineering-notation numbers.
+
+    Accepts plain floats plus the classic case-insensitive suffixes
+    [t g meg k m u n p f] (e.g. ["2.2k"], ["30p"], ["1meg"]); trailing unit
+    letters after the suffix are ignored as in SPICE (["10pF"], ["1kOhm"]). *)
+
+val parse : string -> float option
+(** [None] when the string is not a number. *)
+
+val parse_exn : string -> float
+(** @raise Failure with a descriptive message. *)
+
+val format_si : float -> string
+(** Pretty-print with an engineering suffix: [2200. -> "2.2k"],
+    [3e-11 -> "30p"].  Falls back to scientific notation outside the suffix
+    range. *)

@@ -1,0 +1,9 @@
+(** Netlist writer: emits the SPICE-subset text form of a circuit.
+
+    Circuits are stored as expanded primitives, so transistors appear as
+    their hybrid-pi / quasi-static elements; the output parses back with
+    {!Parser} into an equivalent circuit (same nodes, same element values —
+    element name case may differ). *)
+
+val to_string : Symref_circuit.Netlist.t -> string
+val to_file : string -> Symref_circuit.Netlist.t -> unit

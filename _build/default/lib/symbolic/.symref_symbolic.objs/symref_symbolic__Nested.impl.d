@@ -1,0 +1,1 @@
+lib/symbolic/nested.ml: Complex Hashtbl Int List Option String Sym

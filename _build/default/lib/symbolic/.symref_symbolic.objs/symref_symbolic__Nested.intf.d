@@ -1,0 +1,1 @@
+lib/symbolic/nested.mli: Complex Sym

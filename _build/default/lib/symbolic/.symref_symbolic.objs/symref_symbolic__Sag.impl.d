@@ -1,0 +1,1 @@
+lib/symbolic/sag.ml: Array Complex Float Hashtbl List Sdet Sym

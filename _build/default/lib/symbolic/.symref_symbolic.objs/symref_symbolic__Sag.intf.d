@@ -1,0 +1,1 @@
+lib/symbolic/sag.mli: Sdet

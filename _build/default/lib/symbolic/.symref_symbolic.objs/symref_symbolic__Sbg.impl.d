@@ -1,0 +1,1 @@
+lib/symbolic/sbg.ml: Array Complex Float List Symref_circuit Symref_mna

@@ -1,0 +1,1 @@
+lib/symbolic/sbg.mli: Symref_circuit Symref_mna

@@ -1,0 +1,1 @@
+lib/symbolic/sdet.ml: Array Hashtbl List Printf Sym Symref_circuit Symref_mna

@@ -1,0 +1,1 @@
+lib/symbolic/sdet.mli: Sym Symref_circuit Symref_mna

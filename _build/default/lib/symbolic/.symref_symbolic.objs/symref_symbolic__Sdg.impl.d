@@ -1,0 +1,1 @@
+lib/symbolic/sdg.ml: Array Float List Sym

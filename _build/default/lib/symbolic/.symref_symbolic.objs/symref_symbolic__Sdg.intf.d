@@ -1,0 +1,1 @@
+lib/symbolic/sdg.mli: Sym

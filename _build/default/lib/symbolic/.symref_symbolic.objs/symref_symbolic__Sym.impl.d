@@ -1,0 +1,1 @@
+lib/symbolic/sym.ml: Complex Float Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/symbolic/tree_terms.ml: Array Float Fun List Printf Seq Sym Symref_circuit Symref_mna

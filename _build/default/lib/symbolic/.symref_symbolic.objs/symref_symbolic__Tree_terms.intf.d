@@ -1,0 +1,1 @@
+lib/symbolic/tree_terms.mli: Seq Sym Symref_circuit Symref_mna

@@ -1,0 +1,92 @@
+type t =
+  | Term of Sym.term
+  | Factor of Sym.symbol * t
+  | Sum of t list
+
+(* Remove one occurrence of a symbol from a term (the term is known to
+   contain it). *)
+let divide_term (term : Sym.term) (s : Sym.symbol) =
+  let rec drop = function
+    | [] -> assert false
+    | x :: tl -> if x = s then tl else x :: drop tl
+  in
+  match
+    Sym.scale term.Sym.coef
+      (List.fold_left
+         (fun acc sym -> Sym.mul acc (Sym.of_symbol sym))
+         (Sym.const 1.)
+         (drop term.Sym.symbols))
+  with
+  | [ t ] -> t
+  | [] -> assert false
+  | _ -> assert false
+
+let rec nest (e : Sym.expr) =
+  match e with
+  | [] -> Sum []
+  | [ t ] -> Term t
+  | _ :: _ :: _ -> (
+      (* Most frequent symbol across terms (counted once per term). *)
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun (t : Sym.term) ->
+          List.sort_uniq compare t.Sym.symbols
+          |> List.iter (fun s ->
+                 Hashtbl.replace counts s
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt counts s))))
+        e;
+      let best =
+        Hashtbl.fold
+          (fun s c acc ->
+            match acc with Some (_, bc) when bc >= c -> acc | _ -> Some (s, c))
+          counts None
+      in
+      match best with
+      | Some (s, c) when c >= 2 ->
+          let with_s, without =
+            List.partition (fun (t : Sym.term) -> List.mem s t.Sym.symbols) e
+          in
+          let quotient = List.map (fun t -> divide_term t s) with_s in
+          let factored = Factor (s, nest quotient) in
+          if without = [] then factored else Sum [ factored; nest without ]
+      | _ -> Sum (List.map (fun t -> Term t) e))
+
+let term_value_at (t : Sym.term) (s : Complex.t) =
+  let rec pow acc k = if k = 0 then acc else pow (Complex.mul acc s) (k - 1) in
+  Complex.mul (pow Complex.one (Sym.s_power t)) { re = Sym.term_value t; im = 0. }
+
+let symbol_value_at (sym : Sym.symbol) (s : Complex.t) =
+  match sym.Sym.kind with
+  | Sym.Conductance -> { Complex.re = sym.Sym.value; im = 0. }
+  | Sym.Capacitance -> Complex.mul s { re = sym.Sym.value; im = 0. }
+
+let rec eval t s =
+  match t with
+  | Term term -> term_value_at term s
+  | Factor (sym, rest) -> Complex.mul (symbol_value_at sym s) (eval rest s)
+  | Sum parts -> List.fold_left (fun acc p -> Complex.add acc (eval p s)) Complex.zero parts
+
+let rec operations = function
+  | Term term ->
+      (* One multiplication per symbol beyond the first (the coefficient is
+         folded into the constant). *)
+      Int.max 0 (List.length term.Sym.symbols - 1)
+  | Factor (_, rest) -> 1 + operations rest
+  | Sum parts ->
+      List.fold_left (fun acc p -> acc + operations p) 0 parts
+      + Int.max 0 (List.length parts - 1)
+
+let expanded_operations (e : Sym.expr) =
+  List.fold_left
+    (fun acc (t : Sym.term) -> acc + Int.max 0 (List.length t.Sym.symbols - 1))
+    0 e
+  + Int.max 0 (List.length e - 1)
+
+let rec to_string = function
+  | Term term -> Sym.term_to_string term
+  | Factor (sym, rest) -> (
+      let inner = to_string rest in
+      match rest with
+      | Term _ | Factor _ -> sym.Sym.name ^ "*" ^ inner
+      | Sum _ -> sym.Sym.name ^ "*(" ^ inner ^ ")")
+  | Sum parts -> String.concat " + " (List.map to_string parts)

@@ -1,0 +1,29 @@
+(** Nested-form compaction of symbolic expressions.
+
+    The paper's introduction motivates simplification with two consumers:
+    "formula interpretation by human designers and computer manipulation for
+    repetitive evaluations".  Both benefit from factoring the flat
+    sum-of-products into a nested form (the sequence-of-expressions idea):
+    recursively pulling out the symbol that occurs in the most terms
+    shortens the formula and cuts the operation count, without changing its
+    value. *)
+
+type t =
+  | Term of Sym.term           (** a leaf product *)
+  | Factor of Sym.symbol * t   (** [symbol * t] *)
+  | Sum of t list
+
+val nest : Sym.expr -> t
+(** Greedy most-frequent-symbol factoring.  [nest []] is [Sum []]. *)
+
+val eval : t -> Complex.t -> Complex.t
+(** Same value as {!Sym.eval} on the original expression (capacitance
+    symbols carry their [s] factor). *)
+
+val operations : t -> int
+(** Multiplications plus additions needed to evaluate the nested form. *)
+
+val expanded_operations : Sym.expr -> int
+(** The same count for the flat sum-of-products. *)
+
+val to_string : t -> string

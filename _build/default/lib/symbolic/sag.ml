@@ -1,0 +1,93 @@
+type report = {
+  total_terms : int;
+  kept_terms : int;
+  dropped : int;
+  max_error : float;
+}
+
+type side = Num | Den
+
+(* Value of one term at jw (term_value * (jw)^power). *)
+let term_at (t : Sym.term) (s : Complex.t) =
+  let rec pow acc k = if k = 0 then acc else pow (Complex.mul acc s) (k - 1) in
+  Complex.mul (pow Complex.one (Sym.s_power t)) { re = Sym.term_value t; im = 0. }
+
+let simplify ~epsilon ~freqs (nf : Sdet.network_function) =
+  if Array.length freqs = 0 then invalid_arg "Sag.simplify: empty grid";
+  let points =
+    Array.map (fun f -> { Complex.re = 0.; im = 2. *. Float.pi *. f }) freqs
+  in
+  let eval_expr e = Array.map (Sym.eval e) points in
+  let num_vals = eval_expr nf.Sdet.num and den_vals = eval_expr nf.Sdet.den in
+  Array.iter
+    (fun (d : Complex.t) ->
+      if Complex.norm d = 0. then
+        invalid_arg "Sag.simplify: denominator vanishes on the grid")
+    den_vals;
+  let h0 = Array.map2 Complex.div num_vals den_vals in
+  (* Candidate list over both sides, cheapest contribution first. *)
+  let contribution side t =
+    let vals = match side with Num -> num_vals | Den -> den_vals in
+    let worst = ref 0. in
+    Array.iteri
+      (fun i p ->
+        let v = Complex.norm vals.(i) in
+        let c = if v = 0. then infinity else Complex.norm (term_at t p) /. v in
+        if c > !worst then worst := c)
+      points;
+    !worst
+  in
+  let candidates =
+    List.map (fun t -> (Num, t, contribution Num t)) nf.Sdet.num
+    @ List.map (fun t -> (Den, t, contribution Den t)) nf.Sdet.den
+  in
+  let candidates =
+    List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) candidates
+  in
+  let error () =
+    let worst = ref 0. in
+    Array.iteri
+      (fun i (d : Complex.t) ->
+        let h =
+          if Complex.norm d = 0. then { Complex.re = infinity; im = 0. }
+          else Complex.div num_vals.(i) d
+        in
+        let e = Complex.norm (Complex.sub h h0.(i)) /. Complex.norm h0.(i) in
+        if e > !worst then worst := e)
+      den_vals;
+    !worst
+  in
+  let dropped_num = Hashtbl.create 64 and dropped_den = Hashtbl.create 64 in
+  let dropped = ref 0 in
+  List.iter
+    (fun (side, t, _) ->
+      let vals = match side with Num -> num_vals | Den -> den_vals in
+      (* Tentatively remove the term's contribution. *)
+      Array.iteri
+        (fun i p -> vals.(i) <- Complex.sub vals.(i) (term_at t p))
+        points;
+      if error () <= epsilon then begin
+        incr dropped;
+        let tbl = match side with Num -> dropped_num | Den -> dropped_den in
+        Hashtbl.replace tbl (Sym.term_to_string t) ()
+      end
+      else
+        (* Revert. *)
+        Array.iteri
+          (fun i p -> vals.(i) <- Complex.add vals.(i) (term_at t p))
+          points)
+    candidates;
+  let keep tbl e =
+    List.filter (fun t -> not (Hashtbl.mem tbl (Sym.term_to_string t))) e
+  in
+  let simplified =
+    { Sdet.num = keep dropped_num nf.Sdet.num; den = keep dropped_den nf.Sdet.den }
+  in
+  let total_terms = Sym.term_count nf.Sdet.num + Sym.term_count nf.Sdet.den in
+  ( simplified,
+    {
+      total_terms;
+      kept_terms = total_terms - !dropped;
+      dropped = !dropped;
+      max_error = error ();
+    } )

@@ -1,0 +1,31 @@
+(** Simplification After Generation — the classical technique the paper's
+    introduction starts from: generate the complete symbolic expression,
+    then discard insignificant terms.
+
+    Error control here is on the {e function}, not per coefficient: a term
+    may be dropped as long as the simplified [H(jw) = N'(jw)/D'(jw)] stays
+    within a relative tolerance of the full expression over a frequency
+    grid.  Terms are tried in increasing order of their worst-case relative
+    contribution, with incremental re-evaluation, so the whole pass is
+    [O(terms * frequencies)].
+
+    SAG needs the complete expression first, which is exactly why it only
+    works "below about 50 symbols" (paper §1) — the expression here comes
+    from {!Sdet}, which enforces that limit structurally. *)
+
+type report = {
+  total_terms : int;
+  kept_terms : int;
+  dropped : int;
+  max_error : float;  (** worst relative |H' - H| / |H| over the grid *)
+}
+
+val simplify :
+  epsilon:float ->
+  freqs:float array ->
+  Sdet.network_function ->
+  Sdet.network_function * report
+(** [simplify ~epsilon ~freqs nf] prunes numerator and denominator terms
+    jointly under the function-level error bound [epsilon].
+    @raise Invalid_argument on an empty frequency grid or a [den] that
+    evaluates to zero somewhere on it. *)

@@ -1,0 +1,112 @@
+module Element = Symref_circuit.Element
+module Netlist = Symref_circuit.Netlist
+module Nodal = Symref_mna.Nodal
+
+type config = {
+  tolerance_db : float;
+  tolerance_deg : float;
+  removable : Element.t -> bool;
+}
+
+let default_removable (e : Element.t) =
+  match e.Element.kind with
+  | Element.Conductance _ | Element.Resistor _ | Element.Capacitor _ -> true
+  | Element.Vccs _ | Element.Isrc _ | Element.Inductor _ | Element.Vcvs _
+  | Element.Cccs _ | Element.Ccvs _ | Element.Vsrc _ ->
+      false
+
+let default_config =
+  { tolerance_db = 0.5; tolerance_deg = 5.; removable = default_removable }
+
+type outcome = {
+  pruned : Netlist.t;
+  removed : string list;
+  error_db : float;
+  error_deg : float;
+  candidates : int;
+  trials : int;
+}
+
+(* Frequency response through the nodal evaluator; None when the pruned
+   network is singular/unsupported at some point. *)
+let response circuit ~input ~output freqs =
+  match Nodal.make circuit ~input ~output with
+  | exception Nodal.Unsupported _ -> None
+  | problem ->
+      let values =
+        Array.map
+          (fun f ->
+            Nodal.eval problem { Complex.re = 0.; im = 2. *. Float.pi *. f })
+          freqs
+      in
+      if Array.exists (fun v -> v.Nodal.singular) values then None
+      else Some (Array.map (fun v -> v.Nodal.h) values)
+
+let deviation reference h =
+  let ddb = ref 0. and ddeg = ref 0. in
+  Array.iteri
+    (fun i (r : Complex.t) ->
+      let v : Complex.t = h.(i) in
+      let mr = Complex.norm r and mv = Complex.norm v in
+      if mr = 0. || mv = 0. then begin
+        if mr <> mv then ddb := infinity
+      end
+      else begin
+        ddb := Float.max !ddb (Float.abs (20. *. Float.log10 (mv /. mr)));
+        let dphase = Float.abs (Complex.arg (Complex.div v r)) *. 180. /. Float.pi in
+        ddeg := Float.max !ddeg dphase
+      end)
+    reference;
+  (!ddb, !ddeg)
+
+let prune ?(config = default_config) circuit ~input ~output ~freqs =
+  let reference =
+    match response circuit ~input ~output freqs with
+    | Some h -> h
+    | None -> invalid_arg "Sbg.prune: the full circuit itself is singular"
+  in
+  let candidates =
+    List.filter config.removable (Netlist.elements circuit)
+  in
+  let trials = ref 0 in
+  (* Cheap impact estimate: deviation when the element alone is removed. *)
+  let impact (e : Element.t) =
+    incr trials;
+    match response (Netlist.remove_element circuit e.Element.name) ~input ~output freqs with
+    | None -> infinity
+    | Some h ->
+        let ddb, ddeg = deviation reference h in
+        (ddb /. config.tolerance_db) +. (ddeg /. config.tolerance_deg)
+  in
+  let ranked =
+    List.sort
+      (fun (_, a) (_, b) -> Float.compare a b)
+      (List.map (fun e -> (e, impact e)) candidates)
+  in
+  let current = ref circuit and removed = ref [] in
+  let err_db = ref 0. and err_deg = ref 0. in
+  List.iter
+    (fun ((e : Element.t), est) ->
+      if Float.is_finite est then begin
+        incr trials;
+        let candidate = Netlist.remove_element !current e.Element.name in
+        match response candidate ~input ~output freqs with
+        | None -> ()
+        | Some h ->
+            let ddb, ddeg = deviation reference h in
+            if ddb <= config.tolerance_db && ddeg <= config.tolerance_deg then begin
+              current := candidate;
+              removed := e.Element.name :: !removed;
+              err_db := ddb;
+              err_deg := ddeg
+            end
+      end)
+    ranked;
+  {
+    pruned = !current;
+    removed = List.rev !removed;
+    error_db = !err_db;
+    error_deg = !err_deg;
+    candidates = List.length candidates;
+    trials = !trials;
+  }

@@ -1,0 +1,38 @@
+(** Simplification Before Generation: prune circuit elements whose
+    contribution to the network function is negligible, so the reduced
+    circuit is much easier to analyse symbolically (paper §1).
+
+    Error control compares the frequency response of the pruned circuit
+    against the response of the complete circuit — exactly the comparison
+    that needs the numerical reference machinery for large circuits. *)
+
+type config = {
+  tolerance_db : float;     (** maximum magnitude deviation (default 0.5 dB) *)
+  tolerance_deg : float;    (** maximum phase deviation (default 5 degrees) *)
+  removable : Symref_circuit.Element.t -> bool;
+      (** candidate filter (default: conductances, resistors, capacitors) *)
+}
+
+val default_config : config
+
+type outcome = {
+  pruned : Symref_circuit.Netlist.t;
+  removed : string list;       (** element names, in removal order *)
+  error_db : float;            (** final worst-case magnitude deviation *)
+  error_deg : float;
+  candidates : int;            (** elements considered *)
+  trials : int;                (** pruning attempts performed *)
+}
+
+val prune :
+  ?config:config ->
+  Symref_circuit.Netlist.t ->
+  input:Symref_mna.Nodal.input ->
+  output:Symref_mna.Nodal.output ->
+  freqs:float array ->
+  outcome
+(** Greedy pruning: elements are tried in increasing order of a cheap
+    impact estimate (response change when the element alone is removed) and
+    removed while the cumulative deviation from the {e original} response
+    stays inside tolerance.  Elements whose removal makes the network
+    singular or unsolvable are kept. *)

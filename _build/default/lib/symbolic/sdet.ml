@@ -1,0 +1,121 @@
+module Element = Symref_circuit.Element
+module Netlist = Symref_circuit.Netlist
+module Nodal = Symref_mna.Nodal
+
+let max_dimension = 16
+
+(* Minor expansion row by row, memoised on the set of still-available
+   columns (the row index is implied by its cardinality). *)
+let determinant m =
+  let n = Array.length m in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Sdet.determinant: not square")
+    m;
+  if n > max_dimension then
+    invalid_arg
+      (Printf.sprintf "Sdet.determinant: %dx%d exceeds the symbolic limit (%d)" n n
+         max_dimension);
+  if n = 0 then Sym.const 1.
+  else begin
+    let memo = Hashtbl.create 256 in
+    let full_mask = (1 lsl n) - 1 in
+    let rec go i mask =
+      if i = n then Sym.const 1.
+      else
+        match Hashtbl.find_opt memo mask with
+        | Some e -> e
+        | None ->
+            let acc = ref Sym.zero in
+            let pos = ref 0 in
+            for j = 0 to n - 1 do
+              if mask land (1 lsl j) <> 0 then begin
+                if not (Sym.is_zero m.(i).(j)) then begin
+                  let minor = go (i + 1) (mask lxor (1 lsl j)) in
+                  let signed =
+                    if !pos mod 2 = 0 then m.(i).(j) else Sym.neg m.(i).(j)
+                  in
+                  acc := Sym.add !acc (Sym.mul signed minor)
+                end;
+                incr pos
+              end
+            done;
+            Hashtbl.replace memo mask !acc;
+            !acc
+    in
+    go 0 full_mask
+  end
+
+type network_function = { num : Sym.expr; den : Sym.expr }
+
+let network_function circuit ~input ~output =
+  let plan = Nodal.plan (Nodal.make circuit ~input ~output) in
+  let dim = plan.Nodal.plan_dim in
+  if dim > max_dimension then
+    invalid_arg
+      (Printf.sprintf "Sdet.network_function: %d nodes exceed the symbolic limit (%d)"
+         dim max_dimension);
+  let matrix = Array.make_matrix dim dim Sym.zero in
+  let rhs = Array.make dim Sym.zero in
+  let entry row col e =
+    match plan.Nodal.roles.(row) with
+    | Nodal.Ground | Nodal.Driven _ -> ()
+    | Nodal.Free r -> (
+        match plan.Nodal.roles.(col) with
+        | Nodal.Ground -> ()
+        | Nodal.Driven d -> rhs.(r) <- Sym.add rhs.(r) (Sym.scale (-.d) e)
+        | Nodal.Free c -> matrix.(r).(c) <- Sym.add matrix.(r).(c) e)
+  in
+  let admittance a b e =
+    entry a a e;
+    entry b b e;
+    let ne = Sym.neg e in
+    entry a b ne;
+    entry b a ne
+  in
+  let transconductance p m cp cm e =
+    let ne = Sym.neg e in
+    entry p cp e;
+    entry p cm ne;
+    entry m cp ne;
+    entry m cm e
+  in
+  let inject n amps =
+    match plan.Nodal.roles.(n) with
+    | Nodal.Ground | Nodal.Driven _ -> ()
+    | Nodal.Free r -> rhs.(r) <- Sym.add rhs.(r) (Sym.const amps)
+  in
+  List.iter
+    (fun (e : Element.t) ->
+      let name = e.Element.name in
+      match e.Element.kind with
+      | Element.Conductance { a; b; siemens } ->
+          admittance a b (Sym.of_symbol (Sym.symbol ~name ~value:siemens Sym.Conductance))
+      | Element.Resistor { a; b; ohms } ->
+          admittance a b
+            (Sym.of_symbol (Sym.symbol ~name ~value:(1. /. ohms) Sym.Conductance))
+      | Element.Capacitor { a; b; farads } ->
+          admittance a b (Sym.of_symbol (Sym.symbol ~name ~value:farads Sym.Capacitance))
+      | Element.Vccs { p; m; cp; cm; gm } ->
+          transconductance p m cp cm
+            (Sym.of_symbol (Sym.symbol ~name ~value:gm Sym.Conductance))
+      | Element.Isrc { a; b; amps } ->
+          inject a (-.amps);
+          inject b amps
+      | Element.Inductor _ | Element.Vcvs _ | Element.Cccs _ | Element.Ccvs _
+      | Element.Vsrc _ ->
+          assert false (* excluded by Nodal.make *))
+    (Netlist.elements plan.Nodal.reduced_circuit);
+  List.iter (fun (r, v) -> rhs.(r) <- Sym.add rhs.(r) (Sym.const v)) plan.Nodal.plan_injections;
+  let den = determinant matrix in
+  let cramer = function
+    | None -> Sym.zero
+    | Some col ->
+        let replaced =
+          Array.mapi
+            (fun r row -> Array.mapi (fun c e -> if c = col then rhs.(r) else e) row)
+            matrix
+        in
+        determinant replaced
+  in
+  let num = Sym.add (cramer plan.Nodal.plan_out_p) (Sym.neg (cramer plan.Nodal.plan_out_m)) in
+  { num; den }

@@ -1,0 +1,29 @@
+(** Exact symbolic network functions of small nodal circuits.
+
+    Expands the reduced nodal determinant symbolically (minor expansion with
+    memoisation over column subsets) — exponential in general, so guarded to
+    matrices up to 16x16.  This is the "complete expression" that SAG-era
+    tools manipulate and that SDG avoids building for large circuits; here it
+    serves as the ground truth that validates the numerical references on
+    small circuits and feeds the SDG demonstration. *)
+
+val max_dimension : int
+(** 16. *)
+
+val determinant : Sym.expr array array -> Sym.expr
+(** @raise Invalid_argument when not square or larger than
+    {!max_dimension}. *)
+
+type network_function = { num : Sym.expr; den : Sym.expr }
+
+val network_function :
+  Symref_circuit.Netlist.t ->
+  input:Symref_mna.Nodal.input ->
+  output:Symref_mna.Nodal.output ->
+  network_function
+(** Symbolic [H = num/den] with the same input/output conventions — and the
+    same reduced-matrix construction — as the numerical evaluator, so the
+    symbolic coefficients line up one-for-one with the references.
+    @raise Symref_mna.Nodal.Unsupported outside the nodal class.
+    @raise Invalid_argument when the reduced matrix exceeds
+    {!max_dimension}. *)

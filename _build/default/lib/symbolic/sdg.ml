@@ -1,0 +1,75 @@
+type coefficient_report = {
+  power : int;
+  total_terms : int;
+  kept_terms : int;
+  reference : float;
+  truncated_value : float;
+  achieved_error : float;
+}
+
+(* Largest-magnitude first: the generation order of the SDG literature. *)
+let sort_terms terms =
+  List.sort
+    (fun a b -> Float.compare (Float.abs (Sym.term_value b)) (Float.abs (Sym.term_value a)))
+    terms
+
+let simplify_coefficient ~epsilon ~reference terms =
+  let power = match terms with [] -> 0 | t :: _ -> Sym.s_power t in
+  let total_terms = List.length terms in
+  if reference = 0. then
+    ( [],
+      {
+        power;
+        total_terms;
+        kept_terms = 0;
+        reference;
+        truncated_value = 0.;
+        achieved_error = 0.;
+      } )
+  else begin
+    let sorted = sort_terms terms in
+    let rec keep acc sum = function
+      | [] -> (List.rev acc, sum)
+      | t :: rest ->
+          let sum = sum +. Sym.term_value t in
+          let acc = t :: acc in
+          if Float.abs (reference -. sum) <= epsilon *. Float.abs reference then
+            (List.rev acc, sum)
+          else keep acc sum rest
+    in
+    let kept, sum = keep [] 0. sorted in
+    ( kept,
+      {
+        power;
+        total_terms;
+        kept_terms = List.length kept;
+        reference;
+        truncated_value = sum;
+        achieved_error =
+          (if reference = 0. then 0. else Float.abs (reference -. sum) /. Float.abs reference);
+      } )
+  end
+
+type report = {
+  coefficients : coefficient_report list;
+  total_terms : int;
+  kept_terms : int;
+}
+
+let simplify ~epsilon ~references expr =
+  let top = Sym.max_s_power expr in
+  let kept_terms = ref [] and reports = ref [] in
+  for k = 0 to top do
+    let reference = if k < Array.length references then references.(k) else 0. in
+    let kept, rep = simplify_coefficient ~epsilon ~reference (Sym.coefficient expr k) in
+    kept_terms := !kept_terms @ kept;
+    reports := { rep with power = k } :: !reports
+  done;
+  let coefficients = List.rev !reports in
+  let simplified = List.fold_left (fun acc t -> Sym.add acc [ t ]) Sym.zero !kept_terms in
+  ( simplified,
+    {
+      coefficients;
+      total_terms = Sym.term_count expr;
+      kept_terms = List.length !kept_terms;
+    } )

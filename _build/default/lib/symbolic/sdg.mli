@@ -1,0 +1,35 @@
+(** Simplification During Generation: keep only the most significant terms
+    of each coefficient, under the reference-based error control of paper
+    eq. (3):
+
+    [ |h_k(x0) - sum_of_kept_terms| <= eps_k * |h_k(x0)| ]
+
+    where [h_k(x0)] is the numerical reference.  Terms are generated largest
+    magnitude first (the premise of refs. [2]-[4]). *)
+
+type coefficient_report = {
+  power : int;
+  total_terms : int;
+  kept_terms : int;
+  reference : float;       (** the numerical reference [h_k(x0)] used *)
+  truncated_value : float; (** value of the kept terms *)
+  achieved_error : float;  (** relative error vs the reference *)
+}
+
+val simplify_coefficient :
+  epsilon:float -> reference:float -> Sym.term list -> Sym.term list * coefficient_report
+(** Terms of one coefficient, sorted and truncated.  When [reference] is
+    [0.] every term is dropped. *)
+
+type report = {
+  coefficients : coefficient_report list;  (** by power of [s], ascending *)
+  total_terms : int;
+  kept_terms : int;
+}
+
+val simplify :
+  epsilon:float -> references:float array -> Sym.expr -> Sym.expr * report
+(** Simplify a whole polynomial expression; [references.(k)] is the
+    reference for the coefficient of [s^k] (e.g. from
+    {!Symref_core.Adaptive}).  Powers beyond the array are dropped with a
+    zero reference. *)

@@ -1,0 +1,84 @@
+type kind = Conductance | Capacitance
+
+type symbol = { name : string; value : float; kind : kind }
+
+let symbol ~name ~value kind =
+  if name = "" then invalid_arg "Sym.symbol: empty name";
+  if not (Float.is_finite value) then invalid_arg "Sym.symbol: non-finite value";
+  { name; value; kind }
+
+type term = { coef : float; symbols : symbol list }
+type expr = term list
+
+let s_power t =
+  List.length (List.filter (fun s -> s.kind = Capacitance) t.symbols)
+
+let term_value t = List.fold_left (fun acc s -> acc *. s.value) t.coef t.symbols
+
+let term_key t =
+  String.concat "*" (List.map (fun s -> s.name) t.symbols)
+
+(* Normal form: combine like terms (same symbol multiset), drop zeros, order
+   by (s-power, key) so printing and comparison are deterministic. *)
+let normalize terms =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      let key = term_key t in
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.replace tbl key t
+      | Some u -> Hashtbl.replace tbl key { u with coef = u.coef +. t.coef })
+    terms;
+  Hashtbl.fold (fun _ t acc -> if t.coef = 0. then acc else t :: acc) tbl []
+  |> List.sort (fun a b ->
+         match Int.compare (s_power a) (s_power b) with
+         | 0 -> String.compare (term_key a) (term_key b)
+         | c -> c)
+
+let zero : expr = []
+let const c : expr = if c = 0. then [] else [ { coef = c; symbols = [] } ]
+let of_symbol s : expr = [ { coef = 1.; symbols = [ s ] } ]
+let neg (e : expr) : expr = List.map (fun t -> { t with coef = -.t.coef }) e
+let add (a : expr) (b : expr) : expr = normalize (a @ b)
+
+let mul_term a b =
+  {
+    coef = a.coef *. b.coef;
+    symbols = List.sort (fun x y -> String.compare x.name y.name) (a.symbols @ b.symbols);
+  }
+
+let mul (a : expr) (b : expr) : expr =
+  normalize (List.concat_map (fun ta -> List.map (mul_term ta) b) a)
+
+let scale k (e : expr) : expr =
+  if k = 0. then [] else List.map (fun t -> { t with coef = k *. t.coef }) e
+
+let is_zero (e : expr) = e = []
+let term_count (e : expr) = List.length e
+
+let term_to_string t =
+  let syms = if t.symbols = [] then "1" else term_key t in
+  let p = s_power t in
+  let s_part = if p = 0 then "" else if p = 1 then "*s" else Printf.sprintf "*s^%d" p in
+  if t.coef = 1. then syms ^ s_part
+  else if t.coef = -1. then "-" ^ syms ^ s_part
+  else Printf.sprintf "%g*%s%s" t.coef syms s_part
+
+let coefficient (e : expr) k = List.filter (fun t -> s_power t = k) e
+
+let max_s_power (e : expr) = List.fold_left (fun acc t -> Int.max acc (s_power t)) (-1) e
+
+let eval (e : expr) (s : Complex.t) =
+  List.fold_left
+    (fun acc t ->
+      let sk =
+        let rec pow acc k = if k = 0 then acc else pow (Complex.mul acc s) (k - 1) in
+        pow Complex.one (s_power t)
+      in
+      Complex.add acc (Complex.mul sk { re = term_value t; im = 0. }))
+    Complex.zero e
+
+let to_string (e : expr) =
+  if e = [] then "0"
+  else
+    String.concat " + " (List.map term_to_string e)

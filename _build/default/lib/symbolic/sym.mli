@@ -1,0 +1,58 @@
+(** Symbolic admittance expressions.
+
+    Every nodal-class element contributes symbols of two dimensions:
+    conductances (G, 1/R, gm) and capacitances (appearing as [s*C]); network
+    functions are sums of signed products of such symbols (paper §2.2:
+    "each symbolic term is given by a product of admittances:
+    transconductances and capacitors").  Each symbol carries its design-point
+    value so terms can be ranked by magnitude, which is what SDG needs. *)
+
+type kind = Conductance | Capacitance
+
+type symbol = private {
+  name : string;   (** element name, e.g. ["m1.gm"] *)
+  value : float;   (** design-point value *)
+  kind : kind;
+}
+
+val symbol : name:string -> value:float -> kind -> symbol
+(** @raise Invalid_argument on empty name or non-finite value. *)
+
+type term = private {
+  coef : float;           (** signed multiplicity (integer-valued in exact
+                              determinants, fractional after drive scaling) *)
+  symbols : symbol list;  (** sorted by name: a product *)
+}
+
+type expr = term list
+(** A sum of terms, kept normalised: like terms combined, zero coefficients
+    dropped, sorted by (s-power, key). *)
+
+val zero : expr
+val const : float -> expr
+val of_symbol : symbol -> expr
+val neg : expr -> expr
+val add : expr -> expr -> expr
+val mul : expr -> expr -> expr
+val scale : float -> expr -> expr
+val is_zero : expr -> bool
+val term_count : expr -> int
+
+val s_power : term -> int
+(** Number of capacitance symbols in the term = its power of [s]. *)
+
+val term_value : term -> float
+(** Design-point value of the term (without the [s^k] factor). *)
+
+val term_to_string : term -> string
+
+val coefficient : expr -> int -> term list
+(** [coefficient e k] is the list of terms of [s^k]. *)
+
+val max_s_power : expr -> int
+(** [-1] for zero. *)
+
+val eval : expr -> Complex.t -> Complex.t
+(** Numeric value at a complex frequency, design-point symbol values. *)
+
+val to_string : expr -> string

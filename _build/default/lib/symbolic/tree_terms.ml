@@ -1,0 +1,305 @@
+module Element = Symref_circuit.Element
+module Netlist = Symref_circuit.Netlist
+module Nodal = Symref_mna.Nodal
+
+exception Unsupported of string
+
+(* --- graph extraction ------------------------------------------------- *)
+
+type edge = {
+  id : int;
+  vu : int;  (* voltage-graph endpoints; 0 = reference *)
+  vv : int;
+  iu : int;  (* current-graph endpoints (same as vu/vv for passives) *)
+  iv : int;
+  symbol : Sym.symbol;
+  log_w : float;  (* log |value|, the Kruskal key *)
+}
+
+(* The denominator does not depend on the chosen output; pick any free node
+   so Nodal.make accepts the problem and exposes its reduction plan. *)
+let plan_of circuit ~input =
+  let n = Netlist.node_count circuit in
+  let rec try_node i =
+    if i > n then raise (Unsupported "no free node available")
+    else
+      match
+        Nodal.make circuit ~input ~output:(Nodal.Out_node (Netlist.node_name circuit i))
+      with
+      | problem -> Nodal.plan problem
+      | exception Nodal.Unsupported m ->
+          if i = n then raise (Unsupported m) else try_node (i + 1)
+  in
+  try_node 1
+
+let graph_of circuit ~input =
+  let plan = plan_of circuit ~input in
+  let vertex node =
+    match plan.Nodal.roles.(node) with
+    | Nodal.Ground | Nodal.Driven _ -> 0
+    | Nodal.Free i -> i + 1
+  in
+  let next = ref 0 in
+  let edges =
+    List.filter_map
+      (fun (e : Element.t) ->
+        (* Current edge (iu -> iv) and voltage edge (vu -> vv); orientation
+           [+1] at the first node matches the VCCS stamp convention, so the
+           Binet-Cauchy signs come out right. *)
+        let mk (ia, ib) (va, vb) value kind =
+          let iu = vertex ia and iv = vertex ib in
+          let vu = vertex va and vv = vertex vb in
+          if iu = iv || vu = vv then None (* shorted to the reference: no effect *)
+          else begin
+            let symbol = Sym.symbol ~name:e.Element.name ~value kind in
+            let id = !next in
+            incr next;
+            Some { id; vu; vv; iu; iv; symbol; log_w = Float.log (Float.abs value) }
+          end
+        in
+        match e.Element.kind with
+        | Element.Conductance { a; b; siemens } ->
+            mk (a, b) (a, b) siemens Sym.Conductance
+        | Element.Resistor { a; b; ohms } -> mk (a, b) (a, b) (1. /. ohms) Sym.Conductance
+        | Element.Capacitor { a; b; farads } -> mk (a, b) (a, b) farads Sym.Capacitance
+        | Element.Vccs { p; m; cp; cm; gm } -> mk (p, m) (cp, cm) gm Sym.Conductance
+        | Element.Isrc _ -> None
+        | Element.Inductor _ | Element.Vcvs _ | Element.Cccs _ | Element.Ccvs _
+        | Element.Vsrc _ ->
+            raise
+              (Unsupported
+                 (Printf.sprintf "element %s is outside the G/R/C/VCCS class"
+                    e.Element.name)))
+      (Netlist.elements plan.Nodal.reduced_circuit)
+  in
+  (plan.Nodal.plan_dim + 1, edges)
+
+(* --- union-find -------------------------------------------------------- *)
+
+type uf = { parent : int array; rank : int array }
+
+let uf_create n = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+let rec uf_find u i =
+  let p = u.parent.(i) in
+  if p = i then i
+  else begin
+    let r = uf_find u p in
+    u.parent.(i) <- r;
+    r
+  end
+
+let uf_union u a b =
+  let ra = uf_find u a and rb = uf_find u b in
+  if ra = rb then false
+  else begin
+    if u.rank.(ra) < u.rank.(rb) then u.parent.(ra) <- rb
+    else if u.rank.(ra) > u.rank.(rb) then u.parent.(rb) <- ra
+    else begin
+      u.parent.(rb) <- ra;
+      u.rank.(ra) <- u.rank.(ra) + 1
+    end;
+    true
+  end
+
+(* Constrained maximum spanning tree: edges in [included] forced, edges in
+   [excluded] forbidden, remainder greedily by decreasing weight.  Returns
+   the tree's edge list (including the forced ones) or None. *)
+let constrained_mst ~vertices ~sorted_edges ~included ~excluded =
+  let uf = uf_create vertices in
+  let chosen = ref [] in
+  let count = ref 0 in
+  let ok =
+    List.for_all
+      (fun e ->
+        if uf_union uf e.vu e.vv then begin
+          chosen := e :: !chosen;
+          incr count;
+          true
+        end
+        else false)
+      included
+  in
+  if not ok then None
+  else begin
+    List.iter
+      (fun e ->
+        if
+          (not (List.exists (fun x -> x.id = e.id) included))
+          && not (List.exists (fun x -> x.id = e.id) excluded)
+        then
+          if uf_union uf e.vu e.vv then begin
+            chosen := e :: !chosen;
+            incr count
+          end)
+      sorted_edges;
+    if !count = vertices - 1 then Some (List.rev !chosen) else None
+  end
+
+let tree_log_weight tree = List.fold_left (fun acc e -> acc +. e.log_w) 0. tree
+
+(* Determinant of the reduced incidence matrix (rows: non-reference
+   vertices, columns: tree edges, +1 at the edge's first endpoint).  For a
+   spanning tree it is exactly +-1; 0 means the edge set does not span with
+   these endpoints.  Plain float elimination is exact on this matrix
+   class. *)
+let incidence_det vertices tree endpoints =
+  let n = vertices - 1 in
+  if n = 0 then 1.
+  else begin
+    let m = Array.make_matrix n n 0. in
+    List.iteri
+      (fun c e ->
+        let u, v = endpoints e in
+        if u > 0 then m.(u - 1).(c) <- m.(u - 1).(c) +. 1.;
+        if v > 0 then m.(v - 1).(c) <- m.(v - 1).(c) -. 1.)
+      tree;
+    let det = ref 1. in
+    (try
+       for k = 0 to n - 1 do
+         let piv = ref k in
+         for i = k + 1 to n - 1 do
+           if Float.abs m.(i).(k) > Float.abs m.(!piv).(k) then piv := i
+         done;
+         if Float.abs m.(!piv).(k) < 0.5 then begin
+           det := 0.;
+           raise Exit
+         end;
+         if !piv <> k then begin
+           let t = m.(k) in
+           m.(k) <- m.(!piv);
+           m.(!piv) <- t;
+           det := -. !det
+         end;
+         det := !det *. m.(k).(k);
+         for i = k + 1 to n - 1 do
+           if m.(i).(k) <> 0. then begin
+             let f = m.(i).(k) /. m.(k).(k) in
+             for j = k to n - 1 do
+               m.(i).(j) <- m.(i).(j) -. (f *. m.(k).(j))
+             done
+           end
+         done
+       done
+     with Exit -> ());
+    !det
+  end
+
+(* --- best-first K-best enumeration (partition scheme) ------------------ *)
+
+type subproblem = {
+  weight : float;
+  tree : edge list;
+  fixed_in : edge list;
+  fixed_out : edge list;
+}
+
+let terms circuit ~input =
+  let vertices, edges = graph_of circuit ~input in
+  let sorted_edges =
+    List.sort (fun a b -> Float.compare b.log_w a.log_w) edges
+  in
+  let mst included excluded =
+    constrained_mst ~vertices ~sorted_edges ~included ~excluded
+  in
+  (* The queue is a persistent sorted list (descending weight), threaded
+     through the sequence, so the Seq is pure and re-traversable. *)
+  let push sp queue =
+    let rec ins = function
+      | [] -> [ sp ]
+      | hd :: tl as l -> if sp.weight > hd.weight then sp :: l else hd :: ins tl
+    in
+    ins queue
+  in
+  let term_of tree =
+    List.fold_left
+      (fun acc e -> Sym.mul acc (Sym.of_symbol e.symbol))
+      (Sym.const 1.) tree
+  in
+  let initial =
+    match mst [] [] with
+    | Some tree ->
+        [ { weight = tree_log_weight tree; tree; fixed_in = []; fixed_out = [] } ]
+    | None -> []
+  in
+  let rec next queue () =
+    match queue with
+    | [] -> Seq.Nil
+    | sp :: rest ->
+        (* Partition: children exclude each free tree edge in turn, forcing
+           the previously-considered ones in (Lawler/Gabow scheme). *)
+        let free =
+          List.filter
+            (fun e -> not (List.exists (fun x -> x.id = e.id) sp.fixed_in))
+            sp.tree
+        in
+        let rec split acc forced = function
+          | [] -> acc
+          | e :: tl ->
+              let fixed_in = forced @ sp.fixed_in in
+              let fixed_out = e :: sp.fixed_out in
+              let acc =
+                match mst fixed_in fixed_out with
+                | Some tree ->
+                    push { weight = tree_log_weight tree; tree; fixed_in; fixed_out } acc
+                | None -> acc
+              in
+              split acc (e :: forced) tl
+        in
+        let queue' = split rest [] free in
+        (* A voltage-graph tree contributes only if it also spans the
+           current graph; the Binet-Cauchy sign is the product of the two
+           incidence determinants. *)
+        let det_i = incidence_det vertices sp.tree (fun e -> (e.iu, e.iv)) in
+        if Float.abs det_i < 0.5 then next queue' ()
+        else begin
+          let det_v = incidence_det vertices sp.tree (fun e -> (e.vu, e.vv)) in
+          let sign = det_i *. det_v in
+          let term =
+            match Sym.scale sign (term_of sp.tree) with
+            | [ t ] -> t
+            | _ -> assert false
+          in
+          Seq.Cons (term, next queue')
+        end
+  in
+  next initial
+
+type stats = {
+  generated : int;
+  kept : Sym.term list;
+  satisfied : bool;
+}
+
+let generate_until ?(max_terms = 100_000) ~epsilon ~references circuit ~input =
+  let stream = terms circuit ~input in
+  let sums = Array.make (Array.length references) 0. in
+  let satisfied () =
+    Array.for_all
+      (fun k ->
+        references.(k) = 0.
+        || Float.abs (references.(k) -. sums.(k)) <= epsilon *. Float.abs references.(k))
+      (Array.init (Array.length references) Fun.id)
+  in
+  let power_done k =
+    k >= Array.length references
+    || references.(k) = 0.
+    || Float.abs (references.(k) -. sums.(k)) <= epsilon *. Float.abs references.(k)
+  in
+  let rec go acc n stream =
+    if satisfied () then { generated = n; kept = List.rev acc; satisfied = true }
+    else if n >= max_terms then { generated = n; kept = List.rev acc; satisfied = false }
+    else
+      match stream () with
+      | Seq.Nil -> { generated = n; kept = List.rev acc; satisfied = satisfied () }
+      | Seq.Cons (t, rest) ->
+          let k = Sym.s_power t in
+          (* Keep the term only while its coefficient still needs mass;
+             later terms of satisfied coefficients are the SDG truncation. *)
+          if power_done k then go acc (n + 1) rest
+          else begin
+            if k < Array.length sums then sums.(k) <- sums.(k) +. Sym.term_value t;
+            go (t :: acc) (n + 1) rest
+          end
+  in
+  go [] 0 stream

@@ -1,0 +1,61 @@
+(** True Simplification-During-Generation term generation by the two-graph
+    method: denominator terms produced {e strictly in decreasing order of
+    magnitude} without ever building the complete expression — the
+    mechanism of the paper's refs. [2]-[4], whose error control (eq. 3) is
+    what the numerical references exist for.
+
+    The reduced nodal matrix factors as [Y = A_I Y_b A_V^T] with [A_I]/[A_V]
+    the reduced incidence matrices of the {e current} and {e voltage} graphs
+    (identical endpoints for passive admittances; output and controlling
+    node pairs respectively for a VCCS) and [Y_b] the diagonal of branch
+    admittances.  By Binet-Cauchy,
+
+    [det Y = sum over common spanning trees S of
+       det A_I[S] * det A_V[S] * prod of branch admittances in S]
+
+    — each common tree is one symbolic term with an exact [+-1] sign (always
+    [+1] on passive RC networks, where the method reduces to the classical
+    matrix-tree theorem).  Ground and driven nodes are contracted into the
+    reference vertex.
+
+    Trees are enumerated best-first on the voltage graph (branch-and-bound
+    partition over included/excluded edge sets, constrained maximum spanning
+    trees by Kruskal) and filtered to common trees, so the [k]-th term
+    delivered is the [k]-th largest in magnitude. *)
+
+exception Unsupported of string
+(** Raised when the circuit contains elements outside the G/R/C/VCCS class
+    (inductors can enter through
+    {!Symref_circuit.Transform.inductors_to_gyrators} first). *)
+
+val terms :
+  Symref_circuit.Netlist.t ->
+  input:Symref_mna.Nodal.input ->
+  Sym.term Seq.t
+(** Lazy stream of denominator terms (each with its exact [+-1] common-tree
+    sign), strictly non-increasing in design-point {e magnitude}.  Forcing
+    the whole sequence yields exactly the terms of the full symbolic
+    determinant — signed cancellations included on active circuits. *)
+
+type stats = {
+  generated : int;       (** trees enumerated (the algorithm's cost) *)
+  kept : Sym.term list;  (** retained terms, in generation order (the
+                             simplified expression's size) *)
+  satisfied : bool;      (** every referenced coefficient met eq. 3 *)
+}
+
+val generate_until :
+  ?max_terms:int ->
+  epsilon:float ->
+  references:float array ->
+  Symref_circuit.Netlist.t ->
+  input:Symref_mna.Nodal.input ->
+  stats
+(** The SDG loop: pull terms largest-first; a term is {e kept} only while
+    its own coefficient still fails eq. 3,
+    [|references.(k) - partial_sum_k| <= epsilon * |references.(k)|] — once
+    a coefficient is satisfied its later (smaller) terms are discarded.
+    Generation stops when every referenced coefficient is satisfied, so
+    [kept] is the truncated expression while [generated] counts the
+    enumeration work.  [max_terms] (default [100_000]) bounds the run when
+    the references and the network disagree. *)

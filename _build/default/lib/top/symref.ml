@@ -1,0 +1,106 @@
+(** Umbrella namespace: one [open Symref] (or qualified [Symref.X]) reaches
+    every module of the library with its natural name.
+
+    {2 Numerics}
+    {!Extfloat}, {!Extcomplex} — extended-range arithmetic;
+    {!Cx}, {!Stats}, {!Grid} — helpers.
+
+    {2 Polynomials and transforms}
+    {!Poly}, {!Epoly}, {!Roots}; {!Unit_circle}, {!Dft}, {!Fft}.
+
+    {2 Linear algebra}
+    {!Dense}, {!Sparse} — complex LU with extended-range determinants.
+
+    {2 Circuits}
+    {!Element}, {!Netlist}, {!Devices}, {!Transform};
+    workloads {!Rc_ladder}, {!Ota}, {!Ua741}, {!Gm_c}, {!Biquad},
+    {!Lc_ladder}, {!Two_stage_miller}, {!Random_net}; filter synthesis
+    {!Filter_design}; SPICE {!Units}, {!Parser}, {!Writer}.
+
+    {2 Analyses}
+    {!Nodal}, {!Ac}, {!Sensitivity}, {!Noise}, {!Monte_carlo}, {!Twoport},
+    {!Transient}.
+
+    {2 The paper's algorithms}
+    {!Evaluator}, {!Interp}, {!Band}, {!Scaling}, {!Naive}, {!Fixed_scale},
+    {!Adaptive}, {!Reference}, {!Poles}, {!Margins}, {!Rational}, {!Locus},
+    {!Fit}, {!Verify}, {!Report}, {!Ascii_plot}.
+
+    {2 Symbolic analysis}
+    {!Sym}, {!Sdet}, {!Sdg}, {!Sbg}, {!Sag}, {!Tree_terms}, {!Nested}. *)
+
+(* numerics *)
+module Extfloat = Symref_numeric.Extfloat
+module Extcomplex = Symref_numeric.Extcomplex
+module Cx = Symref_numeric.Cx
+module Stats = Symref_numeric.Stats
+module Grid = Symref_numeric.Grid
+
+(* polynomials and transforms *)
+module Poly = Symref_poly.Poly
+module Epoly = Symref_poly.Epoly
+module Roots = Symref_poly.Roots
+module Unit_circle = Symref_dft.Unit_circle
+module Dft = Symref_dft.Dft
+module Fft = Symref_dft.Fft
+
+(* linear algebra *)
+module Dense = Symref_linalg.Dense
+module Sparse = Symref_linalg.Sparse
+
+(* circuits *)
+module Element = Symref_circuit.Element
+module Netlist = Symref_circuit.Netlist
+module Devices = Symref_circuit.Devices
+module Transform = Symref_circuit.Transform
+module Rc_ladder = Symref_circuit.Rc_ladder
+module Ota = Symref_circuit.Ota
+module Ua741 = Symref_circuit.Ua741
+module Gm_c = Symref_circuit.Gm_c
+module Biquad = Symref_circuit.Biquad
+module Lc_ladder = Symref_circuit.Lc_ladder
+module Random_net = Symref_circuit.Random_net
+module Two_stage_miller = Symref_circuit.Two_stage_miller
+module Filter_design = Symref_circuit.Filter_design
+
+(* SPICE *)
+module Units = Symref_spice.Units
+module Parser = Symref_spice.Parser
+module Writer = Symref_spice.Writer
+module Dot = Symref_spice.Dot
+
+(* analyses *)
+module Nodal = Symref_mna.Nodal
+module Ac = Symref_mna.Ac
+module Sensitivity = Symref_mna.Sensitivity
+module Noise = Symref_mna.Noise
+module Monte_carlo = Symref_mna.Monte_carlo
+module Twoport = Symref_mna.Twoport
+module Transient = Symref_mna.Transient
+
+(* the paper's algorithms *)
+module Evaluator = Symref_core.Evaluator
+module Interp = Symref_core.Interp
+module Band = Symref_core.Band
+module Scaling = Symref_core.Scaling
+module Naive = Symref_core.Naive
+module Fixed_scale = Symref_core.Fixed_scale
+module Adaptive = Symref_core.Adaptive
+module Reference = Symref_core.Reference
+module Poles = Symref_core.Poles
+module Margins = Symref_core.Margins
+module Rational = Symref_core.Rational
+module Locus = Symref_core.Locus
+module Fit = Symref_core.Fit
+module Report = Symref_core.Report
+module Ascii_plot = Symref_core.Ascii_plot
+module Verify = Symref_core.Verify
+
+(* symbolic analysis *)
+module Sym = Symref_symbolic.Sym
+module Sdet = Symref_symbolic.Sdet
+module Sdg = Symref_symbolic.Sdg
+module Sbg = Symref_symbolic.Sbg
+module Sag = Symref_symbolic.Sag
+module Tree_terms = Symref_symbolic.Tree_terms
+module Nested = Symref_symbolic.Nested

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Symref_circuit Symref_numeric Symref_poly

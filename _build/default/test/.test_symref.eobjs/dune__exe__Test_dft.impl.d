@@ -1,0 +1,1 @@
+test/test_dft.ml: Alcotest Array Complex Float Fun List Printf QCheck2 QCheck_alcotest Symref_dft Symref_numeric Symref_poly

@@ -1,0 +1,1 @@
+test/test_extfloat.ml: Alcotest Complex Float List Printf QCheck2 QCheck_alcotest Symref_numeric

@@ -1,0 +1,1 @@
+test/test_filter_design.ml: Alcotest Array Complex Float List Printf Symref_circuit Symref_core Symref_mna Symref_numeric

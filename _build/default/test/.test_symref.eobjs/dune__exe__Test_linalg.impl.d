@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex List Printf QCheck2 QCheck_alcotest Symref_linalg Symref_numeric

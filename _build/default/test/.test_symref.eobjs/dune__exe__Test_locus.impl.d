@@ -1,0 +1,1 @@
+test/test_locus.ml: Alcotest Array Complex Float Printf Symref_circuit Symref_core Symref_mna

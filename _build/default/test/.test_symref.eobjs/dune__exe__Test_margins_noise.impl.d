@@ -1,0 +1,1 @@
+test/test_margins_noise.ml: Alcotest Float List Printf String Symref_circuit Symref_core Symref_mna Symref_numeric

@@ -1,0 +1,1 @@
+test/test_mna.ml: Alcotest Array Complex Float List Printf Symref_circuit Symref_mna Symref_numeric

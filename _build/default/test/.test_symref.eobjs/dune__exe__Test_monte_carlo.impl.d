@@ -1,0 +1,1 @@
+test/test_monte_carlo.ml: Alcotest Array Complex Float Printf Symref_circuit Symref_mna

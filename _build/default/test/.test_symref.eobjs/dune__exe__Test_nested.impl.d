@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Complex List Printf Symref_circuit Symref_mna Symref_numeric Symref_symbolic

@@ -1,0 +1,1 @@
+test/test_netlist_files.ml: Alcotest Array Complex Filename Float Printf Symref_circuit Symref_core Symref_mna Symref_spice

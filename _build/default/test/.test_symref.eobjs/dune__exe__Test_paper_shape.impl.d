@@ -1,0 +1,1 @@
+test/test_paper_shape.ml: Alcotest Array Float List Printf Symref_circuit Symref_core Symref_mna Symref_numeric

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Complex Float List QCheck2 QCheck_alcotest Symref_numeric Symref_poly

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Complex Float List QCheck2 QCheck_alcotest Symref_core Symref_linalg Symref_numeric Symref_poly Symref_spice

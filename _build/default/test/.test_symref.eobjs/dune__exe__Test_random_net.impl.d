@@ -1,0 +1,1 @@
+test/test_random_net.ml: Alcotest Array Float List Printf QCheck2 QCheck_alcotest Symref_circuit Symref_core Symref_mna Symref_numeric Symref_poly

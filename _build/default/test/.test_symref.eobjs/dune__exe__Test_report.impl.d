@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Printf String Symref_circuit Symref_core Symref_mna Symref_numeric

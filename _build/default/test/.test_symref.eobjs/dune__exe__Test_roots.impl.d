@@ -1,0 +1,1 @@
+test/test_roots.ml: Alcotest Array Complex Float List Printf QCheck2 QCheck_alcotest Symref_circuit Symref_core Symref_mna Symref_numeric Symref_poly

@@ -1,0 +1,1 @@
+test/test_sag.ml: Alcotest Array Complex Float Printf Symref_circuit Symref_mna Symref_numeric Symref_symbolic

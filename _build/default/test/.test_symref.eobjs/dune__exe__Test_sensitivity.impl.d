@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Complex Float List Printf Symref_circuit Symref_mna Symref_numeric

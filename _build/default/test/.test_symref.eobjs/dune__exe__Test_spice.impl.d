@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Complex Float List Printf String Symref_circuit Symref_mna Symref_numeric Symref_spice

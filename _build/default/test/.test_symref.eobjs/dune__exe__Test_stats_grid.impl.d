@@ -1,0 +1,1 @@
+test/test_stats_grid.ml: Alcotest Array Symref_numeric

@@ -1,0 +1,1 @@
+test/test_transient.ml: Alcotest Array Float Printf Symref_circuit Symref_core Symref_mna

@@ -1,0 +1,1 @@
+test/test_tree_terms.ml: Alcotest Array Float Hashtbl List Option Printf Seq Symref_circuit Symref_core Symref_mna Symref_numeric Symref_symbolic

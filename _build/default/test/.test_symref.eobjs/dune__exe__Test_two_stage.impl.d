@@ -1,0 +1,1 @@
+test/test_two_stage.ml: Alcotest Float Printf Symref_circuit Symref_core Symref_mna

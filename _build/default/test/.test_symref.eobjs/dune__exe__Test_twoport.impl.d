@@ -1,0 +1,1 @@
+test/test_twoport.ml: Alcotest Complex Float Printf Symref_circuit Symref_mna Symref_numeric

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Printf Symref_circuit Symref_core Symref_mna Symref_numeric

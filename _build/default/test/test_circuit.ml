@@ -1,0 +1,183 @@
+(* Tests for elements, netlists, device expansion and workload generators. *)
+
+module E = Symref_circuit.Element
+module N = Symref_circuit.Netlist
+module D = Symref_circuit.Devices
+module Ladder = Symref_circuit.Rc_ladder
+module Ota = Symref_circuit.Ota
+module Ua741 = Symref_circuit.Ua741
+module Gm_c = Symref_circuit.Gm_c
+module Epoly = Symref_poly.Epoly
+module Ef = Symref_numeric.Extfloat
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_element_validation () =
+  Alcotest.check_raises "zero R" (Invalid_argument "Element r1: resistance must be > 0")
+    (fun () -> ignore (E.make "r1" (E.Resistor { a = 1; b = 0; ohms = 0. })));
+  Alcotest.check_raises "negative node" (Invalid_argument "Element c1: negative node")
+    (fun () -> ignore (E.make "c1" (E.Capacitor { a = -1; b = 0; farads = 1e-12 })));
+  Alcotest.check_raises "zero gm" (Invalid_argument "Element g1: transconductance must be non-zero")
+    (fun () ->
+      ignore (E.make "g1" (E.Vccs { p = 1; m = 0; cp = 2; cm = 0; gm = 0. })));
+  (* Negative gm is legal: positive feedback. *)
+  let e = E.make "g2" (E.Vccs { p = 1; m = 0; cp = 2; cm = 0; gm = -1e-3 }) in
+  Alcotest.(check bool) "nodal class" true (E.is_nodal_class e)
+
+let test_element_queries () =
+  let r = E.make "r1" (E.Resistor { a = 1; b = 2; ohms = 2e3 }) in
+  (match E.conductance_value r with
+  | Some g -> check_float "resistor as conductance" 5e-4 g
+  | None -> Alcotest.fail "resistor has a conductance value");
+  Alcotest.(check (list int)) "nodes" [ 1; 2 ] (E.nodes r);
+  let c = E.make "c1" (E.Capacitor { a = 1; b = 0; farads = 3e-12 }) in
+  (match E.capacitance_value c with
+  | Some v -> check_float "cap value" 3e-12 v
+  | None -> Alcotest.fail "cap has a capacitance value");
+  let l = E.make "l1" (E.Inductor { a = 1; b = 0; henries = 1e-9 }) in
+  Alcotest.(check bool) "inductor not nodal" false (E.is_nodal_class l)
+
+let test_builder_basic () =
+  let b = N.Builder.create ~title:"t" () in
+  N.Builder.resistor b "r1" ~a:"in" ~b:"out" 1e3;
+  N.Builder.capacitor b "c1" ~a:"out" ~b:"0" 1e-12;
+  let c = N.Builder.finish b in
+  Alcotest.(check int) "nodes" 2 (N.node_count c);
+  Alcotest.(check int) "elements" 2 (N.element_count c);
+  Alcotest.(check string) "node name" "out" (N.node_name c 2);
+  Alcotest.(check (option int)) "node id" (Some 2) (N.node_id c "out");
+  Alcotest.(check (option int)) "ground alias" (Some 0) (N.node_id c "gnd");
+  Alcotest.(check (option int)) "unknown" None (N.node_id c "zz");
+  Alcotest.(check bool) "connected" true (N.is_connected c);
+  Alcotest.(check bool) "nodal" true (N.is_nodal_class c)
+
+let test_builder_validation () =
+  let b = N.Builder.create () in
+  N.Builder.resistor b "r1" ~a:"x" ~b:"0" 1.;
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Netlist: duplicate element name r1") (fun () ->
+      N.Builder.resistor b "r1" ~a:"y" ~b:"0" 1.);
+  let b2 = N.Builder.create () in
+  N.Builder.cccs b2 "f1" ~p:"a" ~m:"0" ~vname:"vmissing" 2.;
+  Alcotest.check_raises "dangling control"
+    (Invalid_argument "Netlist: f1 controls through unknown source vmissing")
+    (fun () -> ignore (N.Builder.finish b2))
+
+let test_netlist_queries () =
+  let b = N.Builder.create () in
+  N.Builder.resistor b "r1" ~a:"x" ~b:"0" 1e3;
+  N.Builder.conductance b "g1" ~a:"x" ~b:"0" 2e-3;
+  N.Builder.vccs b "gm1" ~p:"y" ~m:"0" ~cp:"x" ~cm:"0" 3e-3;
+  N.Builder.capacitor b "c1" ~a:"y" ~b:"0" 2e-12;
+  N.Builder.capacitor b "c2" ~a:"x" ~b:"y" 4e-12;
+  let c = N.Builder.finish b in
+  check_float "mean conductance" 2e-3 (N.mean_conductance c);
+  check_float "mean capacitance" 3e-12 (N.mean_capacitance c);
+  Alcotest.(check int) "cap count" 2 (N.capacitor_count c);
+  let c' = N.remove_element c "c2" in
+  Alcotest.(check int) "removed" 1 (N.capacitor_count c');
+  Alcotest.(check int) "original untouched" 2 (N.capacitor_count c);
+  Alcotest.check_raises "remove unknown" Not_found (fun () ->
+      ignore (N.remove_element c "nope"))
+
+let test_disconnected () =
+  let b = N.Builder.create () in
+  N.Builder.resistor b "r1" ~a:"x" ~b:"0" 1.;
+  N.Builder.resistor b "r2" ~a:"island1" ~b:"island2" 1.;
+  Alcotest.(check bool) "disconnected" false (N.is_connected (N.Builder.finish b))
+
+let test_mos_expansion () =
+  let b = N.Builder.create () in
+  D.add_mos b "m1" ~d:"d" ~g:"g" ~s:"0" D.mos_default;
+  let c = N.Builder.finish b in
+  Alcotest.(check int) "elements: gm gds cgs cgd" 4 (N.element_count c);
+  Alcotest.(check bool) "has gm" true (N.find_element c "m1.gm" <> None);
+  Alcotest.(check bool) "nodal class" true (N.is_nodal_class c)
+
+let test_bjt_expansion () =
+  let p = D.bjt_of_bias ~ic:1e-3 () in
+  check_float "gm from ic" (1e-3 /. 0.02585) p.D.gm;
+  check_float "gpi" (p.D.gm /. 200.) p.D.gpi;
+  let b = N.Builder.create () in
+  D.add_bjt b "q1" ~c:"c" ~b:"b" ~e:"0" { p with D.rb = 250.; D.ccs = 1e-12 };
+  let c = N.Builder.finish b in
+  (* rb, gm, gpi, go, cpi, cmu, ccs *)
+  Alcotest.(check int) "elements with rb and ccs" 7 (N.element_count c);
+  Alcotest.(check bool) "internal node" true (N.node_id c "q1.bx" <> None)
+
+let test_ladder_circuit () =
+  let c = Ladder.circuit 5 in
+  Alcotest.(check int) "nodes: in + 5" 6 (N.node_count c);
+  Alcotest.(check int) "caps" 5 (N.capacitor_count c);
+  Alcotest.(check bool) "connected" true (N.is_connected c)
+
+let test_ladder_exact_denominator () =
+  (* Single section: A(s) = 1 + R*C*s. *)
+  let d1 = Ladder.exact_denominator ~r:1e3 ~c:1e-12 1 in
+  Alcotest.(check int) "degree 1" 1 (Epoly.degree d1);
+  check_float "constant" 1. (Ef.to_float (Epoly.coeff d1 0));
+  check_float "tau" 1e-9 (Ef.to_float (Epoly.coeff d1 1));
+  (* Two equal sections: A = 1 + 3RCs + (RC)^2 s^2. *)
+  let d2 = Ladder.exact_denominator ~r:1e3 ~c:1e-12 ~spread:1. 2 in
+  Alcotest.(check int) "degree 2" 2 (Epoly.degree d2);
+  check_float "s coeff" 3e-9 (Ef.to_float (Epoly.coeff d2 1));
+  check_float "s^2 coeff" 1e-18 (Ef.to_float (Epoly.coeff d2 2) *. 1.);
+  (* Order grows with n and coefficients stay positive. *)
+  let d30 = Ladder.exact_denominator 30 in
+  Alcotest.(check int) "degree 30" 30 (Epoly.degree d30);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "positive" true (Ef.sign c > 0))
+    (Epoly.coeffs d30)
+
+let test_ota () =
+  Alcotest.(check int) "9 capacitors" 9 (N.capacitor_count Ota.circuit);
+  Alcotest.(check bool) "connected" true (N.is_connected Ota.circuit);
+  Alcotest.(check bool) "nodal class" true (N.is_nodal_class Ota.circuit);
+  Alcotest.(check bool) "has out" true (N.node_id Ota.circuit Ota.output <> None)
+
+let test_ua741 () =
+  let c = Ua741.circuit in
+  Alcotest.(check bool) "connected" true (N.is_connected c);
+  Alcotest.(check bool) "nodal class" true (N.is_nodal_class c);
+  (* 24 transistors x (cpi, cmu) + 19 ccs + cc + cload *)
+  Alcotest.(check int) "capacitor count" 69 (N.capacitor_count c);
+  (* ~50 nodes: 24 internal base nodes + externals. *)
+  Alcotest.(check bool) "node count ~50" true (N.node_count c >= 45);
+  Alcotest.(check bool) "out exists" true (N.node_id c Ua741.output <> None)
+
+let test_gm_c () =
+  let c = Gm_c.circuit 12 in
+  Alcotest.(check int) "caps = order" 12 (N.capacitor_count c);
+  Alcotest.(check bool) "connected" true (N.is_connected c);
+  Alcotest.(check bool) "nodal" true (N.is_nodal_class c);
+  Alcotest.check_raises "bad order" (Invalid_argument "Gm_c.circuit: order must be >= 1")
+    (fun () -> ignore (Gm_c.circuit 0))
+
+let suite =
+  [
+    ( "element",
+      [
+        Alcotest.test_case "validation" `Quick test_element_validation;
+        Alcotest.test_case "queries" `Quick test_element_queries;
+      ] );
+    ( "netlist",
+      [
+        Alcotest.test_case "builder basics" `Quick test_builder_basic;
+        Alcotest.test_case "builder validation" `Quick test_builder_validation;
+        Alcotest.test_case "queries" `Quick test_netlist_queries;
+        Alcotest.test_case "disconnected" `Quick test_disconnected;
+      ] );
+    ( "devices",
+      [
+        Alcotest.test_case "mos expansion" `Quick test_mos_expansion;
+        Alcotest.test_case "bjt expansion" `Quick test_bjt_expansion;
+      ] );
+    ( "workloads",
+      [
+        Alcotest.test_case "rc ladder circuit" `Quick test_ladder_circuit;
+        Alcotest.test_case "rc ladder exact denominator" `Quick test_ladder_exact_denominator;
+        Alcotest.test_case "ota" `Quick test_ota;
+        Alcotest.test_case "ua741" `Quick test_ua741;
+        Alcotest.test_case "gm-c" `Quick test_gm_c;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+(* Tests for Unit_circle, Dft and Fft. *)
+
+module Uc = Symref_dft.Unit_circle
+module Dft = Symref_dft.Dft
+module Fft = Symref_dft.Fft
+module Poly = Symref_poly.Poly
+module Cx = Symref_numeric.Cx
+
+let approx = Cx.approx_equal ~rel:1e-9 ~abs:1e-9
+
+let check_cx msg a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s vs %s" msg (Cx.to_string a) (Cx.to_string b))
+    true (approx a b)
+
+let test_points () =
+  let p = Uc.points 4 in
+  check_cx "w^0" Complex.one p.(0);
+  check_cx "w^1" Cx.j p.(1);
+  check_cx "w^2" (Cx.make (-1.) 0.) p.(2);
+  check_cx "w^3" (Cx.make 0. (-1.)) p.(3);
+  (* Axis points are exact, not just approximate. *)
+  Alcotest.(check (float 0.)) "exact j re" 0. p.(1).re;
+  Alcotest.(check (float 0.)) "exact -1 im" 0. p.(2).im;
+  check_cx "negative index wraps" p.(3) (Uc.point 4 (-1))
+
+let test_unit_modulus () =
+  Array.iter
+    (fun z -> Alcotest.(check (float 1e-12)) "modulus 1" 1. (Complex.norm z))
+    (Uc.points 17)
+
+let poly_values p k =
+  Array.map (Poly.eval_complex p) (Uc.points k)
+
+let test_idft_recovers_coeffs () =
+  let p = Poly.of_list [ 5.; -4.; 3.; 2. ] in
+  let k = 6 in
+  let coeffs = Dft.inverse (poly_values p k) in
+  for i = 0 to k - 1 do
+    check_cx
+      (Printf.sprintf "coeff %d" i)
+      (Cx.of_float (Poly.coeff p i))
+      coeffs.(i)
+  done
+
+let test_forward_inverse_roundtrip () =
+  let x = Array.init 7 (fun i -> Cx.make (float_of_int i) (float_of_int (i * i))) in
+  let y = Dft.inverse (Dft.forward x) in
+  Array.iteri (fun i xi -> check_cx (Printf.sprintf "slot %d" i) xi y.(i)) x
+
+let test_fft_matches_dft () =
+  let x = Array.init 16 (fun i -> Cx.make (Float.sin (float_of_int i)) (Float.cos (2. *. float_of_int i))) in
+  let a = Dft.forward x and b = Fft.forward x in
+  Array.iteri (fun i ai -> check_cx (Printf.sprintf "fwd %d" i) ai b.(i)) a;
+  let c = Dft.inverse x and d = Fft.inverse x in
+  Array.iteri (fun i ci -> check_cx (Printf.sprintf "inv %d" i) ci d.(i)) c
+
+let test_fft_validation () =
+  Alcotest.(check bool) "pow2" true (Fft.is_pow2 64);
+  Alcotest.(check bool) "not pow2" false (Fft.is_pow2 48);
+  Alcotest.(check int) "next_pow2" 64 (Fft.next_pow2 33);
+  Alcotest.(check int) "next_pow2 exact" 32 (Fft.next_pow2 32);
+  Alcotest.check_raises "fft on non-pow2"
+    (Invalid_argument "Fft: length must be a power of two") (fun () ->
+      ignore (Fft.forward (Array.make 5 Complex.zero)))
+
+let test_real_spectrum_completion () =
+  let p = Poly.of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  let k = 9 in
+  let full = poly_values p k in
+  let half = Array.sub full 0 ((k / 2) + 1) in
+  let completed = Dft.complete_real_spectrum k half in
+  Array.iteri
+    (fun i z -> check_cx (Printf.sprintf "point %d" i) full.(i) z)
+    completed;
+  let coeffs = Dft.inverse completed in
+  for i = 0 to 4 do
+    check_cx (Printf.sprintf "coeff %d" i) (Cx.of_float (Poly.coeff p i)) coeffs.(i)
+  done
+
+let prop_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 24)
+        (map (fun (a, b) -> Cx.make a b) (pair (float_range (-5.) 5.) (float_range (-5.) 5.))))
+  in
+  QCheck2.Test.make ~name:"dft inverse . forward = id" ~count:100 gen (fun l ->
+      let x = Array.of_list l in
+      let y = Dft.inverse (Dft.forward x) in
+      Array.for_all2 (fun a b -> Cx.approx_equal ~rel:1e-6 ~abs:1e-6 a b) x y)
+
+let prop_interpolation_exact =
+  (* Degree-n polynomial is exactly recovered from K >= n+1 points, and
+     slots above the degree are ~0: the premise of eq. (5)/(6). *)
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 10) (float_range (-10.) 10.))
+        (int_range 0 8))
+  in
+  QCheck2.Test.make ~name:"interpolation recovers coefficients" ~count:100 gen
+    (fun (coeffs, extra) ->
+      let p = Poly.of_list coeffs in
+      let k = Poly.degree p + 1 + extra in
+      if k < 1 then true
+      else
+        let got = Dft.inverse (poly_values p k) in
+        Array.for_all
+          (fun i ->
+            Cx.approx_equal ~rel:1e-6 ~abs:1e-6 got.(i)
+              (Cx.of_float (Poly.coeff p i)))
+          (Array.init k Fun.id))
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_interpolation_exact ]
+
+let suite =
+  [
+    ( "dft",
+      [
+        Alcotest.test_case "roots of unity" `Quick test_points;
+        Alcotest.test_case "unit modulus" `Quick test_unit_modulus;
+        Alcotest.test_case "idft recovers coefficients" `Quick test_idft_recovers_coeffs;
+        Alcotest.test_case "roundtrip" `Quick test_forward_inverse_roundtrip;
+        Alcotest.test_case "fft matches dft" `Quick test_fft_matches_dft;
+        Alcotest.test_case "fft validation" `Quick test_fft_validation;
+        Alcotest.test_case "real spectrum completion" `Quick test_real_spectrum_completion;
+      ]
+      @ props );
+  ]

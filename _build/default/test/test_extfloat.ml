@@ -1,0 +1,177 @@
+(* Unit and property tests for the extended-range numeric types. *)
+
+module Ef = Symref_numeric.Extfloat
+module Ec = Symref_numeric.Extcomplex
+module Cx = Symref_numeric.Cx
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let ef_approx msg a b =
+  Alcotest.(check bool) msg true (Ef.approx_equal ~rel:1e-12 a b)
+
+let test_roundtrip () =
+  List.iter
+    (fun x -> check_float (Printf.sprintf "roundtrip %g" x) x Ef.(to_float (of_float x)))
+    [ 0.; 1.; -1.; 3.25; -0.5; 1e300; 1e-300; Float.pi ]
+
+let test_normalisation () =
+  let x = Ef.of_float 48. in
+  Alcotest.(check bool) "mantissa in [0.5,1)" true
+    (Float.abs x.Ef.m >= 0.5 && Float.abs x.Ef.m < 1.);
+  let y = Ef.make ~m:48. ~e:(-2) in
+  check_float "make renormalises" 12. (Ef.to_float y)
+
+let test_arithmetic () =
+  let a = Ef.of_float 6.5 and b = Ef.of_float (-2.) in
+  check_float "add" 4.5 Ef.(to_float (add a b));
+  check_float "sub" 8.5 Ef.(to_float (sub a b));
+  check_float "mul" (-13.) Ef.(to_float (mul a b));
+  check_float "div" (-3.25) Ef.(to_float (div a b));
+  ef_approx "zero add identity" a Ef.(add a zero);
+  ef_approx "mul one identity" a Ef.(mul a one)
+
+let test_out_of_double_range () =
+  (* 1e-522 as in Table 3 of the paper: must survive a product/ratio chain. *)
+  let tiny = Ef.of_decimal 1.1215 (-522) in
+  Alcotest.(check bool) "not zero" false (Ef.is_zero tiny);
+  check_float "decimal magnitude" (-522. +. Float.log10 1.1215)
+    (Ef.log10_abs tiny);
+  let back = Ef.(mul tiny (of_decimal 1. 522)) in
+  ef_approx "scaled back to ~1.1215" (Ef.of_float 1.1215) back;
+  check_float "to_float underflows to 0" 0. (Ef.to_float tiny)
+
+let test_pow_int () =
+  check_float "2^10" 1024. Ef.(to_float (pow_int (of_float 2.) 10));
+  check_float "2^-3" 0.125 Ef.(to_float (pow_int (of_float 2.) (-3)));
+  check_float "x^0" 1. Ef.(to_float (pow_int (of_float 7.7) 0));
+  let p = Ef.float_pow_int 10. (-522) in
+  check_float "10^-522 magnitude" (-522.) (Ef.log10_abs p)
+
+let test_compare () =
+  let lt a b = Alcotest.(check bool) "lt" true (Ef.compare a b < 0) in
+  lt (Ef.of_float (-3.)) (Ef.of_float 2.);
+  lt (Ef.of_float 2.) (Ef.of_float 3.);
+  lt (Ef.of_decimal 1. (-10)) (Ef.of_decimal 1. 10);
+  lt (Ef.of_decimal (-1.) 10) (Ef.of_decimal (-1.) (-10));
+  Alcotest.(check int) "mag ignores sign" 0
+    (Ef.compare_mag (Ef.of_float (-4.)) (Ef.of_float 4.))
+
+let test_to_decimal () =
+  let d, k = Ef.to_decimal (Ef.of_float 1234.5) in
+  check_float "mantissa" 1.2345 d;
+  Alcotest.(check int) "exponent" 3 k;
+  let d, k = Ef.to_decimal (Ef.of_decimal (-2.2385) (-39)) in
+  Alcotest.(check int) "negative exponent" (-39) k;
+  check_float "negative mantissa" (-2.2385) d
+
+let test_to_string () =
+  Alcotest.(check string) "fmt" "1.50000e+00" (Ef.to_string (Ef.of_float 1.5));
+  Alcotest.(check string) "fmt zero" "0.00000e+00" (Ef.to_string Ef.zero);
+  Alcotest.(check string) "fmt tiny" "-1.12150e-522"
+    (Ef.to_string (Ef.of_decimal (-1.1215) (-522)))
+
+let test_invalid () =
+  Alcotest.check_raises "of_float nan" (Invalid_argument "Extfloat.of_float: not finite")
+    (fun () -> ignore (Ef.of_float Float.nan));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Ef.div Ef.one Ef.zero));
+  Alcotest.check_raises "0^-1" Division_by_zero (fun () ->
+      ignore (Ef.pow_int Ef.zero (-1)))
+
+(* --- Extcomplex --- *)
+
+let ec_of re im = Ec.of_complex { Complex.re; im }
+
+let ec_approx msg a b =
+  Alcotest.(check bool) msg true (Ec.approx_equal ~rel:1e-12 a b)
+
+let test_ec_roundtrip () =
+  let z = { Complex.re = -3.5; im = 0.25 } in
+  let z' = Ec.(to_complex (of_complex z)) in
+  check_float "re" z.re z'.re;
+  check_float "im" z.im z'.im
+
+let test_ec_arith () =
+  let a = ec_of 1. 2. and b = ec_of (-3.) 0.5 in
+  ec_approx "mul" (ec_of (-4.) (-5.5)) (Ec.mul a b);
+  ec_approx "add" (ec_of (-2.) 2.5) (Ec.add a b);
+  ec_approx "sub" (ec_of 4. 1.5) (Ec.sub a b);
+  ec_approx "div mul roundtrip" a Ec.(mul (div a b) b);
+  ec_approx "conj" (ec_of 1. (-2.)) (Ec.conj a)
+
+let test_ec_extended_range () =
+  (* Product of 200 pivots of magnitude 1e-4 underflows doubles: 1e-800. *)
+  let p = ref Ec.one in
+  for _ = 1 to 200 do
+    p := Ec.mul !p (ec_of 0. 1e-4)
+  done;
+  check_float "log10 norm" (-800.) (Ec.log10_norm !p);
+  Alcotest.(check bool) "not zero" false (Ec.is_zero !p)
+
+let test_ec_norm_arg () =
+  let z = ec_of 3. 4. in
+  ef_approx "norm" (Ef.of_float 5.) (Ec.norm z);
+  check_float "arg" (Float.atan2 4. 3.) (Ec.arg z);
+  ef_approx "re" (Ef.of_float 3.) (Ec.re z);
+  ef_approx "im" (Ef.of_float 4.) (Ec.im z)
+
+(* --- properties --- *)
+
+let finite_float =
+  QCheck2.Gen.map
+    (fun (m, e) -> Float.ldexp m e)
+    QCheck2.Gen.(pair (float_range (-1.) 1.) (int_range (-60) 60))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"extfloat roundtrip" ~count:500 finite_float (fun x ->
+      Ef.to_float (Ef.of_float x) = x)
+
+let prop_add_commutes =
+  QCheck2.Test.make ~name:"extfloat add commutes" ~count:500
+    QCheck2.Gen.(pair finite_float finite_float)
+    (fun (x, y) ->
+      let a = Ef.of_float x and b = Ef.of_float y in
+      Ef.equal (Ef.add a b) (Ef.add b a))
+
+let prop_mul_matches_float =
+  QCheck2.Test.make ~name:"extfloat mul matches double (in range)" ~count:500
+    QCheck2.Gen.(pair finite_float finite_float)
+    (fun (x, y) ->
+      let p = Ef.to_float (Ef.mul (Ef.of_float x) (Ef.of_float y)) in
+      Cx.approx_equal ~rel:1e-15 { Complex.re = p; im = 0. }
+        { Complex.re = x *. y; im = 0. })
+
+let prop_log10_consistent =
+  QCheck2.Test.make ~name:"extfloat log10 vs decimal exponent" ~count:500
+    QCheck2.Gen.(pair (float_range 1. 9.99) (int_range (-600) 600))
+    (fun (d, k) ->
+      let x = Ef.of_decimal d k in
+      Float.abs (Ef.log10_abs x -. (Float.log10 d +. float_of_int k)) < 1e-9)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_add_commutes; prop_mul_matches_float; prop_log10_consistent ]
+
+let suite =
+  [
+    ( "extfloat",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "normalisation" `Quick test_normalisation;
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "out-of-double range" `Quick test_out_of_double_range;
+        Alcotest.test_case "pow_int" `Quick test_pow_int;
+        Alcotest.test_case "compare" `Quick test_compare;
+        Alcotest.test_case "to_decimal" `Quick test_to_decimal;
+        Alcotest.test_case "to_string" `Quick test_to_string;
+        Alcotest.test_case "invalid inputs" `Quick test_invalid;
+      ]
+      @ props );
+    ( "extcomplex",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_ec_roundtrip;
+        Alcotest.test_case "arithmetic" `Quick test_ec_arith;
+        Alcotest.test_case "extended range" `Quick test_ec_extended_range;
+        Alcotest.test_case "norm and arg" `Quick test_ec_norm_arg;
+      ] );
+  ]

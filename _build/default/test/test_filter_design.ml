@@ -1,0 +1,138 @@
+(* Filter synthesis against the textbook response shapes. *)
+
+module Fd = Symref_circuit.Filter_design
+module Biquad = Symref_circuit.Biquad
+module Nodal = Symref_mna.Nodal
+module Reference = Symref_core.Reference
+module Rational = Symref_core.Rational
+module Poles = Symref_core.Poles
+module Grid = Symref_numeric.Grid
+module Cx = Symref_numeric.Cx
+
+let check_rel msg want got tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.6g vs %.6g" msg got want)
+    true
+    (Float.abs (got -. want) <= tol *. Float.abs want)
+
+let reference_of kind order f_cut =
+  Reference.generate
+    (Fd.realize kind ~order ~f_cut_hz:f_cut)
+    ~input:(Nodal.Vsrc_element "vin")
+    ~output:(Nodal.Out_node "out")
+
+let mag r f =
+  Complex.norm (Reference.eval r { Complex.re = 0.; im = 2. *. Float.pi *. f })
+
+let test_butterworth_magnitude () =
+  List.iter
+    (fun order ->
+      let fc = 1e6 in
+      let r = reference_of Fd.Butterworth order fc in
+      List.iter
+        (fun f ->
+          let want = 1. /. Float.sqrt (1. +. ((f /. fc) ** (2. *. float_of_int order))) in
+          check_rel
+            (Printf.sprintf "order %d at %g Hz" order f)
+            want (mag r f) 2e-3)
+        [ 1e4; 5e5; 1e6; 2e6; 1e7 ])
+    [ 2; 3; 5 ]
+
+let test_chebyshev_ripple () =
+  let ripple_db = 1. in
+  let fc = 1e6 in
+  let order = 5 in
+  let r = reference_of (Fd.Chebyshev ripple_db) order fc in
+  let floor_gain = 10. ** (-.ripple_db /. 20.) in
+  (* Passband: |H| oscillates between floor and 1, never outside. *)
+  Array.iter
+    (fun f ->
+      let m = mag r f in
+      Alcotest.(check bool)
+        (Printf.sprintf "in-band |H| at %g Hz (%.4f)" f m)
+        true
+        (m >= floor_gain *. 0.999 && m <= 1.001))
+    (Grid.linspace 1e4 9.99e5 40);
+  (* Band edge sits at the ripple floor (odd order: |H(0)| = 1). *)
+  check_rel "edge gain" floor_gain (mag r fc) 1e-3;
+  check_rel "dc gain" 1. (mag r 1.) 1e-3;
+  (* Equiripple: the passband minimum is attained well inside the band. *)
+  let interior_min =
+    Array.fold_left
+      (fun acc f -> Float.min acc (mag r f))
+      infinity
+      (Grid.linspace 1e4 9e5 60)
+  in
+  check_rel "interior touches the floor" floor_gain interior_min 5e-3
+
+let test_chebyshev_sharper_than_butterworth () =
+  let fc = 1e6 and order = 5 in
+  let b = reference_of Fd.Butterworth order fc in
+  let c = reference_of (Fd.Chebyshev 1.) order fc in
+  Alcotest.(check bool) "chebyshev falls faster" true (mag c (3. *. fc) < mag b (3. *. fc))
+
+let test_bessel_flat_delay () =
+  let fc = 1e6 and order = 5 in
+  let r = reference_of Fd.Bessel order fc in
+  (* -3 dB at the cutoff by construction. *)
+  check_rel "-3dB point" (1. /. Float.sqrt 2.) (mag r fc) 5e-3;
+  (* Maximally flat delay: in-band group delay varies by < 3%. *)
+  let t = Rational.of_reference r in
+  let d0 = Rational.group_delay t ~freq_hz:(fc /. 100.) in
+  let d_half = Rational.group_delay t ~freq_hz:(fc /. 2.) in
+  check_rel "flat group delay to fc/2" d0 d_half 0.03;
+  (* Butterworth of the same order is visibly worse. *)
+  let bt = Rational.of_reference (reference_of Fd.Butterworth order fc) in
+  let bd0 = Rational.group_delay bt ~freq_hz:(fc /. 100.) in
+  let bd_half = Rational.group_delay bt ~freq_hz:(fc /. 2.) in
+  Alcotest.(check bool) "butterworth delay varies more" true
+    (Float.abs (bd_half -. bd0) /. bd0 > Float.abs (d_half -. d0) /. d0 *. 2.)
+
+let test_sections_structure () =
+  (* Odd order: one first-order section; highest Q last. *)
+  let secs = Fd.sections Fd.Butterworth ~order:5 ~f_cut_hz:1e6 in
+  Alcotest.(check int) "three sections" 3 (List.length secs);
+  let firsts =
+    List.filter (function Fd.First_order _ -> true | Fd.Second_order _ -> false) secs
+  in
+  Alcotest.(check int) "one real pole" 1 (List.length firsts);
+  let qs =
+    List.filter_map
+      (function Fd.Second_order d -> Some d.Biquad.q | Fd.First_order _ -> None)
+      secs
+  in
+  Alcotest.(check bool) "ascending Q" true (List.sort Float.compare qs = qs);
+  (* Butterworth order-5 Q values: 0.618 and 1.618 (the golden ratio!). *)
+  match qs with
+  | [ q1; q2 ] ->
+      check_rel "q1" 0.6180 q1 1e-3;
+      check_rel "q2" 1.6180 q2 1e-3
+  | _ -> Alcotest.fail "expected two biquads"
+
+let test_poles_extracted_match_prototype () =
+  let order = 4 and fc = 2e6 in
+  let r = reference_of (Fd.Chebyshev 0.5) order fc in
+  let a = Poles.analyse r in
+  let designed =
+    Array.map
+      (fun (p : Complex.t) -> Cx.scale (2. *. Float.pi *. fc) p)
+      (Fd.prototype_poles (Fd.Chebyshev 0.5) ~order)
+  in
+  let key (p : Complex.t) = (Float.round (p.re /. 1e2), Float.round (Float.abs p.im /. 1e2)) in
+  let sort a = List.sort compare (Array.to_list (Array.map key a)) in
+  Alcotest.(check bool) "pole sets match" true (sort a.Poles.poles = sort designed)
+
+let suite =
+  [
+    ( "filter-design",
+      [
+        Alcotest.test_case "butterworth magnitude" `Quick test_butterworth_magnitude;
+        Alcotest.test_case "chebyshev ripple" `Quick test_chebyshev_ripple;
+        Alcotest.test_case "chebyshev selectivity" `Quick
+          test_chebyshev_sharper_than_butterworth;
+        Alcotest.test_case "bessel flat delay" `Quick test_bessel_flat_delay;
+        Alcotest.test_case "section structure" `Quick test_sections_structure;
+        Alcotest.test_case "extracted poles match prototype" `Quick
+          test_poles_extracted_match_prototype;
+      ] );
+  ]

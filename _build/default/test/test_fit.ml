@@ -1,0 +1,89 @@
+(* Rational fitting: recover known models from sampled responses. *)
+
+module Fit = Symref_core.Fit
+module Rational = Symref_core.Rational
+module Reference = Symref_core.Reference
+module Nodal = Symref_mna.Nodal
+module Ac = Symref_mna.Ac
+module Biquad = Symref_circuit.Biquad
+module Ladder = Symref_circuit.Rc_ladder
+module Grid = Symref_numeric.Grid
+module Cx = Symref_numeric.Cx
+
+let sample_model model freqs =
+  Array.map
+    (fun f -> Rational.eval model { Complex.re = 0.; im = 2. *. Float.pi *. f })
+    freqs
+
+let test_fit_biquad () =
+  (* Sample a known 2nd-order lowpass from its reference model, fit, and
+     compare poles. *)
+  let d = { Biquad.f0_hz = 1e6; q = 1.2; gm = 40e-6 } in
+  let c = Biquad.cascade [ d ] in
+  let r =
+    Reference.generate c ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node "out")
+  in
+  let truth = Rational.of_reference r in
+  let freqs = Grid.logspace 1e4 1e8 40 in
+  let values = sample_model truth freqs in
+  let fit = Fit.rational ~num_degree:0 ~den_degree:2 ~freqs_hz:freqs values in
+  Alcotest.(check bool)
+    (Printf.sprintf "fit error %.2e" fit.Fit.max_relative_error)
+    true
+    (fit.Fit.max_relative_error < 1e-6);
+  let got = Rational.decompose fit.Fit.model in
+  let want = Rational.decompose truth in
+  let key (p : Complex.t) = (Float.round (p.re /. 1e3), Float.round (Float.abs p.im /. 1e3)) in
+  let sort a = List.sort compare (Array.to_list (Array.map key a)) in
+  Alcotest.(check bool) "poles recovered" true
+    (sort got.Rational.poles = sort want.Rational.poles)
+
+let test_fit_ac_sweep () =
+  (* Fit the AC simulator's sweep of a 3-section ladder and cross-check
+     against the adaptive references: two entirely different routes to the
+     same rational function. *)
+  let c = Ladder.circuit 3 in
+  let freqs = Grid.logspace 1e5 1e10 50 in
+  let values = Ac.transfer c ~out_p:Ladder.output_node freqs in
+  let fit = Fit.rational ~num_degree:0 ~den_degree:3 ~freqs_hz:freqs values in
+  Alcotest.(check bool)
+    (Printf.sprintf "fit error %.2e" fit.Fit.max_relative_error)
+    true
+    (fit.Fit.max_relative_error < 1e-6);
+  let r =
+    Reference.generate c ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node)
+  in
+  List.iter
+    (fun f ->
+      let a = Rational.eval fit.Fit.model { Complex.re = 0.; im = 2. *. Float.pi *. f } in
+      let b = Reference.eval r { Complex.re = 0.; im = 2. *. Float.pi *. f } in
+      Alcotest.(check bool)
+        (Printf.sprintf "model = reference at %g Hz" f)
+        true
+        (Cx.approx_equal ~rel:1e-5 a b))
+    [ 1e6; 1e8; 3e9 ]
+
+let test_fit_validation () =
+  let freqs = [| 1.; 10. |] and values = [| Complex.one; Complex.one |] in
+  Alcotest.(check bool) "too few samples" true
+    (try
+       ignore (Fit.rational ~num_degree:2 ~den_degree:2 ~freqs_hz:freqs values);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad degree" true
+    (try
+       ignore (Fit.rational ~num_degree:0 ~den_degree:0 ~freqs_hz:freqs values);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "fit",
+      [
+        Alcotest.test_case "biquad pole recovery" `Quick test_fit_biquad;
+        Alcotest.test_case "ac sweep vs references" `Quick test_fit_ac_sweep;
+        Alcotest.test_case "validation" `Quick test_fit_validation;
+      ] );
+  ]

@@ -1,0 +1,120 @@
+(* Butterworth LC ladders: closed-form magnitude response and pole geometry,
+   through the gyrator transformation and the reference generator. *)
+
+module Lc = Symref_circuit.Lc_ladder
+module N = Symref_circuit.Netlist
+module Nodal = Symref_mna.Nodal
+module Ac = Symref_mna.Ac
+module Reference = Symref_core.Reference
+module Poles = Symref_core.Poles
+module Cx = Symref_numeric.Cx
+
+let check_rel msg want got tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.6g vs %.6g" msg got want)
+    true
+    (Float.abs (got -. want) <= tol *. Float.abs want)
+
+(* |H(jw)|^2 of an order-n doubly-terminated Butterworth with equal
+   terminations: (1/4) / (1 + (w/wc)^(2n)). *)
+let butterworth_mag n f f_cut =
+  0.5 /. Float.sqrt (1. +. ((f /. f_cut) ** (2. *. float_of_int n)))
+
+let test_ac_matches_closed_form () =
+  List.iter
+    (fun n ->
+      let c = Lc.butterworth n in
+      List.iter
+        (fun f ->
+          let h = (Ac.transfer c ~out_p:Lc.output_node [| f |]).(0) in
+          check_rel
+            (Printf.sprintf "order %d at %g Hz" n f)
+            (butterworth_mag n f 1e6)
+            (Complex.norm h) 2e-3)
+        [ 1e3; 5e5; 1e6; 2e6; 1e7 ])
+    [ 1; 2; 3; 5; 7 ]
+
+let test_transformed_matches_lc () =
+  List.iter
+    (fun n ->
+      let lc = Lc.butterworth n and nodal = Lc.nodal n in
+      Alcotest.(check bool)
+        (Printf.sprintf "order %d nodal class" n)
+        true
+        (N.is_nodal_class (N.remove_element nodal "vin"));
+      let freqs = [| 1e4; 1e6; 3e6 |] in
+      let a = Ac.transfer lc ~out_p:Lc.output_node freqs in
+      let b = Ac.transfer nodal ~out_p:Lc.output_node freqs in
+      Array.iteri
+        (fun i va ->
+          Alcotest.(check bool)
+            (Printf.sprintf "order %d point %d" n i)
+            true
+            (Cx.approx_equal ~rel:1e-9 va b.(i)))
+        a)
+    [ 2; 4; 6 ]
+
+let test_pole_geometry () =
+  (* All n poles on the circle |p| = wc, strictly left half plane. *)
+  let n = 5 in
+  let r =
+    Reference.generate (Lc.nodal n) ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Lc.output_node)
+  in
+  let a = Poles.analyse r in
+  Alcotest.(check int) "n poles" n (Array.length a.Poles.poles);
+  Alcotest.(check bool) "stable" true a.Poles.stable;
+  let wc = 2. *. Float.pi *. 1e6 in
+  Array.iter
+    (fun (p : Complex.t) ->
+      check_rel "pole on the Butterworth circle" wc (Complex.norm p) 1e-4)
+    a.Poles.poles;
+  (* Butterworth angles: poles at exp(j pi (2k+n-1)/(2n)). *)
+  let angles =
+    Array.map (fun (p : Complex.t) -> Complex.arg p) a.Poles.poles
+    |> Array.to_list
+    |> List.sort Float.compare
+  in
+  let expected =
+    List.init n (fun k ->
+        let th = Float.pi *. (2. *. float_of_int k +. float_of_int n +. 1.) /. (2. *. float_of_int n) in
+        (* wrap into (-pi, pi] *)
+        let th = if th > Float.pi then th -. (2. *. Float.pi) else th in
+        th)
+    |> List.sort Float.compare
+  in
+  List.iter2
+    (fun got want ->
+      Alcotest.(check (float 1e-3)) "pole angle" want got)
+    angles expected
+
+let test_reference_matches_ac () =
+  let n = 6 in
+  let c = Lc.nodal n in
+  let r =
+    Reference.generate c ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Lc.output_node)
+  in
+  let freqs = [| 1e4; 1e6; 5e6 |] in
+  let ac = Ac.transfer c ~out_p:Lc.output_node freqs in
+  Array.iteri
+    (fun i f ->
+      let recon = Reference.eval r (Cx.jomega (2. *. Float.pi *. f)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "order-%d reference at %g Hz" n f)
+        true
+        (Cx.approx_equal ~rel:1e-5 ac.(i) recon))
+    freqs
+
+let suite =
+  [
+    ( "lc-ladder",
+      [
+        Alcotest.test_case "closed-form magnitude" `Quick test_ac_matches_closed_form;
+        Alcotest.test_case "gyrator transform equivalence" `Quick
+          test_transformed_matches_lc;
+        Alcotest.test_case "butterworth pole geometry" `Quick test_pole_geometry;
+        Alcotest.test_case "references on transformed ladder" `Quick
+          test_reference_matches_ac;
+      ] );
+  ]

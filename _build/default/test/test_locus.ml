@@ -1,0 +1,81 @@
+(* Pole-locus sweeps with known geometry. *)
+
+module Locus = Symref_core.Locus
+module Nodal = Symref_mna.Nodal
+module Biquad = Symref_circuit.Biquad
+module Ladder = Symref_circuit.Rc_ladder
+
+let check_rel msg want got tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.6g vs %.6g" msg got want)
+    true
+    (Float.abs (got -. want) <= tol *. Float.abs want)
+
+(* Tow-Thomas invariant: the damping transconductance gmq sets Q but not w0,
+   so sweeping it moves the poles along the w0 circle. *)
+let test_biquad_q_sweep () =
+  let d = { Biquad.f0_hz = 1e6; q = 1.0; gm = 40e-6 } in
+  let c = Biquad.cascade [ d ] in
+  let pts =
+    Locus.poles_vs_element c ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node "out") ~element:"b1.gmq"
+      ~factors:[| 0.5; 1.; 1.5; 1.9 |]
+  in
+  let w0 = 2. *. Float.pi *. 1e6 in
+  Array.iter
+    (fun (p : Locus.point) ->
+      Alcotest.(check int) "two poles" 2 (Array.length p.Locus.poles);
+      Array.iter
+        (fun pole ->
+          check_rel
+            (Printf.sprintf "|pole| = w0 at factor %g" p.Locus.factor)
+            w0 (Complex.norm pole) 1e-4)
+        p.Locus.poles;
+      (* Q = w0 / (2 |Re p|) = q_design / factor. *)
+      let q_measured = w0 /. (2. *. Float.abs p.Locus.poles.(0).Complex.re) in
+      check_rel
+        (Printf.sprintf "Q tracks 1/factor at %g" p.Locus.factor)
+        (1.0 /. p.Locus.factor) q_measured 1e-3;
+      (* DC gain of the lowpass is gm1/gm2 = 1, independent of gmq. *)
+      check_rel "dc gain invariant" 1. (Float.abs p.Locus.dc_gain) 1e-6)
+    pts
+
+(* RC ladder: scaling one capacitor by k moves poles continuously; at k = 1
+   the sweep must agree with the direct analysis, and every pole stays real
+   and negative throughout (RC networks cannot resonate). *)
+let test_ladder_cap_sweep () =
+  let c = Ladder.circuit 4 in
+  let pts =
+    Locus.poles_vs_element c ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node) ~element:"c2"
+      ~factors:[| 0.1; 1.; 10. |]
+  in
+  Array.iter
+    (fun (p : Locus.point) ->
+      Array.iter
+        (fun (pole : Complex.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "pole real and negative at factor %g" p.Locus.factor)
+            true
+            (pole.Complex.re < 0.
+            && Float.abs pole.Complex.im < 1e-6 *. Float.abs pole.Complex.re))
+        p.Locus.poles;
+      check_rel "unity dc gain" 1. p.Locus.dc_gain 1e-6)
+    pts
+
+let test_unknown_element () =
+  Alcotest.check_raises "unknown element" Not_found (fun () ->
+      ignore
+        (Locus.poles_vs_element (Ladder.circuit 2) ~input:(Nodal.Vsrc_element "vin")
+           ~output:(Nodal.Out_node Ladder.output_node) ~element:"nope"
+           ~factors:[| 1. |]))
+
+let suite =
+  [
+    ( "locus",
+      [
+        Alcotest.test_case "biquad Q sweep on the w0 circle" `Quick test_biquad_q_sweep;
+        Alcotest.test_case "ladder cap sweep stays real" `Quick test_ladder_cap_sweep;
+        Alcotest.test_case "unknown element" `Quick test_unknown_element;
+      ] );
+  ]

@@ -1,0 +1,73 @@
+(* Nested-form compaction: value-preserving, operation-reducing. *)
+
+module Nested = Symref_symbolic.Nested
+module Sdet = Symref_symbolic.Sdet
+module Sym = Symref_symbolic.Sym
+module Nodal = Symref_mna.Nodal
+module Ota = Symref_circuit.Ota
+module Ladder = Symref_circuit.Rc_ladder
+module Cx = Symref_numeric.Cx
+
+let check_same_value msg expr points =
+  let nested = Nested.nest expr in
+  List.iter
+    (fun s ->
+      let flat = Sym.eval expr s in
+      let nest = Nested.eval nested s in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s at %s: %s vs %s" msg (Cx.to_string s) (Cx.to_string flat)
+           (Cx.to_string nest))
+        true
+        (Cx.approx_equal ~rel:1e-9 ~abs:1e-300 flat nest))
+    points
+
+let points = [ Complex.zero; Cx.jomega 1e6; Cx.make (-2e5) 7e5 ]
+
+let test_value_preserved_ladder () =
+  let nf =
+    Sdet.network_function (Ladder.circuit 3) ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node)
+  in
+  check_same_value "ladder den" nf.Sdet.den points;
+  check_same_value "ladder num" nf.Sdet.num points
+
+let test_value_preserved_ota () =
+  let nf =
+    Sdet.network_function Ota.circuit
+      ~input:(Nodal.V_diff (Ota.input_p, Ota.input_n))
+      ~output:(Nodal.Out_node Ota.output)
+  in
+  check_same_value "ota den (1244 terms)" nf.Sdet.den points
+
+let test_operation_reduction () =
+  let nf =
+    Sdet.network_function Ota.circuit
+      ~input:(Nodal.V_diff (Ota.input_p, Ota.input_n))
+      ~output:(Nodal.Out_node Ota.output)
+  in
+  let flat = Nested.expanded_operations nf.Sdet.den in
+  let nested = Nested.operations (Nested.nest nf.Sdet.den) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ops reduced: %d -> %d" flat nested)
+    true
+    (nested * 2 < flat)
+
+let test_to_string () =
+  let g n v = Sym.of_symbol (Sym.symbol ~name:n ~value:v Sym.Conductance) in
+  (* a*b + a*c -> a*(b + c) *)
+  let e = Sym.add (Sym.mul (g "a" 1.) (g "b" 2.)) (Sym.mul (g "a" 1.) (g "c" 3.)) in
+  let s = Nested.to_string (Nested.nest e) in
+  Alcotest.(check string) "factored string" "a*(b + c)" s;
+  Alcotest.(check int) "2 ops" 2 (Nested.operations (Nested.nest e));
+  Alcotest.(check int) "3 ops expanded" 3 (Nested.expanded_operations e)
+
+let suite =
+  [
+    ( "nested",
+      [
+        Alcotest.test_case "value preserved (ladder)" `Quick test_value_preserved_ladder;
+        Alcotest.test_case "value preserved (ota)" `Quick test_value_preserved_ota;
+        Alcotest.test_case "operation reduction" `Quick test_operation_reduction;
+        Alcotest.test_case "factored printing" `Quick test_to_string;
+      ] );
+  ]

@@ -1,0 +1,176 @@
+(* Regression tests that pin the paper-shape claims of EXPERIMENTS.md:
+   which method fails where, how the adaptive bands progress on the uA741,
+   what the reduction saves, and what simultaneous scaling avoids.  These are
+   the repository's contract with the paper. *)
+
+module Nodal = Symref_mna.Nodal
+module Ac = Symref_mna.Ac
+module N = Symref_circuit.Netlist
+module Ota = Symref_circuit.Ota
+module Ua741 = Symref_circuit.Ua741
+module Evaluator = Symref_core.Evaluator
+module Naive = Symref_core.Naive
+module Fixed_scale = Symref_core.Fixed_scale
+module Adaptive = Symref_core.Adaptive
+module Reference = Symref_core.Reference
+module Band = Symref_core.Band
+module Scaling = Symref_core.Scaling
+module Ef = Symref_numeric.Extfloat
+
+let ota_problem () =
+  Nodal.make Ota.circuit
+    ~input:(Nodal.V_diff (Ota.input_p, Ota.input_n))
+    ~output:(Nodal.Out_node Ota.output)
+
+let ua741_den () =
+  let r =
+    Reference.generate Ua741.circuit
+      ~input:(Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+      ~output:(Nodal.Out_node Ua741.output)
+  in
+  r.Reference.den
+
+(* T1a: the naive method validates only the lowest orders and produces
+   complex garbage above them. *)
+let test_t1a_shape () =
+  let p = ota_problem () in
+  let den = Naive.run (Evaluator.of_nodal p ~num:false) in
+  (match den.Naive.band with
+  | None -> Alcotest.fail "expected some valid coefficients"
+  | Some b ->
+      Alcotest.(check int) "only s^0 valid" 0 b.Band.hi);
+  Alcotest.(check bool) "imaginary garbage present" true
+    (Naive.garbage_fraction den > 0.15)
+
+(* T1b: the fixed scale rescues this low-order circuit completely. *)
+let test_t1b_shape () =
+  let p = ota_problem () in
+  let r = Fixed_scale.run ~f:1e9 (Evaluator.of_nodal p ~num:false) in
+  match r.Fixed_scale.band with
+  | Some b -> Alcotest.(check int) "full band" 4 (b.Band.hi - b.Band.lo)
+  | None -> Alcotest.fail "expected a band"
+
+(* T2a-T3: three productive bands in ascending-then-low order, covering
+   everything, ~45th order, < 50 LU evaluations. *)
+let test_t2_t3_shape () =
+  let den = ua741_den () in
+  Alcotest.(check bool) "order ~48" true
+    (den.Adaptive.effective_order >= 40 && den.Adaptive.effective_order <= 50);
+  let productive =
+    List.filter_map
+      (fun p -> if p.Adaptive.fresh > 0 then p.Adaptive.band else None)
+      den.Adaptive.reports
+  in
+  Alcotest.(check int) "three productive bands" 3 (List.length productive);
+  (match productive with
+  | [ b1; b2; b3 ] ->
+      (* First band in the middle, second above it, third at the bottom —
+         the paper's trajectory (it starts at p0 only because its mean
+         heuristic lands lower; the shape is bands that tile the range). *)
+      Alcotest.(check bool) "b2 above b1" true (b2.Band.lo > b1.Band.hi);
+      Alcotest.(check bool) "b3 below b1" true (b3.Band.hi < b1.Band.lo);
+      Alcotest.(check int) "tiling starts at 0" 0 b3.Band.lo;
+      Alcotest.(check bool) "bands contiguous" true
+        (b2.Band.lo = b1.Band.hi + 1 && b3.Band.hi = b1.Band.lo - 1)
+  | _ -> Alcotest.fail "expected exactly three bands");
+  Alcotest.(check bool)
+    (Printf.sprintf "conjugate symmetry keeps LU count low (%d)" den.Adaptive.evaluations)
+    true
+    (den.Adaptive.evaluations < 60)
+
+(* CPU: with reduction the per-pass point count is strictly decreasing over
+   the productive passes; without it, constant. *)
+let test_cpu_shape () =
+  let problem () =
+    Nodal.make Ua741.circuit
+      ~input:(Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+      ~output:(Nodal.Out_node Ua741.output)
+  in
+  let run reduce =
+    let config = { Adaptive.default_config with Adaptive.reduce } in
+    Adaptive.run ~config (Evaluator.of_nodal (problem ()) ~num:false)
+  in
+  let reduced = run true and full = run false in
+  let points r =
+    List.filter_map
+      (fun p -> if p.Adaptive.fresh > 0 then Some p.Adaptive.points else None)
+      r.Adaptive.reports
+  in
+  (match points reduced with
+  | [ a; b; c ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "decreasing points %d > %d > %d" a b c)
+        true
+        (a > b && b > c)
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 productive passes, got %d" (List.length l)));
+  List.iter
+    (fun p -> Alcotest.(check int) "constant points without reduction" 47 p)
+    (points full);
+  Alcotest.(check bool)
+    (Printf.sprintf "reduction saves LU work (%d vs %d)" reduced.Adaptive.evaluations
+       full.Adaptive.evaluations)
+    true
+    (full.Adaptive.evaluations > reduced.Adaptive.evaluations * 2);
+  (* Both deliver the same coefficients. *)
+  Array.iteri
+    (fun i c ->
+      if reduced.Adaptive.established.(i) && full.Adaptive.established.(i) then
+        Alcotest.(check bool)
+          (Printf.sprintf "coeff %d agrees" i)
+          true
+          (Ef.approx_equal ~rel:1e-5 c full.Adaptive.coeffs.(i)))
+    reduced.Adaptive.coeffs
+
+(* X1: frequency-only scaling needs far larger factors. *)
+let test_x1_shape () =
+  let run policy =
+    let config = { Adaptive.default_config with Adaptive.scaling_policy = policy } in
+    let r =
+      Adaptive.run ~config
+        (Evaluator.of_nodal
+           (Nodal.make Ua741.circuit
+              ~input:(Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+              ~output:(Nodal.Out_node Ua741.output))
+           ~num:false)
+    in
+    List.fold_left
+      (fun acc p -> Float.max acc p.Adaptive.scale.Scaling.f)
+      0. r.Adaptive.reports
+  in
+  let split = run `Split and fonly = run `Frequency_only in
+  Alcotest.(check bool)
+    (Printf.sprintf "frequency-only (%.2g) needs >10x the factors of split (%.2g)"
+       fonly split)
+    true
+    (fonly > split *. 10.)
+
+(* F2: the reconstructed Bode matches the independent simulator. *)
+let test_f2_shape () =
+  let r =
+    Reference.generate Ua741.circuit
+      ~input:(Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+      ~output:(Nodal.Out_node Ua741.output)
+  in
+  let freqs = Symref_numeric.Grid.decades ~start:1. ~stop:1e8 ~per_decade:3 in
+  let with_sources =
+    N.extend Ua741.circuit (fun b ->
+        N.Builder.vsrc b "_p" ~p:Ua741.input_p ~m:"0" 0.5;
+        N.Builder.vsrc b "_m" ~p:Ua741.input_n ~m:"0" (-0.5))
+  in
+  let sim = Ac.bode with_sources ~out_p:Ua741.output freqs in
+  let dmag, dph = Reference.bode_vs_simulator r sim in
+  Alcotest.(check bool) (Printf.sprintf "dmag %.2e" dmag) true (dmag < 1e-3);
+  Alcotest.(check bool) (Printf.sprintf "dph %.2e" dph) true (dph < 1e-2)
+
+let suite =
+  [
+    ( "paper-shape",
+      [
+        Alcotest.test_case "T1a: naive failure" `Quick test_t1a_shape;
+        Alcotest.test_case "T1b: fixed-scale rescue" `Quick test_t1b_shape;
+        Alcotest.test_case "T2a-T3: band progression" `Quick test_t2_t3_shape;
+        Alcotest.test_case "CPU: reduction shape" `Quick test_cpu_shape;
+        Alcotest.test_case "X1: scaling policy" `Quick test_x1_shape;
+        Alcotest.test_case "F2: bode agreement" `Quick test_f2_shape;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+(* Unit and property tests for Poly and Epoly. *)
+
+module Poly = Symref_poly.Poly
+module Epoly = Symref_poly.Epoly
+module Ef = Symref_numeric.Extfloat
+module Ec = Symref_numeric.Extcomplex
+module Cx = Symref_numeric.Cx
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_construction () =
+  let p = Poly.of_list [ 1.; 2.; 0.; 0. ] in
+  Alcotest.(check int) "trimmed degree" 1 (Poly.degree p);
+  Alcotest.(check int) "zero degree" (-1) (Poly.degree Poly.zero);
+  check_float "coeff in range" 2. (Poly.coeff p 1);
+  check_float "coeff beyond degree" 0. (Poly.coeff p 7)
+
+let test_arith () =
+  let a = Poly.of_list [ 1.; 1. ] (* 1 + s *)
+  and b = Poly.of_list [ -1.; 1. ] (* -1 + s *) in
+  Alcotest.(check bool) "product is s^2 - 1" true
+    (Poly.equal (Poly.mul a b) (Poly.of_list [ -1.; 0.; 1. ]));
+  Alcotest.(check bool) "sum" true
+    (Poly.equal (Poly.add a b) (Poly.of_list [ 0.; 2. ]));
+  Alcotest.(check bool) "cancelling sub trims" true
+    (Poly.is_zero (Poly.sub a a));
+  Alcotest.(check bool) "monomial shift" true
+    (Poly.equal (Poly.mul_monomial a 2) (Poly.of_list [ 0.; 0.; 1.; 1. ]))
+
+let test_eval () =
+  let p = Poly.of_list [ 1.; -3.; 2. ] in
+  check_float "horner real" (1. -. 9. +. 18.) (Poly.eval p 3.);
+  let z = Poly.eval_complex p Cx.j in
+  (* 1 - 3j + 2 j^2 = -1 - 3j *)
+  check_float "horner complex re" (-1.) z.Complex.re;
+  check_float "horner complex im" (-3.) z.Complex.im
+
+let test_scale_var () =
+  let p = Poly.of_list [ 1.; 1.; 1. ] in
+  let q = Poly.scale_var p 10. in
+  Alcotest.(check bool) "s -> 10s" true
+    (Poly.equal q (Poly.of_list [ 1.; 10.; 100. ]));
+  check_float "eval consistency" (Poly.eval p 30.) (Poly.eval q 3.)
+
+let test_derivative_roots () =
+  let p = Poly.of_roots [ 1.; 2. ] in
+  Alcotest.(check bool) "(s-1)(s-2)" true
+    (Poly.equal p (Poly.of_list [ 2.; -3.; 1. ]));
+  Alcotest.(check bool) "derivative" true
+    (Poly.equal (Poly.derivative p) (Poly.of_list [ -3.; 2. ]))
+
+let test_epoly_eval () =
+  let p = Epoly.of_floats [| 1.; -3.; 2. |] in
+  let v = Epoly.eval p (Ec.of_complex { Complex.re = 3.; im = 0. }) in
+  check_float "matches float horner" 10. (Ef.to_float (Ec.re v));
+  let vj = Epoly.eval_jomega p 1. in
+  check_float "jomega re" (-1.) (Ef.to_float (Ec.re vj));
+  check_float "jomega im" (-3.) (Ef.to_float (Ec.im vj))
+
+let test_epoly_extended () =
+  (* Coefficients spanning 600 decades must evaluate without under/overflow:
+     p(s) = 1e-300 + 1e300 * s at s = 1e-300 gives ~1 + 1e-300 ~ 1. *)
+  let p = Epoly.of_coeffs [| Ef.of_decimal 1. (-300); Ef.of_decimal 1. 300 |] in
+  let v = Epoly.eval p (Ec.of_extfloat (Ef.of_decimal 1. (-300))) in
+  check_float "no underflow" 1. (Ef.to_float (Ec.re v));
+  let m = Epoly.max_abs_coeff p in
+  check_float "max coeff" 300. (Ef.log10_abs m)
+
+let test_epoly_scale_var () =
+  let p = Epoly.of_floats [| 2.; 3.; 4. |] in
+  let q = Epoly.scale_var p (Ef.of_float 100.) in
+  Alcotest.(check bool) "coefficients gain a^i" true
+    (Epoly.approx_equal q (Epoly.of_floats [| 2.; 300.; 40000. |]))
+
+let test_epoly_arith () =
+  let a = Epoly.of_floats [| 1.; 1. |] and b = Epoly.of_floats [| -1.; 1. |] in
+  Alcotest.(check bool) "mul" true
+    (Epoly.approx_equal (Epoly.mul a b) (Epoly.of_floats [| -1.; 0.; 1. |]));
+  Alcotest.(check bool) "sub trims" true (Epoly.is_zero (Epoly.sub a a));
+  Alcotest.(check int) "degree after add" 1 (Epoly.degree (Epoly.add a b))
+
+let small_poly_gen =
+  QCheck2.Gen.(
+    map
+      (fun l -> Poly.of_list l)
+      (list_size (int_range 0 8) (float_range (-10.) 10.)))
+
+let prop_eval_add_linear =
+  QCheck2.Test.make ~name:"eval of sum = sum of evals" ~count:200
+    QCheck2.Gen.(triple small_poly_gen small_poly_gen (float_range (-2.) 2.))
+    (fun (a, b, x) ->
+      let lhs = Poly.eval (Poly.add a b) x in
+      let rhs = Poly.eval a x +. Poly.eval b x in
+      Float.abs (lhs -. rhs) <= 1e-6 *. Float.max 1. (Float.abs rhs))
+
+let prop_eval_mul =
+  QCheck2.Test.make ~name:"eval of product = product of evals" ~count:200
+    QCheck2.Gen.(triple small_poly_gen small_poly_gen (float_range (-2.) 2.))
+    (fun (a, b, x) ->
+      let lhs = Poly.eval (Poly.mul a b) x in
+      let rhs = Poly.eval a x *. Poly.eval b x in
+      Float.abs (lhs -. rhs) <= 1e-6 *. Float.max 1. (Float.abs rhs))
+
+let prop_epoly_matches_poly =
+  QCheck2.Test.make ~name:"epoly eval matches poly eval" ~count:200
+    QCheck2.Gen.(pair small_poly_gen (float_range (-2.) 2.))
+    (fun (p, x) ->
+      let ep = Epoly.of_poly p in
+      let v = Ef.to_float (Ec.re (Epoly.eval ep (Ec.of_complex { re = x; im = 0. }))) in
+      Float.abs (v -. Poly.eval p x) <= 1e-9 *. Float.max 1. (Float.abs (Poly.eval p x)))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_eval_add_linear; prop_eval_mul; prop_epoly_matches_poly ]
+
+let suite =
+  [
+    ( "poly",
+      [
+        Alcotest.test_case "construction" `Quick test_construction;
+        Alcotest.test_case "arithmetic" `Quick test_arith;
+        Alcotest.test_case "evaluation" `Quick test_eval;
+        Alcotest.test_case "scale_var" `Quick test_scale_var;
+        Alcotest.test_case "derivative/roots" `Quick test_derivative_roots;
+      ]
+      @ props );
+    ( "epoly",
+      [
+        Alcotest.test_case "evaluation" `Quick test_epoly_eval;
+        Alcotest.test_case "extended range" `Quick test_epoly_extended;
+        Alcotest.test_case "scale_var" `Quick test_epoly_scale_var;
+        Alcotest.test_case "arithmetic" `Quick test_epoly_arith;
+      ] );
+  ]

@@ -1,0 +1,173 @@
+(* Cross-cutting algebraic property tests (qcheck) for the numeric and
+   linear-algebra substrates. *)
+
+module Ef = Symref_numeric.Extfloat
+module Ec = Symref_numeric.Extcomplex
+module Epoly = Symref_poly.Epoly
+module Poly = Symref_poly.Poly
+module Dense = Symref_linalg.Dense
+module Sparse = Symref_linalg.Sparse
+module Units = Symref_spice.Units
+module Band = Symref_core.Band
+module Cx = Symref_numeric.Cx
+
+(* Extended floats across a huge dynamic range. *)
+let ef_gen =
+  QCheck2.Gen.(
+    map
+      (fun (d, k, neg) -> Ef.of_decimal (if neg then -.d else d) k)
+      (triple (float_range 1. 9.99) (int_range (-400) 400) bool))
+
+let ef_eq = Ef.approx_equal ~rel:1e-12
+
+let prop_mul_commutes =
+  QCheck2.Test.make ~name:"extfloat mul commutes across 800 decades" ~count:300
+    QCheck2.Gen.(pair ef_gen ef_gen)
+    (fun (a, b) -> ef_eq (Ef.mul a b) (Ef.mul b a))
+
+let prop_mul_associates =
+  QCheck2.Test.make ~name:"extfloat mul associates" ~count:300
+    QCheck2.Gen.(triple ef_gen ef_gen ef_gen)
+    (fun (a, b, c) -> ef_eq (Ef.mul (Ef.mul a b) c) (Ef.mul a (Ef.mul b c)))
+
+let prop_distributes =
+  (* Restricted to comparable magnitudes: distribution only holds when the
+     sum is not annihilated by the 60-bit alignment window. *)
+  let near_gen =
+    QCheck2.Gen.(
+      map
+        (fun (d1, d2, k) -> (Ef.of_decimal d1 k, Ef.of_decimal d2 k))
+        (triple (float_range 1. 9.99) (float_range 1. 9.99) (int_range (-300) 300)))
+  in
+  QCheck2.Test.make ~name:"extfloat distributes on comparable operands" ~count:300
+    QCheck2.Gen.(pair near_gen ef_gen)
+    (fun ((a, b), c) ->
+      ef_eq (Ef.mul c (Ef.add a b)) (Ef.add (Ef.mul c a) (Ef.mul c b)))
+
+let prop_div_inverse =
+  QCheck2.Test.make ~name:"extfloat division inverts multiplication" ~count:300
+    QCheck2.Gen.(pair ef_gen ef_gen)
+    (fun (a, b) -> ef_eq a (Ef.div (Ef.mul a b) b))
+
+let prop_pow_homomorphism =
+  QCheck2.Test.make ~name:"extfloat pow_int is a homomorphism" ~count:200
+    QCheck2.Gen.(triple ef_gen (int_range 0 12) (int_range 0 12))
+    (fun (a, m, n) -> ef_eq (Ef.pow_int a (m + n)) (Ef.mul (Ef.pow_int a m) (Ef.pow_int a n)))
+
+let prop_extcomplex_field =
+  let ec_gen =
+    QCheck2.Gen.(
+      map
+        (fun (re, im, k) ->
+          Ec.mul (Ec.of_complex { Complex.re; im }) (Ec.of_extfloat (Ef.of_decimal 1. k)))
+        (triple (float_range 0.1 2.) (float_range 0.1 2.) (int_range (-200) 200)))
+  in
+  QCheck2.Test.make ~name:"extcomplex a * b / b = a" ~count:300
+    QCheck2.Gen.(pair ec_gen ec_gen)
+    (fun (a, b) -> Ec.approx_equal ~rel:1e-10 a (Ec.div (Ec.mul a b) b))
+
+(* Polynomial identities at extended points. *)
+let epoly_gen =
+  QCheck2.Gen.(
+    map
+      (fun l -> Epoly.of_floats (Array.of_list l))
+      (list_size (int_range 1 6) (float_range (-3.) 3.)))
+
+let prop_epoly_ring =
+  QCheck2.Test.make ~name:"epoly (a+b)*c = a*c + b*c" ~count:200
+    QCheck2.Gen.(triple epoly_gen epoly_gen epoly_gen)
+    (fun (a, b, c) ->
+      Epoly.approx_equal ~rel:1e-9
+        (Epoly.mul (Epoly.add a b) c)
+        (Epoly.add (Epoly.mul a c) (Epoly.mul b c)))
+
+let prop_epoly_derivative_linear =
+  QCheck2.Test.make ~name:"epoly derivative is linear" ~count:200
+    QCheck2.Gen.(pair epoly_gen epoly_gen)
+    (fun (a, b) ->
+      Epoly.approx_equal ~rel:1e-9
+        (Epoly.derivative (Epoly.add a b))
+        (Epoly.add (Epoly.derivative a) (Epoly.derivative b)))
+
+let prop_epoly_scale_var_eval =
+  QCheck2.Test.make ~name:"epoly scale_var consistency" ~count:200
+    QCheck2.Gen.(triple epoly_gen (float_range 0.1 10.) (float_range (-2.) 2.))
+    (fun (p, a, x) ->
+      let lhs = Epoly.eval (Epoly.scale_var p (Ef.of_float a)) (Ec.of_complex { re = x; im = 0. }) in
+      let rhs = Epoly.eval p (Ec.of_complex { re = a *. x; im = 0. }) in
+      Ec.approx_equal ~rel:1e-9 lhs rhs)
+
+(* Sparse vs dense across densities. *)
+let prop_sparse_dense_solve =
+  let st = ref 7 in
+  let next () =
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !st /. float_of_int 0x40000000
+  in
+  QCheck2.Test.make ~name:"sparse solve = dense solve at any density" ~count:40
+    QCheck2.Gen.(pair (int_range 2 14) (float_range 0.1 1.))
+    (fun (n, density) ->
+      let a =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                if i = j then { Complex.re = 4. +. next (); im = next () }
+                else if next () < density then { Complex.re = next () -. 0.5; im = next () -. 0.5 }
+                else Complex.zero))
+      in
+      let b = Array.init n (fun i -> { Complex.re = next (); im = float_of_int i }) in
+      let sb = Sparse.create n in
+      Array.iteri
+        (fun i row ->
+          Array.iteri (fun j v -> if v <> Complex.zero then Sparse.add sb i j v) row)
+        a;
+      let xd = Dense.solve (Dense.factor a) b in
+      let xs = Sparse.solve (Sparse.factor sb) b in
+      Array.for_all2 (fun p q -> Cx.approx_equal ~rel:1e-7 ~abs:1e-9 p q) xd xs)
+
+(* Units round-trip. *)
+let prop_units_roundtrip =
+  QCheck2.Test.make ~name:"units format/parse roundtrip" ~count:300
+    QCheck2.Gen.(map (fun (d, k) -> d *. (10. ** float_of_int k))
+                   (pair (float_range 1. 9.99) (int_range (-14) 13)))
+    (fun v ->
+      match Units.parse (Units.format_si v) with
+      | Some got -> Float.abs (got -. v) <= 1e-4 *. Float.abs v
+      | None -> false)
+
+(* Band detection: raising sigma can only shrink the band. *)
+let prop_band_monotone =
+  let coeffs_gen =
+    QCheck2.Gen.(
+      map
+        (fun l -> Array.of_list (List.map (fun (d, k) -> Ec.of_extfloat (Ef.of_decimal d k)) l))
+        (list_size (int_range 2 20) (pair (float_range (-9.99) 9.99) (int_range (-20) 0))))
+  in
+  QCheck2.Test.make ~name:"band shrinks with sigma" ~count:200 coeffs_gen (fun coeffs ->
+      match
+        (Band.detect ~sigma:4 ~base:0 coeffs, Band.detect ~sigma:8 ~base:0 coeffs)
+      with
+      | Some loose, Some tight ->
+          tight.Band.lo >= loose.Band.lo && tight.Band.hi <= loose.Band.hi
+      | None, None -> true
+      | Some _, None -> true
+      | None, Some _ -> false)
+
+let suite =
+  [
+    ( "properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_mul_commutes;
+          prop_mul_associates;
+          prop_distributes;
+          prop_div_inverse;
+          prop_pow_homomorphism;
+          prop_extcomplex_field;
+          prop_epoly_ring;
+          prop_epoly_derivative_linear;
+          prop_epoly_scale_var_eval;
+          prop_sparse_dense_solve;
+          prop_units_roundtrip;
+          prop_band_monotone;
+        ] );
+  ]

@@ -1,0 +1,116 @@
+(* Randomised integration properties: on seed-generated nodal circuits the
+   adaptive references must agree with direct solves, be invariant to the
+   engine options, and respect the structural bounds. *)
+
+module Random_net = Symref_circuit.Random_net
+module N = Symref_circuit.Netlist
+module Nodal = Symref_mna.Nodal
+module Ac = Symref_mna.Ac
+module Reference = Symref_core.Reference
+module Adaptive = Symref_core.Adaptive
+module Epoly = Symref_poly.Epoly
+module Ef = Symref_numeric.Extfloat
+module Cx = Symref_numeric.Cx
+
+let problem_of seed nodes =
+  let circuit = Random_net.circuit ~seed ~nodes () in
+  let output = Nodal.Out_node (Random_net.output_node ~seed ~nodes) in
+  (circuit, Nodal.Vsrc_element "vin", output)
+
+let test_generator_properties () =
+  List.iter
+    (fun seed ->
+      let c = Random_net.circuit ~seed ~nodes:12 () in
+      Alcotest.(check bool) (Printf.sprintf "seed %d connected" seed) true
+        (N.is_connected c);
+      Alcotest.(check bool) (Printf.sprintf "seed %d caps" seed) true
+        (N.capacitor_count c >= 12);
+      (* Deterministic: same seed, same circuit. *)
+      let c' = Random_net.circuit ~seed ~nodes:12 () in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d reproducible" seed)
+        (N.element_count c) (N.element_count c'))
+    [ 1; 2; 42; 1000 ]
+
+let prop_reference_matches_direct =
+  QCheck2.Test.make ~name:"reference H = direct H on random circuits" ~count:25
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 3 14))
+    (fun (seed, nodes) ->
+      let circuit, input, output = problem_of seed nodes in
+      let r = Reference.generate circuit ~input ~output in
+      let problem = Nodal.make circuit ~input ~output in
+      List.for_all
+        (fun w ->
+          let direct = (Nodal.eval problem (Cx.jomega w)).Nodal.h in
+          let recon = Reference.eval r (Cx.jomega w) in
+          Cx.approx_equal ~rel:1e-4 ~abs:1e-12 direct recon)
+        [ 0.; 1e4; 1e6; 1e8; 1e10 ])
+
+let prop_reduce_invariance =
+  QCheck2.Test.make ~name:"reduction does not change references" ~count:12
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 3 10))
+    (fun (seed, nodes) ->
+      let circuit, input, output = problem_of seed nodes in
+      let with_reduce = Reference.generate circuit ~input ~output in
+      let config = { Adaptive.default_config with Adaptive.reduce = false } in
+      let without = Reference.generate ~config circuit ~input ~output in
+      Epoly.approx_equal ~rel:1e-4
+        (Reference.denominator with_reduce)
+        (Reference.denominator without))
+
+let prop_conj_symmetry_invariance =
+  QCheck2.Test.make ~name:"conjugate symmetry does not change references" ~count:12
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 3 10))
+    (fun (seed, nodes) ->
+      let circuit, input, output = problem_of seed nodes in
+      let a = Reference.generate circuit ~input ~output in
+      let config = { Adaptive.default_config with Adaptive.conj_symmetry = false } in
+      let b = Reference.generate ~config circuit ~input ~output in
+      Epoly.approx_equal ~rel:1e-6
+        (Reference.denominator a)
+        (Reference.denominator b)
+      && Epoly.approx_equal ~rel:1e-6 (Reference.numerator a) (Reference.numerator b))
+
+let prop_structural_bounds =
+  QCheck2.Test.make ~name:"effective order within structural bounds" ~count:20
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 3 14))
+    (fun (seed, nodes) ->
+      let circuit, input, output = problem_of seed nodes in
+      let r = Reference.generate circuit ~input ~output in
+      let problem = Nodal.make circuit ~input ~output in
+      let bound = Nodal.order_bound problem in
+      r.Reference.den.Adaptive.effective_order <= bound
+      && r.Reference.num.Adaptive.effective_order <= bound
+      && r.Reference.den.Adaptive.converged
+      && r.Reference.num.Adaptive.converged
+      && r.Reference.den.Adaptive.established.(0))
+
+let prop_ac_agrees =
+  QCheck2.Test.make ~name:"AC simulator = nodal evaluator on random circuits"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 3 14))
+    (fun (seed, nodes) ->
+      let circuit, input, output = problem_of seed nodes in
+      let problem = Nodal.make circuit ~input ~output in
+      let out_p = match output with Nodal.Out_node n -> n | _ -> assert false in
+      let freqs = [| 1e3; 1e7 |] in
+      let ac = Ac.transfer circuit ~out_p freqs in
+      ignore input;
+      Array.for_all2
+        (fun h f ->
+          let v = Nodal.eval problem (Cx.jomega (2. *. Float.pi *. f)) in
+          Cx.approx_equal ~rel:1e-6 ~abs:1e-15 h v.Nodal.h)
+        ac freqs)
+
+let suite =
+  [
+    ( "random-net",
+      [
+        Alcotest.test_case "generator properties" `Quick test_generator_properties;
+        QCheck_alcotest.to_alcotest prop_reference_matches_direct;
+        QCheck_alcotest.to_alcotest prop_reduce_invariance;
+        QCheck_alcotest.to_alcotest prop_conj_symmetry_invariance;
+        QCheck_alcotest.to_alcotest prop_structural_bounds;
+        QCheck_alcotest.to_alcotest prop_ac_agrees;
+      ] );
+  ]

@@ -1,0 +1,121 @@
+(* Tests for the rational-function analyses: partial fractions, time-domain
+   responses, group delay — against RC and second-order closed forms. *)
+
+module Rational = Symref_core.Rational
+module Reference = Symref_core.Reference
+module Nodal = Symref_mna.Nodal
+module Ladder = Symref_circuit.Rc_ladder
+module Biquad = Symref_circuit.Biquad
+module Epoly = Symref_poly.Epoly
+module Cx = Symref_numeric.Cx
+
+let check_rel msg want got tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.6g vs %.6g" msg got want)
+    true
+    (Float.abs (got -. want) <= (tol *. Float.abs want) +. 1e-12)
+
+let rc_reference () =
+  Reference.generate (Ladder.circuit 1) ~input:(Nodal.Vsrc_element "vin")
+    ~output:(Nodal.Out_node Ladder.output_node)
+
+let tau = 1e-9 (* RC of the 1-section default ladder *)
+
+let test_rc_modes () =
+  let t = Rational.of_reference (rc_reference ()) in
+  Alcotest.(check int) "deg num" 0 (Rational.degree_num t);
+  Alcotest.(check int) "deg den" 1 (Rational.degree_den t);
+  let m = Rational.decompose t in
+  Alcotest.(check int) "one pole" 1 (Array.length m.Rational.poles);
+  check_rel "pole at -1/tau" (-1. /. tau) m.Rational.poles.(0).Complex.re 1e-9;
+  (* H = (1/tau)/(s + 1/tau): residue 1/tau. *)
+  check_rel "residue" (1. /. tau) m.Rational.residues.(0).Complex.re 1e-9;
+  Alcotest.(check (float 1e-9)) "no direct term" 0. m.Rational.direct;
+  Alcotest.(check bool) "quality" true (m.Rational.quality < 1e-9)
+
+let test_rc_time_domain () =
+  let t = Rational.of_reference (rc_reference ()) in
+  let times = Array.init 6 (fun i -> float_of_int i *. tau /. 2.) in
+  let h = Rational.impulse_response t ~times in
+  let s = Rational.step_response t ~times in
+  Array.iteri
+    (fun i time ->
+      check_rel
+        (Printf.sprintf "impulse at %g" time)
+        (Float.exp (-.time /. tau) /. tau)
+        h.(i) 1e-6;
+      check_rel
+        (Printf.sprintf "step at %g" time)
+        (1. -. Float.exp (-.time /. tau))
+        s.(i) 1e-6)
+    times
+
+let test_rc_group_delay () =
+  let t = Rational.of_reference (rc_reference ()) in
+  (* tau(w) = RC / (1 + (w RC)^2): equals RC at DC, RC/2 at the corner. *)
+  check_rel "group delay at DC" tau (Rational.group_delay t ~freq_hz:1.) 1e-3;
+  let fc = 1. /. (2. *. Float.pi *. tau) in
+  check_rel "group delay at corner" (tau /. 2.)
+    (Rational.group_delay t ~freq_hz:fc)
+    1e-3
+
+let test_biquad_step_overshoot () =
+  (* Underdamped 2nd order: overshoot = exp(-pi zeta / sqrt(1-zeta^2)). *)
+  let q = 1.3 in
+  let d = { Biquad.f0_hz = 1e6; q; gm = 40e-6 } in
+  let c = Biquad.cascade [ d ] in
+  let r =
+    Reference.generate c ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node "out")
+  in
+  let t = Rational.of_reference r in
+  let w0 = 2. *. Float.pi *. 1e6 in
+  let times = Array.init 600 (fun i -> float_of_int i *. 0.02 /. w0 *. Float.pi) in
+  let s = Rational.step_response t ~times in
+  let peak = Array.fold_left Float.max neg_infinity s in
+  let zeta = 1. /. (2. *. q) in
+  let overshoot = Float.exp (-.Float.pi *. zeta /. Float.sqrt (1. -. (zeta *. zeta))) in
+  check_rel "overshoot" (1. +. overshoot) peak 0.01;
+  (* Settles to the DC gain (1). *)
+  let final = s.(Array.length s - 1) in
+  Alcotest.(check bool) "settling" true (Float.abs (final -. 1.) < 0.25)
+
+let test_improper_rejected () =
+  let t =
+    Rational.of_epolys ~num:(Epoly.of_floats [| 1.; 2.; 3. |])
+      ~den:(Epoly.of_floats [| 1.; 1. |])
+  in
+  Alcotest.(check bool) "improper raises" true
+    (try
+       ignore (Rational.decompose t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_direct_term () =
+  (* H = (s + 2)/(s + 1): direct 1, pole -1, residue (p+2)|_{p=-1} = 1. *)
+  let t =
+    Rational.of_epolys ~num:(Epoly.of_floats [| 2.; 1. |])
+      ~den:(Epoly.of_floats [| 1.; 1. |])
+  in
+  let m = Rational.decompose t in
+  Alcotest.(check (float 1e-9)) "direct" 1. m.Rational.direct;
+  check_rel "residue" 1. m.Rational.residues.(0).Complex.re 1e-9;
+  Alcotest.(check bool) "quality" true (m.Rational.quality < 1e-9);
+  (* Step response: H(0) + r/p e^{pt} = 2 - e^{-t}. *)
+  let s = Rational.step_response t ~times:[| 0.; 1.; 10. |] in
+  check_rel "s(0) = direct" 1. s.(0) 1e-9;
+  check_rel "s(1)" (2. -. Float.exp (-1.)) s.(1) 1e-9;
+  check_rel "s(inf)" 2. s.(2) 1e-3
+
+let suite =
+  [
+    ( "rational",
+      [
+        Alcotest.test_case "rc modes" `Quick test_rc_modes;
+        Alcotest.test_case "rc time domain" `Quick test_rc_time_domain;
+        Alcotest.test_case "rc group delay" `Quick test_rc_group_delay;
+        Alcotest.test_case "biquad overshoot" `Quick test_biquad_step_overshoot;
+        Alcotest.test_case "improper rejected" `Quick test_improper_rejected;
+        Alcotest.test_case "direct term" `Quick test_direct_term;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+(* String-level tests for the paper-style report printers. *)
+
+module Report = Symref_core.Report
+module Naive = Symref_core.Naive
+module Fixed_scale = Symref_core.Fixed_scale
+module Adaptive = Symref_core.Adaptive
+module Evaluator = Symref_core.Evaluator
+module Reference = Symref_core.Reference
+module Nodal = Symref_mna.Nodal
+module Ac = Symref_mna.Ac
+module N = Symref_circuit.Netlist
+module Ota = Symref_circuit.Ota
+module Ladder = Symref_circuit.Rc_ladder
+module Grid = Symref_numeric.Grid
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_contains msg hay needle =
+  Alcotest.(check bool) (Printf.sprintf "%s: output mentions %S" msg needle) true
+    (contains hay needle)
+
+let ota_problem () =
+  Nodal.make Ota.circuit
+    ~input:(Nodal.V_diff (Ota.input_p, Ota.input_n))
+    ~output:(Nodal.Out_node Ota.output)
+
+let test_naive_table () =
+  let p = ota_problem () in
+  let num = Naive.run (Evaluator.of_nodal p ~num:true) in
+  let den = Naive.run (Evaluator.of_nodal p ~num:false) in
+  let s = Report.naive_table ~title:"T" ~num ~den () in
+  check_contains "naive" s "T";
+  check_contains "naive" s "s^0";
+  check_contains "naive" s "Numerator";
+  check_contains "naive" s "error level";
+  (* Complex cells carry a j part. *)
+  check_contains "naive" s "j"
+
+let test_fixed_scale_table () =
+  let p = ota_problem () in
+  let r = Fixed_scale.run ~f:1e9 (Evaluator.of_nodal p ~num:false) in
+  let s = Report.fixed_scale_table ~title:"T1b" r in
+  check_contains "fixed" s "scale factors: f = 1e+09";
+  check_contains "fixed" s "Denormalized";
+  (* The full band is valid on this circuit: stars present. *)
+  check_contains "fixed" s "*"
+
+let test_adaptive_tables () =
+  let r =
+    Reference.generate (Ladder.circuit ~spread:2.5 12)
+      ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node)
+  in
+  let den = r.Reference.den in
+  let summary = Report.adaptive_summary ~title:"den:" den in
+  check_contains "summary" summary "den:";
+  check_contains "summary" summary "valid band";
+  check_contains "summary" summary "effective order 12";
+  let pass1 = Report.adaptive_pass_table ~pass:1 den in
+  check_contains "pass table" pass1 "interpolation 1";
+  check_contains "pass table" pass1 "Normalized";
+  let missing = Report.adaptive_pass_table ~pass:99 den in
+  check_contains "missing pass" missing "no pass 99"
+
+let test_reference_summary_and_bode () =
+  let r =
+    Reference.generate (Ladder.circuit 2) ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node)
+  in
+  let s = Report.reference_summary r in
+  check_contains "reference" s "numerator:";
+  check_contains "reference" s "denominator:";
+  check_contains "reference" s "total LU evaluations";
+  let freqs = Grid.decades ~start:1e3 ~stop:1e8 ~per_decade:1 in
+  let sim = Ac.bode (Ladder.circuit 2) ~out_p:Ladder.output_node freqs in
+  let interp = Reference.bode r freqs in
+  let b = Report.bode_table ~interpolated:interp ~simulator:sim in
+  check_contains "bode" b "freq (Hz)";
+  check_contains "bode" b "delta";
+  (* Every frequency row appears. *)
+  Array.iter (fun f -> check_contains "bode rows" b (Printf.sprintf "%.4g" f)) freqs
+
+let test_ascii_plot () =
+  let module Plot = Symref_core.Ascii_plot in
+  let xs = [| 1.; 10.; 100.; 1000. |] in
+  let s1 = { Plot.label = "a"; xs; ys = [| 0.; -3.; -20.; -40. |] } in
+  let s2 = { Plot.label = "b"; xs; ys = [| 0.; -3.; -20.; -40. |] } in
+  let out = Plot.render [ s1; s2 ] in
+  check_contains "plot" out "a";
+  check_contains "plot" out "b";
+  (* Identical series coincide: the overlap marker must appear. *)
+  check_contains "plot" out "#";
+  check_contains "plot" out "Hz";
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Plot.render []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "nonpositive x rejected" true
+    (try
+       ignore (Plot.render [ { Plot.label = "x"; xs = [| 0. |]; ys = [| 1. |] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "naive table" `Quick test_naive_table;
+        Alcotest.test_case "fixed-scale table" `Quick test_fixed_scale_table;
+        Alcotest.test_case "adaptive tables" `Quick test_adaptive_tables;
+        Alcotest.test_case "reference summary and bode" `Quick
+          test_reference_summary_and_bode;
+        Alcotest.test_case "ascii plot" `Quick test_ascii_plot;
+      ] );
+  ]

@@ -1,0 +1,213 @@
+(* Tests for the root finder and pole/zero extraction from references. *)
+
+module Roots = Symref_poly.Roots
+module Poly = Symref_poly.Poly
+module Epoly = Symref_poly.Epoly
+module Poles = Symref_core.Poles
+module Reference = Symref_core.Reference
+module Nodal = Symref_mna.Nodal
+module Ladder = Symref_circuit.Rc_ladder
+module Biquad = Symref_circuit.Biquad
+module Gm_c = Symref_circuit.Gm_c
+module Ef = Symref_numeric.Extfloat
+module Cx = Symref_numeric.Cx
+
+let sort_by_norm roots =
+  let a = Array.copy roots in
+  Array.sort
+    (fun (x : Complex.t) (y : Complex.t) ->
+      match Float.compare x.re y.re with
+      | 0 -> Float.compare x.im y.im
+      | c -> c)
+    a;
+  a
+
+let check_roots msg expected got =
+  let e = sort_by_norm expected and g = sort_by_norm got in
+  Alcotest.(check int) (msg ^ ": count") (Array.length e) (Array.length g);
+  Array.iteri
+    (fun i want ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: root %d: %s vs %s" msg i (Cx.to_string want)
+           (Cx.to_string g.(i)))
+        true
+        (Cx.approx_equal ~rel:1e-6 ~abs:1e-9 want g.(i)))
+    e
+
+let test_known_real_roots () =
+  let p = Poly.of_roots [ 1.; -2.; 3.5 ] in
+  let roots, q = Roots.find_real p in
+  Alcotest.(check bool) "converged" true q.Roots.converged;
+  check_roots "cubic"
+    [| Cx.of_float 1.; Cx.of_float (-2.); Cx.of_float 3.5 |]
+    roots
+
+let test_complex_pair () =
+  (* s^2 + 2s + 5 = (s + 1)^2 + 4: roots -1 +- 2j. *)
+  let p = Poly.of_list [ 5.; 2.; 1. ] in
+  let roots, _ = Roots.find_real p in
+  check_roots "conjugate pair" [| Cx.make (-1.) 2.; Cx.make (-1.) (-2.) |] roots
+
+let test_roots_at_origin () =
+  (* s^2 * (s + 3) *)
+  let p = Poly.of_list [ 0.; 0.; 3.; 1. ] in
+  let roots, _ = Roots.find_real p in
+  check_roots "origin roots"
+    [| Complex.zero; Complex.zero; Cx.of_float (-3.) |]
+    roots
+
+let test_wide_magnitude_roots () =
+  (* Roots spread over 6 decades: (s+1)(s+1e3)(s+1e6). *)
+  let p = Poly.of_roots [ -1.; -1e3; -1e6 ] in
+  let roots, q = Roots.find_real p in
+  Alcotest.(check bool) "converged" true q.Roots.converged;
+  check_roots "wide spread"
+    [| Cx.of_float (-1.); Cx.of_float (-1e3); Cx.of_float (-1e6) |]
+    roots
+
+let test_extended_coefficients () =
+  (* The reference-generator regime: coefficients far outside double range.
+     Scale (s+1)(s+2) by 1e-200 * (1e-8)^i: roots become -1e8, -2e8. *)
+  let c0 = Ef.of_decimal 2. (-200) in
+  let c1 = Ef.mul (Ef.of_decimal 3. (-200)) (Ef.of_decimal 1. (-8)) in
+  let c2 = Ef.mul (Ef.of_decimal 1. (-200)) (Ef.of_decimal 1. (-16)) in
+  let p = Epoly.of_coeffs [| c0; c1; c2 |] in
+  let roots, q = Roots.find p in
+  Alcotest.(check bool) "converged" true q.Roots.converged;
+  check_roots "extended" [| Cx.of_float (-1e8); Cx.of_float (-2e8) |] roots
+
+let test_conjugate_pairs_split () =
+  let roots = [| Cx.make (-1.) 2.; Cx.make (-3.) 0.; Cx.make (-1.) (-2.) |] in
+  let pairs, reals = Roots.conjugate_pairs roots in
+  Alcotest.(check int) "one pair" 1 (List.length pairs);
+  Alcotest.(check int) "one real" 1 (List.length reals);
+  match pairs with
+  | [ (p, m) ] ->
+      Alcotest.(check bool) "pair is conjugate" true
+        (Cx.approx_equal ~rel:1e-12 p (Complex.conj m))
+  | _ -> Alcotest.fail "expected one pair"
+
+let test_invalid () =
+  Alcotest.(check bool) "constant raises" true
+    (try
+       ignore (Roots.find_real (Poly.of_list [ 3. ]));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_of_roots_roundtrip =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 6) (float_range (-4.) 4.))
+  in
+  QCheck2.Test.make ~name:"roots of of_roots are recovered" ~count:100 gen
+    (fun rs ->
+      (* Keep roots separated to avoid ill-conditioned clusters. *)
+      let rs = List.sort_uniq Float.compare (List.map (fun x -> Float.round (x *. 8.) /. 8.) rs) in
+      let p = Poly.of_roots rs in
+      let roots, q = Roots.find_real p in
+      q.Roots.converged
+      &&
+      let got = sort_by_norm roots and want = sort_by_norm (Array.of_list (List.map Cx.of_float rs)) in
+      Array.for_all2 (fun a b -> Cx.approx_equal ~rel:1e-4 ~abs:1e-6 a b) got want)
+
+(* --- pole extraction from references --- *)
+
+let test_ladder_poles_real_negative () =
+  let r =
+    Reference.generate (Ladder.circuit 6) ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node)
+  in
+  let a = Poles.analyse r in
+  Alcotest.(check int) "six poles" 6 (Array.length a.Poles.poles);
+  Alcotest.(check bool) "stable" true a.Poles.stable;
+  Alcotest.(check int) "all real (RC network)" 6 (List.length a.Poles.real_poles_hz);
+  Alcotest.(check (list string)) "no resonances" []
+    (List.map (fun _ -> "r") a.Poles.resonances)
+
+let test_biquad_poles_match_design () =
+  let designs =
+    [
+      { Biquad.f0_hz = 1e6; q = 0.707; gm = 50e-6 };
+      { Biquad.f0_hz = 2.5e6; q = 2.0; gm = 50e-6 };
+    ]
+  in
+  let c = Biquad.cascade designs in
+  let r =
+    Reference.generate c ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node "out")
+  in
+  let a = Poles.analyse r in
+  Alcotest.(check int) "four poles" 4 (Array.length a.Poles.poles);
+  Alcotest.(check int) "two resonances" 2 (List.length a.Poles.resonances);
+  List.iter2
+    (fun (d : Biquad.design) (res : Poles.resonance) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "f0 %.4g vs designed %.4g" res.Poles.freq_hz d.Biquad.f0_hz)
+        true
+        (Float.abs (res.Poles.freq_hz -. d.Biquad.f0_hz) <= 1e-4 *. d.Biquad.f0_hz);
+      Alcotest.(check bool)
+        (Printf.sprintf "q %.4f vs designed %.4f" res.Poles.q d.Biquad.q)
+        true
+        (Float.abs (res.Poles.q -. d.Biquad.q) <= 1e-4 *. d.Biquad.q))
+    (List.sort (fun a b -> Float.compare a.Biquad.f0_hz b.Biquad.f0_hz) designs)
+    a.Poles.resonances;
+  (* Design poles and extracted poles coincide. *)
+  let designed =
+    List.concat_map (fun d -> let a, b = Biquad.poles d in [ a; b ]) designs
+  in
+  check_roots "pole positions" (Array.of_list designed) a.Poles.poles
+
+let test_biquad_overdamped () =
+  let d = { Biquad.f0_hz = 1e5; q = 0.25; gm = 20e-6 } in
+  let p1, p2 = Biquad.poles d in
+  Alcotest.(check (float 1e-6)) "real poles" 0. p1.Complex.im;
+  let c = Biquad.cascade [ d ] in
+  let r =
+    Reference.generate c ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node "out")
+  in
+  let a = Poles.analyse r in
+  Alcotest.(check int) "two real poles" 2 (List.length a.Poles.real_poles_hz);
+  check_roots "overdamped positions" [| p1; p2 |] a.Poles.poles
+
+let test_ua741_dominant_pole () =
+  let module Ua741 = Symref_circuit.Ua741 in
+  let r =
+    Reference.generate Ua741.circuit
+      ~input:(Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+      ~output:(Nodal.Out_node Ua741.output)
+  in
+  let a = Poles.analyse r in
+  Alcotest.(check bool) "stable" true a.Poles.stable;
+  (* The Miller-compensated dominant pole sits at a few Hz (the 741's is
+     ~5 Hz); ours must land within a decade. *)
+  match a.Poles.real_poles_hz with
+  | f :: _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dominant pole %.2f Hz in [0.5, 50]" f)
+        true
+        (f > 0.5 && f < 50.)
+  | [] -> Alcotest.fail "expected real poles"
+
+let suite =
+  [
+    ( "roots",
+      [
+        Alcotest.test_case "known real roots" `Quick test_known_real_roots;
+        Alcotest.test_case "complex pair" `Quick test_complex_pair;
+        Alcotest.test_case "roots at origin" `Quick test_roots_at_origin;
+        Alcotest.test_case "wide magnitude spread" `Quick test_wide_magnitude_roots;
+        Alcotest.test_case "extended-range coefficients" `Quick test_extended_coefficients;
+        Alcotest.test_case "conjugate pair split" `Quick test_conjugate_pairs_split;
+        Alcotest.test_case "invalid input" `Quick test_invalid;
+        QCheck_alcotest.to_alcotest prop_of_roots_roundtrip;
+      ] );
+    ( "poles",
+      [
+        Alcotest.test_case "rc ladder: real stable poles" `Quick
+          test_ladder_poles_real_negative;
+        Alcotest.test_case "biquad cascade matches design" `Quick
+          test_biquad_poles_match_design;
+        Alcotest.test_case "overdamped biquad" `Quick test_biquad_overdamped;
+        Alcotest.test_case "ua741 dominant pole" `Quick test_ua741_dominant_pole;
+      ] );
+  ]

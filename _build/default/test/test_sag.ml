@@ -1,0 +1,82 @@
+(* Tests for Simplification After Generation. *)
+
+module Sag = Symref_symbolic.Sag
+module Sdet = Symref_symbolic.Sdet
+module Sym = Symref_symbolic.Sym
+module Nodal = Symref_mna.Nodal
+module Ladder = Symref_circuit.Rc_ladder
+module Ota = Symref_circuit.Ota
+module Grid = Symref_numeric.Grid
+module Cx = Symref_numeric.Cx
+
+let ota_nf () =
+  Sdet.network_function Ota.circuit
+    ~input:(Nodal.V_diff (Ota.input_p, Ota.input_n))
+    ~output:(Nodal.Out_node Ota.output)
+
+let h_of (nf : Sdet.network_function) f =
+  let s = Cx.jomega (2. *. Float.pi *. f) in
+  Complex.div (Sym.eval nf.Sdet.num s) (Sym.eval nf.Sdet.den s)
+
+let test_sag_reduces_and_bounds_error () =
+  let nf = ota_nf () in
+  let freqs = Grid.decades ~start:1e2 ~stop:1e9 ~per_decade:3 in
+  let epsilon = 0.05 in
+  let simplified, report = Sag.simplify ~epsilon ~freqs nf in
+  Alcotest.(check bool)
+    (Printf.sprintf "dropped terms (%d of %d)" report.Sag.dropped report.Sag.total_terms)
+    true
+    (report.Sag.dropped > report.Sag.total_terms / 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "error %.4f within epsilon" report.Sag.max_error)
+    true
+    (report.Sag.max_error <= epsilon);
+  (* Independent verification on grid points. *)
+  Array.iter
+    (fun f ->
+      let h0 = h_of nf f and h1 = h_of simplified f in
+      Alcotest.(check bool)
+        (Printf.sprintf "H preserved at %g Hz" f)
+        true
+        (Cx.approx_equal ~rel:(epsilon *. 1.2) h0 h1))
+    freqs
+
+let test_sag_tight_epsilon_keeps_more () =
+  let nf = ota_nf () in
+  let freqs = Grid.decades ~start:1e2 ~stop:1e9 ~per_decade:3 in
+  let _, loose = Sag.simplify ~epsilon:0.2 ~freqs nf in
+  let _, tight = Sag.simplify ~epsilon:1e-4 ~freqs nf in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight keeps more (%d vs %d)" tight.Sag.kept_terms loose.Sag.kept_terms)
+    true
+    (tight.Sag.kept_terms > loose.Sag.kept_terms)
+
+let test_sag_small_circuit_exact () =
+  (* A uniform ladder at tiny epsilon: nothing removable. *)
+  let nf =
+    Sdet.network_function (Ladder.circuit 2) ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node)
+  in
+  let freqs = Grid.decades ~start:1e4 ~stop:1e9 ~per_decade:3 in
+  let _, report = Sag.simplify ~epsilon:1e-12 ~freqs nf in
+  Alcotest.(check int) "nothing dropped" 0 report.Sag.dropped
+
+let test_sag_invalid () =
+  let nf = ota_nf () in
+  Alcotest.(check bool) "empty grid raises" true
+    (try
+       ignore (Sag.simplify ~epsilon:0.1 ~freqs:[||] nf);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "sag",
+      [
+        Alcotest.test_case "reduces under error bound" `Quick
+          test_sag_reduces_and_bounds_error;
+        Alcotest.test_case "epsilon monotonicity" `Quick test_sag_tight_epsilon_keeps_more;
+        Alcotest.test_case "tiny epsilon keeps all" `Quick test_sag_small_circuit_exact;
+        Alcotest.test_case "invalid input" `Quick test_sag_invalid;
+      ] );
+  ]

@@ -1,0 +1,158 @@
+(* Tests for the perturbation-based sensitivity analysis, validated against
+   closed forms where available. *)
+
+module Sensitivity = Symref_mna.Sensitivity
+module Nodal = Symref_mna.Nodal
+module N = Symref_circuit.Netlist
+module E = Symref_circuit.Element
+module Ladder = Symref_circuit.Rc_ladder
+module Ota = Symref_circuit.Ota
+module Cx = Symref_numeric.Cx
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_element_scale () =
+  let r = E.make "r1" (E.Resistor { a = 1; b = 0; ohms = 1e3 }) in
+  let r2 = E.scale_value r 2. in
+  check_float "scaled" 2e3 (E.principal_value r2);
+  Alcotest.(check string) "name kept" "r1" r2.E.name;
+  Alcotest.check_raises "invalid scale"
+    (Invalid_argument "Element r1: resistance must be > 0") (fun () ->
+      ignore (E.scale_value r 0.))
+
+let test_netlist_scale () =
+  let c = Ladder.circuit 2 in
+  let c' = N.scale_element c "r1" 3. in
+  (match N.find_element c' "r1" with
+  | Some e -> check_float "value tripled" 3e3 (E.principal_value e)
+  | None -> Alcotest.fail "r1 missing");
+  (* Original untouched. *)
+  (match N.find_element c "r1" with
+  | Some e -> check_float "original" 1e3 (E.principal_value e)
+  | None -> Alcotest.fail "r1 missing");
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (N.scale_element c "zz" 2.))
+
+(* Closed form: RC lowpass H = 1/(1 + sRC), S_R^H = S_C^H = -sRC/(1+sRC).
+   At the corner (sRC = j): S = -j/(1+j) = -0.5 - 0.5j. *)
+let test_rc_lowpass_closed_form () =
+  let circuit = Ladder.circuit 1 in
+  let fc = 1. /. (2. *. Float.pi *. 1e-9) in
+  let entries =
+    Sensitivity.at circuit ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node) ~freq_hz:fc
+  in
+  Alcotest.(check int) "two perturbable elements" 2 (List.length entries);
+  List.iter
+    (fun (e : Sensitivity.entry) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: S = %s vs -0.5-0.5j" e.Sensitivity.element
+           (Cx.to_string e.Sensitivity.s))
+        true
+        (Cx.approx_equal ~rel:1e-3 (Cx.make (-0.5) (-0.5)) e.Sensitivity.s))
+    entries;
+  (* At DC the sensitivities vanish (unity passband). *)
+  let dc =
+    Sensitivity.at circuit ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node) ~freq_hz:1e-3
+  in
+  List.iter
+    (fun (e : Sensitivity.entry) ->
+      Alcotest.(check bool) "S ~ 0 at DC" true (Complex.norm e.Sensitivity.s < 1e-6))
+    dc
+
+let test_ota_ranking () =
+  (* At DC the OTA gain is set by the gm/conductance ratios: the signal-path
+     transconductances must rank far above the capacitors. *)
+  let entries =
+    Sensitivity.at Ota.circuit
+      ~input:(Nodal.V_diff (Ota.input_p, Ota.input_n))
+      ~output:(Nodal.Out_node Ota.output) ~freq_hz:1.
+  in
+  let sens name =
+    match List.find_opt (fun e -> e.Sensitivity.element = name) entries with
+    | Some e -> Complex.norm e.Sensitivity.s
+    | None -> Alcotest.fail (name ^ " missing from sensitivity list")
+  in
+  Alcotest.(check bool) "m7 gm matters" true (sens "m7.gm" > 0.5);
+  Alcotest.(check bool) "load cap irrelevant at DC" true (sens "cload" < 1e-3);
+  Alcotest.(check bool) "gm above cap" true (sens "m1.gm" > sens "cload")
+
+let test_worst_case_grid () =
+  let freqs = Symref_numeric.Grid.decades ~start:1e3 ~stop:1e9 ~per_decade:2 in
+  let ranking =
+    Sensitivity.worst_case Ota.circuit
+      ~input:(Nodal.V_diff (Ota.input_p, Ota.input_n))
+      ~output:(Nodal.Out_node Ota.output) ~freqs
+  in
+  Alcotest.(check bool) "nonempty" true (List.length ranking > 10);
+  (* Sorted descending. *)
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted ranking);
+  (* Over the full band the load capacitor does matter. *)
+  (match List.assoc_opt "cload" ranking with
+  | Some v -> Alcotest.(check bool) "cload matters somewhere" true (v > 0.05)
+  | None -> Alcotest.fail "cload missing")
+
+let test_adjoint_matches_perturbation () =
+  (* The adjoint method is exact; the perturbation method has O(step^2)
+     error: they must agree tightly on every element, at several
+     frequencies, on both workloads. *)
+  let check circuit input output freq =
+    let pert = Sensitivity.at circuit ~input ~output ~freq_hz:freq in
+    let adj = Sensitivity.adjoint_at circuit ~input ~output ~freq_hz:freq in
+    List.iter
+      (fun (p : Sensitivity.entry) ->
+        match
+          List.find_opt (fun a -> a.Sensitivity.element = p.Sensitivity.element) adj
+        with
+        | None -> Alcotest.fail (p.Sensitivity.element ^ " missing from adjoint list")
+        | Some a ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s at %g Hz: %s vs %s" p.Sensitivity.element freq
+                 (Symref_numeric.Cx.to_string p.Sensitivity.s)
+                 (Symref_numeric.Cx.to_string a.Sensitivity.s))
+              true
+              (Symref_numeric.Cx.approx_equal ~rel:1e-5 ~abs:1e-7 p.Sensitivity.s
+                 a.Sensitivity.s))
+      pert
+  in
+  List.iter
+    (fun f ->
+      check Ota.circuit (Nodal.V_diff (Ota.input_p, Ota.input_n))
+        (Nodal.Out_node Ota.output) f;
+      check (Ladder.circuit 3) (Nodal.Vsrc_element "vin")
+        (Nodal.Out_node Ladder.output_node) f)
+    [ 1e2; 1e6; 1e8 ]
+
+let test_adjoint_cost () =
+  (* Two solves regardless of element count: just confirm it runs on the
+     741's ~180 elements and ranks the same top element as perturbation. *)
+  let module Ua741 = Symref_circuit.Ua741 in
+  let input = Nodal.V_diff (Ua741.input_p, Ua741.input_n) in
+  let output = Nodal.Out_node Ua741.output in
+  let adj = Sensitivity.adjoint_at Ua741.circuit ~input ~output ~freq_hz:1e3 in
+  let pert = Sensitivity.at Ua741.circuit ~input ~output ~freq_hz:1e3 in
+  Alcotest.(check bool) "many entries" true (List.length adj > 100);
+  match (adj, pert) with
+  | a :: _, p :: _ ->
+      Alcotest.(check string) "same dominant element" p.Sensitivity.element
+        a.Sensitivity.element
+  | _ -> Alcotest.fail "empty sensitivity lists"
+
+let suite =
+  [
+    ( "sensitivity",
+      [
+        Alcotest.test_case "element scaling" `Quick test_element_scale;
+        Alcotest.test_case "netlist scaling" `Quick test_netlist_scale;
+        Alcotest.test_case "rc lowpass closed form" `Quick test_rc_lowpass_closed_form;
+        Alcotest.test_case "ota ranking" `Quick test_ota_ranking;
+        Alcotest.test_case "worst case over grid" `Quick test_worst_case_grid;
+        Alcotest.test_case "adjoint = perturbation" `Quick test_adjoint_matches_perturbation;
+        Alcotest.test_case "adjoint on the ua741" `Quick test_adjoint_cost;
+      ] );
+  ]

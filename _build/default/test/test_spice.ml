@@ -1,0 +1,313 @@
+(* Tests for the SPICE-subset units, parser and writer. *)
+
+module Units = Symref_spice.Units
+module Parser = Symref_spice.Parser
+module Writer = Symref_spice.Writer
+module N = Symref_circuit.Netlist
+module E = Symref_circuit.Element
+module Ac = Symref_mna.Ac
+module Ota = Symref_circuit.Ota
+module Ua741 = Symref_circuit.Ua741
+module Cx = Symref_numeric.Cx
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_units_parse () =
+  let cases =
+    [
+      ("1", 1.);
+      ("2.2k", 2200.);
+      ("1MEG", 1e6);
+      ("30p", 30e-12);
+      ("30pF", 30e-12);
+      ("1kohm", 1000.);
+      ("-4.7u", -4.7e-6);
+      ("1e-12", 1e-12);
+      ("2.5E6", 2.5e6);
+      ("1e3k", 1e6);
+      ("100f", 100e-15);
+      ("0.5", 0.5);
+    ]
+  in
+  List.iter
+    (fun (s, want) ->
+      match Units.parse s with
+      | Some got ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s -> %g (got %g)" s want got)
+            true
+            (Float.abs (got -. want) <= 1e-12 *. Float.abs want)
+      | None -> Alcotest.fail (Printf.sprintf "%s did not parse" s))
+    cases;
+  Alcotest.(check (option (float 0.))) "garbage" None (Units.parse "abc");
+  Alcotest.(check (option (float 0.))) "empty" None (Units.parse "");
+  Alcotest.(check (option (float 0.))) "bad suffix" None (Units.parse "1x2")
+
+let test_units_format () =
+  Alcotest.(check string) "kilo" "2.2k" (Units.format_si 2200.);
+  Alcotest.(check string) "pico" "30p" (Units.format_si 30e-12);
+  Alcotest.(check string) "mega" "1meg" (Units.format_si 1e6);
+  Alcotest.(check string) "unit" "42" (Units.format_si 42.);
+  Alcotest.(check string) "zero" "0" (Units.format_si 0.);
+  (* Round-trips through parse. *)
+  List.iter
+    (fun v ->
+      check_float (Printf.sprintf "roundtrip %g" v) v
+        (Units.parse_exn (Units.format_si v)))
+    [ 1.; -2200.; 3.3e-12; 4.7e8; 1.5e-15 ]
+
+let sample_netlist =
+  {|sample rc filter
+* a comment line
+v1 in 0 ac 1
+r1 in mid 1k
+c1 mid 0 1n
+r2 mid out 2.2k
++
+c2 out 0 470p
+.end
+this line is after .end and ignored
+|}
+
+let test_parse_basic () =
+  let c = Parser.parse_string sample_netlist in
+  Alcotest.(check string) "title" "sample rc filter" (N.title c);
+  Alcotest.(check int) "elements" 5 (N.element_count c);
+  Alcotest.(check int) "nodes" 3 (N.node_count c);
+  match N.find_element c "c2" with
+  | Some { E.kind = E.Capacitor { farads; _ }; _ } -> check_float "c2 value" 470e-12 farads
+  | _ -> Alcotest.fail "c2 missing or wrong kind"
+
+let test_parse_controlled_sources () =
+  let text =
+    {|controlled sources
+v1 in 0 1
+vsense x 0 0
+r1 in x 1k
+g1 a 0 in 0 2m
+ra a 0 1k
+e1 b 0 a 0 3
+rb b 0 1k
+f1 c 0 vsense 2
+rc c 0 1k
+h1 d 0 vsense 50
+rd d 0 1k
+.end
+|}
+  in
+  let c = Parser.parse_string text in
+  Alcotest.(check int) "elements" 11 (N.element_count c);
+  let freqs = [| 1e3 |] in
+  let va = (Ac.transfer c ~out_p:"a" freqs).(0) in
+  (* g1 pushes -2mS * 1V into node a over 1k: v(a) = -2. *)
+  Alcotest.(check bool) (Printf.sprintf "vccs %s" (Cx.to_string va)) true
+    (Cx.approx_equal ~rel:1e-9 (Cx.of_float (-2.)) va)
+
+let test_parse_transistor_models () =
+  let text =
+    {|two transistor amp
+v1 in 0 ac 1
+q1 c1 in 0 nsmall
+rc1 c1 0 10k
+m1 d1 c1 0 psmall
+rd1 d1 0 50k
+.model nsmall bjtss ic=1m beta=150 rb=250 ccs=1p
+.model psmall mosss gm=500u gds=4u cgs=90f cgd=25f
+.end
+|}
+  in
+  let c = Parser.parse_string text in
+  (* q1: rb, gm, gpi, go, cpi, cmu, ccs = 7; m1: gm, gds, cgs, cgd = 4;
+     plus v1, rc1, rd1. *)
+  Alcotest.(check int) "expanded elements" 14 (N.element_count c);
+  Alcotest.(check bool) "internal base node" true (N.node_id c "q1.bx" <> None);
+  match N.find_element c "q1.gm" with
+  | Some { E.kind = E.Vccs { gm; _ }; _ } ->
+      Alcotest.(check (float 1e-6)) "gm from ic" (1e-3 /. 0.02585) gm
+  | _ -> Alcotest.fail "q1.gm missing"
+
+let expect_error ?(contains = "") text =
+  try
+    ignore (Parser.parse_string text);
+    Alcotest.fail "expected Parse_error"
+  with Parser.Parse_error { message; _ } ->
+    if contains <> "" then begin
+      let has_sub hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" message contains)
+        true (has_sub message contains)
+    end
+
+let test_parse_errors () =
+  expect_error ~contains:"wrong number of fields" "t\nr1 a 0\n.end\n";
+  expect_error ~contains:"bad number" "t\nr1 a 0 foo\n.end\n";
+  expect_error ~contains:"unknown card" "t\nz1 a 0 1k\n.end\n";
+  expect_error ~contains:"unknown subcircuit" "t\nx1 a 0 nosub\n.end\n";
+  expect_error ~contains:"unknown model" "t\nq1 c b e nomodel\n.end\n";
+  expect_error ~contains:"must be > 0" "t\nr1 a 0 -5\n.end\n";
+  expect_error ~contains:"duplicate" "t\nr1 a 0 1\nr1 a 0 2\n.end\n";
+  expect_error ~contains:"continuation" "t\n+ c1 a 0 1p\n.end\n";
+  expect_error ~contains:"unsupported directive" "t\n.tran 1n 1u\n.end\n"
+
+let test_subckt_basic () =
+  let text =
+    {|subckt demo
+v1 in 0 ac 1
+x1 in mid lowpass
+x2 mid out lowpass
+.subckt lowpass a b
+rs a b 1k
+cs b 0 1n
+.ends
+.end
+|}
+  in
+  let c = Parser.parse_string text in
+  (* Each instance expands to 2 elements. *)
+  Alcotest.(check int) "elements" 5 (N.element_count c);
+  Alcotest.(check bool) "prefixed name" true (N.find_element c "x1.rs" <> None);
+  Alcotest.(check bool) "second instance" true (N.find_element c "x2.cs" <> None);
+  (* Must behave exactly like the flat 2-section ladder. *)
+  let flat =
+    Parser.parse_string
+      {|flat
+v1 in 0 ac 1
+r1 in mid 1k
+c1 mid 0 1n
+r2 mid out 1k
+c2 out 0 1n
+.end
+|}
+  in
+  let fa = Ac.transfer c ~out_p:"out" [| 1e4; 1e6 |] in
+  let fb = Ac.transfer flat ~out_p:"out" [| 1e4; 1e6 |] in
+  Array.iteri
+    (fun i va ->
+      Alcotest.(check bool)
+        (Printf.sprintf "matches flat at point %d" i)
+        true
+        (Cx.approx_equal ~rel:1e-12 va fb.(i)))
+    fa
+
+let test_subckt_nested_and_models () =
+  let text =
+    {|nested subckts with devices
+v1 in 0 ac 1
+xa in out stage2
+rload out 0 10k
+.subckt inverter i o
+q1 o i 0 small
+rc o 0 10k
+.ends
+.subckt stage2 i o
+x1 i m inverter
+x2 m o inverter
+.ends
+.model small bjtss ic=1m beta=100
+.end
+|}
+  in
+  let c = Parser.parse_string text in
+  (* Two inverters, each q1 -> 6 elements (no rb/ccs) + rc. *)
+  Alcotest.(check bool) "deep name" true (N.find_element c "xa.x1.q1.gm" <> None);
+  Alcotest.(check bool) "deep rc" true (N.find_element c "xa.x2.rc" <> None);
+  (* Local node isolation: the two instances' internal node m of stage2 is
+     unique, and inverter-internal collector nodes do not collide. *)
+  Alcotest.(check bool) "internal node" true (N.node_id c "xa.m" <> None);
+  (* Two cascaded inverting stages: positive midband gain. *)
+  let h = (Ac.transfer c ~out_p:"out" [| 1e3 |]).(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "two inversions: gain %s positive and large" (Cx.to_string h))
+    true
+    (h.Complex.re > 100.)
+
+let test_subckt_errors () =
+  expect_error ~contains:"expects 2 ports" "t\nx1 a sub2\n.subckt sub2 p q\nr1 p q 1\n.ends\n.end\n";
+  expect_error ~contains:"no .ends" "t\n.subckt s a\nr1 a 0 1\n.end\n";
+  expect_error ~contains:"nested .subckt" "t\n.subckt s a\n.subckt t b\n.ends\n.ends\n.end\n";
+  expect_error ~contains:".ends without" "t\n.ends\n.end\n";
+  expect_error ~contains:"no ports" "t\n.subckt s\n.ends\n.end\n"
+
+let transfer_points circuit out =
+  Ac.transfer circuit ~out_p:out [| 1e2; 1e5; 1e7 |]
+
+let test_writer_roundtrip_ota () =
+  (* The OTA has conductances, VCCS, capacitors: write, re-parse, and the AC
+     behaviour must be identical. *)
+  let with_sources =
+    N.extend Ota.circuit (fun b ->
+        N.Builder.vsrc b "tp" ~p:Ota.input_p ~m:"0" 0.5;
+        N.Builder.vsrc b "tm" ~p:Ota.input_n ~m:"0" (-0.5))
+  in
+  let text = Writer.to_string with_sources in
+  let reparsed = Parser.parse_string text in
+  Alcotest.(check int) "element count preserved" (N.element_count with_sources)
+    (N.element_count reparsed);
+  let a = transfer_points with_sources Ota.output in
+  let b = transfer_points reparsed Ota.output in
+  Array.iteri
+    (fun i va ->
+      Alcotest.(check bool)
+        (Printf.sprintf "H agrees at point %d: %s vs %s" i (Cx.to_string va)
+           (Cx.to_string b.(i)))
+        true
+        (Cx.approx_equal ~rel:1e-6 va b.(i)))
+    a
+
+let test_writer_roundtrip_ua741 () =
+  let with_sources =
+    N.extend Ua741.circuit (fun b ->
+        N.Builder.vsrc b "tp" ~p:Ua741.input_p ~m:"0" 0.5;
+        N.Builder.vsrc b "tm" ~p:Ua741.input_n ~m:"0" (-0.5))
+  in
+  let reparsed = Parser.parse_string (Writer.to_string with_sources) in
+  let a = transfer_points with_sources Ua741.output in
+  let b = transfer_points reparsed Ua741.output in
+  Array.iteri
+    (fun i va ->
+      Alcotest.(check bool)
+        (Printf.sprintf "H agrees at point %d" i)
+        true
+        (Cx.approx_equal ~rel:1e-4 va b.(i)))
+    a
+
+let test_dot_export () =
+  let dot = Symref_spice.Dot.to_dot (Parser.parse_string sample_netlist) in
+  let has needle =
+    let nh = String.length dot and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub dot i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "graph header" true (has "graph circuit {");
+  Alcotest.(check bool) "resistor edge" true (has "\"in\" -- \"mid\" [label=\"r1=1k\"");
+  Alcotest.(check bool) "cap edge" true (has "c2=470p");
+  Alcotest.(check bool) "ground node" true (has "\"0\" [shape=point")
+
+let suite =
+  [
+    ( "units",
+      [
+        Alcotest.test_case "parse" `Quick test_units_parse;
+        Alcotest.test_case "format" `Quick test_units_format;
+      ] );
+    ( "spice-parser",
+      [
+        Alcotest.test_case "basic cards" `Quick test_parse_basic;
+        Alcotest.test_case "controlled sources" `Quick test_parse_controlled_sources;
+        Alcotest.test_case "transistor models" `Quick test_parse_transistor_models;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "subckt expansion" `Quick test_subckt_basic;
+        Alcotest.test_case "nested subckts" `Quick test_subckt_nested_and_models;
+        Alcotest.test_case "subckt errors" `Quick test_subckt_errors;
+      ] );
+    ( "spice-writer",
+      [
+        Alcotest.test_case "ota roundtrip" `Quick test_writer_roundtrip_ota;
+        Alcotest.test_case "ua741 roundtrip" `Quick test_writer_roundtrip_ua741;
+        Alcotest.test_case "dot export" `Quick test_dot_export;
+      ] );
+  ]

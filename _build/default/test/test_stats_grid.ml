@@ -1,0 +1,76 @@
+(* Tests for Stats, Grid and Cx helpers. *)
+
+module Stats = Symref_numeric.Stats
+module Grid = Symref_numeric.Grid
+module Cx = Symref_numeric.Cx
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_mean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty list")
+    (fun () -> ignore (Stats.mean []))
+
+let test_geometric_mean () =
+  check_float "gmean powers of ten" 1e-9
+    (Stats.geometric_mean [ 1e-12; 1e-9; 1e-6 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive entry") (fun () ->
+      ignore (Stats.geometric_mean [ 1.; 0. ]))
+
+let test_min_max_median () =
+  let lo, hi = Stats.min_max [ 3.; -1.; 7.; 2. ] in
+  check_float "min" (-1.) lo;
+  check_float "max" 7. hi;
+  check_float "median odd" 3. (Stats.median [ 7.; 3.; 1. ]);
+  check_float "median even" 2.5 (Stats.median [ 1.; 2.; 3.; 4. ])
+
+let test_spread () =
+  check_float "spread decades" 6. (Stats.spread_decades [ 1e-12; 1e-6; 0. ]);
+  check_float "degenerate" 0. (Stats.spread_decades [ 0.; 5. ])
+
+let test_linspace () =
+  let g = Grid.linspace 0. 1. 5 in
+  Alcotest.(check int) "length" 5 (Array.length g);
+  check_float "first" 0. g.(0);
+  check_float "last" 1. g.(4);
+  check_float "step" 0.25 g.(1)
+
+let test_logspace () =
+  let g = Grid.logspace 1. 1e4 5 in
+  check_float "first" 1. g.(0);
+  check_float "mid" 100. g.(2);
+  check_float "last" 1e4 g.(4)
+
+let test_decades () =
+  let g = Grid.decades ~start:1. ~stop:1e8 ~per_decade:10 in
+  Alcotest.(check int) "81 points for 8 decades at 10/dec" 81 (Array.length g);
+  check_float "first" 1. g.(0);
+  check_float "last" 1e8 g.(Array.length g - 1)
+
+let test_cx () =
+  let z = Cx.make 3. (-4.) in
+  check_float "re" 3. (Cx.re z);
+  check_float "im" (-4.) (Cx.im z);
+  check_float "jomega" 6.28 (Cx.im (Cx.jomega 6.28));
+  Alcotest.(check bool) "approx equal" true
+    (Cx.approx_equal (Cx.make 1. 1.) (Cx.make (1. +. 1e-12) 1.));
+  Alcotest.(check bool) "not equal" false
+    (Cx.approx_equal (Cx.make 1. 1.) (Cx.make 1.1 1.));
+  Alcotest.(check bool) "abs tolerance" true
+    (Cx.approx_equal ~abs:0.2 (Cx.make 1. 1.) (Cx.make 1.1 1.))
+
+let suite =
+  [
+    ( "stats-grid",
+      [
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+        Alcotest.test_case "min/max/median" `Quick test_min_max_median;
+        Alcotest.test_case "spread" `Quick test_spread;
+        Alcotest.test_case "linspace" `Quick test_linspace;
+        Alcotest.test_case "logspace" `Quick test_logspace;
+        Alcotest.test_case "decades" `Quick test_decades;
+        Alcotest.test_case "cx helpers" `Quick test_cx;
+      ] );
+  ]

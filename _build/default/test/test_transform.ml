@@ -1,0 +1,121 @@
+(* Tests for the inductor -> gyrator-C transformation: the paper's footnote
+   route for analysing RLC circuits within the capacitor-only framework. *)
+
+module Transform = Symref_circuit.Transform
+module N = Symref_circuit.Netlist
+module Nodal = Symref_mna.Nodal
+module Ac = Symref_mna.Ac
+module Reference = Symref_core.Reference
+module Poles = Symref_core.Poles
+module Cx = Symref_numeric.Cx
+
+let rlc ?(r = 50.) ?(l = 1e-6) ?(c = 1e-9) () =
+  let b = N.Builder.create ~title:"series RLC" () in
+  N.Builder.vsrc b "vin" ~p:"in" ~m:"0" 1.;
+  N.Builder.resistor b "r1" ~a:"in" ~b:"x" r;
+  N.Builder.inductor b "l1" ~a:"x" ~b:"out" l;
+  N.Builder.capacitor b "c1" ~a:"out" ~b:"0" c;
+  N.Builder.finish b
+
+let test_structure () =
+  let t = Transform.inductors_to_gyrators (rlc ()) in
+  Alcotest.(check bool) "nodal class" true (N.is_nodal_class (N.remove_element t "vin"));
+  Alcotest.(check bool) "internal node" true (N.node_id t "l1.x" <> None);
+  Alcotest.(check bool) "no inductor left" true
+    (List.for_all
+       (fun (e : Symref_circuit.Element.t) ->
+         match e.Symref_circuit.Element.kind with
+         | Symref_circuit.Element.Inductor _ -> false
+         | _ -> true)
+       (N.elements t));
+  (* Untouched circuits come back as-is. *)
+  let plain = Symref_circuit.Rc_ladder.circuit 2 in
+  Alcotest.(check int) "no-op" (N.element_count plain)
+    (N.element_count (Transform.inductors_to_gyrators plain))
+
+let test_frequency_response_preserved () =
+  let original = rlc () in
+  let transformed = Transform.inductors_to_gyrators original in
+  let freqs = Symref_numeric.Grid.decades ~start:1e5 ~stop:1e8 ~per_decade:5 in
+  let a = Ac.transfer original ~out_p:"out" freqs in
+  let b = Ac.transfer transformed ~out_p:"out" freqs in
+  Array.iteri
+    (fun i va ->
+      Alcotest.(check bool)
+        (Printf.sprintf "H at %g Hz: %s vs %s" freqs.(i) (Cx.to_string va)
+           (Cx.to_string b.(i)))
+        true
+        (Cx.approx_equal ~rel:1e-9 va b.(i)))
+    a
+
+let test_reference_generation_on_rlc () =
+  (* The point of the transformation: references for an RLC circuit. *)
+  let t = Transform.inductors_to_gyrators (rlc ()) in
+  let r =
+    Reference.generate t ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node "out")
+  in
+  Alcotest.(check bool) "converged" true r.Reference.den.Symref_core.Adaptive.converged;
+  (* Resonance: w0 = 1/sqrt(LC) -> ~5.03 MHz, Q = sqrt(L/C)/R ~ 0.632. *)
+  let a = Poles.analyse r in
+  match a.Poles.resonances with
+  | [ res ] ->
+      let f0 = 1. /. (2. *. Float.pi *. Float.sqrt (1e-6 *. 1e-9)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "f0 %.4g vs %.4g" res.Poles.freq_hz f0)
+        true
+        (Float.abs (res.Poles.freq_hz -. f0) < 1e-3 *. f0);
+      let q = Float.sqrt (1e-6 /. 1e-9) /. 50. in
+      Alcotest.(check bool)
+        (Printf.sprintf "q %.4g vs %.4g" res.Poles.q q)
+        true
+        (Float.abs (res.Poles.q -. q) < 1e-3 *. q)
+  | _ -> Alcotest.fail "expected exactly one resonance"
+
+let test_floating_inductor_network () =
+  (* Two coupled LC tanks with a floating inductor between them. *)
+  let b = N.Builder.create ~title:"coupled tanks" () in
+  N.Builder.vsrc b "vin" ~p:"in" ~m:"0" 1.;
+  N.Builder.resistor b "rs" ~a:"in" ~b:"t1" 1e3;
+  N.Builder.capacitor b "ca" ~a:"t1" ~b:"0" 1e-10;
+  N.Builder.inductor b "la" ~a:"t1" ~b:"0" 1e-5;
+  N.Builder.inductor b "lc" ~a:"t1" ~b:"t2" 2e-5;
+  N.Builder.capacitor b "cb" ~a:"t2" ~b:"0" 1e-10;
+  N.Builder.inductor b "lb" ~a:"t2" ~b:"0" 1e-5;
+  N.Builder.resistor b "rl" ~a:"t2" ~b:"0" 1e3;
+  let original = N.Builder.finish b in
+  let transformed = Transform.inductors_to_gyrators original in
+  let freqs = Symref_numeric.Grid.decades ~start:1e5 ~stop:1e8 ~per_decade:4 in
+  let a = Ac.transfer original ~out_p:"t2" freqs in
+  let b' = Ac.transfer transformed ~out_p:"t2" freqs in
+  Array.iteri
+    (fun i va ->
+      Alcotest.(check bool)
+        (Printf.sprintf "coupled H at %g Hz" freqs.(i))
+        true
+        (Cx.approx_equal ~rel:1e-9 va b'.(i)))
+    a;
+  (* And the references reconstruct the same response. *)
+  let r =
+    Reference.generate transformed ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node "t2")
+  in
+  Array.iteri
+    (fun i f ->
+      let recon = Reference.eval r (Cx.jomega (2. *. Float.pi *. f)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "reference H at %g Hz" f)
+        true
+        (Cx.approx_equal ~rel:1e-5 a.(i) recon))
+    freqs
+
+let suite =
+  [
+    ( "transform",
+      [
+        Alcotest.test_case "structure" `Quick test_structure;
+        Alcotest.test_case "response preserved" `Quick test_frequency_response_preserved;
+        Alcotest.test_case "references on RLC" `Quick test_reference_generation_on_rlc;
+        Alcotest.test_case "floating inductors" `Quick test_floating_inductor_network;
+      ] );
+  ]

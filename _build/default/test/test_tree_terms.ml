@@ -1,0 +1,193 @@
+(* Spanning-tree term generation (true SDG) against the exact symbolic
+   determinant and the numerical references. *)
+
+module Tree_terms = Symref_symbolic.Tree_terms
+module Sdet = Symref_symbolic.Sdet
+module Sym = Symref_symbolic.Sym
+module Nodal = Symref_mna.Nodal
+module N = Symref_circuit.Netlist
+module Ladder = Symref_circuit.Rc_ladder
+module Reference = Symref_core.Reference
+module Adaptive = Symref_core.Adaptive
+module Ef = Symref_numeric.Extfloat
+
+let ladder_input = Nodal.Vsrc_element "vin"
+
+let all_terms circuit =
+  List.of_seq (Tree_terms.terms circuit ~input:ladder_input)
+
+let test_matches_symbolic_determinant () =
+  List.iter
+    (fun n ->
+      let circuit = Ladder.circuit ~spread:1.7 n in
+      let nf =
+        Sdet.network_function circuit ~input:ladder_input
+          ~output:(Nodal.Out_node Ladder.output_node)
+      in
+      let trees = all_terms circuit in
+      Alcotest.(check int)
+        (Printf.sprintf "ladder %d: tree count = symbolic term count" n)
+        (Sym.term_count nf.Sdet.den)
+        (List.length trees);
+      (* Same multiset: every tree term appears in the determinant with the
+         same value. *)
+      let det_table = Hashtbl.create 64 in
+      List.iter
+        (fun t -> Hashtbl.replace det_table (Sym.term_to_string t) (Sym.term_value t))
+        nf.Sdet.den;
+      List.iter
+        (fun t ->
+          match Hashtbl.find_opt det_table (Sym.term_to_string t) with
+          | Some v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "ladder %d: %s value" n (Sym.term_to_string t))
+                true
+                (Float.abs (v -. Sym.term_value t) <= 1e-12 *. Float.abs v)
+          | None ->
+              Alcotest.fail
+                (Printf.sprintf "tree term %s not in determinant" (Sym.term_to_string t)))
+        trees)
+    [ 1; 2; 3; 4 ]
+
+let test_decreasing_order () =
+  let circuit = Ladder.circuit ~spread:3. 5 in
+  let trees = all_terms circuit in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "|%s| >= |%s|" (Sym.term_to_string a) (Sym.term_to_string b))
+          true
+          (Float.abs (Sym.term_value a) >= Float.abs (Sym.term_value b) *. (1. -. 1e-12));
+        check rest
+    | _ -> ()
+  in
+  check trees
+
+let test_generate_until_eq3 () =
+  (* The full SDG loop: numerical references from the adaptive algorithm
+     control the truncation (eq. 3). *)
+  let circuit = Ladder.circuit ~spread:4. 5 in
+  let r =
+    Reference.generate circuit ~input:ladder_input
+      ~output:(Nodal.Out_node Ladder.output_node)
+  in
+  let references = Array.map Ef.to_float r.Reference.den.Adaptive.coeffs in
+  let total = List.length (all_terms circuit) in
+  let loose =
+    Tree_terms.generate_until ~epsilon:0.2 ~references circuit ~input:ladder_input
+  in
+  Alcotest.(check bool) "loose satisfied" true loose.Tree_terms.satisfied;
+  Alcotest.(check bool)
+    (Printf.sprintf "loose truncates (%d of %d kept)"
+       (List.length loose.Tree_terms.kept) total)
+    true
+    (List.length loose.Tree_terms.kept < total);
+  let tight =
+    Tree_terms.generate_until ~epsilon:1e-9 ~references circuit ~input:ladder_input
+  in
+  Alcotest.(check bool) "tight satisfied" true tight.Tree_terms.satisfied;
+  Alcotest.(check bool)
+    (Printf.sprintf "tight keeps more (%d >= %d)"
+       (List.length tight.Tree_terms.kept)
+       (List.length loose.Tree_terms.kept))
+    true
+    (List.length tight.Tree_terms.kept >= List.length loose.Tree_terms.kept);
+  (* Kept partial sums reproduce the references within epsilon. *)
+  let sums = Array.make (Array.length references) 0. in
+  List.iter
+    (fun t ->
+      let k = Sym.s_power t in
+      if k < Array.length sums then sums.(k) <- sums.(k) +. Sym.term_value t)
+    loose.Tree_terms.kept;
+  Array.iteri
+    (fun k reference ->
+      if reference <> 0. then
+        Alcotest.(check bool)
+          (Printf.sprintf "power %d within 20%%" k)
+          true
+          (Float.abs (reference -. sums.(k)) <= 0.2 *. Float.abs reference))
+    references
+
+let test_active_circuit_two_graph () =
+  (* The decisive check of the two-graph signs: on the OTA (VCCS network,
+     cancellations and negative terms) the enumerated common trees must
+     reproduce the exact symbolic determinant term by term. *)
+  let module Ota = Symref_circuit.Ota in
+  let input = Nodal.V_diff (Ota.input_p, Ota.input_n) in
+  let nf =
+    Sdet.network_function Ota.circuit ~input ~output:(Nodal.Out_node Ota.output)
+  in
+  let trees = List.of_seq (Tree_terms.terms Ota.circuit ~input) in
+  (* The determinant's normal form may merge equal-magnitude tree terms, so
+     compare multiset sums keyed by the symbol product. *)
+  let sum_by_key terms =
+    let tbl = Hashtbl.create 256 in
+    List.iter
+      (fun t ->
+        (* Key: symbols only (strip the coefficient printed by
+           term_to_string when it is not +-1). *)
+        let k = Sym.term_to_string (List.hd (Sym.scale (1. /. t.Sym.coef) [ t ])) in
+        let prev = Option.value ~default:0. (Hashtbl.find_opt tbl k) in
+        Hashtbl.replace tbl k (prev +. Sym.term_value t))
+      terms;
+    tbl
+  in
+  let want = sum_by_key nf.Sdet.den and got = sum_by_key trees in
+  Alcotest.(check int) "distinct products" (Hashtbl.length want) (Hashtbl.length got);
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt got k with
+      | Some g ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %g vs %g" k g v)
+            true
+            (Float.abs (g -. v) <= 1e-9 *. Float.abs v)
+      | None -> Alcotest.fail (k ^ " missing from tree terms"))
+    want;
+  (* Signs genuinely appear: some terms negative. *)
+  Alcotest.(check bool) "negative terms exist" true
+    (List.exists (fun t -> Sym.term_value t < 0.) trees);
+  (* Magnitude ordering holds across signs. *)
+  let rec decreasing = function
+    | a :: (b :: _ as rest) ->
+        Float.abs (Sym.term_value a) >= Float.abs (Sym.term_value b) *. (1. -. 1e-12)
+        && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "decreasing magnitudes" true (decreasing trees)
+
+let test_unsupported_elements () =
+  let b = N.Builder.create () in
+  N.Builder.vsrc b "vin" ~p:"in" ~m:"0" 1.;
+  N.Builder.inductor b "l1" ~a:"in" ~b:"out" 1e-6;
+  N.Builder.resistor b "r1" ~a:"out" ~b:"0" 50.;
+  let c = N.Builder.finish b in
+  Alcotest.(check bool) "inductor rejected" true
+    (try
+       ignore (List.of_seq (Tree_terms.terms c ~input:(Nodal.Vsrc_element "vin")));
+       false
+     with Tree_terms.Unsupported _ -> true)
+
+let test_exhaustion () =
+  (* The stream is finite and complete: forcing past the end yields Nil. *)
+  let circuit = Ladder.circuit 2 in
+  let s = Tree_terms.terms circuit ~input:ladder_input in
+  let n = Seq.length s in
+  Alcotest.(check bool) "some trees" true (n > 0);
+  (* A second traversal gives the same count (the Seq is re-usable). *)
+  Alcotest.(check int) "stable" n (Seq.length s)
+
+let suite =
+  [
+    ( "tree-terms",
+      [
+        Alcotest.test_case "matches symbolic determinant" `Quick
+          test_matches_symbolic_determinant;
+        Alcotest.test_case "strictly decreasing order" `Quick test_decreasing_order;
+        Alcotest.test_case "eq. 3 generation loop" `Quick test_generate_until_eq3;
+        Alcotest.test_case "active circuit (two-graph)" `Quick
+          test_active_circuit_two_graph;
+        Alcotest.test_case "unsupported elements" `Quick test_unsupported_elements;
+        Alcotest.test_case "stream exhaustion" `Quick test_exhaustion;
+      ] );
+  ]

@@ -1,0 +1,103 @@
+(* The two-stage Miller opamp against its textbook closed forms, and the
+   CMRR study through the V_common input. *)
+
+module Tsm = Symref_circuit.Two_stage_miller
+module N = Symref_circuit.Netlist
+module Nodal = Symref_mna.Nodal
+module Reference = Symref_core.Reference
+module Margins = Symref_core.Margins
+module Poles = Symref_core.Poles
+
+let check_rel msg want got tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.6g vs %.6g" msg got want)
+    true
+    (Float.abs (got -. want) <= tol *. Float.abs want)
+
+let diff_reference ?params () =
+  Reference.generate
+    (Tsm.circuit ?params ())
+    ~input:(Nodal.V_diff (Tsm.input_p, Tsm.input_n))
+    ~output:(Nodal.Out_node Tsm.output)
+
+let test_dc_gain () =
+  let p = Tsm.default_params in
+  let r = diff_reference () in
+  check_rel "dc gain vs design" (Tsm.dc_gain p)
+    (Float.abs (Reference.dc_gain r))
+    0.15
+
+let test_gbw_follows_design () =
+  (* GBW = gm1 / (2 pi Cc): doubling Cc halves it; doubling gm1 doubles it. *)
+  let gbw params =
+    let r = diff_reference ~params () in
+    match (Margins.analyse r).Margins.unity_gain_hz with
+    | Some f -> f
+    | None -> Alcotest.fail "expected a crossover"
+  in
+  let base = Tsm.default_params in
+  let f0 = gbw base in
+  check_rel "design GBW" (Tsm.gbw_hz base) f0 0.12;
+  let f_bigcc = gbw { base with Tsm.cc = 2. *. base.Tsm.cc } in
+  check_rel "doubling Cc halves GBW" (f0 /. 2.) f_bigcc 0.12;
+  let f_biggm = gbw { base with Tsm.gm1 = 2. *. base.Tsm.gm1 } in
+  check_rel "doubling gm1 doubles GBW" (2. *. f0) f_biggm 0.15
+
+let test_stability () =
+  let r = diff_reference () in
+  let m = Margins.analyse r in
+  (match m.Margins.phase_margin_deg with
+  | Some pm ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase margin %.1f in (45, 100)" pm)
+        true
+        (pm > 45. && pm < 100.)
+  | None -> Alcotest.fail "expected phase margin");
+  let a = Poles.analyse r in
+  Alcotest.(check bool) "all poles stable" true a.Poles.stable
+
+let test_cmrr () =
+  let c = Tsm.circuit () in
+  let adm =
+    Float.abs
+      (Reference.dc_gain
+         (Reference.generate c
+            ~input:(Nodal.V_diff (Tsm.input_p, Tsm.input_n))
+            ~output:(Nodal.Out_node Tsm.output)))
+  in
+  let acm =
+    Float.abs
+      (Reference.dc_gain
+         (Reference.generate c
+            ~input:(Nodal.V_common (Tsm.input_p, Tsm.input_n))
+            ~output:(Nodal.Out_node Tsm.output)))
+  in
+  let cmrr_db = 20. *. Float.log10 (adm /. acm) in
+  Alcotest.(check bool)
+    (Printf.sprintf "CMRR %.1f dB > 40" cmrr_db)
+    true (cmrr_db > 40.);
+  (* A leakier tail degrades CMRR. *)
+  let leaky = { Tsm.default_params with Tsm.gtail = 100e-6 } in
+  let c' = Tsm.circuit ~params:leaky () in
+  let acm' =
+    Float.abs
+      (Reference.dc_gain
+         (Reference.generate c'
+            ~input:(Nodal.V_common (Tsm.input_p, Tsm.input_n))
+            ~output:(Nodal.Out_node Tsm.output)))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "leaky tail raises CM gain (%.3g vs %.3g)" acm' acm)
+    true
+    (acm' > acm *. 5.)
+
+let suite =
+  [
+    ( "two-stage-miller",
+      [
+        Alcotest.test_case "dc gain" `Quick test_dc_gain;
+        Alcotest.test_case "gbw scaling law" `Quick test_gbw_follows_design;
+        Alcotest.test_case "stability" `Quick test_stability;
+        Alcotest.test_case "cmrr via V_common" `Quick test_cmrr;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+(* Two-port extraction against hand-computed Y/Z/S parameters. *)
+
+module Twoport = Symref_mna.Twoport
+module N = Symref_circuit.Netlist
+module Lc = Symref_circuit.Lc_ladder
+module Cx = Symref_numeric.Cx
+
+let check_cx msg (want : Complex.t) (got : Complex.t) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s vs %s" msg (Cx.to_string got) (Cx.to_string want))
+    true
+    (Cx.approx_equal ~rel:1e-9 ~abs:1e-15 want got)
+
+(* Pi network: Ya from port1 to ground, Yb series, Yc from port2 to ground.
+   y11 = Ya + Yb, y22 = Yc + Yb, y12 = y21 = -Yb. *)
+let pi_network () =
+  let b = N.Builder.create ~title:"pi" () in
+  N.Builder.resistor b "ra" ~a:"p1" ~b:"0" 100.;
+  N.Builder.resistor b "rb" ~a:"p1" ~b:"p2" 50.;
+  N.Builder.resistor b "rc" ~a:"p2" ~b:"0" 200.;
+  N.Builder.finish b
+
+let test_pi_y_params () =
+  let p = Twoport.y_params (pi_network ()) ~port1:"p1" ~port2:"p2" ~freq_hz:1e3 in
+  check_cx "y11" (Cx.of_float (0.01 +. 0.02)) p.Twoport.y11;
+  check_cx "y22" (Cx.of_float (0.005 +. 0.02)) p.Twoport.y22;
+  check_cx "y12" (Cx.of_float (-0.02)) p.Twoport.y12;
+  check_cx "y21" (Cx.of_float (-0.02)) p.Twoport.y21;
+  Alcotest.(check bool) "reciprocal" true (Twoport.is_reciprocal p)
+
+let test_series_capacitor () =
+  (* Series C between ports: y11 = y22 = jwC, y12 = -jwC; no Z params. *)
+  let b = N.Builder.create ~title:"series c" () in
+  N.Builder.capacitor b "c1" ~a:"p1" ~b:"p2" 1e-9;
+  let c = N.Builder.finish b in
+  let f = 1e6 in
+  let w = 2. *. Float.pi *. f in
+  let p = Twoport.y_params c ~port1:"p1" ~port2:"p2" ~freq_hz:f in
+  check_cx "y11" (Cx.make 0. (w *. 1e-9)) p.Twoport.y11;
+  check_cx "y12" (Cx.make 0. (-.w *. 1e-9)) p.Twoport.y12;
+  Alcotest.(check bool) "no Z representation" true (Twoport.z_params p = None)
+
+let test_z_params_pi () =
+  let p = Twoport.y_params (pi_network ()) ~port1:"p1" ~port2:"p2" ~freq_hz:1e3 in
+  match Twoport.z_params p with
+  | None -> Alcotest.fail "expected Z params"
+  | Some z ->
+      (* Z of a pi: z11 = Ra (Rb + Rc) / (Ra + Rb + Rc), z12 = Ra Rc / sum. *)
+      let sum = 100. +. 50. +. 200. in
+      check_cx "z11" (Cx.of_float (100. *. (50. +. 200.) /. sum)) z.Twoport.y11;
+      check_cx "z12" (Cx.of_float (100. *. 200. /. sum)) z.Twoport.y12;
+      check_cx "z22" (Cx.of_float (200. *. (50. +. 100.) /. sum)) z.Twoport.y22
+
+let test_s_params_matched_series () =
+  (* Series resistor R = 2 z0 between matched ports:
+     S11 = R/(R + 2 z0) = 0.5, S21 = 2 z0/(R + 2 z0) = 0.5. *)
+  let b = N.Builder.create ~title:"series r" () in
+  N.Builder.resistor b "r1" ~a:"p1" ~b:"p2" 100.;
+  let c = N.Builder.finish b in
+  let y = Twoport.y_params c ~port1:"p1" ~port2:"p2" ~freq_hz:1e3 in
+  let s = Twoport.s_params ~z0:50. y in
+  check_cx "s11" (Cx.of_float 0.5) s.Twoport.y11;
+  check_cx "s21" (Cx.of_float 0.5) s.Twoport.y21;
+  check_cx "s22" (Cx.of_float 0.5) s.Twoport.y22
+
+let test_s_params_through () =
+  (* A tiny series resistance approximates a through: S21 ~ 1, S11 ~ 0. *)
+  let b = N.Builder.create ~title:"thru" () in
+  N.Builder.resistor b "r1" ~a:"p1" ~b:"p2" 1e-3;
+  let c = N.Builder.finish b in
+  let y = Twoport.y_params c ~port1:"p1" ~port2:"p2" ~freq_hz:1e3 in
+  let s = Twoport.s_params y in
+  Alcotest.(check bool) "s21 ~ 1" true (Complex.norm s.Twoport.y21 > 0.99999);
+  Alcotest.(check bool) "s11 ~ 0" true (Complex.norm s.Twoport.y11 < 1e-4)
+
+let test_butterworth_port_match () =
+  (* A doubly-terminated Butterworth is matched in-band: |S11| small at DC
+     after de-embedding the terminations... simpler invariant: the ladder
+     between its termination resistors is reciprocal and lossless in
+     structure, so y12 = y21 at any frequency. *)
+  let lc = Lc.butterworth 5 in
+  (* Strip the source to get a source-free network. *)
+  let c = N.remove_element lc "vin" in
+  let p = Twoport.y_params c ~port1:Lc.input_node ~port2:Lc.output_node ~freq_hz:7.7e5 in
+  Alcotest.(check bool) "reciprocal" true (Twoport.is_reciprocal ~rel:1e-6 p)
+
+let suite =
+  [
+    ( "twoport",
+      [
+        Alcotest.test_case "pi network Y" `Quick test_pi_y_params;
+        Alcotest.test_case "series capacitor" `Quick test_series_capacitor;
+        Alcotest.test_case "pi network Z" `Quick test_z_params_pi;
+        Alcotest.test_case "S of matched series R" `Quick test_s_params_matched_series;
+        Alcotest.test_case "S of a through" `Quick test_s_params_through;
+        Alcotest.test_case "butterworth reciprocity" `Quick test_butterworth_port_match;
+      ] );
+  ]

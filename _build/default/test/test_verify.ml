@@ -1,0 +1,60 @@
+(* Tests for the independent reference verification. *)
+
+module Verify = Symref_core.Verify
+module Adaptive = Symref_core.Adaptive
+module Evaluator = Symref_core.Evaluator
+module Nodal = Symref_mna.Nodal
+module Ua741 = Symref_circuit.Ua741
+module Ladder = Symref_circuit.Rc_ladder
+module Ef = Symref_numeric.Extfloat
+
+let den_evaluator circuit input output =
+  Evaluator.of_nodal (Nodal.make circuit ~input ~output) ~num:false
+
+let test_good_references_pass () =
+  let ev =
+    den_evaluator Ua741.circuit
+      (Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+      (Nodal.Out_node Ua741.output)
+  in
+  let result = Adaptive.run ev in
+  let report = Verify.check ev result in
+  Alcotest.(check bool)
+    (Printf.sprintf "741 references verify (residual %.2e over %d probes)"
+       report.Verify.max_relative_residual report.Verify.probes)
+    true report.Verify.passed;
+  Alcotest.(check bool) "several probes" true (report.Verify.probes >= 6)
+
+let test_corrupted_references_fail () =
+  let ev =
+    den_evaluator (Ladder.circuit ~spread:2. 8) (Nodal.Vsrc_element "vin")
+      (Nodal.Out_node Ladder.output_node)
+  in
+  let result = Adaptive.run ev in
+  Alcotest.(check bool) "honest result passes" true
+    (Verify.check ev result).Verify.passed;
+  (* Corrupt one mid-band coefficient by 1%: the probe must notice. *)
+  let corrupted =
+    {
+      result with
+      Adaptive.coeffs =
+        Array.mapi
+          (fun i c -> if i = 4 then Ef.mul_float c 1.01 else c)
+          result.Adaptive.coeffs;
+    }
+  in
+  let report = Verify.check ev corrupted in
+  Alcotest.(check bool)
+    (Printf.sprintf "corruption detected (residual %.2e)"
+       report.Verify.max_relative_residual)
+    false report.Verify.passed
+
+let suite =
+  [
+    ( "verify",
+      [
+        Alcotest.test_case "good references pass" `Quick test_good_references_pass;
+        Alcotest.test_case "corrupted references fail" `Quick
+          test_corrupted_references_fail;
+      ] );
+  ]
