@@ -65,7 +65,14 @@ let ua741_reference () =
 let t1a () =
   section "T1a"
     "OTA of Fig. 1: unit-circle interpolation fails beyond the lowest orders";
-  let p = ota_problem () in
+  (* Table 1a is about the naive per-point-LU pipeline: with pattern reuse
+     the round-off correlates across points and loses its Im-garbage
+     signature, so reproduce it with an independent pivot search per point. *)
+  let p =
+    Nodal.make ~reuse:false Ota.circuit
+      ~input:(Nodal.V_diff (Ota.input_p, Ota.input_n))
+      ~output:(Nodal.Out_node Ota.output)
+  in
   let num = Naive.run (Evaluator.of_nodal p ~num:true) in
   let den = Naive.run (Evaluator.of_nodal p ~num:false) in
   print_string (Report.naive_table ~num ~den ());
@@ -194,6 +201,195 @@ let x2 () =
       let td = time (fun () -> ignore (Dense.det (Dense.factor dense))) in
       Printf.printf "%-8d  %-12.1f  %-12.1f  %-8.1f\n" n ts td (td /. ts))
     [ 8; 16; 32; 64; 128; 256 ]
+
+(* --- JSON pipeline benchmark ------------------------------------------------
+
+   `main.exe json` (and its tiny `smoke` variant wired into the test suite)
+   times the evaluation pipeline of this repository against its own
+   baselines and writes machine-readable results to BENCH_interp.json, so
+   successive PRs accumulate a perf trajectory:
+
+     - full Markowitz factorisation per point vs symbolic-once/numeric-many
+       refactorisation (per-evaluation cost),
+     - seed-style duplicated num/den adaptive runs vs the shared memoised
+       evaluator, at equal coefficients,
+     - 1-domain vs N-domain interpolation fan-out (bit-identical results).  *)
+
+module Interp_m = Interp
+module Random_net = Symref_circuit.Random_net
+module Uc = Symref_dft.Unit_circle
+
+let wall = Unix.gettimeofday
+
+let time_wall reps f =
+  ignore (f ());
+  (* warm: pattern + memo caches, allocator *)
+  let t0 = wall () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (wall () -. t0) /. float_of_int reps
+
+type jcircuit = {
+  jname : string;
+  jcircuit : N.t;
+  jinput : Nodal.input;
+  joutput : Nodal.output;
+}
+
+let json_circuits ~smoke =
+  let ladder_n = if smoke then 12 else 64 in
+  let random_n = if smoke then 10 else 48 in
+  let base =
+    [
+      {
+        jname = "ota";
+        jcircuit = Ota.circuit;
+        jinput = Nodal.V_diff (Ota.input_p, Ota.input_n);
+        joutput = Nodal.Out_node Ota.output;
+      };
+      {
+        jname = "ua741";
+        jcircuit = Ua741.circuit;
+        jinput = Nodal.V_diff (Ua741.input_p, Ua741.input_n);
+        joutput = Nodal.Out_node Ua741.output;
+      };
+      {
+        jname = Printf.sprintf "rc-ladder-%d" ladder_n;
+        jcircuit = Ladder.circuit ladder_n;
+        jinput = Nodal.Vsrc_element "vin";
+        joutput = Nodal.Out_node Ladder.output_node;
+      };
+      {
+        jname = Printf.sprintf "random-net-%d" random_n;
+        jcircuit = Random_net.circuit ~seed:7 ~nodes:random_n ();
+        jinput = Nodal.Vsrc_element "vin";
+        joutput = Nodal.Out_node (Random_net.output_node ~seed:7 ~nodes:random_n);
+      };
+    ]
+  in
+  if smoke then List.filteri (fun i _ -> i <> 1) base (* ua741 adaptive is slow-ish *)
+  else base
+
+let coeffs_match (a : Adaptive.result) (b : Adaptive.result) =
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if a.Adaptive.established.(i) && b.Adaptive.established.(i) then
+        if not (Ef.is_zero x && Ef.is_zero b.Adaptive.coeffs.(i)) then
+          if not (Ef.approx_equal ~rel:1e-5 x b.Adaptive.coeffs.(i)) then ok := false)
+    a.Adaptive.coeffs;
+  !ok
+
+let run_json ~smoke =
+  let reps = if smoke then 2 else 5 in
+  let eval_reps = if smoke then 8 else 64 in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  section (if smoke then "SMOKE" else "JSON")
+    "pipeline benchmark: full-factor vs refactor, shared num/den, domains";
+  out "{\n  \"schema\": \"symref/bench-interp/v1\",\n";
+  out "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
+  out "  \"circuits\": [\n";
+  let ncirc = List.length (json_circuits ~smoke) in
+  List.iteri
+    (fun ci jc ->
+      let mk reuse = Nodal.make ~reuse jc.jcircuit ~input:jc.jinput ~output:jc.joutput in
+      let p_reuse = mk true and p_full = mk false in
+      let dim = Nodal.dimension p_reuse in
+      let f = 1. /. Nodal.mean_capacitance p_reuse
+      and g = 1. /. Nodal.mean_conductance p_reuse in
+      let k = Nodal.order_bound p_reuse + 1 in
+      (* Per-evaluation cost over the unit-circle points of a first pass. *)
+      let sweep p () =
+        for j = 0 to (k / 2) + 1 do
+          ignore (Nodal.eval ~f ~g p (Uc.point (Int.max k 4) j))
+        done
+      in
+      let per_point t = t /. float_of_int ((k / 2) + 2) *. 1e6 in
+      let t_full = time_wall eval_reps (sweep p_full) in
+      let t_refac = time_wall eval_reps (sweep p_reuse) in
+      (* Whole reference generation: seed path vs pipeline, equal results. *)
+      let gen ~share ~reuse () =
+        Reference.generate ~share ~reuse jc.jcircuit ~input:jc.jinput
+          ~output:jc.joutput
+      in
+      let t_seed = time_wall reps (gen ~share:false ~reuse:false) in
+      let t_pipeline = time_wall reps (gen ~share:true ~reuse:true) in
+      let r_seed = gen ~share:false ~reuse:false () in
+      let r_pipe = gen ~share:true ~reuse:true () in
+      let equal =
+        coeffs_match r_seed.Reference.num r_pipe.Reference.num
+        && coeffs_match r_seed.Reference.den r_pipe.Reference.den
+      in
+      Printf.printf
+        "%-16s dim %3d: eval %8.1f -> %7.1f us/pt (%4.1fx)   reference %8.2f -> \
+         %7.2f ms (%4.1fx)  equal %b\n"
+        jc.jname dim (per_point t_full) (per_point t_refac) (t_full /. t_refac)
+        (t_seed *. 1000.) (t_pipeline *. 1000.)
+        (t_seed /. t_pipeline)
+        equal;
+      out "    {\n      \"name\": \"%s\", \"dim\": %d, \"order_bound\": %d,\n"
+        jc.jname dim (Nodal.order_bound p_reuse);
+      out "      \"eval_us_per_point\": { \"full_factor\": %.3f, \"refactor\": %.3f, \"speedup\": %.3f },\n"
+        (per_point t_full) (per_point t_refac) (t_full /. t_refac);
+      out "      \"reference_ms\": { \"seed\": %.4f, \"pipeline\": %.4f, \"speedup\": %.3f, \"coeffs_match\": %b },\n"
+        (t_seed *. 1000.) (t_pipeline *. 1000.) (t_seed /. t_pipeline) equal;
+      out "      \"lu_evaluations\": { \"seed\": %d, \"pipeline\": %d }\n"
+        (Reference.total_evaluations r_seed) (Reference.total_evaluations r_pipe);
+      out "    }%s\n" (if ci = ncirc - 1 then "" else ","))
+    (json_circuits ~smoke);
+  out "  ],\n";
+  (* Shared num/den evaluator: distinct factorisations vs total calls. *)
+  let shared_target = if smoke then List.hd (json_circuits ~smoke) else List.nth (json_circuits ~smoke) 1 in
+  let sp =
+    Nodal.make shared_target.jcircuit ~input:shared_target.jinput
+      ~output:shared_target.joutput
+  in
+  let sh = Evaluator.of_nodal_shared sp in
+  let rn = Adaptive.run sh.Evaluator.snum in
+  let rd = Adaptive.run sh.Evaluator.sden in
+  let calls = rn.Adaptive.evaluations + rd.Adaptive.evaluations in
+  Printf.printf
+    "shared num/den on %s: %d evaluator calls -> %d factorizations (%d table hits)\n"
+    shared_target.jname calls
+    (sh.Evaluator.factorizations ())
+    (sh.Evaluator.hits ());
+  out "  \"shared\": { \"circuit\": \"%s\", \"calls\": %d, \"factorizations\": %d, \"hits\": %d },\n"
+    shared_target.jname calls
+    (sh.Evaluator.factorizations ())
+    (sh.Evaluator.hits ());
+  (* Domain fan-out on one first pass (results must be bit-identical). *)
+  let dp =
+    Nodal.make shared_target.jcircuit ~input:shared_target.jinput
+      ~output:shared_target.joutput
+  in
+  let dev = Evaluator.of_nodal dp ~num:false in
+  let dk = Nodal.order_bound dp + 1 in
+  let dscale = Scaling.initial dev in
+  let baseline = Interp_m.run dev ~scale:dscale ~k:dk in
+  let dlist = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  out "  \"domains\": { \"circuit\": \"%s\", \"points\": %d, \"runs\": [\n"
+    shared_target.jname dk;
+  let nd = List.length dlist in
+  List.iteri
+    (fun i d ->
+      let t =
+        time_wall reps (fun () -> Interp_m.run ~domains:d dev ~scale:dscale ~k:dk)
+      in
+      let r = Interp_m.run ~domains:d dev ~scale:dscale ~k:dk in
+      let identical = r.Interp_m.normalized = baseline.Interp_m.normalized in
+      Printf.printf "domains=%d: %.2f ms  bit-identical %b\n" d (t *. 1000.) identical;
+      out "    { \"domains\": %d, \"ms\": %.4f, \"bit_identical\": %b }%s\n" d
+        (t *. 1000.) identical
+        (if i = nd - 1 then "" else ","))
+    dlist;
+  out "  ] }\n}\n";
+  let file = if smoke then "BENCH_interp.smoke.json" else "BENCH_interp.json" in
+  let oc = open_out file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
 
 (* --- Bechamel timing benches: one per table/figure --- *)
 
@@ -353,9 +549,11 @@ let () =
   match mode with
   | "tables" -> run_tables ()
   | "timing" -> run_timing ()
+  | "json" -> run_json ~smoke:false
+  | "smoke" -> run_json ~smoke:true
   | "all" ->
       run_tables ();
       run_timing ()
   | m ->
-      Printf.eprintf "unknown mode %s (want tables|timing|all)\n" m;
+      Printf.eprintf "unknown mode %s (want tables|timing|all|json|smoke)\n" m;
       exit 1

@@ -9,6 +9,7 @@ type config = {
   max_passes : int;
   dry_passes : int;
   scaling_policy : [ `Split | `Frequency_only ];
+  domains : int;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     max_passes = 64;
     dry_passes = 2;
     scaling_policy = `Split;
+    domains = 1;
   }
 
 type band_report = {
@@ -138,7 +140,8 @@ let run ?(config = default_config) (ev : Evaluator.t) =
       else []
     in
     let p =
-      Interp.run ~conj_symmetry:config.conj_symmetry ~known ~base ev ~scale ~k
+      Interp.run ~conj_symmetry:config.conj_symmetry ~known ~base
+        ~domains:config.domains ev ~scale ~k
     in
     (* Validity floor anchored to the pre-deflation values: noise in the
        recovered coefficients is ~1e-13 of the ceiling even when deflation

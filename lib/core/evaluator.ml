@@ -10,13 +10,13 @@ type t = {
   f0 : float;
   g0 : float;
   name : string;
-  counter : int ref;
+  counter : int Atomic.t;
 }
 
 let of_nodal problem ~num =
-  let counter = ref 0 in
+  let counter = Atomic.make 0 in
   let eval ~f ~g s =
-    incr counter;
+    Atomic.incr counter;
     let v = Nodal.eval ~f ~g problem s in
     if num then v.Nodal.num else v.Nodal.den
   in
@@ -30,12 +30,73 @@ let of_nodal problem ~num =
     counter;
   }
 
+type shared = { snum : t; sden : t; factorizations : unit -> int; hits : unit -> int }
+
+(* One factorisation already yields both the numerator and the denominator
+   (eq. 8-10: one LU, one solve), yet separate adaptive runs would redo it.
+   Memoise the full nodal evaluation per (f, g, s): the numerator and
+   denominator evaluators draw from one table, so every point the two runs
+   share — all of the first pass, since the initial scale and point set
+   depend only on the problem — costs a single factorisation.  Mutex-guarded
+   so multi-domain interpolation can call it concurrently. *)
+let of_nodal_shared problem =
+  let table : (float * float * float * float, Nodal.value) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let lock = Mutex.create () in
+  let misses = Atomic.make 0 and hits = Atomic.make 0 in
+  let shared_eval ~f ~g (s : Complex.t) =
+    let key = (f, g, s.Complex.re, s.Complex.im) in
+    let cached =
+      Mutex.lock lock;
+      let c = Hashtbl.find_opt table key in
+      Mutex.unlock lock;
+      c
+    in
+    match cached with
+    | Some v ->
+        Atomic.incr hits;
+        v
+    | None ->
+        (* Compute outside the lock: concurrent domains may duplicate a
+           point's work, but identical results make the race benign. *)
+        let v = Nodal.eval ~f ~g problem s in
+        Atomic.incr misses;
+        Mutex.lock lock;
+        Hashtbl.replace table key v;
+        Mutex.unlock lock;
+        v
+  in
+  let mk ~num =
+    let counter = Atomic.make 0 in
+    let eval ~f ~g s =
+      Atomic.incr counter;
+      let v = shared_eval ~f ~g s in
+      if num then v.Nodal.num else v.Nodal.den
+    in
+    {
+      eval;
+      gdeg = (if num then Nodal.num_gdeg problem else Nodal.den_gdeg problem);
+      order_bound = Nodal.order_bound problem;
+      f0 = 1. /. Nodal.mean_capacitance problem;
+      g0 = 1. /. Nodal.mean_conductance problem;
+      name = (if num then "num" else "den");
+      counter;
+    }
+  in
+  {
+    snum = mk ~num:true;
+    sden = mk ~num:false;
+    factorizations = (fun () -> Atomic.get misses);
+    hits = (fun () -> Atomic.get hits);
+  }
+
 let of_epoly ?(name = "poly") ~gdeg ~f0 ~g0 p =
   if Epoly.degree p > gdeg then
     invalid_arg "Evaluator.of_epoly: degree exceeds homogeneity degree";
-  let counter = ref 0 in
+  let counter = Atomic.make 0 in
   let eval ~f ~g s =
-    incr counter;
+    Atomic.incr counter;
     (* Scale coefficients exactly: p_i -> p_i f^i g^(gdeg-i), then Horner. *)
     let coeffs = Epoly.coeffs p in
     let scaled =
@@ -48,4 +109,4 @@ let of_epoly ?(name = "poly") ~gdeg ~f0 ~g0 p =
   in
   { eval; gdeg; order_bound = Epoly.degree p; f0; g0; name; counter }
 
-let eval_count t = !(t.counter)
+let eval_count t = Atomic.get t.counter

@@ -18,16 +18,33 @@ type t = {
   f0 : float;  (** heuristic first frequency scale: [1 / mean C] (§3.2) *)
   g0 : float;  (** heuristic first conductance scale: [1 / mean G] (§3.2) *)
   name : string;  (** for reports: ["num"], ["den"], ... *)
-  counter : int ref;
+  counter : int Atomic.t;
       (** Incremented on every [eval] call by the smart constructors below;
           each call is one LU decomposition when the evaluator comes from
-          {!of_nodal} — the paper's cost metric. *)
+          {!of_nodal} — the paper's cost metric.  Atomic so multi-domain
+          interpolation ({!Interp.run}[ ~domains]) counts exactly. *)
 }
 
 val of_nodal : Symref_mna.Nodal.t -> num:bool -> t
 (** The numerator ([num:true]) or denominator evaluator of a prepared nodal
     problem.  Each call performs one sparse LU factorisation (and solve, for
     the numerator). *)
+
+type shared = {
+  snum : t;  (** numerator evaluator over the shared table *)
+  sden : t;  (** denominator evaluator over the shared table *)
+  factorizations : unit -> int;
+      (** distinct (f, g, s) points actually factorised so far *)
+  hits : unit -> int;  (** evaluations served from the table *)
+}
+
+val of_nodal_shared : Symref_mna.Nodal.t -> shared
+(** Numerator and denominator evaluators drawing from one memoised
+    {!Symref_mna.Nodal.eval} per (f, g, s): one factorisation already yields
+    both values (eqs. 8-10), so every interpolation point the two adaptive
+    runs share — the whole first pass in particular — is factorised once
+    instead of twice.  Thread-safe; per-evaluator call counters keep the
+    paper's cost metric unchanged. *)
 
 val of_epoly :
   ?name:string -> gdeg:int -> f0:float -> g0:float -> Symref_poly.Epoly.t -> t

@@ -48,10 +48,11 @@ let idft_extended values =
       (inverse doubles)
   end
 
-let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) (ev : Evaluator.t)
-    ~(scale : Scaling.pair) ~k =
+let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
+    (ev : Evaluator.t) ~(scale : Scaling.pair) ~k =
   if k < 1 then invalid_arg "Interp.run: k must be >= 1";
   if base < 0 then invalid_arg "Interp.run: base must be >= 0";
+  if domains < 1 then invalid_arg "Interp.run: domains must be >= 1";
   (* Renormalise the known (denormalised) coefficients to this pass's scale
      and build the deflation polynomial of eq. 17. *)
   let deflation =
@@ -66,32 +67,68 @@ let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) (ev : Evaluator.t)
           known;
         Some (Epoly.of_coeffs arr)
   in
-  let ceiling = ref Ef.zero in
+  (* Pure per-point evaluation: (collected value, pre-deflation magnitude).
+     Purity is what lets the points fan out across domains bit-identically —
+     every point computes the same value whichever domain runs it, and the
+     ceiling is an order-independent maximum. *)
   let value_at j =
     let s = Uc.point k j in
     let raw = ev.Evaluator.eval ~f:scale.Scaling.f ~g:scale.Scaling.g s in
     let mag = Ec.norm raw in
-    if Ef.compare_mag mag !ceiling > 0 then ceiling := mag;
     let deflated =
       match deflation with
       | None -> raw
       | Some poly -> Ec.sub raw (Epoly.eval poly (Ec.of_complex s))
     in
-    if base = 0 then deflated
-    else
-      (* Divide by s^base: multiply by the conjugate root w^(-j*base). *)
-      Ec.mul_complex deflated (Uc.point k (-j * base))
+    let v =
+      if base = 0 then deflated
+      else
+        (* Divide by s^base: multiply by the conjugate root w^(-j*base). *)
+        Ec.mul_complex deflated (Uc.point k (-j * base))
+    in
+    (v, mag)
   in
-  let values, evaluations =
+  (* The unit-circle points are embarrassingly parallel; [domains = 1]
+     (the default) stays on the calling domain. *)
+  let eval_many count =
+    if domains <= 1 || count <= 1 then Array.init count value_at
+    else begin
+      let d = Int.min domains count in
+      let results = Array.make count (Ec.zero, Ef.zero) in
+      let chunk = (count + d - 1) / d in
+      let worker lo () =
+        for j = lo to Int.min count (lo + chunk) - 1 do
+          results.(j) <- value_at j
+        done
+      in
+      let spawned =
+        List.init (d - 1) (fun i -> Domain.spawn (worker ((i + 1) * chunk)))
+      in
+      worker 0 ();
+      List.iter Domain.join spawned;
+      results
+    end
+  in
+  let collect pairs =
+    Array.fold_left
+      (fun acc (_, mag) -> if Ef.compare_mag mag acc > 0 then mag else acc)
+      Ef.zero pairs
+  in
+  let values, ceiling, evaluations =
     if conj_symmetry then begin
       (* P(conj s) = conj (P s) for real circuits: evaluate only the upper
          half circle (same symmetry as Dft.complete_real_spectrum, here on
          extended-range values). *)
-      let half = Array.init ((k / 2) + 1) value_at in
-      ( Array.init k (fun i -> if i <= k / 2 then half.(i) else Ec.conj half.(k - i)),
+      let half = eval_many ((k / 2) + 1) in
+      ( Array.init k (fun i ->
+            if i <= k / 2 then fst half.(i) else Ec.conj (fst half.(k - i))),
+        collect half,
         (k / 2) + 1 )
     end
-    else (Array.init k value_at, k)
+    else begin
+      let all = eval_many k in
+      (Array.map fst all, collect all, k)
+    end
   in
   {
     scale;
@@ -99,5 +136,5 @@ let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) (ev : Evaluator.t)
     normalized = idft_extended values;
     points = k;
     evaluations;
-    ceiling = !ceiling;
+    ceiling;
   }

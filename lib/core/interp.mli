@@ -33,6 +33,7 @@ val run :
   ?conj_symmetry:bool ->
   ?known:(int * Symref_numeric.Extfloat.t) list ->
   ?base:int ->
+  ?domains:int ->
   Evaluator.t ->
   scale:Scaling.pair ->
   k:int ->
@@ -41,5 +42,9 @@ val run :
     {e denormalised} coefficients to deflate (eq. 17); [base] (default [0])
     is the first power to recover.  [conj_symmetry] (default [true])
     evaluates only the upper half circle and completes by conjugation
-    (real-coefficient polynomials, §2.1).
-    @raise Invalid_argument when [k < 1] or [base < 0]. *)
+    (real-coefficient polynomials, §2.1).  [domains] (default [1]) fans the
+    independent point evaluations out over that many OCaml domains; results,
+    ceiling and evaluation counts are bit-identical to the sequential run
+    (the evaluator must be thread-safe when [domains > 1], which all
+    {!Evaluator} constructors are).  The IDFT stays sequential.
+    @raise Invalid_argument when [k < 1], [base < 0] or [domains < 1]. *)

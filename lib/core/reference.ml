@@ -12,10 +12,25 @@ type t = {
   config : Adaptive.config;
 }
 
-let generate ?(config = Adaptive.default_config) circuit ~input ~output =
-  let problem = Nodal.make circuit ~input ~output in
-  let num = Adaptive.run ~config (Evaluator.of_nodal problem ~num:true) in
-  let den = Adaptive.run ~config (Evaluator.of_nodal problem ~num:false) in
+(* The numerator and denominator runs draw from one memoised evaluation per
+   point ([share], default): every (f, g, s) the two adaptive schedules have
+   in common — the entire first pass, whose scale and point set depend only
+   on the problem — costs a single LU factorisation that yields both values.
+   [reuse] (default) additionally enables the symbolic/numeric factorisation
+   split inside {!Symref_mna.Nodal.make}.  Both switches change cost only,
+   never values. *)
+let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
+    circuit ~input ~output =
+  let problem = Nodal.make ~reuse circuit ~input ~output in
+  let ev_num, ev_den =
+    if share then
+      let s = Evaluator.of_nodal_shared problem in
+      (s.Evaluator.snum, s.Evaluator.sden)
+    else
+      (Evaluator.of_nodal problem ~num:true, Evaluator.of_nodal problem ~num:false)
+  in
+  let num = Adaptive.run ~config ev_num in
+  let den = Adaptive.run ~config ev_den in
   { num; den; input; output; config }
 
 let numerator t = Epoly.of_coeffs t.num.Adaptive.coeffs

@@ -16,11 +16,18 @@ type t = {
 
 val generate :
   ?config:Adaptive.config ->
+  ?share:bool ->
+  ?reuse:bool ->
   Symref_circuit.Netlist.t ->
   input:Symref_mna.Nodal.input ->
   output:Symref_mna.Nodal.output ->
   t
 (** Runs the adaptive algorithm on the numerator and the denominator.
+    [share] (default [true]) lets the two runs draw from one memoised
+    evaluation per point — one factorisation yields both values (eq. 8-10);
+    [reuse] (default [true]) enables the symbolic/numeric factorisation
+    split per scale pair (see {!Symref_mna.Nodal.make}).  Both are pure
+    cost switches: the returned coefficients are identical either way.
     @raise Symref_mna.Nodal.Unsupported outside the nodal class. *)
 
 val numerator : t -> Symref_poly.Epoly.t

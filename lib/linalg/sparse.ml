@@ -179,7 +179,15 @@ let factor ?(pivot_threshold = 0.1) (b : builder) =
                            end
                        | Some w ->
                            let nv = Complex.add w upd in
-                           Hashtbl.replace rows.(i) j nv)
+                           if nv = Complex.zero then begin
+                             (* Exact cancellation: keeping a stored zero
+                                would inflate the Markowitz row/column
+                                counts and skew later pivot choices. *)
+                             Hashtbl.remove rows.(i) j;
+                             col_count.(j) <- col_count.(j) - 1;
+                             row_count.(i) <- row_count.(i) - 1
+                           end
+                           else Hashtbl.replace rows.(i) j nv)
                      upper.(k)
            done
      done
@@ -204,6 +212,345 @@ let factor ?(pivot_threshold = 0.1) (b : builder) =
 
 let det f = f.det
 let fill_in f = f.fill_in
+
+(* --- Symbolic / numeric split ---------------------------------------------
+
+   A [pattern] is the value-independent half of one factorisation: the pivot
+   order, the slot layout (one flat-array slot per matrix position that is
+   ever touched, fill-ins included) and the elimination program as index
+   arrays.  [refactor] replays the program on fresh numeric values with no
+   hashtable traffic at all: the inner loop is pure unboxed float-array
+   arithmetic.  The classic SPICE/KLU trick — the sparsity structure of
+   [G + sC] is the same at every interpolation point, so the ordering work
+   is paid once per scale pair instead of once per point. *)
+
+type pattern = {
+  pn : int;
+  p_pivot_rows : int array;
+  p_pivot_cols : int array;
+  p_sign : int;  (* permutation sign of the pivot orders *)
+  p_threshold : float;
+  nslots : int;
+  coo_rows : int array;  (* values index -> original row *)
+  coo_cols : int array;  (* values index -> original column *)
+  coo_slot : int array;  (* values index -> slot *)
+  pivot_slot : int array;  (* step -> slot of the pivot *)
+  u_cols : int array array;  (* step -> original column per U entry *)
+  u_slots : int array array;  (* step -> slot per U entry *)
+  elim_row : int array array;  (* step -> row id per eliminated row *)
+  elim_a_slot : int array array;  (* step -> slot of (row, pivot col) *)
+  elim_upd : int array array array;
+      (* step -> target -> destination slot per U entry (aligned with
+         [u_slots]); fill-in destinations are slots >= the structural count *)
+  p_lower_len : int;
+  p_fill : int;
+}
+
+let pattern_dimension p = p.pn
+let pattern_nnz p = Array.length p.coo_rows
+let pattern_coords p = Array.init (Array.length p.coo_rows) (fun e -> (p.coo_rows.(e), p.coo_cols.(e)))
+let pattern_stats p = (p.nslots, p.p_fill)
+
+(* Symbolic analysis: one full Markowitz factorisation that additionally
+   records the slot layout and elimination program.  Unlike {!factor}, exact
+   numeric cancellations keep their (zero-valued) entry: the pattern must
+   stay structurally valid at evaluation points where the cancellation does
+   not happen.  Returns [None] when the matrix is singular at the analysed
+   point (no complete pivot sequence exists to record). *)
+let symbolic ?(pivot_threshold = 0.1) (b : builder) =
+  let n = b.n in
+  (* Per-row value and slot maps for the elimination workspace. *)
+  let rows = Array.map Hashtbl.copy b.rows in
+  let slots = Array.init n (fun _ -> Hashtbl.create 8) in
+  let next_slot = ref 0 in
+  let coo_rows = ref [] and coo_cols = ref [] and coo_slot = ref [] in
+  Array.iteri
+    (fun i row ->
+      Hashtbl.iter
+        (fun j _ ->
+          Hashtbl.replace slots.(i) j !next_slot;
+          coo_rows := i :: !coo_rows;
+          coo_cols := j :: !coo_cols;
+          coo_slot := !next_slot :: !coo_slot;
+          incr next_slot)
+        row)
+    b.rows;
+  let row_active = Array.make n true and col_active = Array.make n true in
+  let col_count = Array.make n 0 in
+  let row_count = Array.make n 0 in
+  Array.iteri
+    (fun i row ->
+      row_count.(i) <- Hashtbl.length row;
+      Hashtbl.iter (fun j _ -> col_count.(j) <- col_count.(j) + 1) row)
+    rows;
+  let pivot_rows = Array.make n (-1)
+  and pivot_cols = Array.make n (-1)
+  and pivots = Array.make n Complex.zero
+  and pivot_slot = Array.make n (-1) in
+  let u_cols = Array.make n [||]
+  and u_slots = Array.make n [||]
+  and elim_row = Array.make n [||]
+  and elim_a_slot = Array.make n [||]
+  and elim_upd = Array.make n [||] in
+  let lower = ref [] and upper = Array.make n [||] in
+  let lower_len = ref 0 in
+  let det_mag = ref Ec.one in
+  let fill = ref 0 in
+  let singular = ref false in
+  let max_candidate_rows = 8 in
+  (try
+     for k = 0 to n - 1 do
+       let best = ref None in
+       let search_row i =
+         let row = rows.(i) in
+         let rmax = ref 0. in
+         Hashtbl.iter
+           (fun j v ->
+             if col_active.(j) then begin
+               let m = Complex.norm v in
+               if m > !rmax then rmax := m
+             end)
+           row;
+         if !rmax > 0. then
+           Hashtbl.iter
+             (fun j v ->
+               if col_active.(j) then begin
+                 let m = Complex.norm v in
+                 if m >= pivot_threshold *. !rmax then begin
+                   let cost = (row_count.(i) - 1) * (col_count.(j) - 1) in
+                   let better =
+                     match !best with
+                     | None -> true
+                     | Some (_, _, _, bcost, bmag) ->
+                         cost < bcost || (cost = bcost && m > bmag)
+                   in
+                   if better then best := Some (i, j, v, cost, m)
+                 end
+               end)
+             row
+       in
+       let min_count = ref max_int in
+       for i = 0 to n - 1 do
+         if row_active.(i) && row_count.(i) > 0 && row_count.(i) < !min_count then
+           min_count := row_count.(i)
+       done;
+       if !min_count < max_int then begin
+         let examined = ref 0 in
+         let i = ref 0 in
+         while !examined < max_candidate_rows && !i < n do
+           if row_active.(!i) && row_count.(!i) > 0 && row_count.(!i) <= !min_count + 1
+           then begin
+             search_row !i;
+             incr examined
+           end;
+           incr i
+         done;
+         if !best = None then
+           for i = 0 to n - 1 do
+             if row_active.(i) && row_count.(i) > 0 then search_row i
+           done
+       end;
+       match !best with
+       | None ->
+           singular := true;
+           raise Exit
+       | Some (pi, pj, pv, _, _) ->
+           pivot_rows.(k) <- pi;
+           pivot_cols.(k) <- pj;
+           pivots.(k) <- pv;
+           pivot_slot.(k) <- Hashtbl.find slots.(pi) pj;
+           det_mag := Ec.mul !det_mag (Ec.of_complex pv);
+           row_active.(pi) <- false;
+           col_active.(pj) <- false;
+           Hashtbl.iter (fun j _ -> col_count.(j) <- col_count.(j) - 1) rows.(pi);
+           let u = ref [] in
+           Hashtbl.iter
+             (fun j v ->
+               if j <> pj && col_active.(j) then
+                 u := (j, v, Hashtbl.find slots.(pi) j) :: !u)
+             rows.(pi);
+           let u = Array.of_list !u in
+           upper.(k) <- Array.map (fun (j, v, _) -> (j, v)) u;
+           u_cols.(k) <- Array.map (fun (j, _, _) -> j) u;
+           u_slots.(k) <- Array.map (fun (_, _, s) -> s) u;
+           let e_row = ref [] and e_a = ref [] and e_upd = ref [] in
+           for i = 0 to n - 1 do
+             if row_active.(i) then
+               match Hashtbl.find_opt rows.(i) pj with
+               | None -> ()
+               | Some v ->
+                   Hashtbl.remove rows.(i) pj;
+                   col_count.(pj) <- col_count.(pj) - 1;
+                   row_count.(i) <- row_count.(i) - 1;
+                   let m = Complex.div v pv in
+                   lower := (i, k, m) :: !lower;
+                   incr lower_len;
+                   e_row := i :: !e_row;
+                   e_a := Hashtbl.find slots.(i) pj :: !e_a;
+                   let upd_slots =
+                     Array.map
+                       (fun (j, u, _) ->
+                         let upd = Complex.neg (Complex.mul m u) in
+                         match Hashtbl.find_opt rows.(i) j with
+                         | None ->
+                             (* Structural fill-in: always materialise the
+                                slot, even when the numeric update happens
+                                to vanish at this point. *)
+                             Hashtbl.replace rows.(i) j upd;
+                             let s = !next_slot in
+                             incr next_slot;
+                             Hashtbl.replace slots.(i) j s;
+                             col_count.(j) <- col_count.(j) + 1;
+                             row_count.(i) <- row_count.(i) + 1;
+                             incr fill;
+                             s
+                         | Some w ->
+                             Hashtbl.replace rows.(i) j (Complex.add w upd);
+                             Hashtbl.find slots.(i) j)
+                       u
+                   in
+                   e_upd := upd_slots :: !e_upd
+           done;
+           elim_row.(k) <- Array.of_list (List.rev !e_row);
+           elim_a_slot.(k) <- Array.of_list (List.rev !e_a);
+           elim_upd.(k) <- Array.of_list (List.rev !e_upd)
+     done
+   with Exit -> ());
+  if !singular then None
+  else begin
+    let sr = permutation_sign pivot_rows and sc = permutation_sign pivot_cols in
+    let sign = sr * sc in
+    let det = if sign < 0 then Ec.neg !det_mag else !det_mag in
+    let fct =
+      {
+        n;
+        pivot_rows;
+        pivot_cols;
+        pivots;
+        lower = Array.of_list (List.rev !lower);
+        upper;
+        det;
+        fill_in = !fill;
+        singular = false;
+      }
+    in
+    let pat =
+      {
+        pn = n;
+        p_pivot_rows = pivot_rows;
+        p_pivot_cols = pivot_cols;
+        p_sign = sign;
+        p_threshold = pivot_threshold;
+        nslots = !next_slot;
+        coo_rows = Array.of_list (List.rev !coo_rows);
+        coo_cols = Array.of_list (List.rev !coo_cols);
+        coo_slot = Array.of_list (List.rev !coo_slot);
+        pivot_slot;
+        u_cols;
+        u_slots;
+        elim_row;
+        elim_a_slot;
+        elim_upd;
+        p_lower_len = !lower_len;
+        p_fill = !fill;
+      }
+    in
+    Some (pat, fct)
+  end
+
+(* Numeric refactorisation: replay the recorded elimination program on new
+   values.  Returns [None] — caller falls back to a full Markowitz
+   factorisation — whenever a reused pivot is exactly zero or falls below the
+   threshold-pivoting floor relative to its remaining row, so accuracy never
+   regresses versus from-scratch pivoting. *)
+let refactor (p : pattern) (values : Complex.t array) =
+  if Array.length values <> Array.length p.coo_slot then
+    invalid_arg "Sparse.refactor: values length does not match pattern";
+  let re = Array.make p.nslots 0. and im = Array.make p.nslots 0. in
+  Array.iteri
+    (fun e (v : Complex.t) ->
+      let s = p.coo_slot.(e) in
+      re.(s) <- v.Complex.re;
+      im.(s) <- v.Complex.im)
+    values;
+  let n = p.pn in
+  let lower = Array.make p.p_lower_len (0, 0, Complex.zero) in
+  let lpos = ref 0 in
+  let ok = ref true in
+  let k = ref 0 in
+  while !ok && !k < n do
+    let step = !k in
+    let ps = p.pivot_slot.(step) in
+    let pr = re.(ps) and pim = im.(ps) in
+    let pmag = Float.hypot pr pim in
+    (* Threshold floor: the pivot must still dominate its remaining row the
+       way Markowitz + threshold pivoting would have required. *)
+    let us = p.u_slots.(step) in
+    let rmax = ref pmag in
+    Array.iter
+      (fun s ->
+        let m = Float.hypot re.(s) im.(s) in
+        if m > !rmax then rmax := m)
+      us;
+    if pmag = 0. || pmag < p.p_threshold *. !rmax then ok := false
+    else begin
+      let den = (pr *. pr) +. (pim *. pim) in
+      let targets = p.elim_row.(step) in
+      let a_slots = p.elim_a_slot.(step) in
+      let upds = p.elim_upd.(step) in
+      for t = 0 to Array.length targets - 1 do
+        let a = a_slots.(t) in
+        let ar = re.(a) and ai = im.(a) in
+        (* m = a / pivot, unboxed. *)
+        let mr = ((ar *. pr) +. (ai *. pim)) /. den
+        and mi = ((ai *. pr) -. (ar *. pim)) /. den in
+        lower.(!lpos) <- (targets.(t), step, { Complex.re = mr; im = mi });
+        incr lpos;
+        let upd = upds.(t) in
+        for idx = 0 to Array.length us - 1 do
+          let s = us.(idx) in
+          let ur = re.(s) and ui = im.(s) in
+          let d = upd.(idx) in
+          re.(d) <- re.(d) -. ((mr *. ur) -. (mi *. ui));
+          im.(d) <- im.(d) -. ((mr *. ui) +. (mi *. ur))
+        done
+      done;
+      incr k
+    end
+  done;
+  if not !ok then None
+  else begin
+    (* Pivot-row slots freeze at their own step, so the final workspace holds
+       exactly the U snapshots and pivots the factor needs. *)
+    let pivots =
+      Array.init n (fun k ->
+          let s = p.pivot_slot.(k) in
+          { Complex.re = re.(s); im = im.(s) })
+    in
+    let upper =
+      Array.init n (fun k ->
+          let cols = p.u_cols.(k) and slots = p.u_slots.(k) in
+          Array.init (Array.length cols) (fun idx ->
+              let s = slots.(idx) in
+              (cols.(idx), { Complex.re = re.(s); im = im.(s) })))
+    in
+    let det_mag =
+      Array.fold_left (fun acc pv -> Ec.mul acc (Ec.of_complex pv)) Ec.one pivots
+    in
+    let det = if p.p_sign < 0 then Ec.neg det_mag else det_mag in
+    Some
+      {
+        n;
+        pivot_rows = p.p_pivot_rows;
+        pivot_cols = p.p_pivot_cols;
+        pivots;
+        lower;
+        upper;
+        det;
+        fill_in = p.p_fill;
+        singular = false;
+      }
+  end
 
 (* With row/column pivot orders P, Q and the stored unit-lower multipliers L
    and upper rows U (step coordinates: M = P A Q = L U), the transpose system

@@ -55,3 +55,47 @@ val solve_transpose : factor -> Complex.t array -> Complex.t array
 (** Solve [transpose A x = b] from the same factorisation — the adjoint
     (transpose) network solve that yields every element sensitivity from a
     single extra substitution.  Same exceptions as {!solve}. *)
+
+(** {1 Symbolic / numeric split}
+
+    When the same sparsity structure is factorised at many numeric points
+    (every interpolation point of one scale pair shares the structure of
+    [G + sC]), the pivot search and the hashtable-based elimination workspace
+    are pure overhead after the first point.  {!symbolic} runs one full
+    Markowitz factorisation and records its {e pattern} — pivot order, slot
+    layout (fill-ins included) and the elimination program as flat index
+    arrays; {!refactor} then replays only the numeric elimination on unboxed
+    float arrays, typically several times faster than {!factor}. *)
+
+type pattern
+(** The value-independent half of a factorisation: reusable across any
+    numeric values with the same sparsity structure. *)
+
+val symbolic : ?pivot_threshold:float -> builder -> (pattern * factor) option
+(** [symbolic b] factorises [b] like {!factor} and records the pattern;
+    the returned factor is the one at the analysed values, for free.
+    [None] when the matrix is singular at the analysed point (there is no
+    complete pivot sequence to record).  Unlike {!factor}, entries that
+    cancel exactly during elimination are kept (with value zero): the
+    pattern must stay structurally valid at points where the cancellation
+    does not occur, so the recorded [fill_in] counts structural fill. *)
+
+val refactor : pattern -> Complex.t array -> factor option
+(** [refactor p values] redoes the numeric elimination with [values.(e)] the
+    entry at {!pattern_coords}[ p].(e).  [None] when a reused pivot is
+    exactly zero or falls below the threshold-pivoting floor relative to its
+    remaining row — the caller should fall back to a fresh {!factor} so
+    accuracy never regresses versus from-scratch pivoting.
+    @raise Invalid_argument when [values] does not match the pattern. *)
+
+val pattern_coords : pattern -> (int * int) array
+(** [(row, col)] of each structural entry, in the order {!refactor} expects
+    its [values] argument. *)
+
+val pattern_dimension : pattern -> int
+
+val pattern_nnz : pattern -> int
+(** Number of structural entries, i.e. the length {!refactor} expects. *)
+
+val pattern_stats : pattern -> int * int
+(** [(slots, structural_fill)] — workspace size diagnostics. *)

@@ -44,7 +44,15 @@ exception Unsupported of string
     VCVS/CCCS/CCVS, floating or extra voltage sources) or refers to unknown
     nodes/elements. *)
 
-val make : Symref_circuit.Netlist.t -> input:input -> output:output -> t
+val make :
+  ?reuse:bool -> Symref_circuit.Netlist.t -> input:input -> output:output -> t
+(** [reuse] (default [true]) enables the symbolic/numeric factorisation
+    split: the Markowitz ordering of the reduced matrix is learned once per
+    scale pair (at the canonical point [s = i]) and every evaluation replays
+    only the numeric elimination, falling back to a full from-scratch
+    factorisation whenever a reused pivot hits the threshold-pivoting floor.
+    [~reuse:false] restores the factor-from-scratch-per-point behaviour
+    (benchmark baseline).  Evaluation is thread-safe either way. *)
 
 val dimension : t -> int
 (** Order of the reduced nodal matrix. *)

@@ -183,6 +183,122 @@ let test_solve_transpose () =
         want)
     [ 1; 2; 3; 5; 8; 13; 21 ]
 
+let test_exact_cancellation_dropped () =
+  (* Eliminating (0,0) updates row 1 by [a_1j -= (a_10/a_00) a_0j]; with
+     a_00 = 5, a_10 = 5, a_02 = 2, a_12 = 2 the (1,2) entry cancels to
+     exactly zero.  The workspace must drop it (not store a zero): the
+     remaining submatrix is then structurally triangular, so Markowitz finds
+     a zero-fill order and the integer determinant is exact. *)
+  let b = Sparse.create 4 in
+  List.iter
+    (fun (i, j, v) -> Sparse.add b i j (r v))
+    [
+      (0, 0, 5.); (0, 2, 2.);
+      (1, 0, 5.); (1, 1, 3.); (1, 2, 2.);
+      (2, 1, 1.); (2, 2, 1.);
+      (3, 1, 1.); (3, 3, 1.);
+    ];
+  let f = Sparse.factor b in
+  Alcotest.(check int) "cancellation creates no fill" 0 (Sparse.fill_in f);
+  check_det "integer det exact" (r 15.) (Sparse.det f);
+  (* Cancellation wiping out a whole row: clean structural singularity. *)
+  let b = Sparse.create 2 in
+  List.iter (fun (i, j) -> Sparse.add b i j (r 1.)) [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  Alcotest.(check bool) "rank-1 det zero" true (Ec.is_zero (Sparse.det (Sparse.factor b)))
+
+let values_of_pattern pat a =
+  Array.map (fun (i, j) -> a.(i).(j)) (Sparse.pattern_coords pat)
+
+let test_symbolic_basics () =
+  let a = ensure_nonsingular (random_matrix ~density:0.4 9) in
+  let b = sparse_of_dense a in
+  match Sparse.symbolic b with
+  | None -> Alcotest.fail "nonsingular matrix must yield a pattern"
+  | Some (pat, f0) ->
+      Alcotest.(check int) "pattern dim" 9 (Sparse.pattern_dimension pat);
+      Alcotest.(check int) "pattern nnz = builder nnz" (Sparse.nnz b)
+        (Sparse.pattern_nnz pat);
+      let slots, fill = Sparse.pattern_stats pat in
+      Alcotest.(check bool) "slots = nnz + structural fill" true
+        (slots = Sparse.pattern_nnz pat + fill);
+      (* Replaying the analysed values must reproduce the analysed factor. *)
+      (match Sparse.refactor pat (values_of_pattern pat a) with
+      | None -> Alcotest.fail "refactor at the analysed values must succeed"
+      | Some f ->
+          check_cx "same det" (Ec.to_complex (Sparse.det f0))
+            (Ec.to_complex (Sparse.det f)));
+      ()
+
+let test_refactor_threshold_fallback () =
+  (* Diagonal 2x2: the pattern's pivots are the diagonal slots.  Reusing
+     them on values where a pivot is exactly zero, or dominated by its row
+     beyond the threshold-pivoting floor, must refuse (caller falls back to
+     a fresh Markowitz factorisation) instead of dividing by ~zero. *)
+  let b = Sparse.create 2 in
+  Sparse.add b 0 0 (r 4.);
+  Sparse.add b 0 1 (r 1.);
+  Sparse.add b 1 1 (r 3.);
+  match Sparse.symbolic b with
+  | None -> Alcotest.fail "nonsingular matrix must yield a pattern"
+  | Some (pat, _) ->
+      let value_at want =
+        Array.map (fun (i, j) -> List.assoc (i, j) want) (Sparse.pattern_coords pat)
+      in
+      let ok =
+        Sparse.refactor pat (value_at [ ((0, 0), r 2.); ((0, 1), r 1.); ((1, 1), r 5.) ])
+      in
+      Alcotest.(check bool) "healthy values accepted" true (ok <> None);
+      let zero_pivot =
+        Sparse.refactor pat
+          (value_at [ ((0, 0), Complex.zero); ((0, 1), r 1.); ((1, 1), r 5.) ])
+      in
+      Alcotest.(check bool) "zero pivot refused" true (zero_pivot = None);
+      let below_floor =
+        (* |a00| = 1e-3 of its row maximum: below the tau = 0.1 floor. *)
+        Sparse.refactor pat
+          (value_at [ ((0, 0), r 1e-3); ((0, 1), r 1.); ((1, 1), r 5.) ])
+      in
+      Alcotest.(check bool) "sub-threshold pivot refused" true (below_floor = None)
+
+let prop_refactor_matches_factor =
+  (* The symbolic/numeric split: learn the pattern once, then refactor with
+     perturbed values; det, solve and solve_transpose must match a full
+     from-scratch factorisation of the same values. *)
+  let gen = QCheck2.Gen.(pair (int_range 2 12) (int_range 0 1000)) in
+  QCheck2.Test.make ~name:"refactor = factor (det/solve/solve_transpose)"
+    ~count:60 gen (fun (n, salt) ->
+      rand_state := (salt * 7919) + 17;
+      let a = ensure_nonsingular (random_matrix ~density:0.5 n) in
+      match Sparse.symbolic (sparse_of_dense a) with
+      | None -> false
+      | Some (pat, _) ->
+          (* Same structure, different values (diagonal dominance kept so the
+             reused pivot order stays above the threshold floor). *)
+          let a' =
+            Array.map
+              (Array.map (fun v ->
+                   if v = Complex.zero then v
+                   else Complex.mul v (c (1. +. (0.05 *. next_float ())) 0.)))
+              a
+          in
+          let fs = Sparse.factor (sparse_of_dense a') in
+          (match Sparse.refactor pat (values_of_pattern pat a') with
+          | None ->
+              (* The documented fallback: a reused pivot crossed the
+                 threshold-pivoting floor (~1.5% of perturbed cases), and
+                 the caller refactorises from scratch.  Nothing to compare. *)
+              true
+          | Some fr ->
+              let ds = Ec.to_complex (Sparse.det fs)
+              and dr = Ec.to_complex (Sparse.det fr) in
+              let b = Array.init n (fun i -> c (next_float ()) (float_of_int i)) in
+              let ok_vec xs xr =
+                Array.for_all2 (Cx.approx_equal ~rel:1e-8 ~abs:1e-12) xs xr
+              in
+              Cx.approx_equal ~rel:1e-8 ds dr
+              && ok_vec (Sparse.solve fs b) (Sparse.solve fr b)
+              && ok_vec (Sparse.solve_transpose fs b) (Sparse.solve_transpose fr b)))
+
 let prop_sparse_dense_agree =
   let gen = QCheck2.Gen.(int_range 1 12) in
   QCheck2.Test.make ~name:"sparse det = dense det" ~count:60 gen (fun n ->
@@ -191,7 +307,9 @@ let prop_sparse_dense_agree =
       let ds = Ec.to_complex (Sparse.det (Sparse.factor (sparse_of_dense a))) in
       Cx.approx_equal ~rel:1e-6 dd ds)
 
-let props = List.map QCheck_alcotest.to_alcotest [ prop_sparse_dense_agree ]
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sparse_dense_agree; prop_refactor_matches_factor ]
 
 let suite =
   [
@@ -213,6 +331,11 @@ let suite =
         Alcotest.test_case "permutation det sign" `Quick test_sparse_permutation_det;
         Alcotest.test_case "tridiagonal fill-in" `Quick test_sparse_fill_in_tridiagonal;
         Alcotest.test_case "transpose solve" `Quick test_solve_transpose;
+        Alcotest.test_case "exact cancellation dropped" `Quick
+          test_exact_cancellation_dropped;
+        Alcotest.test_case "symbolic pattern basics" `Quick test_symbolic_basics;
+        Alcotest.test_case "refactor threshold fallback" `Quick
+          test_refactor_threshold_fallback;
       ]
       @ props );
   ]

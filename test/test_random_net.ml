@@ -71,6 +71,36 @@ let prop_conj_symmetry_invariance =
         (Reference.denominator b)
       && Epoly.approx_equal ~rel:1e-6 (Reference.numerator a) (Reference.numerator b))
 
+let prop_pattern_reuse_invariance =
+  (* The symbolic/numeric factorisation split against from-scratch Markowitz
+     per point, on random nodal circuits: H(s) agrees to LU round-off at
+     frequencies spanning the audio-to-GHz range, and the full adaptive
+     references agree within the certified precision. *)
+  QCheck2.Test.make ~name:"pattern reuse = fresh factorisation on random circuits"
+    ~count:15
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 3 12))
+    (fun (seed, nodes) ->
+      let circuit, input, output = problem_of seed nodes in
+      let fresh = Nodal.make ~reuse:false circuit ~input ~output in
+      let reused = Nodal.make ~reuse:true circuit ~input ~output in
+      let points_agree =
+        List.for_all
+          (fun w ->
+            let a = Nodal.eval fresh (Cx.jomega w)
+            and b = Nodal.eval reused (Cx.jomega w) in
+            a.Nodal.singular = b.Nodal.singular
+            && (a.Nodal.singular
+               || Cx.approx_equal ~rel:1e-6 ~abs:1e-12 a.Nodal.h b.Nodal.h))
+          [ 0.; 1e3; 1e6; 1e9 ]
+      in
+      let ra = Reference.generate ~reuse:false circuit ~input ~output in
+      let rb = Reference.generate ~reuse:true circuit ~input ~output in
+      points_agree
+      && Epoly.approx_equal ~rel:1e-4 (Reference.denominator ra)
+           (Reference.denominator rb)
+      && Epoly.approx_equal ~rel:1e-4 (Reference.numerator ra)
+           (Reference.numerator rb))
+
 let prop_structural_bounds =
   QCheck2.Test.make ~name:"effective order within structural bounds" ~count:20
     QCheck2.Gen.(pair (int_range 1 10_000) (int_range 3 14))
@@ -110,6 +140,7 @@ let suite =
         QCheck_alcotest.to_alcotest prop_reference_matches_direct;
         QCheck_alcotest.to_alcotest prop_reduce_invariance;
         QCheck_alcotest.to_alcotest prop_conj_symmetry_invariance;
+        QCheck_alcotest.to_alcotest prop_pattern_reuse_invariance;
         QCheck_alcotest.to_alcotest prop_structural_bounds;
         QCheck_alcotest.to_alcotest prop_ac_agrees;
       ] );
