@@ -35,6 +35,10 @@ module Sparse = Symref_linalg.Sparse
 module Dense = Symref_linalg.Dense
 module Grid = Symref_numeric.Grid
 module Ef = Symref_numeric.Extfloat
+module Obs = Symref_obs.Metrics
+module Trace = Symref_obs.Trace
+module Snapshot = Symref_obs.Snapshot
+module Json = Symref_obs.Json
 
 let section id title = Printf.printf "\n=== [%s] %s ===\n\n" id title
 
@@ -213,7 +217,11 @@ let x2 () =
        refactorisation (per-evaluation cost),
      - seed-style duplicated num/den adaptive runs vs the shared memoised
        evaluator, at equal coefficients,
-     - 1-domain vs N-domain interpolation fan-out (bit-identical results).  *)
+     - 1-domain vs N-domain interpolation fan-out (bit-identical results),
+       persistent pool vs per-pass Domain.spawn,
+     - a Symref_obs counter snapshot of one pipeline run, and the measured
+       overhead of enabling counters / tracing (schema v2, documented in
+       doc/pipeline.mld).  *)
 
 module Interp_m = Interp
 module Random_net = Symref_circuit.Random_net
@@ -288,7 +296,7 @@ let run_json ~smoke =
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   section (if smoke then "SMOKE" else "JSON")
     "pipeline benchmark: full-factor vs refactor, shared num/den, domains";
-  out "{\n  \"schema\": \"symref/bench-interp/v1\",\n";
+  out "{\n  \"schema\": \"symref/bench-interp/v2\",\n";
   out "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
   out "  \"circuits\": [\n";
   let ncirc = List.length (json_circuits ~smoke) in
@@ -374,17 +382,70 @@ let run_json ~smoke =
   let nd = List.length dlist in
   List.iteri
     (fun i d ->
+      (* "ms" is the default `Pool path; "spawn_ms" pays a Domain.spawn per
+         pass, the pre-pool behaviour that motivated Domain_pool. *)
       let t =
         time_wall reps (fun () -> Interp_m.run ~domains:d dev ~scale:dscale ~k:dk)
       in
+      let t_spawn =
+        time_wall reps (fun () ->
+            Interp_m.run ~domain_strategy:`Spawn ~domains:d dev ~scale:dscale
+              ~k:dk)
+      in
       let r = Interp_m.run ~domains:d dev ~scale:dscale ~k:dk in
       let identical = r.Interp_m.normalized = baseline.Interp_m.normalized in
-      Printf.printf "domains=%d: %.2f ms  bit-identical %b\n" d (t *. 1000.) identical;
-      out "    { \"domains\": %d, \"ms\": %.4f, \"bit_identical\": %b }%s\n" d
-        (t *. 1000.) identical
+      Printf.printf "domains=%d: pool %.2f ms, spawn %.2f ms  bit-identical %b\n"
+        d (t *. 1000.) (t_spawn *. 1000.) identical;
+      out
+        "    { \"domains\": %d, \"ms\": %.4f, \"spawn_ms\": %.4f, \
+         \"bit_identical\": %b }%s\n"
+        d (t *. 1000.) (t_spawn *. 1000.) identical
         (if i = nd - 1 then "" else ","))
     dlist;
-  out "  ] }\n}\n";
+  out "  ] },\n";
+  (* Counter snapshot of one full pipeline run on the shared target. *)
+  let gen_target () =
+    Reference.generate shared_target.jcircuit ~input:shared_target.jinput
+      ~output:shared_target.joutput
+  in
+  Obs.reset ();
+  Obs.enable ();
+  ignore (gen_target ());
+  Obs.disable ();
+  let snap = Snapshot.capture () in
+  Printf.printf
+    "counters on %s: %d adaptive passes, %d factorizations, %d memo hits\n"
+    shared_target.jname snap.Snapshot.adaptive_passes
+    (Snapshot.factorizations snap) snap.Snapshot.memo_hits;
+  out "  \"counters\": { \"circuit\": \"%s\", \"snapshot\": %s },\n"
+    shared_target.jname
+    (Json.to_string (Snapshot.to_json snap));
+  Obs.reset ();
+  (* Observability overhead: the same reference generation with counters
+     off, with counters on, and with tracing on. *)
+  let t_off = time_wall reps gen_target in
+  Obs.enable ();
+  let t_stats = time_wall reps gen_target in
+  Obs.disable ();
+  Obs.reset ();
+  let trace_tmp = "BENCH_trace.tmp.json" in
+  Trace.start ~file:trace_tmp;
+  let t_trace = time_wall reps gen_target in
+  Trace.finish ();
+  (try Sys.remove trace_tmp with Sys_error _ -> ());
+  let pct t = (t -. t_off) /. t_off *. 100. in
+  Printf.printf
+    "observability overhead on %s: off %.2f ms, stats %.2f ms (%+.1f%%), trace \
+     %.2f ms (%+.1f%%)\n"
+    shared_target.jname (t_off *. 1000.) (t_stats *. 1000.) (pct t_stats)
+    (t_trace *. 1000.) (pct t_trace);
+  out
+    "  \"observability\": { \"circuit\": \"%s\",\n\
+    \    \"reference_ms\": { \"off\": %.4f, \"stats\": %.4f, \"trace\": %.4f },\n\
+    \    \"overhead_pct\": { \"stats\": %.2f, \"trace\": %.2f } }\n"
+    shared_target.jname (t_off *. 1000.) (t_stats *. 1000.) (t_trace *. 1000.)
+    (pct t_stats) (pct t_trace);
+  out "}\n";
   let file = if smoke then "BENCH_interp.smoke.json" else "BENCH_interp.json" in
   let oc = open_out file in
   Buffer.output_buffer oc buf;

@@ -17,6 +17,9 @@ module Fixed_scale = Symref_core.Fixed_scale
 module Sbg = Symref_symbolic.Sbg
 module Grid = Symref_numeric.Grid
 module Ef = Symref_numeric.Extfloat
+module Metrics = Symref_obs.Metrics
+module Trace = Symref_obs.Trace
+module Snapshot = Symref_obs.Snapshot
 open Cmdliner
 
 (* --- shared arguments --- *)
@@ -102,23 +105,67 @@ let load_nodal file =
     Printf.eprintf "note: inductors replaced by gyrator-C equivalents\n";
   t
 
-let wrap f =
-  try f () with
-  | Failure m | Invalid_argument m ->
-      Printf.eprintf "error: %s\n" m;
-      exit 1
-  | Parser.Parse_error { line; message } ->
-      Printf.eprintf "parse error at line %d: %s\n" line message;
-      exit 1
-  | Nodal.Unsupported m ->
-      Printf.eprintf "unsupported circuit: %s\n" m;
-      exit 1
+(* --- observability: --stats / --trace, shared by every subcommand --- *)
+
+type obs = { stats : bool; trace : string option }
+
+let obs_term =
+  let stats =
+    let doc =
+      "Collect pipeline counters (LU factorisations, memo hits, adaptive \
+       passes, ...) and print the table to stdout after the command."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let trace =
+    let doc =
+      "Record spans (adaptive passes, interpolation batches, factorisations) \
+       and write Chrome trace_event JSON to $(docv); open it in Perfetto or \
+       chrome://tracing."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  Term.(const (fun stats trace -> { stats; trace }) $ stats $ trace)
+
+(* Run a subcommand body with observability armed, turning the pipeline's
+   exceptions into one-line diagnostics (with the netlist file, and the line
+   for parse errors) on stderr.  Counters/trace are flushed even when the
+   body fails, so a crashing run still leaves its telemetry behind. *)
+let wrap ?file obs f =
+  if obs.stats then Metrics.enable ();
+  (match obs.trace with Some path -> Trace.start ~file:path | None -> ());
+  let flush_obs () =
+    (match obs.trace with
+    | Some path ->
+        let n = Trace.event_count () in
+        Trace.finish ();
+        Printf.eprintf "trace: %d events written to %s\n" n path
+    | None -> ());
+    if obs.stats then print_string (Snapshot.to_table (Snapshot.capture ()))
+  in
+  let where = match file with Some f -> f ^ ": " | None -> "" in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "%s\n" m;
+        flush_obs ();
+        exit 1)
+      fmt
+  in
+  (try f () with
+  | Failure m | Invalid_argument m -> fail "error: %s%s" where m
+  | Parser.Parse_error { line; message } -> (
+      match file with
+      | Some f -> fail "error: %s:%d: %s" f line message
+      | None -> fail "error: line %d: %s" line message)
+  | Nodal.Unsupported m -> fail "error: %sunsupported circuit: %s" where m);
+  flush_obs ()
 
 (* --- info --- *)
 
 let info_cmd =
-  let run file =
-    wrap (fun () ->
+  let run file obs =
+    wrap ~file obs (fun () ->
         let c = load file in
         Format.printf "%a@." N.pp_summary c;
         Printf.printf "nodal class (reference generation supported): %b\n"
@@ -138,7 +185,7 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Print a netlist summary and its element list.")
-    Term.(const run $ netlist_arg)
+    Term.(const run $ netlist_arg $ obs_term)
 
 (* --- coeffs --- *)
 
@@ -152,8 +199,8 @@ let config_of sigma r no_reduce no_conj =
   }
 
 let coeffs_cmd =
-  let run file input output sigma r no_reduce no_conj =
-    wrap (fun () ->
+  let run file input output sigma r no_reduce no_conj obs =
+    wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let config = config_of sigma r no_reduce no_conj in
@@ -176,7 +223,7 @@ let coeffs_cmd =
           the adaptive scaling algorithm.")
     Term.(
       const run $ netlist_arg $ input_arg $ output_arg $ sigma_arg $ r_arg
-      $ no_reduce_arg $ no_conj_arg)
+      $ no_reduce_arg $ no_conj_arg $ obs_term)
 
 (* --- bode --- *)
 
@@ -184,8 +231,8 @@ let bode_cmd =
   let plot_arg =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render ASCII Bode plots (Fig. 2 style).")
   in
-  let run file input output from_ to_ per_decade plot =
-    wrap (fun () ->
+  let run file input output from_ to_ per_decade plot obs =
+    wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let t = Reference.generate c ~input ~output in
@@ -211,13 +258,13 @@ let bode_cmd =
           the AC side; --input drives the reference side.")
     Term.(
       const run $ netlist_arg $ input_arg $ output_arg $ from_arg $ to_arg
-      $ per_decade_arg $ plot_arg)
+      $ per_decade_arg $ plot_arg $ obs_term)
 
 (* --- ac --- *)
 
 let ac_cmd =
-  let run file output from_ to_ per_decade =
-    wrap (fun () ->
+  let run file output from_ to_ per_decade obs =
+    wrap ~file obs (fun () ->
         let c = load file in
         let out_p, out_m =
           match parse_output output with
@@ -234,7 +281,9 @@ let ac_cmd =
   Cmd.v
     (Cmd.info "ac"
        ~doc:"Small-signal AC sweep (full MNA: supports all element types).")
-    Term.(const run $ netlist_arg $ output_arg $ from_arg $ to_arg $ per_decade_arg)
+    Term.(
+      const run $ netlist_arg $ output_arg $ from_arg $ to_arg $ per_decade_arg
+      $ obs_term)
 
 (* --- sbg --- *)
 
@@ -245,8 +294,8 @@ let sbg_cmd =
   let tol_deg =
     Arg.(value & opt float 5. & info [ "tol-deg" ] ~doc:"Phase tolerance (degrees).")
   in
-  let run file input output from_ to_ per_decade tdb tdeg =
-    wrap (fun () ->
+  let run file input output from_ to_ per_decade tdb tdeg obs =
+    wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let freqs = Grid.decades ~start:from_ ~stop:to_ ~per_decade in
@@ -266,13 +315,13 @@ let sbg_cmd =
           print the reduced netlist.")
     Term.(
       const run $ netlist_arg $ input_arg $ output_arg $ from_arg $ to_arg
-      $ per_decade_arg $ tol_db $ tol_deg)
+      $ per_decade_arg $ tol_db $ tol_deg $ obs_term)
 
 (* --- poles --- *)
 
 let poles_cmd =
-  let run file input output =
-    wrap (fun () ->
+  let run file input output obs =
+    wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let t = Reference.generate c ~input ~output in
@@ -284,7 +333,7 @@ let poles_cmd =
        ~doc:
          "Extract poles and zeros from the generated references (Aberth \
           iteration on the extended-range coefficients).")
-    Term.(const run $ netlist_arg $ input_arg $ output_arg)
+    Term.(const run $ netlist_arg $ input_arg $ output_arg $ obs_term)
 
 (* --- sensitivity --- *)
 
@@ -297,8 +346,8 @@ let sensitivity_cmd =
   let top_arg =
     Arg.(value & opt int 15 & info [ "top" ] ~doc:"Rows to print.")
   in
-  let run file input output freq top from_ to_ per_decade =
-    wrap (fun () ->
+  let run file input output freq top from_ to_ per_decade obs =
+    wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let entries =
@@ -333,13 +382,13 @@ let sensitivity_cmd =
        ~doc:"Element sensitivities of the transfer function (perturbation).")
     Term.(
       const run $ netlist_arg $ input_arg $ output_arg $ freq_arg $ top_arg
-      $ from_arg $ to_arg $ per_decade_arg)
+      $ from_arg $ to_arg $ per_decade_arg $ obs_term)
 
 (* --- margins --- *)
 
 let margins_cmd =
-  let run file input output =
-    wrap (fun () ->
+  let run file input output obs =
+    wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let t = Reference.generate c ~input ~output in
@@ -348,7 +397,7 @@ let margins_cmd =
   Cmd.v
     (Cmd.info "margins"
        ~doc:"Stability margins (unity-gain frequency, phase/gain margin, GBW).")
-    Term.(const run $ netlist_arg $ input_arg $ output_arg)
+    Term.(const run $ netlist_arg $ input_arg $ output_arg $ obs_term)
 
 (* --- noise --- *)
 
@@ -357,8 +406,8 @@ let noise_cmd =
     Arg.(value & opt float 1e3 & info [ "freq" ] ~docv:"HZ" ~doc:"Analysis frequency.")
   in
   let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Contributors to list.") in
-  let run file input output freq top =
-    wrap (fun () ->
+  let run file input output freq top obs =
+    wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let p = Symref_mna.Noise.at c ~input ~output ~freq_hz:freq in
@@ -378,7 +427,9 @@ let noise_cmd =
   in
   Cmd.v
     (Cmd.info "noise" ~doc:"Output and input-referred noise with contributor ranking.")
-    Term.(const run $ netlist_arg $ input_arg $ output_arg $ freq_arg $ top_arg)
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg $ freq_arg $ top_arg
+      $ obs_term)
 
 (* --- monte carlo --- *)
 
@@ -387,8 +438,8 @@ let mc_cmd =
     Arg.(value & opt int 100 & info [ "samples" ] ~doc:"Monte-Carlo samples.")
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
-  let run file input output from_ to_ per_decade samples seed =
-    wrap (fun () ->
+  let run file input output from_ to_ per_decade samples seed obs =
+    wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let freqs = Grid.decades ~start:from_ ~stop:to_ ~per_decade in
@@ -414,7 +465,7 @@ let mc_cmd =
     (Cmd.info "mc" ~doc:"Monte-Carlo gain spread under element tolerances (dB).")
     Term.(
       const run $ netlist_arg $ input_arg $ output_arg $ from_arg $ to_arg
-      $ per_decade_arg $ samples_arg $ seed_arg)
+      $ per_decade_arg $ samples_arg $ seed_arg $ obs_term)
 
 (* --- transient --- *)
 
@@ -432,8 +483,8 @@ let transient_cmd =
       & info [ "sine" ] ~docv:"HZ" ~doc:"Sine input at this frequency (default: unit step).")
   in
   let plot_arg = Arg.(value & flag & info [ "plot" ] ~doc:"ASCII waveform plot.") in
-  let run file input output tstop steps sine plot =
-    wrap (fun () ->
+  let run file input output tstop steps sine plot obs =
+    wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let waveform =
@@ -466,23 +517,23 @@ let transient_cmd =
        ~doc:"Time-domain response (trapezoidal integration) to a step or sine.")
     Term.(
       const run $ netlist_arg $ input_arg $ output_arg $ tstop_arg $ steps_arg
-      $ sine_arg $ plot_arg)
+      $ sine_arg $ plot_arg $ obs_term)
 
 (* --- dot --- *)
 
 let dot_cmd =
-  let run file =
-    wrap (fun () -> print_string (Symref_spice.Dot.to_dot (load file)))
+  let run file obs =
+    wrap ~file obs (fun () -> print_string (Symref_spice.Dot.to_dot (load file)))
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export the netlist topology as Graphviz DOT.")
-    Term.(const run $ netlist_arg)
+    Term.(const run $ netlist_arg $ obs_term)
 
 (* --- tables: the built-in paper workloads --- *)
 
 let tables_cmd =
-  let run () =
-    wrap (fun () ->
+  let run obs =
+    wrap obs (fun () ->
         let module Ota = Symref_circuit.Ota in
         let problem =
           Nodal.make Ota.circuit
@@ -509,7 +560,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Reproduce the paper's tables on the built-in circuits.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 let main =
   let doc = "numerical reference generation for symbolic analysis of analog circuits" in

@@ -1,5 +1,7 @@
 module Ef = Symref_numeric.Extfloat
 module Ec = Symref_numeric.Extcomplex
+module Obs = Symref_obs.Metrics
+module Tr = Symref_obs.Trace
 
 type config = {
   sigma : int;
@@ -130,6 +132,17 @@ let run ?(config = default_config) (ev : Evaluator.t) =
 
   let exec_pass scale ~base ~k =
     incr pass_no;
+    Obs.incr Obs.adaptive_passes;
+    Tr.span ~cat:"adaptive"
+      ~args:
+        [
+          ("pass", string_of_int !pass_no);
+          ("k", string_of_int k);
+          ("base", string_of_int base);
+          ("evaluator", ev.Evaluator.name);
+        ]
+      "adaptive.pass"
+    @@ fun () ->
     Hashtbl.replace pass_scale !pass_no scale;
     let known =
       if config.reduce then begin
@@ -139,10 +152,12 @@ let run ?(config = default_config) (ev : Evaluator.t) =
       end
       else []
     in
+    if known <> [] then Obs.incr Obs.deflated_passes;
     let p =
       Interp.run ~conj_symmetry:config.conj_symmetry ~known ~base
         ~domains:config.domains ev ~scale ~k
     in
+    Obs.observe Obs.points_per_pass p.Interp.evaluations;
     (* Validity floor anchored to the pre-deflation values: noise in the
        recovered coefficients is ~1e-13 of the ceiling even when deflation
        removed the dominant part of the polynomial. *)
@@ -181,6 +196,7 @@ let run ?(config = default_config) (ev : Evaluator.t) =
         fresh = !fresh;
       }
       :: !reports;
+    if !fresh = 0 then Obs.incr Obs.dry_passes;
     (band, !fresh)
   in
 

@@ -1,0 +1,34 @@
+(** A lazily created, persistent pool of worker domains.
+
+    {!Interp.run}[ ~domains:n] used to spawn fresh domains on every
+    interpolation pass, whose setup cost dwarfed the ~50-point workload and
+    made parallel passes {e slower} than sequential ones.  The pool spawns
+    workers once, on first use, parks them on a condition variable between
+    batches and joins them from an [at_exit] hook.
+
+    The pool never exceeds [Domain.recommended_domain_count () - 1]
+    workers (no worker at all on a single core, where [parallel] degrades
+    to a plain sequential loop), and the caller helps drain the job queue,
+    so oversubscribed or slow-to-wake workers never idle the calling
+    domain.  Callers that partition work into disjoint index ranges stay
+    bit-identical to their sequential path whichever domain runs each
+    chunk. *)
+
+val parallel : (unit -> unit) array -> unit
+(** Run all jobs to completion; [jobs.(0)] executes on the calling domain,
+    the rest on pool workers and/or the caller as they become free.  Grows
+    the pool towards [Array.length jobs - 1] workers (clamped to the core
+    count) if needed.  If any job raises, the first exception is re-raised
+    here {e after} every job has finished.  Not reentrant: must not be
+    called from inside a pooled job. *)
+
+val ensure : int -> unit
+(** Pre-spawn workers (clamped to the core count) so the first parallel
+    pass does not pay creation latency. *)
+
+val size : unit -> int
+(** Workers currently alive. *)
+
+val shutdown : unit -> unit
+(** Join every worker (also runs automatically at exit).  The pool can be
+    used again afterwards; the next {!parallel} respawns workers. *)

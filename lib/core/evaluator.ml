@@ -2,6 +2,7 @@ module Ec = Symref_numeric.Extcomplex
 module Ef = Symref_numeric.Extfloat
 module Epoly = Symref_poly.Epoly
 module Nodal = Symref_mna.Nodal
+module Obs = Symref_obs.Metrics
 
 type t = {
   eval : f:float -> g:float -> Complex.t -> Ec.t;
@@ -17,6 +18,7 @@ let of_nodal problem ~num =
   let counter = Atomic.make 0 in
   let eval ~f ~g s =
     Atomic.incr counter;
+    Obs.incr Obs.evaluator_calls;
     let v = Nodal.eval ~f ~g problem s in
     if num then v.Nodal.num else v.Nodal.den
   in
@@ -56,12 +58,14 @@ let of_nodal_shared problem =
     match cached with
     | Some v ->
         Atomic.incr hits;
+        Obs.incr Obs.memo_hits;
         v
     | None ->
         (* Compute outside the lock: concurrent domains may duplicate a
            point's work, but identical results make the race benign. *)
         let v = Nodal.eval ~f ~g problem s in
         Atomic.incr misses;
+        Obs.incr Obs.memo_misses;
         Mutex.lock lock;
         Hashtbl.replace table key v;
         Mutex.unlock lock;
@@ -71,6 +75,7 @@ let of_nodal_shared problem =
     let counter = Atomic.make 0 in
     let eval ~f ~g s =
       Atomic.incr counter;
+      Obs.incr Obs.evaluator_calls;
       let v = shared_eval ~f ~g s in
       if num then v.Nodal.num else v.Nodal.den
     in
@@ -97,6 +102,7 @@ let of_epoly ?(name = "poly") ~gdeg ~f0 ~g0 p =
   let counter = Atomic.make 0 in
   let eval ~f ~g s =
     Atomic.incr counter;
+    Obs.incr Obs.evaluator_calls;
     (* Scale coefficients exactly: p_i -> p_i f^i g^(gdeg-i), then Horner. *)
     let coeffs = Epoly.coeffs p in
     let scaled =

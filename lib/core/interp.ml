@@ -3,6 +3,8 @@ module Ec = Symref_numeric.Extcomplex
 module Uc = Symref_dft.Unit_circle
 module Dft = Symref_dft.Dft
 module Epoly = Symref_poly.Epoly
+module Obs = Symref_obs.Metrics
+module Tr = Symref_obs.Trace
 
 type t = {
   scale : Scaling.pair;
@@ -49,10 +51,20 @@ let idft_extended values =
   end
 
 let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
-    (ev : Evaluator.t) ~(scale : Scaling.pair) ~k =
+    ?(domain_strategy = `Pool) (ev : Evaluator.t) ~(scale : Scaling.pair) ~k =
   if k < 1 then invalid_arg "Interp.run: k must be >= 1";
   if base < 0 then invalid_arg "Interp.run: base must be >= 0";
   if domains < 1 then invalid_arg "Interp.run: domains must be >= 1";
+  Tr.span ~cat:"interp"
+    ~args:
+      [
+        ("k", string_of_int k);
+        ("base", string_of_int base);
+        ("domains", string_of_int domains);
+        ("evaluator", ev.Evaluator.name);
+      ]
+    "interp.batch"
+  @@ fun () ->
   (* Renormalise the known (denormalised) coefficients to this pass's scale
      and build the deflation polynomial of eq. 17. *)
   let deflation =
@@ -89,23 +101,32 @@ let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
     (v, mag)
   in
   (* The unit-circle points are embarrassingly parallel; [domains = 1]
-     (the default) stays on the calling domain. *)
+     (the default) stays on the calling domain.  Work is split into [d]
+     index-ordered chunks whichever strategy runs them, so results are
+     bit-identical to the sequential path.  [`Pool] (default) reuses the
+     persistent {!Domain_pool} workers across passes; [`Spawn] pays a fresh
+     [Domain.spawn] per pass and exists as the benchmark baseline that
+     motivated the pool. *)
   let eval_many count =
     if domains <= 1 || count <= 1 then Array.init count value_at
     else begin
       let d = Int.min domains count in
       let results = Array.make count (Ec.zero, Ef.zero) in
       let chunk = (count + d - 1) / d in
-      let worker lo () =
+      let worker i () =
+        let lo = i * chunk in
         for j = lo to Int.min count (lo + chunk) - 1 do
           results.(j) <- value_at j
         done
       in
-      let spawned =
-        List.init (d - 1) (fun i -> Domain.spawn (worker ((i + 1) * chunk)))
-      in
-      worker 0 ();
-      List.iter Domain.join spawned;
+      (match domain_strategy with
+      | `Pool -> Domain_pool.parallel (Array.init d worker)
+      | `Spawn ->
+          let spawned =
+            List.init (d - 1) (fun i -> Domain.spawn (worker (i + 1)))
+          in
+          worker 0 ();
+          List.iter Domain.join spawned);
       results
     end
   in
@@ -130,6 +151,7 @@ let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
       (Array.map fst all, collect all, k)
     end
   in
+  Obs.add Obs.points_evaluated evaluations;
   {
     scale;
     base;

@@ -34,6 +34,7 @@ val run :
   ?known:(int * Symref_numeric.Extfloat.t) list ->
   ?base:int ->
   ?domains:int ->
+  ?domain_strategy:[ `Pool | `Spawn ] ->
   Evaluator.t ->
   scale:Scaling.pair ->
   k:int ->
@@ -47,4 +48,9 @@ val run :
     ceiling and evaluation counts are bit-identical to the sequential run
     (the evaluator must be thread-safe when [domains > 1], which all
     {!Evaluator} constructors are).  The IDFT stays sequential.
+    [domain_strategy] selects how the fan-out runs: [`Pool] (default)
+    reuses the persistent {!Domain_pool} workers across passes; [`Spawn]
+    pays a fresh [Domain.spawn] per pass (the pre-pool behaviour, kept as a
+    benchmark baseline).  Both split the points into the same index-ordered
+    chunks, so the choice never changes results.
     @raise Invalid_argument when [k < 1], [base < 0] or [domains < 1]. *)

@@ -3,6 +3,7 @@ module Ec = Symref_numeric.Extcomplex
 module Epoly = Symref_poly.Epoly
 module Nodal = Symref_mna.Nodal
 module Ac = Symref_mna.Ac
+module Tr = Symref_obs.Trace
 
 type t = {
   num : Adaptive.result;
@@ -22,6 +23,15 @@ type t = {
 let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
     circuit ~input ~output =
   let problem = Nodal.make ~reuse circuit ~input ~output in
+  Tr.span ~cat:"reference"
+    ~args:
+      [
+        ("dim", string_of_int (Nodal.dimension problem));
+        ("share", string_of_bool share);
+        ("reuse", string_of_bool reuse);
+      ]
+    "reference.generate"
+  @@ fun () ->
   let ev_num, ev_den =
     if share then
       let s = Evaluator.of_nodal_shared problem in
@@ -29,8 +39,8 @@ let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
     else
       (Evaluator.of_nodal problem ~num:true, Evaluator.of_nodal problem ~num:false)
   in
-  let num = Adaptive.run ~config ev_num in
-  let den = Adaptive.run ~config ev_den in
+  let num = Tr.span ~cat:"reference" "reference.num" (fun () -> Adaptive.run ~config ev_num) in
+  let den = Tr.span ~cat:"reference" "reference.den" (fun () -> Adaptive.run ~config ev_den) in
   { num; den; input; output; config }
 
 let numerator t = Epoly.of_coeffs t.num.Adaptive.coeffs

@@ -1,4 +1,6 @@
 module Ec = Symref_numeric.Extcomplex
+module Obs = Symref_obs.Metrics
+module Tr = Symref_obs.Trace
 
 exception Singular
 
@@ -59,6 +61,8 @@ let permutation_sign perm =
   !sign
 
 let factor ?(pivot_threshold = 0.1) (b : builder) =
+  Obs.incr Obs.lu_factor;
+  Tr.span ~cat:"lu" "lu.factor" @@ fun () ->
   let n = b.n in
   let rows = Array.map Hashtbl.copy b.rows in
   let row_active = Array.make n true and col_active = Array.make n true in
@@ -258,6 +262,8 @@ let pattern_stats p = (p.nslots, p.p_fill)
    not happen.  Returns [None] when the matrix is singular at the analysed
    point (no complete pivot sequence exists to record). *)
 let symbolic ?(pivot_threshold = 0.1) (b : builder) =
+  Obs.incr Obs.lu_symbolic;
+  Tr.span ~cat:"lu" "lu.symbolic" @@ fun () ->
   let n = b.n in
   (* Per-row value and slot maps for the elimination workspace. *)
   let rows = Array.map Hashtbl.copy b.rows in
@@ -466,6 +472,8 @@ let symbolic ?(pivot_threshold = 0.1) (b : builder) =
 let refactor (p : pattern) (values : Complex.t array) =
   if Array.length values <> Array.length p.coo_slot then
     invalid_arg "Sparse.refactor: values length does not match pattern";
+  Tr.span ~cat:"lu" "lu.refactor" @@ fun () ->
+
   let re = Array.make p.nslots 0. and im = Array.make p.nslots 0. in
   Array.iteri
     (fun e (v : Complex.t) ->
@@ -518,8 +526,13 @@ let refactor (p : pattern) (values : Complex.t array) =
       incr k
     end
   done;
-  if not !ok then None
+  if not !ok then begin
+    (* The caller will redo a full Markowitz search from scratch. *)
+    Obs.incr Obs.refactor_fallbacks;
+    None
+  end
   else begin
+    Obs.incr Obs.lu_refactor;
     (* Pivot-row slots freeze at their own step, so the final workspace holds
        exactly the U snapshots and pivots the factor needs. *)
     let pivots =

@@ -2,6 +2,7 @@ module Sparse = Symref_linalg.Sparse
 module Ec = Symref_numeric.Extcomplex
 module Element = Symref_circuit.Element
 module Netlist = Symref_circuit.Netlist
+module Obs = Symref_obs.Metrics
 
 type input =
   | Vsrc_element of string
@@ -309,8 +310,11 @@ let pattern_for t ~f ~g =
     ~finally:(fun () -> Mutex.unlock c.lock)
     (fun () ->
       match c.pat with
-      | Some (pf, pg, payload) when pf = f && pg = g -> payload
+      | Some (pf, pg, payload) when pf = f && pg = g ->
+          Obs.incr Obs.pattern_hits;
+          payload
       | _ ->
+          Obs.incr Obs.pattern_misses;
           let payload = learn_pattern t ~f ~g in
           c.pat <- Some (f, g, payload);
           payload)

@@ -1,0 +1,228 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* --- printing --- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to_string x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x -> Buffer.add_string buf (number_to_string x)
+  | Str s -> escape buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* --- parsing: plain recursive descent over the string --- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "Json.parse: expected '%c' at %d, got '%c'" ch c.pos x
+  | None -> fail "Json.parse: expected '%c' at %d, got end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail "Json.parse: bad literal at %d" c.pos
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail "Json.parse: unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance c; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char buf '\012'; go ()
+        | Some (('"' | '\\' | '/') as ch) -> advance c; Buffer.add_char buf ch; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then
+              fail "Json.parse: truncated \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "Json.parse: bad \\u escape %s" hex
+            in
+            (* UTF-8 encode the BMP codepoint (surrogate pairs unsupported;
+               nothing in this repository emits them). *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail "Json.parse: bad escape at %d" c.pos)
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> fail "Json.parse: bad number %S at %d" s start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "Json.parse: unexpected end of input"
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin advance c; Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; members ((k, v) :: acc)
+          | Some '}' -> advance c; List.rev ((k, v) :: acc)
+          | _ -> fail "Json.parse: expected ',' or '}' at %d" c.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin advance c; Arr [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; elements (v :: acc)
+          | Some ']' -> advance c; List.rev (v :: acc)
+          | _ -> fail "Json.parse: expected ',' or ']' at %d" c.pos
+        in
+        Arr (elements [])
+      end
+  | Some '"' -> Str (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> Num (parse_number c)
+
+let parse src =
+  let c = { src; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length src then
+    fail "Json.parse: trailing garbage at %d" c.pos;
+  v
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* --- accessors --- *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_int = function
+  | Num x when Float.is_integer x -> int_of_float x
+  | j -> fail "Json.to_int: not an integer (%s)" (to_string j)
+
+let to_list = function
+  | Arr xs -> xs
+  | j -> fail "Json.to_list: not an array (%s)" (to_string j)
+
+let to_str = function
+  | Str s -> s
+  | j -> fail "Json.to_str: not a string (%s)" (to_string j)

@@ -1,0 +1,36 @@
+(** A dependency-free JSON tree, printer and parser.
+
+    Exactly the subset the observability layer needs: {!Snapshot} values
+    round-trip through it, and tests use it to validate the Chrome
+    trace_event files {!Trace} writes and the benchmark output.  Numbers are
+    floats (integers are printed without a decimal point); surrogate pairs
+    in [\u] escapes are not supported. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val parse : string -> t
+(** @raise Failure on malformed input (with an offset in the message). *)
+
+val parse_file : string -> t
+(** @raise Failure on malformed input, [Sys_error] on I/O errors. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing keys and non-objects. *)
+
+val to_int : t -> int
+(** @raise Failure when the value is not an integral number. *)
+
+val to_list : t -> t list
+(** @raise Failure when the value is not an array. *)
+
+val to_str : t -> string
+(** @raise Failure when the value is not a string. *)

@@ -1,0 +1,104 @@
+(* Process-wide counters for the reference pipeline.
+
+   The contract that keeps this safe to sprinkle over hot paths:
+
+   - When disabled (the default), a counter update is one non-atomic bool
+     load and a branch — no allocation, no atomic traffic, no lock.
+   - When enabled, updates are [Atomic] operations, so multi-domain
+     interpolation counts exactly.
+   - Counters are registered once, at module-initialisation time; the
+     registry itself is only ever read afterwards. *)
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+type counter = { c_name : string; cell : int Atomic.t }
+
+(* Power-of-two buckets: [counts.(0)] holds observations <= 1, [counts.(i)]
+   observations in (2^(i-1), 2^i].  Fixed size, so [observe] never
+   allocates. *)
+let histogram_buckets = 31
+
+type histogram = { h_name : string; counts : int Atomic.t array }
+
+let registry_lock = Mutex.create ()
+let counters : counter list ref = ref []
+let histograms : histogram list ref = ref []
+
+let counter name =
+  let c = { c_name = name; cell = Atomic.make 0 } in
+  Mutex.lock registry_lock;
+  counters := c :: !counters;
+  Mutex.unlock registry_lock;
+  c
+
+let histogram name =
+  let h =
+    { h_name = name; counts = Array.init histogram_buckets (fun _ -> Atomic.make 0) }
+  in
+  Mutex.lock registry_lock;
+  histograms := h :: !histograms;
+  Mutex.unlock registry_lock;
+  h
+
+let incr c = if !enabled_flag then Atomic.incr c.cell
+let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.cell n)
+let value c = Atomic.get c.cell
+let name c = c.c_name
+
+let bucket_index v =
+  if v <= 1 then 0
+  else begin
+    let i = ref 0 and x = ref 1 in
+    while !x < v && !i < histogram_buckets - 1 do
+      x := !x * 2;
+      i := !i + 1
+    done;
+    !i
+  end
+
+let observe h v =
+  if !enabled_flag then Atomic.incr h.counts.(bucket_index v)
+
+let histogram_name h = h.h_name
+
+(* (bucket upper bound, count) for every non-empty bucket. *)
+let histogram_buckets_of h =
+  let acc = ref [] in
+  for i = histogram_buckets - 1 downto 0 do
+    let n = Atomic.get h.counts.(i) in
+    if n > 0 then acc := ((1 lsl i), n) :: !acc
+  done;
+  !acc
+
+let reset () =
+  List.iter (fun c -> Atomic.set c.cell 0) !counters;
+  List.iter (fun h -> Array.iter (fun a -> Atomic.set a 0) h.counts) !histograms
+
+let all () = List.rev_map (fun c -> (c.c_name, value c)) !counters
+let all_histograms () =
+  List.rev_map (fun h -> (h.h_name, histogram_buckets_of h)) !histograms
+
+(* --- the pipeline's counter catalogue ------------------------------------
+
+   Defined here (not at the call sites) so instrumentation, the CLI table,
+   snapshots and tests all agree on one name per quantity.  Keep
+   [doc/observability.mld] in sync when adding entries. *)
+
+let lu_factor = counter "lu.factor"
+let lu_symbolic = counter "lu.symbolic"
+let lu_refactor = counter "lu.refactor"
+let refactor_fallbacks = counter "lu.refactor_fallback"
+let evaluator_calls = counter "evaluator.calls"
+let memo_hits = counter "evaluator.memo_hit"
+let memo_misses = counter "evaluator.memo_miss"
+let pattern_hits = counter "nodal.pattern_hit"
+let pattern_misses = counter "nodal.pattern_miss"
+let adaptive_passes = counter "adaptive.passes"
+let dry_passes = counter "adaptive.dry_passes"
+let deflated_passes = counter "adaptive.deflated_passes"
+let points_evaluated = counter "interp.points_evaluated"
+let points_per_pass = histogram "interp.points_per_pass"

@@ -1,0 +1,103 @@
+(** Process-wide, domain-safe counters and histograms for the reference
+    pipeline.
+
+    Disabled by default.  While disabled every update is a single non-atomic
+    boolean load and a branch — no allocation, no atomic traffic — so
+    instrumentation can live on hot paths without measurable cost.  While
+    enabled, updates are [Atomic] operations and therefore exact under
+    multi-domain interpolation ({!Symref_core.Interp.run}[ ~domains]).
+
+    The fixed catalogue at the bottom is the single source of truth for the
+    pipeline's counter names; {!Snapshot} dumps exactly these. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Zero every registered counter and histogram. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Register a new counter.  Call at module-initialisation time only. *)
+
+val incr : counter -> unit
+(** No-op while disabled. *)
+
+val add : counter -> int -> unit
+(** No-op while disabled. *)
+
+val value : counter -> int
+val name : counter -> string
+
+val all : unit -> (string * int) list
+(** Every registered counter with its current value, in registration
+    order. *)
+
+(** {1 Histograms}
+
+    Power-of-two buckets: bucket [0] collects observations [<= 1], bucket
+    [i] observations in [(2^(i-1), 2^i]].  Fixed depth, so {!observe} never
+    allocates. *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+val histogram_name : histogram -> string
+
+val histogram_buckets_of : histogram -> (int * int) list
+(** [(bucket upper bound, count)] for every non-empty bucket, ascending. *)
+
+val all_histograms : unit -> (string * (int * int) list) list
+
+(** {1 The pipeline's counter catalogue} *)
+
+val lu_factor : counter
+(** Full Markowitz factorisations ({!Symref_linalg.Sparse.factor}). *)
+
+val lu_symbolic : counter
+(** Symbolic (pattern-recording) factorisations
+    ({!Symref_linalg.Sparse.symbolic}). *)
+
+val lu_refactor : counter
+(** Successful numeric replays ({!Symref_linalg.Sparse.refactor}). *)
+
+val refactor_fallbacks : counter
+(** Refactor attempts rejected by the threshold-pivoting floor (the caller
+    fell back to a full factorisation). *)
+
+val evaluator_calls : counter
+(** {!Symref_core.Evaluator} [eval] calls — the paper's cost metric. *)
+
+val memo_hits : counter
+(** Shared num/den evaluator: evaluations served from the memo table. *)
+
+val memo_misses : counter
+(** Shared num/den evaluator: evaluations that performed a factorisation. *)
+
+val pattern_hits : counter
+(** Per-scale factorisation-pattern cache hits
+    ({!Symref_mna.Nodal}). *)
+
+val pattern_misses : counter
+(** Pattern-cache misses: a symbolic analysis was (re)learned. *)
+
+val adaptive_passes : counter
+(** Interpolation passes executed by {!Symref_core.Adaptive.run}. *)
+
+val dry_passes : counter
+(** Passes that established no new coefficient. *)
+
+val deflated_passes : counter
+(** Passes that subtracted known coefficients before interpolating
+    (eq. 17 problem reduction). *)
+
+val points_evaluated : counter
+(** LU evaluation points across all interpolation batches. *)
+
+val points_per_pass : histogram
+(** Distribution of evaluation points per interpolation batch. *)

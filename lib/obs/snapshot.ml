@@ -1,0 +1,143 @@
+type t = {
+  lu_factor : int;
+  lu_symbolic : int;
+  lu_refactor : int;
+  refactor_fallbacks : int;
+  evaluator_calls : int;
+  memo_hits : int;
+  memo_misses : int;
+  pattern_hits : int;
+  pattern_misses : int;
+  adaptive_passes : int;
+  dry_passes : int;
+  deflated_passes : int;
+  points_evaluated : int;
+  points_per_pass : (int * int) list;
+}
+
+let zero =
+  {
+    lu_factor = 0;
+    lu_symbolic = 0;
+    lu_refactor = 0;
+    refactor_fallbacks = 0;
+    evaluator_calls = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    pattern_hits = 0;
+    pattern_misses = 0;
+    adaptive_passes = 0;
+    dry_passes = 0;
+    deflated_passes = 0;
+    points_evaluated = 0;
+    points_per_pass = [];
+  }
+
+let capture () =
+  {
+    lu_factor = Metrics.value Metrics.lu_factor;
+    lu_symbolic = Metrics.value Metrics.lu_symbolic;
+    lu_refactor = Metrics.value Metrics.lu_refactor;
+    refactor_fallbacks = Metrics.value Metrics.refactor_fallbacks;
+    evaluator_calls = Metrics.value Metrics.evaluator_calls;
+    memo_hits = Metrics.value Metrics.memo_hits;
+    memo_misses = Metrics.value Metrics.memo_misses;
+    pattern_hits = Metrics.value Metrics.pattern_hits;
+    pattern_misses = Metrics.value Metrics.pattern_misses;
+    adaptive_passes = Metrics.value Metrics.adaptive_passes;
+    dry_passes = Metrics.value Metrics.dry_passes;
+    deflated_passes = Metrics.value Metrics.deflated_passes;
+    points_evaluated = Metrics.value Metrics.points_evaluated;
+    points_per_pass = Metrics.histogram_buckets_of Metrics.points_per_pass;
+  }
+
+let is_zero t = t = zero
+
+let factorizations t = t.lu_refactor + t.lu_factor
+
+(* Field names in the JSON are the catalogue names of {!Metrics}, so the
+   dump reads the same as the CLI table and the docs. *)
+let fields =
+  [
+    ("lu.factor", (fun t -> t.lu_factor), fun t v -> { t with lu_factor = v });
+    ("lu.symbolic", (fun t -> t.lu_symbolic), fun t v -> { t with lu_symbolic = v });
+    ("lu.refactor", (fun t -> t.lu_refactor), fun t v -> { t with lu_refactor = v });
+    ( "lu.refactor_fallback",
+      (fun t -> t.refactor_fallbacks),
+      fun t v -> { t with refactor_fallbacks = v } );
+    ( "evaluator.calls",
+      (fun t -> t.evaluator_calls),
+      fun t v -> { t with evaluator_calls = v } );
+    ("evaluator.memo_hit", (fun t -> t.memo_hits), fun t v -> { t with memo_hits = v });
+    ( "evaluator.memo_miss",
+      (fun t -> t.memo_misses),
+      fun t v -> { t with memo_misses = v } );
+    ("nodal.pattern_hit", (fun t -> t.pattern_hits), fun t v -> { t with pattern_hits = v });
+    ( "nodal.pattern_miss",
+      (fun t -> t.pattern_misses),
+      fun t v -> { t with pattern_misses = v } );
+    ( "adaptive.passes",
+      (fun t -> t.adaptive_passes),
+      fun t v -> { t with adaptive_passes = v } );
+    ("adaptive.dry_passes", (fun t -> t.dry_passes), fun t v -> { t with dry_passes = v });
+    ( "adaptive.deflated_passes",
+      (fun t -> t.deflated_passes),
+      fun t v -> { t with deflated_passes = v } );
+    ( "interp.points_evaluated",
+      (fun t -> t.points_evaluated),
+      fun t v -> { t with points_evaluated = v } );
+  ]
+
+let histogram_key = "interp.points_per_pass"
+
+let to_json t =
+  let counters =
+    List.map (fun (k, get, _) -> (k, Json.Num (float_of_int (get t)))) fields
+  in
+  let hist =
+    Json.Arr
+      (List.map
+         (fun (le, n) ->
+           Json.Obj [ ("le", Json.Num (float_of_int le)); ("count", Json.Num (float_of_int n)) ])
+         t.points_per_pass)
+  in
+  Json.Obj (counters @ [ (histogram_key, hist) ])
+
+let to_string t = Json.to_string (to_json t)
+
+let of_json j =
+  let counters =
+    List.fold_left
+      (fun acc (k, _, set) ->
+        match Json.member k j with
+        | Some v -> set acc (Json.to_int v)
+        | None -> failwith (Printf.sprintf "Snapshot.of_json: missing field %s" k))
+      zero fields
+  in
+  let hist =
+    match Json.member histogram_key j with
+    | None -> failwith ("Snapshot.of_json: missing field " ^ histogram_key)
+    | Some v ->
+        List.map
+          (fun b ->
+            match (Json.member "le" b, Json.member "count" b) with
+            | Some le, Some n -> (Json.to_int le, Json.to_int n)
+            | _ -> failwith "Snapshot.of_json: malformed histogram bucket")
+          (Json.to_list v)
+  in
+  { counters with points_per_pass = hist }
+
+let of_string s = of_json (Json.parse s)
+
+let to_table t =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  line "%-26s %8s\n" "counter" "value";
+  List.iter (fun (k, get, _) -> line "%-26s %8d\n" k (get t)) fields;
+  line "%-26s %8d   (refactor + scratch)\n" "lu.evaluations" (factorizations t);
+  (match t.points_per_pass with
+  | [] -> ()
+  | buckets ->
+      line "%s:\n" histogram_key;
+      List.iter (fun (le, n) -> line "  <= %-6d points %8d batches\n" le n) buckets);
+  Buffer.contents buf

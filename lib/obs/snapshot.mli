@@ -1,0 +1,44 @@
+(** A typed dump of every {!Metrics} counter of the pipeline catalogue.
+
+    The benchmark embeds one in [BENCH_interp.json], the CLI prints one
+    under [--stats], and the tests assert on the fields directly.  JSON
+    field names are exactly the {!Metrics} catalogue names, and
+    [of_string (to_string t) = t]. *)
+
+type t = {
+  lu_factor : int;  (** full Markowitz factorisations *)
+  lu_symbolic : int;  (** symbolic (pattern-recording) factorisations *)
+  lu_refactor : int;  (** successful numeric replays *)
+  refactor_fallbacks : int;  (** replays rejected by the threshold floor *)
+  evaluator_calls : int;  (** evaluator [eval] calls *)
+  memo_hits : int;  (** shared num/den table hits *)
+  memo_misses : int;  (** shared num/den table misses (factorised) *)
+  pattern_hits : int;  (** per-scale pattern-cache hits *)
+  pattern_misses : int;  (** pattern-cache misses (symbolic analysis ran) *)
+  adaptive_passes : int;
+  dry_passes : int;  (** passes that established nothing *)
+  deflated_passes : int;  (** passes using eq.-17 deflation *)
+  points_evaluated : int;  (** LU points across all batches *)
+  points_per_pass : (int * int) list;
+      (** histogram, [(bucket upper bound, batches)] *)
+}
+
+val capture : unit -> t
+val zero : t
+val is_zero : t -> bool
+
+val factorizations : t -> int
+(** [lu_refactor + lu_factor]: numeric factorisations actually performed —
+    the paper's cost metric as seen by the matrix layer. *)
+
+val to_json : t -> Json.t
+val to_string : t -> string
+
+val of_json : Json.t -> t
+(** @raise Failure on missing or ill-typed fields. *)
+
+val of_string : string -> t
+(** @raise Failure on malformed input. *)
+
+val to_table : t -> string
+(** Human-readable counter table (the [--stats] output). *)

@@ -1,0 +1,151 @@
+(* Span tracing in Chrome trace_event format.
+
+   Spans are complete ("X") events stamped with the monotonic clock, so the
+   emitted file is balanced by construction and loads directly into
+   chrome://tracing or https://ui.perfetto.dev.  Events are buffered in
+   memory under a mutex (tracing targets pass-level granularity — tens to a
+   few thousand events per run, not per-point firehoses) and written on
+   {!finish}.
+
+   When tracing is off, {!span} costs one bool load, a branch and the
+   closure the caller built — nothing is recorded and nothing else is
+   allocated. *)
+
+type event = {
+  e_name : string;
+  e_cat : string;
+  e_ph : char; (* 'X' complete, 'i' instant *)
+  e_ts_ns : int64; (* relative to the trace origin *)
+  e_dur_ns : int64; (* 0 for instants *)
+  e_tid : int;
+  e_args : (string * string) list;
+}
+
+type state = {
+  lock : Mutex.t;
+  mutable events : event list;
+  mutable count : int;
+  mutable origin_ns : int64;
+  mutable file : string option;
+}
+
+let state =
+  { lock = Mutex.create (); events = []; count = 0; origin_ns = 0L; file = None }
+
+let on = ref false
+
+let is_on () = !on
+
+(* Pass-level spans are rare; if a caller ever traces a hot loop, stop
+   recording rather than growing without bound. *)
+let max_events = 1_000_000
+
+let now_ns () = Monotonic_clock.now ()
+
+let record ev =
+  Mutex.lock state.lock;
+  if state.count < max_events then begin
+    state.events <- ev :: state.events;
+    state.count <- state.count + 1
+  end;
+  Mutex.unlock state.lock
+
+let tid () = (Domain.self () :> int)
+
+let start ~file =
+  Mutex.lock state.lock;
+  state.events <- [];
+  state.count <- 0;
+  state.origin_ns <- now_ns ();
+  state.file <- Some file;
+  Mutex.unlock state.lock;
+  on := true
+
+let span ?(cat = "symref") ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = now_ns () in
+        record
+          {
+            e_name = name;
+            e_cat = cat;
+            e_ph = 'X';
+            e_ts_ns = Int64.sub t0 state.origin_ns;
+            e_dur_ns = Int64.sub t1 t0;
+            e_tid = tid ();
+            e_args = args;
+          })
+      f
+  end
+
+let instant ?(cat = "symref") ?(args = []) name =
+  if !on then
+    record
+      {
+        e_name = name;
+        e_cat = cat;
+        e_ph = 'i';
+        e_ts_ns = Int64.sub (now_ns ()) state.origin_ns;
+        e_dur_ns = 0L;
+        e_tid = tid ();
+        e_args = args;
+      }
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let json_of_event e =
+  let base =
+    [
+      ("name", Json.Str e.e_name);
+      ("cat", Json.Str e.e_cat);
+      ("ph", Json.Str (String.make 1 e.e_ph));
+      ("ts", Json.Num (us_of_ns e.e_ts_ns));
+      ("pid", Json.Num 1.);
+      ("tid", Json.Num (float_of_int e.e_tid));
+    ]
+  in
+  let dur = if e.e_ph = 'X' then [ ("dur", Json.Num (us_of_ns e.e_dur_ns)) ] else [] in
+  let scope = if e.e_ph = 'i' then [ ("s", Json.Str "t") ] else [] in
+  let args =
+    match e.e_args with
+    | [] -> []
+    | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ]
+  in
+  Json.Obj (base @ dur @ scope @ args)
+
+let to_json () =
+  Mutex.lock state.lock;
+  let events = List.rev state.events in
+  Mutex.unlock state.lock;
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map json_of_event events));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj [ ("tool", Json.Str "symref") ]);
+    ]
+
+let event_count () =
+  Mutex.lock state.lock;
+  let n = state.count in
+  Mutex.unlock state.lock;
+  n
+
+let finish () =
+  on := false;
+  let doc = to_json () in
+  Mutex.lock state.lock;
+  let file = state.file in
+  state.file <- None;
+  state.events <- [];
+  state.count <- 0;
+  Mutex.unlock state.lock;
+  match file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Json.to_string doc))

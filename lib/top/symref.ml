@@ -27,7 +27,11 @@
     {!Fit}, {!Verify}, {!Report}, {!Ascii_plot}.
 
     {2 Symbolic analysis}
-    {!Sym}, {!Sdet}, {!Sdg}, {!Sbg}, {!Sag}, {!Tree_terms}, {!Nested}. *)
+    {!Sym}, {!Sdet}, {!Sdg}, {!Sbg}, {!Sag}, {!Tree_terms}, {!Nested}.
+
+    {2 Observability}
+    {!Metrics}, {!Trace}, {!Snapshot}, {!Json}; the worker pool behind
+    [Interp.run ~domains] is {!Domain_pool}. *)
 
 (* numerics *)
 module Extfloat = Symref_numeric.Extfloat
@@ -95,6 +99,7 @@ module Fit = Symref_core.Fit
 module Report = Symref_core.Report
 module Ascii_plot = Symref_core.Ascii_plot
 module Verify = Symref_core.Verify
+module Domain_pool = Symref_core.Domain_pool
 
 (* symbolic analysis *)
 module Sym = Symref_symbolic.Sym
@@ -104,3 +109,9 @@ module Sbg = Symref_symbolic.Sbg
 module Sag = Symref_symbolic.Sag
 module Tree_terms = Symref_symbolic.Tree_terms
 module Nested = Symref_symbolic.Nested
+
+(* observability *)
+module Metrics = Symref_obs.Metrics
+module Trace = Symref_obs.Trace
+module Snapshot = Symref_obs.Snapshot
+module Json = Symref_obs.Json

@@ -1,0 +1,179 @@
+(* Symref_obs: counters, tracing, snapshots, and the domain pool.
+
+   The counter assertions pin the pipeline's cost model on the paper's
+   uA741 workload: 87 evaluator calls resolved as 63 factorisations plus
+   24 shared num/den memo hits. *)
+
+module Metrics = Symref_obs.Metrics
+module Trace = Symref_obs.Trace
+module Snapshot = Symref_obs.Snapshot
+module Json = Symref_obs.Json
+module Nodal = Symref_mna.Nodal
+module Ua741 = Symref_circuit.Ua741
+module Reference = Symref_core.Reference
+module Evaluator = Symref_core.Evaluator
+module Interp = Symref_core.Interp
+module Scaling = Symref_core.Scaling
+module Domain_pool = Symref_core.Domain_pool
+module Ef = Symref_numeric.Extfloat
+
+let generate_ua741 () =
+  Reference.generate Ua741.circuit
+    ~input:(Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+    ~output:(Nodal.Out_node Ua741.output)
+
+let coeffs_of (r : Reference.t) =
+  ( r.Reference.num.Symref_core.Adaptive.coeffs,
+    r.Reference.den.Symref_core.Adaptive.coeffs )
+
+(* Disabled counters stay at zero, and enabling them does not perturb the
+   numbers: coefficients are bit-identical either way. *)
+let test_disabled_zero_and_transparent () =
+  Metrics.disable ();
+  Metrics.reset ();
+  let r_off = generate_ua741 () in
+  let s_off = Snapshot.capture () in
+  Alcotest.(check bool) "all counters zero while disabled" true
+    (Snapshot.is_zero s_off);
+  Metrics.enable ();
+  Metrics.reset ();
+  let r_on = generate_ua741 () in
+  Metrics.disable ();
+  let num_off, den_off = coeffs_of r_off and num_on, den_on = coeffs_of r_on in
+  Alcotest.(check bool) "numerator bit-identical" true (num_off = num_on);
+  Alcotest.(check bool) "denominator bit-identical" true (den_off = den_on)
+
+(* The uA741 pipeline run: counter values and cross-counter invariants. *)
+let test_ua741_counters () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let r = generate_ua741 () in
+  Metrics.disable ();
+  let s = Snapshot.capture () in
+  Alcotest.(check int) "evaluator calls" 87 s.Snapshot.evaluator_calls;
+  Alcotest.(check int) "factorisations (memo misses)" 63 s.Snapshot.memo_misses;
+  Alcotest.(check int) "memo hits" 24 s.Snapshot.memo_hits;
+  Alcotest.(check int) "hits + misses = calls" s.Snapshot.evaluator_calls
+    (s.Snapshot.memo_hits + s.Snapshot.memo_misses);
+  Alcotest.(check int) "replays + fallbacks = memo misses" s.Snapshot.memo_misses
+    (s.Snapshot.lu_refactor + s.Snapshot.refactor_fallbacks);
+  Alcotest.(check int) "factorizations = refactor + scratch"
+    (Snapshot.factorizations s)
+    (s.Snapshot.lu_refactor + s.Snapshot.lu_factor);
+  Alcotest.(check int) "calls agree with Reference.total_evaluations"
+    (Reference.total_evaluations r)
+    s.Snapshot.evaluator_calls;
+  Alcotest.(check bool) "adaptive passes ran" true (s.Snapshot.adaptive_passes > 0);
+  Alcotest.(check int) "histogram covers every batch" s.Snapshot.adaptive_passes
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Snapshot.points_per_pass)
+
+(* The trace file is valid JSON whose events are balanced: complete "X"
+   events carrying a duration (B/E pairs would also be acceptable, but the
+   pipeline only emits X). *)
+let test_trace_file () =
+  let file = Filename.temp_file "symref_trace" ".json" in
+  Trace.start ~file;
+  ignore (generate_ua741 ());
+  let buffered = Trace.event_count () in
+  Trace.finish ();
+  Alcotest.(check bool) "events were buffered" true (buffered > 0);
+  let doc = Json.parse_file file in
+  Sys.remove file;
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some e -> Json.to_list e
+    | None -> Alcotest.fail "missing traceEvents"
+  in
+  Alcotest.(check int) "file holds every buffered event" buffered
+    (List.length events);
+  let depth = ref 0 in
+  List.iter
+    (fun ev ->
+      let ph = match Json.member "ph" ev with
+        | Some p -> Json.to_str p
+        | None -> Alcotest.fail "event without ph"
+      in
+      (match ph with
+      | "B" -> incr depth
+      | "E" ->
+          decr depth;
+          if !depth < 0 then Alcotest.fail "E without matching B"
+      | "X" ->
+          if Json.member "dur" ev = None then
+            Alcotest.fail "complete event without dur"
+      | "i" | "I" -> ()
+      | p -> Alcotest.fail ("unexpected phase " ^ p));
+      match Json.member "name" ev with
+      | Some n -> ignore (Json.to_str n)
+      | None -> Alcotest.fail "event without name")
+    events;
+  Alcotest.(check int) "B/E balanced" 0 !depth;
+  let names =
+    List.filter_map (fun ev -> Option.map Json.to_str (Json.member "name" ev)) events
+  in
+  let has n = List.mem n names in
+  Alcotest.(check bool) "has adaptive.pass spans" true (has "adaptive.pass");
+  Alcotest.(check bool) "has interp.batch spans" true (has "interp.batch");
+  Alcotest.(check bool) "has factorisation spans" true
+    (has "lu.refactor" || has "lu.factor" || has "lu.symbolic")
+
+let test_snapshot_roundtrip () =
+  Metrics.enable ();
+  Metrics.reset ();
+  ignore (generate_ua741 ());
+  Metrics.disable ();
+  let s = Snapshot.capture () in
+  Metrics.reset ();
+  Alcotest.(check bool) "non-trivial snapshot" false (Snapshot.is_zero s);
+  let s' = Snapshot.of_string (Snapshot.to_string s) in
+  Alcotest.(check bool) "of_string (to_string s) = s" true (s = s');
+  let z = Snapshot.of_string (Snapshot.to_string Snapshot.zero) in
+  Alcotest.(check bool) "zero round-trips" true (z = Snapshot.zero)
+
+(* The pooled fan-out returns bit-identical interpolation results and
+   survives a shutdown/restart cycle. *)
+let test_domain_pool () =
+  let p =
+    Nodal.make Ua741.circuit
+      ~input:(Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+      ~output:(Nodal.Out_node Ua741.output)
+  in
+  let ev = Evaluator.of_nodal p ~num:false in
+  let scale = Scaling.initial ev in
+  let k = Nodal.order_bound p + 1 in
+  let seq = Interp.run ev ~scale ~k in
+  List.iter
+    (fun d ->
+      let r = Interp.run ~domains:d ev ~scale ~k in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d bit-identical" d)
+        true
+        (r.Interp.normalized = seq.Interp.normalized))
+    [ 2; 4; 8 ];
+  Domain_pool.shutdown ();
+  Alcotest.(check int) "pool empty after shutdown" 0 (Domain_pool.size ());
+  let r = Interp.run ~domains:4 ev ~scale ~k in
+  Alcotest.(check bool) "pool restarts after shutdown" true
+    (r.Interp.normalized = seq.Interp.normalized);
+  (* Exceptions from pooled jobs surface at the call site. *)
+  match
+    Domain_pool.parallel
+      [| (fun () -> ()); (fun () -> failwith "boom"); (fun () -> ()) |]
+  with
+  | () -> Alcotest.fail "expected the job's exception"
+  | exception Failure m -> Alcotest.(check string) "job exception" "boom" m
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "disabled: zeros, identical results" `Quick
+          test_disabled_zero_and_transparent;
+        Alcotest.test_case "ua741 counters 87/63/24" `Quick test_ua741_counters;
+        Alcotest.test_case "trace file is valid and balanced" `Quick
+          test_trace_file;
+        Alcotest.test_case "snapshot JSON round-trip" `Quick
+          test_snapshot_roundtrip;
+        Alcotest.test_case "domain pool" `Quick test_domain_pool;
+      ] );
+  ]
