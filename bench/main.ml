@@ -279,6 +279,78 @@ let json_circuits ~smoke =
   if smoke then List.filteri (fun i _ -> i <> 1) base (* ua741 adaptive is slow-ish *)
   else base
 
+(* --- serve benchmark: scheduler + content-addressed cache -------------------
+
+   Pushes M distinct and N duplicate netlists through the in-process batch
+   API (`Symref_serve.Batch`): the distinct files measure scheduler
+   throughput, the duplicates measure the content-addressed cache (their
+   payloads are answered from it once the first copy has been computed).
+   Reported as the "serve" section of BENCH_interp.json (schema v3) and
+   runnable standalone as `main.exe serve-smoke`. *)
+
+let ota_with_sources () =
+  N.extend Ota.circuit (fun b ->
+      N.Builder.vsrc b "srcp" ~p:Ota.input_p ~m:"0" 0.5;
+      N.Builder.vsrc b "srcm" ~p:Ota.input_n ~m:"0" (-0.5))
+
+let run_serve ~smoke =
+  section (if smoke then "SERVE-SMOKE" else "SERVE")
+    "batch service: job scheduler + content-addressed result cache";
+  let ladder n = (Printf.sprintf "ladder-%d" n, Ladder.circuit n) in
+  let distinct =
+    if smoke then [ ("ota", ota_with_sources ()); ladder 8; ladder 12 ]
+    else
+      [
+        ("ota", ota_with_sources ());
+        ("ua741", ua741_with_sources ());
+        ladder 8;
+        ladder 16;
+        ladder 24;
+        ladder 32;
+      ]
+  in
+  let duplicates = if smoke then 4 else 12 in
+  let dir = Filename.temp_dir "symref-serve-bench" "" in
+  let write name text =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc text;
+    close_out oc
+  in
+  List.iteri
+    (fun i (name, c) ->
+      write
+        (Printf.sprintf "m%02d_%s.cir" i name)
+        (Symref_spice.Writer.to_string c))
+    distinct;
+  (* Duplicates are fresh files with the same content: only the
+     content-addressed cache can recognise them. *)
+  let first_text = Symref_spice.Writer.to_string (snd (List.hd distinct)) in
+  for i = 1 to duplicates do
+    write (Printf.sprintf "z_dup%02d.cir" i) first_text
+  done;
+  let t0 = wall () in
+  let report = Symref_serve.Batch.run dir in
+  let dt = wall () -. t0 in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let jobs = report.Symref_serve.Batch.files in
+  let hits = report.Symref_serve.Batch.cached in
+  let misses = jobs - hits in
+  let jobs_per_s = float_of_int jobs /. dt in
+  Printf.printf
+    "batch: %d jobs (%d distinct + %d duplicates) in %.1f ms -> %.0f jobs/s\n\
+     cache: %d hits, %d misses (hit ratio %.2f); failures %d\n"
+    jobs (List.length distinct) duplicates (dt *. 1000.) jobs_per_s hits misses
+    (float_of_int hits /. float_of_int jobs)
+    report.Symref_serve.Batch.failed;
+  Printf.sprintf
+    "  \"serve\": { \"jobs\": %d, \"distinct\": %d, \"duplicates\": %d,\n\
+    \    \"wall_ms\": %.2f, \"jobs_per_s\": %.1f, \"failed\": %d,\n\
+    \    \"cache\": { \"hits\": %d, \"misses\": %d, \"hit_ratio\": %.3f } }\n"
+    jobs (List.length distinct) duplicates (dt *. 1000.) jobs_per_s
+    report.Symref_serve.Batch.failed hits misses
+    (float_of_int hits /. float_of_int jobs)
+
 let coeffs_match (a : Adaptive.result) (b : Adaptive.result) =
   let ok = ref true in
   Array.iteri
@@ -296,7 +368,7 @@ let run_json ~smoke =
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   section (if smoke then "SMOKE" else "JSON")
     "pipeline benchmark: full-factor vs refactor, shared num/den, domains";
-  out "{\n  \"schema\": \"symref/bench-interp/v2\",\n";
+  out "{\n  \"schema\": \"symref/bench-interp/v3\",\n";
   out "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
   out "  \"circuits\": [\n";
   let ncirc = List.length (json_circuits ~smoke) in
@@ -442,9 +514,10 @@ let run_json ~smoke =
   out
     "  \"observability\": { \"circuit\": \"%s\",\n\
     \    \"reference_ms\": { \"off\": %.4f, \"stats\": %.4f, \"trace\": %.4f },\n\
-    \    \"overhead_pct\": { \"stats\": %.2f, \"trace\": %.2f } }\n"
+    \    \"overhead_pct\": { \"stats\": %.2f, \"trace\": %.2f } },\n"
     shared_target.jname (t_off *. 1000.) (t_stats *. 1000.) (t_trace *. 1000.)
     (pct t_stats) (pct t_trace);
+  out "%s" (run_serve ~smoke);
   out "}\n";
   let file = if smoke then "BENCH_interp.smoke.json" else "BENCH_interp.json" in
   let oc = open_out file in
@@ -612,9 +685,11 @@ let () =
   | "timing" -> run_timing ()
   | "json" -> run_json ~smoke:false
   | "smoke" -> run_json ~smoke:true
+  | "serve-smoke" -> print_string (run_serve ~smoke:true)
   | "all" ->
       run_tables ();
       run_timing ()
   | m ->
-      Printf.eprintf "unknown mode %s (want tables|timing|all|json|smoke)\n" m;
+      Printf.eprintf
+        "unknown mode %s (want tables|timing|all|json|smoke|serve-smoke)\n" m;
       exit 1

@@ -20,6 +20,8 @@ module Ef = Symref_numeric.Extfloat
 module Metrics = Symref_obs.Metrics
 module Trace = Symref_obs.Trace
 module Snapshot = Symref_obs.Snapshot
+module Json = Symref_obs.Json
+module Serve = Symref_serve
 open Cmdliner
 
 (* --- shared arguments --- *)
@@ -66,33 +68,10 @@ let to_arg =
 let per_decade_arg =
   Arg.(value & opt int 4 & info [ "per-decade" ] ~doc:"Sweep points per decade.")
 
-let parse_input circuit s =
-  let split_pair v =
-    match String.split_on_char ',' v with
-    | [ a; b ] -> (a, b)
-    | _ -> failwith "expected two comma-separated node names"
-  in
-  match String.index_opt s ':' with
-  | None -> (
-      match N.find_element circuit s with
-      | Some _ -> Nodal.Vsrc_element s
-      | None -> failwith (Printf.sprintf "no element named %s in the netlist" s))
-  | Some i -> (
-      let kind = String.sub s 0 i
-      and v = String.sub s (i + 1) (String.length s - i - 1) in
-      match kind with
-      | "diff" ->
-          let p, m = split_pair v in
-          Nodal.V_diff (p, m)
-      | "node" -> Nodal.V_single v
-      | "current" -> Nodal.I_single v
-      | k -> failwith (Printf.sprintf "unknown input kind %s" k))
-
-let parse_output s =
-  match String.split_on_char ',' s with
-  | [ a ] -> Nodal.Out_node a
-  | [ a; b ] -> Nodal.Out_diff (a, b)
-  | _ -> failwith "output must be NODE or NODE,NODE"
+(* The serve library owns the input/output spec syntax, so a CLI run and a
+   daemon job interpret the same strings identically. *)
+let parse_input = Symref_serve.Service.parse_input
+let parse_output = Symref_serve.Service.parse_output
 
 let load file = Parser.parse_file file
 
@@ -562,10 +541,182 @@ let tables_cmd =
     (Cmd.info "tables" ~doc:"Reproduce the paper's tables on the built-in circuits.")
     Term.(const run $ obs_term)
 
+(* --- serve / submit / batch: the persistent-service front end --- *)
+
+let socket_arg =
+  let doc = "Unix domain socket path of the daemon." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let workers_arg =
+  let doc = "Worker domains for job execution (0 = cores - 1)." in
+  Arg.(value & opt int 0 & info [ "workers" ] ~doc)
+
+let capacity_arg =
+  let doc = "Job-queue bound; submissions above it get a busy reply." in
+  Arg.(value & opt int 64 & info [ "capacity" ] ~doc)
+
+let cache_mb_arg =
+  let doc = "Result-cache budget in MiB (0 disables caching)." in
+  Arg.(value & opt int 64 & info [ "cache-mb" ] ~doc)
+
+let timeout_ms_arg =
+  let doc = "Per-job wall-clock budget in milliseconds (0 = none)." in
+  Arg.(value & opt int 0 & info [ "timeout-ms" ] ~doc)
+
+let service_config workers capacity cache_mb timeout_ms =
+  {
+    Serve.Service.workers;
+    capacity;
+    cache_bytes = cache_mb * 1024 * 1024;
+    default_timeout_ms = (if timeout_ms > 0 then Some timeout_ms else None);
+  }
+
+let analysis_arg =
+  let doc = "Analysis to run: $(b,reference), $(b,adaptive), $(b,bode) or $(b,poles)." in
+  Arg.(
+    value
+    & opt (enum [ ("reference", `Reference); ("adaptive", `Adaptive);
+                  ("bode", `Bode); ("poles", `Poles) ]) `Reference
+    & info [ "analysis" ] ~docv:"KIND" ~doc)
+
+let job_term =
+  let auto_input_arg =
+    let doc =
+      "Input drive (CLI syntax, see $(b,coeffs)); $(b,auto) detects the \
+       netlist's own voltage sources."
+    in
+    Arg.(value & opt string "auto" & info [ "i"; "input" ] ~docv:"INPUT" ~doc)
+  in
+  let auto_output_arg =
+    let doc = "Output node (or $(b,P,M)); omitted = auto-detect." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+  in
+  let make analysis input output sigma r timeout_ms from_ to_ per_decade =
+    let analysis =
+      match analysis with
+      | `Reference -> Serve.Protocol.Reference
+      | `Adaptive -> Serve.Protocol.Adaptive
+      | `Poles -> Serve.Protocol.Poles
+      | `Bode -> Serve.Protocol.Bode { from_hz = from_; to_hz = to_; per_decade }
+    in
+    {
+      Serve.Protocol.default_job with
+      Serve.Protocol.analysis;
+      input;
+      output;
+      sigma;
+      r;
+      timeout_ms = (if timeout_ms > 0 then Some timeout_ms else None);
+    }
+  in
+  Term.(
+    const make $ analysis_arg $ auto_input_arg $ auto_output_arg $ sigma_arg
+    $ r_arg $ timeout_ms_arg $ from_arg $ to_arg $ per_decade_arg)
+
+let serve_cmd =
+  let run socket workers capacity cache_mb timeout_ms obs =
+    wrap obs (fun () ->
+        let config = service_config workers capacity cache_mb timeout_ms in
+        Printf.eprintf "symref %s serving on %s\n%!" Serve.Version.version socket;
+        Serve.Daemon.run ~config ~socket_path:socket ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the reference-generation daemon: newline-delimited JSON jobs \
+          over a Unix domain socket, scheduled on the worker pool and \
+          answered from a content-addressed result cache.  Runs in the \
+          foreground until a shutdown request arrives.")
+    Term.(
+      const run $ socket_arg $ workers_arg $ capacity_arg $ cache_mb_arg
+      $ timeout_ms_arg $ obs_term)
+
+let submit_cmd =
+  let netlist_opt_arg =
+    let doc = "Netlist file to submit (omit for --op stats/shutdown/hello)." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"NETLIST" ~doc)
+  in
+  let op_arg =
+    let doc =
+      "What to send: $(b,submit) a job (the default), query daemon \
+       $(b,stats), $(b,hello), or request a graceful $(b,shutdown)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("submit", `Submit); ("stats", `Stats);
+                    ("hello", `Hello); ("shutdown", `Shutdown) ]) `Submit
+      & info [ "op" ] ~docv:"OP" ~doc)
+  in
+  let run socket op netlist job =
+    let request =
+      match op with
+      | `Stats -> Serve.Protocol.Stats
+      | `Hello -> Serve.Protocol.Hello
+      | `Shutdown -> Serve.Protocol.Shutdown
+      | `Submit -> (
+          match netlist with
+          | None ->
+              Printf.eprintf "error: submit needs a NETLIST argument\n";
+              exit 2
+          | Some file ->
+              let text =
+                In_channel.with_open_bin file In_channel.input_all
+              in
+              Serve.Protocol.Submit
+                { job with Serve.Protocol.netlist = `Text text; id = Some file })
+    in
+    let reply =
+      try
+        Serve.Client.with_connection ~socket_path:socket (fun c ->
+            Serve.Client.request c request)
+      with
+      | Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: %s: %s\n" socket (Unix.error_message e);
+          exit 1
+      | Failure m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+    in
+    print_endline (Json.to_string (Serve.Protocol.reply_to_json reply));
+    if reply.Serve.Protocol.status <> Serve.Protocol.Ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Send one request to a running daemon and print the reply line: a \
+          netlist job, a stats query, or a graceful shutdown.")
+    Term.(const run $ socket_arg $ op_arg $ netlist_opt_arg $ job_term)
+
+let batch_cmd =
+  let dir_arg =
+    let doc = "Directory of netlists (.sp/.cir/.net/.spi/.ckt) to sweep." in
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc)
+  in
+  let run dir workers capacity cache_mb timeout_ms job obs =
+    wrap obs (fun () ->
+        let config = service_config workers capacity cache_mb timeout_ms in
+        let report = Serve.Batch.run ~config ~template:job dir in
+        print_endline (Json.to_string (Serve.Batch.report_to_json report));
+        if report.Serve.Batch.failed > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Sweep every netlist in a directory through the job scheduler \
+          in-process (no socket) and print an aggregate JSON report.  Exits \
+          non-zero when any file fails; individual failures are reported \
+          inside the document and never stop the sweep.")
+    Term.(
+      const run $ dir_arg $ workers_arg $ capacity_arg $ cache_mb_arg
+      $ timeout_ms_arg $ job_term $ obs_term)
+
 let main =
   let doc = "numerical reference generation for symbolic analysis of analog circuits" in
   Cmd.group
-    (Cmd.info "symref" ~version:"1.0.0" ~doc)
+    (Cmd.info "symref" ~version:Serve.Version.version ~doc)
     [
       info_cmd;
       coeffs_cmd;
@@ -580,6 +731,9 @@ let main =
       transient_cmd;
       dot_cmd;
       tables_cmd;
+      serve_cmd;
+      submit_cmd;
+      batch_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -124,6 +124,24 @@ let size () =
   Mutex.unlock pool.lock;
   n
 
+(* Fire-and-forget submission for long-lived services (Symref_serve): the
+   job is queued for a pool worker and [async] returns immediately.  The
+   caller owns completion tracking (the scheduler counts jobs in flight and
+   drains them before any shutdown).  On a single-core machine the pool can
+   have no workers at all, so the job is refused and the caller must run it
+   on a thread of its own. *)
+let async (job : job) =
+  if max_workers = 0 then false
+  else begin
+    ensure 1;
+    Mutex.lock pool.lock;
+    Queue.add job pool.queue;
+    Atomic.incr pool.pending;
+    Condition.signal pool.work;
+    Mutex.unlock pool.lock;
+    true
+  end
+
 let parallel (jobs : job array) =
   let n = Array.length jobs in
   if n = 0 then ()

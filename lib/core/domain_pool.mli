@@ -22,6 +22,20 @@ val parallel : (unit -> unit) array -> unit
     here {e after} every job has finished.  Not reentrant: must not be
     called from inside a pooled job. *)
 
+val async : (unit -> unit) -> bool
+(** Enqueue one job for execution by a pool worker and return immediately
+    (spawning a first worker if none is alive yet).  Unlike {!parallel}
+    there is no completion barrier: the caller must track completion itself
+    — {!Symref_serve}'s scheduler counts jobs in flight and drains them
+    before shutting anything down.  Returns [false] without queueing when
+    the pool cannot have workers (single-core machine); the caller then
+    runs the job on a thread of its own.  The job must not itself call
+    {!parallel} (same non-reentrancy rule as pooled {!parallel} jobs), and
+    exceptions escaping it are the job's own responsibility — wrap the body.
+    A caller of {!parallel} that helps drain the queue may execute an
+    [async] job on its own domain; jobs must therefore not assume which
+    domain runs them. *)
+
 val ensure : int -> unit
 (** Pre-spawn workers (clamped to the core count) so the first parallel
     pass does not pay creation latency. *)

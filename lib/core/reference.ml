@@ -21,7 +21,7 @@ type t = {
    split inside {!Symref_mna.Nodal.make}.  Both switches change cost only,
    never values. *)
 let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
-    circuit ~input ~output =
+    ?check circuit ~input ~output =
   let problem = Nodal.make ~reuse circuit ~input ~output in
   Tr.span ~cat:"reference"
     ~args:
@@ -38,6 +38,25 @@ let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
       (s.Evaluator.snum, s.Evaluator.sden)
     else
       (Evaluator.of_nodal problem ~num:true, Evaluator.of_nodal problem ~num:false)
+  in
+  (* Cooperative cancellation: every evaluation — the unit of cost — first
+     runs the caller's check, which may raise (e.g. a deadline exceeded).
+     The evaluators are wrapped here rather than hooking Adaptive so the
+     engines stay oblivious to scheduling concerns. *)
+  let ev_num, ev_den =
+    match check with
+    | None -> (ev_num, ev_den)
+    | Some chk ->
+        let wrap (ev : Evaluator.t) =
+          {
+            ev with
+            Evaluator.eval =
+              (fun ~f ~g s ->
+                chk ();
+                ev.Evaluator.eval ~f ~g s);
+          }
+        in
+        (wrap ev_num, wrap ev_den)
   in
   let num = Tr.span ~cat:"reference" "reference.num" (fun () -> Adaptive.run ~config ev_num) in
   let den = Tr.span ~cat:"reference" "reference.den" (fun () -> Adaptive.run ~config ev_den) in

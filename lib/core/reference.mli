@@ -18,6 +18,7 @@ val generate :
   ?config:Adaptive.config ->
   ?share:bool ->
   ?reuse:bool ->
+  ?check:(unit -> unit) ->
   Symref_circuit.Netlist.t ->
   input:Symref_mna.Nodal.input ->
   output:Symref_mna.Nodal.output ->
@@ -28,6 +29,11 @@ val generate :
     [reuse] (default [true]) enables the symbolic/numeric factorisation
     split per scale pair (see {!Symref_mna.Nodal.make}).  Both are pure
     cost switches: the returned coefficients are identical either way.
+    [check] is a cooperative-cancellation hook run before {e every}
+    evaluation (one LU decomposition each): raising from it aborts the
+    generation with that exception — {!Symref_serve} uses it to enforce
+    per-job wall-clock deadlines without killing the worker.  When [check]
+    never raises the result is unchanged.
     @raise Symref_mna.Nodal.Unsupported outside the nodal class. *)
 
 val numerator : t -> Symref_poly.Epoly.t

@@ -102,3 +102,15 @@ let dry_passes = counter "adaptive.dry_passes"
 let deflated_passes = counter "adaptive.deflated_passes"
 let points_evaluated = counter "interp.points_evaluated"
 let points_per_pass = histogram "interp.points_per_pass"
+
+(* The serve family: the result cache and job scheduler of [Symref_serve].
+   (The cache and scheduler also keep their own always-on gauges for
+   protocol stats replies; these counters are the --stats/snapshot view.) *)
+let serve_cache_hits = counter "serve.cache_hit"
+let serve_cache_misses = counter "serve.cache_miss"
+let serve_cache_evictions = counter "serve.cache_eviction"
+let serve_jobs_submitted = counter "serve.jobs_submitted"
+let serve_jobs_completed = counter "serve.jobs_completed"
+let serve_jobs_failed = counter "serve.jobs_failed"
+let serve_jobs_timeout = counter "serve.jobs_timeout"
+let serve_jobs_rejected = counter "serve.jobs_rejected"

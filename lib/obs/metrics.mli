@@ -101,3 +101,32 @@ val points_evaluated : counter
 
 val points_per_pass : histogram
 (** Distribution of evaluation points per interpolation batch. *)
+
+(** {2 The serve family}
+
+    Result cache and job scheduler of the [Symref_serve] service (daemon
+    and in-process batch sweeps alike). *)
+
+val serve_cache_hits : counter
+(** Jobs answered from the content-addressed result cache. *)
+
+val serve_cache_misses : counter
+(** Cache lookups that had to run the analysis. *)
+
+val serve_cache_evictions : counter
+(** Entries evicted by the cache's byte budget (LRU order). *)
+
+val serve_jobs_submitted : counter
+(** Jobs accepted by the scheduler (admitted past the queue bound). *)
+
+val serve_jobs_completed : counter
+(** Jobs that finished with a successful reply (cached or computed). *)
+
+val serve_jobs_failed : counter
+(** Jobs that finished with a structured error reply. *)
+
+val serve_jobs_timeout : counter
+(** Jobs cancelled by their wall-clock deadline. *)
+
+val serve_jobs_rejected : counter
+(** Submissions refused with a backpressure reply (queue full). *)

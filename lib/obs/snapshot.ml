@@ -12,6 +12,14 @@ type t = {
   dry_passes : int;
   deflated_passes : int;
   points_evaluated : int;
+  serve_cache_hits : int;
+  serve_cache_misses : int;
+  serve_cache_evictions : int;
+  serve_jobs_submitted : int;
+  serve_jobs_completed : int;
+  serve_jobs_failed : int;
+  serve_jobs_timeout : int;
+  serve_jobs_rejected : int;
   points_per_pass : (int * int) list;
 }
 
@@ -30,6 +38,14 @@ let zero =
     dry_passes = 0;
     deflated_passes = 0;
     points_evaluated = 0;
+    serve_cache_hits = 0;
+    serve_cache_misses = 0;
+    serve_cache_evictions = 0;
+    serve_jobs_submitted = 0;
+    serve_jobs_completed = 0;
+    serve_jobs_failed = 0;
+    serve_jobs_timeout = 0;
+    serve_jobs_rejected = 0;
     points_per_pass = [];
   }
 
@@ -48,6 +64,14 @@ let capture () =
     dry_passes = Metrics.value Metrics.dry_passes;
     deflated_passes = Metrics.value Metrics.deflated_passes;
     points_evaluated = Metrics.value Metrics.points_evaluated;
+    serve_cache_hits = Metrics.value Metrics.serve_cache_hits;
+    serve_cache_misses = Metrics.value Metrics.serve_cache_misses;
+    serve_cache_evictions = Metrics.value Metrics.serve_cache_evictions;
+    serve_jobs_submitted = Metrics.value Metrics.serve_jobs_submitted;
+    serve_jobs_completed = Metrics.value Metrics.serve_jobs_completed;
+    serve_jobs_failed = Metrics.value Metrics.serve_jobs_failed;
+    serve_jobs_timeout = Metrics.value Metrics.serve_jobs_timeout;
+    serve_jobs_rejected = Metrics.value Metrics.serve_jobs_rejected;
     points_per_pass = Metrics.histogram_buckets_of Metrics.points_per_pass;
   }
 
@@ -86,6 +110,30 @@ let fields =
     ( "interp.points_evaluated",
       (fun t -> t.points_evaluated),
       fun t v -> { t with points_evaluated = v } );
+    ( "serve.cache_hit",
+      (fun t -> t.serve_cache_hits),
+      fun t v -> { t with serve_cache_hits = v } );
+    ( "serve.cache_miss",
+      (fun t -> t.serve_cache_misses),
+      fun t v -> { t with serve_cache_misses = v } );
+    ( "serve.cache_eviction",
+      (fun t -> t.serve_cache_evictions),
+      fun t v -> { t with serve_cache_evictions = v } );
+    ( "serve.jobs_submitted",
+      (fun t -> t.serve_jobs_submitted),
+      fun t v -> { t with serve_jobs_submitted = v } );
+    ( "serve.jobs_completed",
+      (fun t -> t.serve_jobs_completed),
+      fun t v -> { t with serve_jobs_completed = v } );
+    ( "serve.jobs_failed",
+      (fun t -> t.serve_jobs_failed),
+      fun t v -> { t with serve_jobs_failed = v } );
+    ( "serve.jobs_timeout",
+      (fun t -> t.serve_jobs_timeout),
+      fun t v -> { t with serve_jobs_timeout = v } );
+    ( "serve.jobs_rejected",
+      (fun t -> t.serve_jobs_rejected),
+      fun t v -> { t with serve_jobs_rejected = v } );
   ]
 
 let histogram_key = "interp.points_per_pass"

@@ -19,6 +19,14 @@ type t = {
   dry_passes : int;  (** passes that established nothing *)
   deflated_passes : int;  (** passes using eq.-17 deflation *)
   points_evaluated : int;  (** LU points across all batches *)
+  serve_cache_hits : int;  (** serve jobs answered from the result cache *)
+  serve_cache_misses : int;  (** serve cache lookups that ran the analysis *)
+  serve_cache_evictions : int;  (** entries evicted by the cache byte budget *)
+  serve_jobs_submitted : int;  (** jobs admitted by the serve scheduler *)
+  serve_jobs_completed : int;  (** jobs finished with a successful reply *)
+  serve_jobs_failed : int;  (** jobs finished with a structured error *)
+  serve_jobs_timeout : int;  (** jobs cancelled by their deadline *)
+  serve_jobs_rejected : int;  (** submissions refused by backpressure *)
   points_per_pass : (int * int) list;
       (** histogram, [(bucket upper bound, batches)] *)
 }

@@ -1,0 +1,40 @@
+module Json = Symref_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  banner : Json.t;
+}
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let banner =
+    match input_line ic with
+    | line -> Json.parse line
+    | exception End_of_file -> failwith "serve client: no hello banner"
+  in
+  { fd; ic; oc; banner }
+
+let banner t = t.banner
+
+let request t req =
+  output_string t.oc (Json.to_string (Protocol.request_to_json req));
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | line -> Protocol.reply_of_json (Json.parse line)
+  | exception End_of_file ->
+      failwith "serve client: connection closed before the reply"
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ~socket_path f =
+  let t = connect ~socket_path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

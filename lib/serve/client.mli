@@ -1,0 +1,23 @@
+(** Minimal blocking client for the serve protocol — what [symref submit]
+    and the CI round-trip test speak through.
+
+    One request, one reply, in order, on a single connection.  All functions
+    raise [Unix.Unix_error] on connection failures and [Failure] on protocol
+    violations (malformed JSON from the server). *)
+
+type t
+
+val connect : socket_path:string -> t
+(** Connect and consume the daemon's hello banner. *)
+
+val banner : t -> Symref_obs.Json.t
+(** The greeting the daemon sent on connect
+    ([{"hello":"symref";"version";...}]). *)
+
+val request : t -> Protocol.request -> Protocol.reply
+(** Send one request line and block for its reply line. *)
+
+val close : t -> unit
+
+val with_connection : socket_path:string -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exceptions). *)

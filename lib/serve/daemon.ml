@@ -1,0 +1,126 @@
+(* Accept loop + per-connection threads for the serve daemon. *)
+
+module Json = Symref_obs.Json
+
+type t = {
+  service : Service.t;
+  sock : Unix.file_descr;
+  socket_path : string;
+  lock : Mutex.t;
+  mutable stop : bool;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+}
+
+let create ?config ~socket_path () =
+  (* A client that disconnects while a reply is in flight must surface as a
+     write error on that connection, not kill the whole daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let service = Service.create ?config () in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX socket_path);
+  Unix.listen sock 16;
+  {
+    service;
+    sock;
+    socket_path;
+    lock = Mutex.create ();
+    stop = false;
+    conns = [];
+  }
+
+let service t = t.service
+
+let request_stop t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Mutex.unlock t.lock
+
+let stopping t =
+  Mutex.lock t.lock;
+  let s = t.stop in
+  Mutex.unlock t.lock;
+  s
+
+let handle_request t = function
+  | Protocol.Hello -> Protocol.ok (Protocol.hello_banner ())
+  | Protocol.Stats -> Protocol.ok (Service.stats_json t.service)
+  | Protocol.Shutdown ->
+      request_stop t;
+      Protocol.ok (Json.Obj [ ("shutting_down", Json.Bool true) ])
+  | Protocol.Submit job -> (
+      match Service.submit t.service job with
+      | `Rejected r -> r
+      | `Ticket ticket -> (
+          match Scheduler.await ticket with
+          | Ok reply -> reply
+          | Error e ->
+              (* Service catches every expected failure inside the job, so
+                 only a genuinely unexpected exception lands here. *)
+              Protocol.error ~id:job.Protocol.id ~kind:"internal"
+                (Printexc.to_string e)))
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send json =
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    flush oc
+  in
+  let serve_line line =
+    let reply =
+      match Protocol.request_of_json (Json.parse line) with
+      | exception Failure m -> Protocol.error ~kind:"protocol" m
+      | request -> handle_request t request
+    in
+    send (Protocol.reply_to_json reply)
+  in
+  (try
+     send (Protocol.hello_banner ());
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line ->
+           if String.trim line <> "" then serve_line line;
+           loop ()
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve t =
+  let rec accept_loop () =
+    if not (stopping t) then begin
+      (* Poll so a stop request (from a handler thread) is noticed even when
+         no client ever connects again. *)
+      (match Unix.select [ t.sock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept t.sock with
+          | fd, _ ->
+              let th = Thread.create (handle_conn t) fd in
+              Mutex.lock t.lock;
+              t.conns <- (fd, th) :: t.conns;
+              Mutex.unlock t.lock
+          | exception Unix.Unix_error _ -> ()));
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Graceful teardown: finish the admitted jobs (their replies flush on the
+     still-open connections), then unblock the readers and join. *)
+  Service.shutdown t.service;
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  Mutex.lock t.lock;
+  let conns = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.lock;
+  List.iter
+    (fun (fd, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (_, th) -> Thread.join th) conns
+
+let run ?config ~socket_path () = serve (create ?config ~socket_path ())

@@ -1,0 +1,36 @@
+(** The serve daemon: a Unix-domain-socket front end over {!Service}.
+
+    One listening socket, one systhread per accepted connection.  Requests on
+    a connection are answered strictly in order; concurrency comes from jobs
+    running on the {!Symref_core.Domain_pool} workers and from multiple
+    connections.  The connection threads only do I/O and waiting — never
+    numerics — so a slow job never blocks the accept loop.
+
+    Error isolation is total: a malformed line, an unknown op, or a failing
+    job produces a structured error reply on that connection and nothing
+    else; the daemon only exits through {!request_stop} or a [shutdown]
+    request, and then gracefully — admission stops, in-flight jobs drain and
+    their replies are flushed before the connections are torn down. *)
+
+type t
+
+val create : ?config:Service.config -> socket_path:string -> unit -> t
+(** Bind and listen on [socket_path].  An existing file at that path is
+    removed first — starting a daemon on a live daemon's socket replaces it.
+    [SIGPIPE] is set to ignore (a client hanging up mid-reply must not kill
+    the process).
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val service : t -> Service.t
+
+val serve : t -> unit
+(** Run the accept loop on the calling thread until a [shutdown] request
+    arrives (or {!request_stop} is called from another thread), then drain
+    and clean up: the socket file is unlinked and every connection joined
+    before this returns. *)
+
+val request_stop : t -> unit
+(** Ask the accept loop to wind down; safe from any thread. *)
+
+val run : ?config:Service.config -> socket_path:string -> unit -> unit
+(** [create] + [serve]. *)

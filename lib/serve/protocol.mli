@@ -1,0 +1,94 @@
+(** The serve wire protocol: newline-delimited JSON over a Unix domain
+    socket.
+
+    One request per line, one reply per line, in order; the JSON itself is
+    {!Symref_obs.Json}'s compact single-line rendering, so embedded netlist
+    text rides inside a JSON string with escaped newlines.  The codec is
+    pure (no I/O) and total in both directions: [request_of_json] and
+    [reply_of_json] raise [Failure] with a human-readable message on
+    malformed input, which the daemon turns into a structured [`Error]
+    reply instead of dying.
+
+    See [doc/serve.mld] for the message reference. *)
+
+module Json = Symref_obs.Json
+
+val protocol_version : int
+(** Bumped on incompatible wire changes; carried by the hello banner. *)
+
+(** {1 Analyses} *)
+
+type analysis =
+  | Reference  (** network-function coefficients, default config *)
+  | Adaptive  (** coefficients plus the per-pass band reports *)
+  | Bode of { from_hz : float; to_hz : float; per_decade : int }
+      (** Bode data reconstructed from the reference coefficients *)
+  | Poles  (** pole/zero extraction from the references *)
+
+val analysis_to_string : analysis -> string
+(** Canonical text form, also used in cache keys ([reference], [adaptive],
+    [bode(1,1e8,4)], [poles]). *)
+
+(** {1 Requests} *)
+
+type job = {
+  id : string option;  (** echoed verbatim in the reply *)
+  netlist : [ `Text of string | `Path of string ];
+      (** inline netlist text, or a path resolved on the daemon's side *)
+  analysis : analysis;
+  input : string;  (** CLI input syntax, e.g. [v1], [diff:inp,inn]; [auto] *)
+  output : string option;  (** node (or [P,M]); [None] = auto-detect *)
+  sigma : int;
+  r : float;
+  timeout_ms : int option;  (** wall-clock budget; [Some 0] expires at once *)
+}
+
+val default_job : job
+(** [Reference] analysis of [`Text ""], input [auto], everything else at
+    the CLI defaults — the base the decoder fills in. *)
+
+type request =
+  | Hello  (** capability/version exchange *)
+  | Stats  (** counter snapshot + cache and scheduler gauges *)
+  | Submit of job
+  | Shutdown  (** graceful: drain in-flight jobs, then exit *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> request
+(** @raise Failure on an unknown [op] or ill-typed fields. *)
+
+(** {1 Replies} *)
+
+type status =
+  | Ok
+  | Error  (** structured failure: parse error, unsupported circuit, ... *)
+  | Timeout  (** the job's wall-clock deadline expired *)
+  | Busy  (** backpressure: the job queue is full, retry later *)
+
+val status_to_string : status -> string
+
+type reply = {
+  reply_id : string option;
+  status : status;
+  cached : bool;  (** [true] when served from the result cache *)
+  version : string;  (** the daemon's {!Version.version} *)
+  body : Json.t;
+      (** [status = Ok]: the analysis payload (or hello/stats object);
+          otherwise an error object [{kind; message}] *)
+}
+
+val ok : ?id:string option -> ?cached:bool -> Json.t -> reply
+val error : ?id:string option -> ?status:status -> kind:string -> string -> reply
+(** [error ~kind msg] builds a structured failure reply ([status] defaults
+    to [Error]). *)
+
+val reply_to_json : reply -> Json.t
+val reply_of_json : Json.t -> reply
+(** @raise Failure on ill-typed fields. *)
+
+val hello_banner : unit -> Json.t
+(** The one-line greeting the daemon writes on connect:
+    [{"hello":"symref","version":...,"protocol":N}]. *)
+
+val error_kind : reply -> string option
+val error_message : reply -> string option

@@ -1,0 +1,166 @@
+(* Bounded scheduler: admission control + completion tracking on top of
+   Domain_pool.async, with a private fallback thread for single-core hosts.
+
+   The pool's workers execute jobs in parallel (they are separate domains);
+   tickets and the in-flight counter are the only shared state, each behind
+   its own mutex.  Mutex/Condition work across domains and systhreads
+   alike, so a connection thread awaiting a ticket wakes correctly when a
+   worker domain resolves it. *)
+
+module Metrics = Symref_obs.Metrics
+module Domain_pool = Symref_core.Domain_pool
+
+type 'a ticket = {
+  t_lock : Mutex.t;
+  t_done : Condition.t;
+  mutable value : ('a, exn) result option;
+}
+
+type t = {
+  lock : Mutex.t;
+  changed : Condition.t; (* in_flight decreased *)
+  cap : int;
+  mutable in_flight : int;
+  mutable accepting : bool;
+  (* Fallback lane for machines where the domain pool has no workers. *)
+  fb_lock : Mutex.t;
+  fb_work : Condition.t;
+  fb_queue : (unit -> unit) Queue.t;
+  mutable fb_thread : Thread.t option;
+  mutable fb_stop : bool;
+}
+
+let create ?(capacity = 64) ?(workers = 0) () =
+  let workers =
+    if workers > 0 then workers
+    else Int.max 1 (Domain.recommended_domain_count () - 1)
+  in
+  Domain_pool.ensure workers;
+  {
+    lock = Mutex.create ();
+    changed = Condition.create ();
+    cap = Int.max 1 capacity;
+    in_flight = 0;
+    accepting = true;
+    fb_lock = Mutex.create ();
+    fb_work = Condition.create ();
+    fb_queue = Queue.create ();
+    fb_thread = None;
+    fb_stop = false;
+  }
+
+let fallback_loop t () =
+  let rec next () =
+    Mutex.lock t.fb_lock;
+    let rec await () =
+      match Queue.take_opt t.fb_queue with
+      | Some j -> Some j
+      | None ->
+          if t.fb_stop then None
+          else begin
+            Condition.wait t.fb_work t.fb_lock;
+            await ()
+          end
+    in
+    let j = await () in
+    Mutex.unlock t.fb_lock;
+    match j with
+    | None -> ()
+    | Some j ->
+        j ();
+        next ()
+  in
+  next ()
+
+let run_on_fallback t job =
+  Mutex.lock t.fb_lock;
+  if t.fb_thread = None then t.fb_thread <- Some (Thread.create (fallback_loop t) ());
+  Queue.add job t.fb_queue;
+  Condition.signal t.fb_work;
+  Mutex.unlock t.fb_lock
+
+let submit t f =
+  Mutex.lock t.lock;
+  let admitted = t.accepting && t.in_flight < t.cap in
+  if admitted then t.in_flight <- t.in_flight + 1;
+  Mutex.unlock t.lock;
+  if not admitted then begin
+    Metrics.incr Metrics.serve_jobs_rejected;
+    None
+  end
+  else begin
+    Metrics.incr Metrics.serve_jobs_submitted;
+    let ticket =
+      { t_lock = Mutex.create (); t_done = Condition.create (); value = None }
+    in
+    let run () =
+      let v = try Ok (f ()) with e -> Error e in
+      Mutex.lock ticket.t_lock;
+      ticket.value <- Some v;
+      Condition.broadcast ticket.t_done;
+      Mutex.unlock ticket.t_lock;
+      Mutex.lock t.lock;
+      t.in_flight <- t.in_flight - 1;
+      Condition.broadcast t.changed;
+      Mutex.unlock t.lock
+    in
+    if not (Domain_pool.async run) then run_on_fallback t run;
+    Some ticket
+  end
+
+let await ticket =
+  Mutex.lock ticket.t_lock;
+  let rec wait () =
+    match ticket.value with
+    | Some v -> v
+    | None ->
+        Condition.wait ticket.t_done ticket.t_lock;
+        wait ()
+  in
+  let v = wait () in
+  Mutex.unlock ticket.t_lock;
+  v
+
+let peek ticket =
+  Mutex.lock ticket.t_lock;
+  let v = ticket.value in
+  Mutex.unlock ticket.t_lock;
+  v
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = t.in_flight in
+  Mutex.unlock t.lock;
+  n
+
+let capacity t = t.cap
+
+let wait_until_below t n =
+  Mutex.lock t.lock;
+  while t.in_flight >= n do
+    Condition.wait t.changed t.lock
+  done;
+  Mutex.unlock t.lock
+
+let stop t =
+  Mutex.lock t.lock;
+  t.accepting <- false;
+  Mutex.unlock t.lock
+
+let drain t =
+  Mutex.lock t.lock;
+  while t.in_flight > 0 do
+    Condition.wait t.changed t.lock
+  done;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  stop t;
+  drain t;
+  Mutex.lock t.fb_lock;
+  t.fb_stop <- true;
+  Condition.broadcast t.fb_work;
+  let th = t.fb_thread in
+  t.fb_thread <- None;
+  Mutex.unlock t.fb_lock;
+  Option.iter Thread.join th

@@ -1,0 +1,60 @@
+(** Bounded job scheduler over {!Symref_core.Domain_pool}.
+
+    Jobs are opaque thunks; admission is bounded by [capacity] (queued plus
+    running), the excess being refused immediately so the caller can send a
+    backpressure reply instead of letting the daemon's memory grow without
+    bound.  Admitted jobs run on the persistent worker domains of
+    {!Symref_core.Domain_pool} ({!Symref_core.Domain_pool.async}); on a
+    single-core machine — where the pool has no workers — a private fallback
+    thread runs them instead, so the scheduler works everywhere.
+
+    Completion is tracked per job through a {e ticket} the submitter can
+    await, and globally through {!drain}, which is what makes graceful
+    shutdown possible: stop admitting, drain, then tear the transport down.
+
+    A job thunk must not raise for expected failures — it should return a
+    structured error value ({!Service} catches everything and builds error
+    replies).  A thunk that does raise resolves its ticket to [Error exn]
+    rather than killing the worker. *)
+
+type t
+
+type 'a ticket
+
+val create : ?capacity:int -> ?workers:int -> unit -> t
+(** [capacity] (default 64) bounds jobs in flight; [workers] (default
+    [Domain.recommended_domain_count () - 1], at least 1) pre-sizes the
+    domain pool so the first jobs do not pay spawn latency. *)
+
+val submit : t -> (unit -> 'a) -> 'a ticket option
+(** [None] when the scheduler is full or no longer accepting — the caller
+    replies [Busy].  Counts [serve.jobs_submitted] / [serve.jobs_rejected]
+    in {!Symref_obs.Metrics}. *)
+
+val await : 'a ticket -> ('a, exn) result
+(** Block until the job finishes.  [Error e] only for exceptions that
+    escaped the thunk. *)
+
+val peek : 'a ticket -> ('a, exn) result option
+(** Non-blocking view of a ticket. *)
+
+val pending : t -> int
+(** Jobs admitted and not yet finished. *)
+
+val capacity : t -> int
+
+val wait_until_below : t -> int -> unit
+(** Block until [pending t < n] — how the in-process batch sweep feeds an
+    arbitrarily long file list through the bounded queue without busy
+    waiting. *)
+
+val stop : t -> unit
+(** Refuse new submissions; running jobs are unaffected. *)
+
+val drain : t -> unit
+(** Block until every admitted job has finished. *)
+
+val shutdown : t -> unit
+(** [stop] + [drain] + join the fallback thread (if one was spawned).
+    The domain pool itself is left alone — it is process-wide and other
+    subsystems ({!Symref_core.Interp}) share it. *)

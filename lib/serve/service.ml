@@ -1,0 +1,347 @@
+(* Job execution for the serve subsystem.
+
+   A worker runs [run_job] from start to finish: read, parse, canonicalise,
+   resolve the drive and the probe, look the canonical key up in the cache,
+   compute on a miss, store the rendered payload.  Every expected failure is
+   mapped to a structured reply here, so neither the daemon loop nor the
+   batch sweep ever sees an exception from a job. *)
+
+module N = Symref_circuit.Netlist
+module Element = Symref_circuit.Element
+module Transform = Symref_circuit.Transform
+module Nodal = Symref_mna.Nodal
+module Parser = Symref_spice.Parser
+module Writer = Symref_spice.Writer
+module Reference = Symref_core.Reference
+module Adaptive = Symref_core.Adaptive
+module Poles = Symref_core.Poles
+module Grid = Symref_numeric.Grid
+module Ef = Symref_numeric.Extfloat
+module Json = Symref_obs.Json
+module Metrics = Symref_obs.Metrics
+module Snapshot = Symref_obs.Snapshot
+
+type config = {
+  workers : int;
+  capacity : int;
+  cache_bytes : int;
+  default_timeout_ms : int option;
+}
+
+let default_config =
+  { workers = 0; capacity = 64; cache_bytes = 64 * 1024 * 1024; default_timeout_ms = None }
+
+type t = { cfg : config; cache : Cache.t; sched : Scheduler.t }
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    cache = Cache.create ~max_bytes:config.cache_bytes ();
+    sched = Scheduler.create ~capacity:config.capacity ~workers:config.workers ();
+  }
+
+exception Deadline_exceeded
+
+let scheduler t = t.sched
+let cache t = t.cache
+
+(* --- input/output resolution --- *)
+
+let parse_input circuit s =
+  let split_pair v =
+    match String.split_on_char ',' v with
+    | [ a; b ] -> (a, b)
+    | _ -> failwith "expected two comma-separated node names"
+  in
+  match String.index_opt s ':' with
+  | None -> (
+      match N.find_element circuit s with
+      | Some _ -> Nodal.Vsrc_element s
+      | None -> failwith (Printf.sprintf "no element named %s in the netlist" s))
+  | Some i -> (
+      let kind = String.sub s 0 i
+      and v = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "diff" ->
+          let p, m = split_pair v in
+          Nodal.V_diff (p, m)
+      | "node" -> Nodal.V_single v
+      | "current" -> Nodal.I_single v
+      | k -> failwith (Printf.sprintf "unknown input kind %s" k))
+
+let parse_output s =
+  match String.split_on_char ',' s with
+  | [ a ] -> Nodal.Out_node a
+  | [ a; b ] -> Nodal.Out_diff (a, b)
+  | _ -> failwith "output must be NODE or NODE,NODE"
+
+(* Grounded voltage sources, each as (name, non-ground node, effective drive
+   at that node) — the sign flips when the source hangs off ground by its
+   positive terminal. *)
+let grounded_vsrcs circuit =
+  List.filter_map
+    (fun (e : Element.t) ->
+      match e.Element.kind with
+      | Element.Vsrc { p; m; volts } when p = 0 && m <> 0 ->
+          Some (e.Element.name, N.node_name circuit m, -.volts)
+      | Element.Vsrc { p; m; volts } when m = 0 && p <> 0 ->
+          Some (e.Element.name, N.node_name circuit p, volts)
+      | _ -> None)
+    (N.elements circuit)
+
+let vsrc_count circuit =
+  List.length
+    (List.filter
+       (fun (e : Element.t) ->
+         match e.Element.kind with Element.Vsrc _ -> true | _ -> false)
+       (N.elements circuit))
+
+let auto_input circuit =
+  let grounded = grounded_vsrcs circuit in
+  match (grounded, vsrc_count circuit) with
+  | [ (name, _, _) ], 1 ->
+      (* The classic single-drive netlist: use the source itself. *)
+      (circuit, Nodal.Vsrc_element name, name)
+  | [ (n1, node1, v1); (n2, node2, v2) ], 2
+    when v1 *. v2 < 0. && Float.abs (Float.abs v1 -. Float.abs v2) = 0. ->
+      (* An antisymmetric source pair (the uA741 sample netlist): remove
+         both and drive the pair differentially. *)
+      let p, m = if v1 > 0. then (node1, node2) else (node2, node1) in
+      let circuit = N.remove_element (N.remove_element circuit n1) n2 in
+      (circuit, Nodal.V_diff (p, m), Printf.sprintf "diff:%s,%s" p m)
+  | _, 0 -> (
+      match
+        List.find_opt (fun n -> N.node_id circuit n <> None) [ "in"; "vin" ]
+      with
+      | Some n -> (circuit, Nodal.V_single n, "node:" ^ n)
+      | None ->
+          failwith
+            "cannot auto-detect the input: no voltage source and no node \
+             named in/vin (pass input explicitly)")
+  | _ ->
+      failwith
+        "cannot auto-detect the input: the voltage sources are not a single \
+         grounded drive or an antisymmetric grounded pair (pass input \
+         explicitly)"
+
+let auto_output circuit =
+  match
+    List.find_opt (fun n -> N.node_id circuit n <> None) [ "out"; "vout"; "output" ]
+  with
+  | Some n -> (Nodal.Out_node n, n)
+  | None ->
+      let last = N.node_count circuit in
+      if last = 0 then failwith "cannot auto-detect the output: no nodes"
+      else
+        let n = N.node_name circuit last in
+        (Nodal.Out_node n, n)
+
+let resolve_io circuit ~input ~output =
+  let circuit, input, input_desc =
+    if input = "auto" then auto_input circuit
+    else (circuit, parse_input circuit input, input)
+  in
+  let output, output_desc =
+    match output with
+    | Some s -> (parse_output s, s)
+    | None -> auto_output circuit
+  in
+  (circuit, input, output, input_desc, output_desc)
+
+(* --- cache keys --- *)
+
+let cache_key ~canonical (job : Protocol.job) ~input_desc ~output_desc =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            canonical;
+            Protocol.analysis_to_string job.Protocol.analysis;
+            input_desc;
+            output_desc;
+            string_of_int job.Protocol.sigma;
+            Printf.sprintf "%.17g" job.Protocol.r;
+          ]))
+
+(* --- payload builders --- *)
+
+let str s = Json.Str s
+let num x = Json.Num x
+let inum i = Json.Num (float_of_int i)
+
+(* Coefficients travel as extended-float strings: the representation is
+   exact (no double rounding on the wire) and trivially bit-stable. *)
+let coeff_array (r : Adaptive.result) =
+  Json.Arr (Array.to_list (Array.map (fun v -> str (Ef.to_string v)) r.Adaptive.coeffs))
+
+let side_fields (r : Adaptive.result) =
+  [
+    ("order", inum r.Adaptive.effective_order);
+    ("passes", inum r.Adaptive.passes);
+    ("evaluations", inum r.Adaptive.evaluations);
+    ("converged", Json.Bool r.Adaptive.converged);
+  ]
+
+let coeffs_fields (t : Reference.t) =
+  [
+    ("num", coeff_array t.Reference.num);
+    ("den", coeff_array t.Reference.den);
+    ("num_info", Json.Obj (side_fields t.Reference.num));
+    ("den_info", Json.Obj (side_fields t.Reference.den));
+    ("dc_gain", num (Reference.dc_gain t));
+  ]
+
+let pass_reports (r : Adaptive.result) =
+  Json.Arr
+    (List.map
+       (fun (b : Adaptive.band_report) ->
+         Json.Obj
+           [
+             ("pass", inum b.Adaptive.pass);
+             ("points", inum b.Adaptive.points);
+             ("evaluations", inum b.Adaptive.evaluations);
+             ("fresh", inum b.Adaptive.fresh);
+           ])
+       r.Adaptive.reports)
+
+let payload (job : Protocol.job) ~input_desc ~output_desc (t : Reference.t) =
+  let common =
+    [
+      ("analysis", str (Protocol.analysis_to_string job.Protocol.analysis));
+      ("input", str input_desc);
+      ("output", str output_desc);
+    ]
+  in
+  match job.Protocol.analysis with
+  | Protocol.Reference -> Json.Obj (common @ coeffs_fields t)
+  | Protocol.Adaptive ->
+      Json.Obj
+        (common @ coeffs_fields t
+        @ [
+            ("num_reports", pass_reports t.Reference.num);
+            ("den_reports", pass_reports t.Reference.den);
+          ])
+  | Protocol.Bode { from_hz; to_hz; per_decade } ->
+      let freqs = Grid.decades ~start:from_hz ~stop:to_hz ~per_decade in
+      let points =
+        Array.to_list
+          (Array.map
+             (fun (p : Reference.bode_point) ->
+               Json.Obj
+                 [
+                   ("freq_hz", num p.Reference.freq_hz);
+                   ("mag_db", num p.Reference.mag_db);
+                   ("phase_deg", num p.Reference.phase_deg);
+                 ])
+             (Reference.bode t freqs))
+      in
+      Json.Obj (common @ [ ("points", Json.Arr points) ])
+  | Protocol.Poles ->
+      let a = Poles.analyse t in
+      let cplx z = Json.Arr [ num z.Complex.re; num z.Complex.im ] in
+      let roots zs = Json.Arr (Array.to_list (Array.map cplx zs)) in
+      Json.Obj
+        (common
+        @ [
+            ("poles", roots a.Poles.poles);
+            ("zeros", roots a.Poles.zeros);
+            ("stable", Json.Bool a.Poles.stable);
+            ( "resonances",
+              Json.Arr
+                (List.map
+                   (fun (r : Poles.resonance) ->
+                     Json.Obj
+                       [ ("freq_hz", num r.Poles.freq_hz); ("q", num r.Poles.q) ])
+                   a.Poles.resonances) );
+          ])
+
+(* --- job execution --- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let run_job t ?deadline (job : Protocol.job) =
+  let id = job.Protocol.id in
+  let check () =
+    match deadline with
+    | Some d when Unix.gettimeofday () >= d -> raise Deadline_exceeded
+    | _ -> ()
+  in
+  let failed kind message =
+    Metrics.incr Metrics.serve_jobs_failed;
+    Protocol.error ~id ~kind message
+  in
+  try
+    check ();
+    let source =
+      match job.Protocol.netlist with
+      | `Text s -> s
+      | `Path p -> read_file p
+    in
+    let circuit = Parser.parse_string source in
+    let circuit = Transform.inductors_to_gyrators circuit in
+    let circuit, input, output, input_desc, output_desc =
+      resolve_io circuit ~input:job.Protocol.input ~output:job.Protocol.output
+    in
+    let canonical = Writer.to_string circuit in
+    let key = cache_key ~canonical job ~input_desc ~output_desc in
+    match Cache.find t.cache ~key with
+    | Some stored ->
+        Metrics.incr Metrics.serve_jobs_completed;
+        Protocol.ok ~id ~cached:true (Json.parse stored)
+    | None ->
+        let config =
+          { Adaptive.default_config with Adaptive.sigma = job.Protocol.sigma; r = job.Protocol.r }
+        in
+        let reference = Reference.generate ~config ~check circuit ~input ~output in
+        let body = payload job ~input_desc ~output_desc reference in
+        Cache.add t.cache ~key (Json.to_string body);
+        Metrics.incr Metrics.serve_jobs_completed;
+        Protocol.ok ~id body
+  with
+  | Deadline_exceeded ->
+      Metrics.incr Metrics.serve_jobs_timeout;
+      Protocol.error ~id ~status:Protocol.Timeout ~kind:"timeout"
+        "job exceeded its wall-clock budget"
+  | Parser.Parse_error { line; message } ->
+      let where =
+        match job.Protocol.netlist with `Path p -> p | `Text _ -> "<inline>"
+      in
+      failed "parse" (Printf.sprintf "%s:%d: %s" where line message)
+  | Nodal.Unsupported m -> failed "unsupported" ("unsupported circuit: " ^ m)
+  | Failure m -> failed "invalid" m
+  | Invalid_argument m -> failed "invalid" m
+  | Sys_error m -> failed "io" m
+  | e -> failed "internal" (Printexc.to_string e)
+
+let submit t (job : Protocol.job) =
+  let timeout_ms =
+    match job.Protocol.timeout_ms with
+    | Some _ as s -> s
+    | None -> t.cfg.default_timeout_ms
+  in
+  let deadline =
+    Option.map (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)) timeout_ms
+  in
+  match Scheduler.submit t.sched (fun () -> run_job t ?deadline job) with
+  | Some ticket -> `Ticket ticket
+  | None ->
+      `Rejected
+        (Protocol.error ~id:job.Protocol.id ~status:Protocol.Busy ~kind:"busy"
+           "job queue is full, retry later")
+
+let stats_json t =
+  Json.Obj
+    [
+      ("version", str Version.version);
+      ("cache", Cache.stats_json t.cache);
+      ( "scheduler",
+        Json.Obj
+          [
+            ("pending", inum (Scheduler.pending t.sched));
+            ("capacity", inum (Scheduler.capacity t.sched));
+          ] );
+      ("counters", Snapshot.to_json (Snapshot.capture ()));
+    ]
+
+let drain t = Scheduler.drain t.sched
+let shutdown t = Scheduler.shutdown t.sched

@@ -1,0 +1,82 @@
+(** Job execution: netlist → analysis → reply, through the result cache.
+
+    One {!t} owns a {!Cache.t} and a {!Scheduler.t}; the daemon and the
+    in-process batch sweep are both thin shells around it.  Everything a
+    job can do wrong — unreadable file, parse error with its [file:line]
+    diagnostic, circuit outside the nodal class, singular matrix, deadline
+    exceeded — comes back as a structured {!Protocol.reply}; nothing
+    escapes a worker. *)
+
+type config = {
+  workers : int;  (** domain-pool size hint; [0] = cores - 1 *)
+  capacity : int;  (** job-queue bound (backpressure above it) *)
+  cache_bytes : int;  (** result-cache byte budget *)
+  default_timeout_ms : int option;
+      (** applied to jobs that do not carry their own [timeout_ms] *)
+}
+
+val default_config : config
+(** 0 workers (auto), capacity 64, 64 MiB cache, no default timeout. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+exception Deadline_exceeded
+(** Raised by the cooperative check inside a job whose wall-clock budget —
+    measured from {e admission}, so queueing time counts — has expired. *)
+
+(** {1 Input/output resolution}
+
+    Shared with the CLI so [symref coeffs] and a serve job interpret
+    the same strings identically. *)
+
+val parse_input : Symref_circuit.Netlist.t -> string -> Symref_mna.Nodal.input
+(** CLI input syntax: an element name, [diff:P,M], [node:P], [current:P].
+    @raise Failure on unknown elements or malformed specs. *)
+
+val parse_output : string -> Symref_mna.Nodal.output
+(** [NODE] or [P,M].  @raise Failure on malformed specs. *)
+
+val resolve_io :
+  Symref_circuit.Netlist.t ->
+  input:string ->
+  output:string option ->
+  Symref_circuit.Netlist.t * Symref_mna.Nodal.input * Symref_mna.Nodal.output * string * string
+(** [(circuit', input, output, input_desc, output_desc)].  [input = "auto"]
+    detects the drive: a unique grounded voltage source; else a grounded
+    [+x/-x] source pair, which is {e removed} and becomes the differential
+    drive (the µA741 sample netlist pattern); else a node named [in]/[vin].
+    [output = None] prefers a node named [out]/[vout]/[output], falling
+    back to the last node the netlist introduced.  The descriptors are the
+    canonical CLI spellings used in cache keys and reply payloads.
+    @raise Failure when nothing matches. *)
+
+(** {1 Jobs} *)
+
+val cache_key : canonical:string -> Protocol.job -> input_desc:string -> output_desc:string -> string
+(** MD5 hex over the canonicalised netlist text and every
+    value-relevant parameter (analysis, resolved input/output, sigma, r).
+    Timeouts and ids are excluded: they do not change the answer. *)
+
+val run_job : t -> ?deadline:float -> Protocol.job -> Protocol.reply
+(** Execute synchronously on the calling thread (used by workers and by
+    anyone who wants the service without the scheduler). *)
+
+val submit : t -> Protocol.job -> [ `Ticket of Protocol.reply Scheduler.ticket | `Rejected of Protocol.reply ]
+(** Admit through the bounded queue.  [`Rejected] carries the ready-made
+    [Busy] backpressure reply.  The job's deadline starts now. *)
+
+val scheduler : t -> Scheduler.t
+val cache : t -> Cache.t
+
+val stats_json : t -> Symref_obs.Json.t
+(** [{version; cache; scheduler; counters}] — cache gauges are always
+    live; the counter snapshot is whatever {!Symref_obs.Metrics} has
+    collected (zeros while disabled). *)
+
+val drain : t -> unit
+(** Wait for every admitted job to finish. *)
+
+val shutdown : t -> unit
+(** Stop admitting, drain, release the scheduler's fallback thread. *)

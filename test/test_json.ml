@@ -1,0 +1,179 @@
+(* Property tests for the dependency-free Symref_obs.Json codec, which the
+   serve protocol and the result cache now lean on: print -> parse must be
+   the identity (so cached payload strings replay bit-identically), and the
+   parser must reject truncated or extended input rather than guess. *)
+
+module Json = Symref_obs.Json
+
+(* --- generators --- *)
+
+(* Finite floats only: the printer emits %.17g, and nan/inf are not JSON. *)
+let num_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map float_of_int (int_range (-1_000_000) 1_000_000);
+        map
+          (fun (m, e) -> m *. (10. ** float_of_int e))
+          (pair (float_range (-10.) 10.) (int_range (-30) 30));
+      ])
+
+(* Strings over the full byte range below 0x80 plus some multi-byte UTF-8,
+   exercising the control-character escapes. *)
+let string_gen =
+  QCheck2.Gen.(
+    map
+      (fun cs -> String.concat "" cs)
+      (list_size (int_range 0 12)
+         (oneof
+            [
+              map (fun c -> String.make 1 (Char.chr c)) (int_range 0 127);
+              return "\xc3\xa9" (* é *);
+              return "\"";
+              return "\\";
+            ])))
+
+let rec value_gen depth =
+  QCheck2.Gen.(
+    if depth = 0 then
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun x -> Json.Num x) num_gen;
+          map (fun s -> Json.Str s) string_gen;
+        ]
+    else
+      frequency
+        [
+          (2, value_gen 0);
+          ( 1,
+            map
+              (fun vs -> Json.Arr vs)
+              (list_size (int_range 0 4) (value_gen (depth - 1))) );
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair string_gen (value_gen (depth - 1)))) );
+        ])
+
+let json_gen = value_gen 3
+
+(* Object field lookup keeps the first binding, so equality after a round
+   trip holds on the printed form; compare those. *)
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"json print/parse round trip" ~count:500 json_gen
+    (fun v ->
+      let s = Json.to_string v in
+      Json.to_string (Json.parse s) = s)
+
+let prop_print_canonical =
+  (* print o parse o print = print: what the result cache relies on to
+     replay stored payloads bit-identically. *)
+  QCheck2.Test.make ~name:"json printer is canonical" ~count:500 json_gen
+    (fun v ->
+      let s = Json.to_string v in
+      let s' = Json.to_string (Json.parse s) in
+      let s'' = Json.to_string (Json.parse s') in
+      s' = s && s'' = s')
+
+let prop_truncation_rejected =
+  (* Any strict prefix of a printed object/array/string must fail to parse:
+     prefixes of bare numbers ("12" of "123") are themselves valid. *)
+  let structured_gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          map (fun vs -> Json.Arr vs) (list_size (int_range 0 3) (value_gen 1));
+          map
+            (fun kvs -> Json.Obj kvs)
+            (list_size (int_range 0 3) (pair string_gen (value_gen 1)));
+          map (fun s -> Json.Str s) string_gen;
+        ])
+  in
+  QCheck2.Test.make ~name:"json rejects truncated input" ~count:300
+    QCheck2.Gen.(pair structured_gen (float_range 0. 1.))
+    (fun (v, frac) ->
+      let s = Json.to_string v in
+      let n = String.length s in
+      let cut = Int.max 0 (Int.min (n - 1) (int_of_float (frac *. float_of_int n))) in
+      let prefix = String.sub s 0 cut in
+      match Json.parse prefix with
+      | _ -> false
+      | exception Failure _ -> true)
+
+let prop_trailing_garbage_rejected =
+  QCheck2.Test.make ~name:"json rejects trailing garbage" ~count:300 json_gen
+    (fun v ->
+      let s = Json.to_string v ^ "!" in
+      match Json.parse s with
+      | _ -> false
+      | exception Failure _ -> true)
+
+(* --- directed cases --- *)
+
+let check_parses s expected () =
+  Alcotest.(check string)
+    s expected
+    (Json.to_string (Json.parse s))
+
+let test_control_chars () =
+  (* Control characters must be escaped on output and decoded on input. *)
+  let v = Json.Str "a\nb\tc\x01d" in
+  let s = Json.to_string v in
+  Alcotest.(check bool) "no raw control bytes in output" true
+    (String.for_all (fun c -> Char.code c >= 0x20) s);
+  match Json.parse s with
+  | Json.Str decoded -> Alcotest.(check string) "decoded" "a\nb\tc\x01d" decoded
+  | _ -> Alcotest.fail "expected a string"
+
+let test_unicode_escape () =
+  match Json.parse "\"A\\u00e9\\u263a\"" with
+  | Json.Str s ->
+      Alcotest.(check string) "\\uXXXX decodes to UTF-8" "A\xc3\xa9\xe2\x98\xba" s
+  | _ -> Alcotest.fail "expected a string"
+
+let test_deep_nesting () =
+  let depth = 512 in
+  let rec build n = if n = 0 then Json.Num 1. else Json.Arr [ build (n - 1) ] in
+  let v = build depth in
+  let s = Json.to_string v in
+  Alcotest.(check string) "512-deep nesting round trips" s
+    (Json.to_string (Json.parse s))
+
+let test_number_forms () =
+  check_parses "-0.5" "-0.5" ();
+  check_parses "1e3" "1000" ();
+  check_parses "[1,2.5,-3]" "[1,2.5,-3]" ();
+  (* Integral floats print without a decimal point. *)
+  Alcotest.(check string) "integral" "42" (Json.to_string (Json.Num 42.))
+
+let test_rejects () =
+  let rejected s =
+    match Json.parse s with
+    | _ -> Alcotest.fail (Printf.sprintf "%S must be rejected" s)
+    | exception Failure _ -> ()
+  in
+  List.iter rejected
+    [ ""; "{"; "[1,"; "\"ab"; "tru"; "nul"; "{\"a\":}"; "[1] [2]"; "01a" ]
+
+let suite =
+  [
+    ( "json",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_roundtrip;
+          prop_print_canonical;
+          prop_truncation_rejected;
+          prop_trailing_garbage_rejected;
+        ]
+      @ [
+          Alcotest.test_case "control characters escape and decode" `Quick
+            test_control_chars;
+          Alcotest.test_case "\\uXXXX escapes decode" `Quick test_unicode_escape;
+          Alcotest.test_case "deep nesting round trips" `Quick test_deep_nesting;
+          Alcotest.test_case "number forms" `Quick test_number_forms;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_rejects;
+        ] );
+  ]

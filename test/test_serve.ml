@@ -1,0 +1,352 @@
+(* The serve subsystem: cache, scheduler, service, batch, and an
+   end-to-end daemon round trip over a real Unix domain socket. *)
+
+module Serve = Symref_serve
+module Protocol = Serve.Protocol
+module Cache = Serve.Cache
+module Scheduler = Serve.Scheduler
+module Service = Serve.Service
+module Batch = Serve.Batch
+module Json = Symref_obs.Json
+
+let netlist name = Filename.concat "../examples/netlists" name
+let read_file f = In_channel.with_open_bin f In_channel.input_all
+
+let temp_dir prefix = Filename.temp_dir prefix ""
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+(* Recognise the "file:LINE: message" one-line diagnostic convention. *)
+let has_line_colon m =
+  let n = String.length m in
+  let rec scan i =
+    if i >= n then false
+    else if m.[i] = ':' then begin
+      let j = ref (i + 1) in
+      while !j < n && m.[!j] >= '0' && m.[!j] <= '9' do
+        incr j
+      done;
+      if !j > i + 1 && !j < n && m.[!j] = ':' then true else scan (i + 1)
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+(* --- cache --- *)
+
+let test_cache_lru () =
+  (* Budget sized for exactly two 100-byte payloads with 2-byte keys. *)
+  let c = Cache.create ~max_bytes:204 () in
+  let p = String.make 100 'x' in
+  Cache.add c ~key:"k1" p;
+  Cache.add c ~key:"k2" p;
+  Alcotest.(check int) "two resident" 2 (Cache.entries c);
+  (* Touch k1 so k2 becomes least recently used, then overflow. *)
+  Alcotest.(check (option string)) "k1 hit" (Some p) (Cache.find c ~key:"k1");
+  Cache.add c ~key:"k3" p;
+  Alcotest.(check (option string)) "k2 evicted" None (Cache.find c ~key:"k2");
+  Alcotest.(check (option string)) "k1 kept" (Some p) (Cache.find c ~key:"k1");
+  Alcotest.(check (option string)) "k3 kept" (Some p) (Cache.find c ~key:"k3");
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c);
+  Alcotest.(check int) "hits counted" 3 (Cache.hits c);
+  Alcotest.(check int) "misses counted" 1 (Cache.misses c)
+
+let test_cache_oversize_and_replace () =
+  let c = Cache.create ~max_bytes:50 () in
+  Cache.add c ~key:"big" (String.make 100 'x');
+  Alcotest.(check int) "oversize payload not cached" 0 (Cache.entries c);
+  Cache.add c ~key:"k" "one";
+  Cache.add c ~key:"k" "two";
+  Alcotest.(check int) "replace keeps one entry" 1 (Cache.entries c);
+  Alcotest.(check (option string)) "replaced value" (Some "two")
+    (Cache.find c ~key:"k");
+  Cache.clear c;
+  Alcotest.(check int) "clear empties" 0 (Cache.entries c);
+  Alcotest.(check int) "clear resets bytes" 0 (Cache.bytes c)
+
+(* --- scheduler --- *)
+
+let test_scheduler_backpressure () =
+  let s = Scheduler.create ~capacity:2 () in
+  let gate = Mutex.create () in
+  let open_gate = Condition.create () in
+  let released = ref false in
+  let blocked () =
+    Mutex.lock gate;
+    while not !released do
+      Condition.wait open_gate gate
+    done;
+    Mutex.unlock gate;
+    42
+  in
+  let t1 = Scheduler.submit s blocked in
+  let t2 = Scheduler.submit s blocked in
+  Alcotest.(check bool) "two admitted" true (t1 <> None && t2 <> None);
+  Alcotest.(check bool) "third refused (queue full)" true
+    (Scheduler.submit s blocked = None);
+  Mutex.lock gate;
+  released := true;
+  Condition.broadcast open_gate;
+  Mutex.unlock gate;
+  (match t1 with
+  | Some t ->
+      Alcotest.(check bool) "job result" true (Scheduler.await t = Ok 42)
+  | None -> ());
+  Scheduler.drain s;
+  Alcotest.(check int) "drained" 0 (Scheduler.pending s);
+  Alcotest.(check bool) "slot free again" true
+    (Scheduler.submit s (fun () -> 7) <> None);
+  Scheduler.shutdown s;
+  Alcotest.(check bool) "stopped scheduler refuses" true
+    (Scheduler.submit s (fun () -> 7) = None)
+
+let test_scheduler_exception_isolation () =
+  let s = Scheduler.create ~capacity:4 () in
+  let t = Scheduler.submit s (fun () -> failwith "boom") in
+  (match t with
+  | Some t -> (
+      match Scheduler.await t with
+      | Error (Failure m) -> Alcotest.(check string) "exn carried" "boom" m
+      | _ -> Alcotest.fail "expected Error (Failure boom)")
+  | None -> Alcotest.fail "submission refused");
+  (* The worker survives the exception. *)
+  match Scheduler.submit s (fun () -> 1 + 1) with
+  | Some t -> Alcotest.(check bool) "worker alive" true (Scheduler.await t = Ok 2)
+  | None -> Alcotest.fail "submission refused"
+
+(* --- service --- *)
+
+let ua741_text () = read_file (netlist "ua741.cir")
+
+let reference_job ?id ?timeout_ms text =
+  {
+    Protocol.default_job with
+    Protocol.id;
+    netlist = `Text text;
+    timeout_ms;
+  }
+
+let test_service_cache_bit_identity () =
+  let s = Service.create () in
+  let job = reference_job ~id:"a" (ua741_text ()) in
+  let r1 = Service.run_job s job in
+  let hits_before = Cache.hits (Service.cache s) in
+  let r2 = Service.run_job s { job with Protocol.id = Some "b" } in
+  Alcotest.(check bool) "first not cached" false r1.Protocol.cached;
+  Alcotest.(check bool) "second cached" true r2.Protocol.cached;
+  Alcotest.(check int) "hit counter incremented" (hits_before + 1)
+    (Cache.hits (Service.cache s));
+  Alcotest.(check string) "payload bit-identical"
+    (Json.to_string r1.Protocol.body)
+    (Json.to_string r2.Protocol.body);
+  Service.shutdown s
+
+let test_service_formatting_invariance () =
+  (* The cache key hashes the canonicalised netlist: formatting, case and
+     comment differences must hit the same entry. *)
+  let s = Service.create () in
+  let text = "rc\nr1 in out 1k\nc1 out 0 1u\nv1 in 0 ac 1\n.end\n" in
+  let reformatted =
+    "rc\n* a comment\nR1  IN  OUT  1K\n\nc1 out 0 1u\nV1 in 0 AC 1\n"
+  in
+  let r1 = Service.run_job s (reference_job text) in
+  let r2 = Service.run_job s (reference_job reformatted) in
+  Alcotest.(check bool) "canonicalised variant cached" true r2.Protocol.cached;
+  Alcotest.(check string) "same payload"
+    (Json.to_string r1.Protocol.body)
+    (Json.to_string r2.Protocol.body);
+  Service.shutdown s
+
+let test_service_timeout_and_isolation () =
+  let s = Service.create () in
+  (* timeout_ms = 0: the deadline is already expired at admission, so the
+     cooperative check fires deterministically on the first evaluation. *)
+  let t = Service.submit s (reference_job ~id:"late" ~timeout_ms:0 (ua741_text ())) in
+  let ok = Service.submit s (reference_job ~id:"fine" (ua741_text ())) in
+  (match (t, ok) with
+  | `Ticket late, `Ticket fine ->
+      (match Scheduler.await late with
+      | Ok r ->
+          Alcotest.(check bool) "timeout status" true
+            (r.Protocol.status = Protocol.Timeout);
+          Alcotest.(check (option string)) "timeout kind" (Some "timeout")
+            (Protocol.error_kind r)
+      | Error _ -> Alcotest.fail "timeout must be a structured reply");
+      (match Scheduler.await fine with
+      | Ok r ->
+          Alcotest.(check bool) "concurrent job unaffected" true
+            (r.Protocol.status = Protocol.Ok)
+      | Error _ -> Alcotest.fail "concurrent job must succeed")
+  | _ -> Alcotest.fail "submissions refused");
+  Service.shutdown s
+
+let test_service_error_isolation () =
+  let s = Service.create () in
+  let broken = "broken\nr1 in out\n.end\n" in
+  let r = Service.run_job s (reference_job broken) in
+  Alcotest.(check bool) "parse failure is an error reply" true
+    (r.Protocol.status = Protocol.Error);
+  Alcotest.(check (option string)) "kind" (Some "parse") (Protocol.error_kind r);
+  (match Protocol.error_message r with
+  | Some m ->
+      Alcotest.(check bool) "file:line one-liner" true
+        (String.length m > 0
+        && has_line_colon m)
+  | None -> Alcotest.fail "parse error carries a message");
+  (* The service survives and still computes. *)
+  let ok = Service.run_job s (reference_job (ua741_text ())) in
+  Alcotest.(check bool) "service alive after failure" true
+    (ok.Protocol.status = Protocol.Ok);
+  Service.shutdown s
+
+(* --- batch --- *)
+
+let test_batch_examples_vs_single_shot () =
+  let report = Batch.run "../examples/netlists" in
+  Alcotest.(check bool) "all example files succeed" true
+    (report.Batch.failed = 0 && report.Batch.files >= 5);
+  (* Each batch payload must be bit-identical to a fresh single-shot run of
+     the same job. *)
+  let s = Service.create () in
+  List.iter
+    (fun (o : Batch.outcome) ->
+      let single =
+        Service.run_job s
+          {
+            Protocol.default_job with
+            Protocol.netlist = `Path o.Batch.file;
+            id = Some o.Batch.file;
+          }
+      in
+      Alcotest.(check string)
+        (o.Batch.file ^ " bit-identical to single shot")
+        (Json.to_string (Protocol.reply_to_json single))
+        (Json.to_string
+           (Protocol.reply_to_json { o.Batch.reply with Protocol.cached = false })))
+    report.Batch.outcomes;
+  Service.shutdown s
+
+let test_batch_broken_netlist () =
+  let dir = temp_dir "symref-batch-broken" in
+  let write name text =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc text;
+    close_out oc
+  in
+  write "a_good.cir" "rc\nr1 in out 1k\nc1 out 0 1u\nv1 in 0 ac 1\n.end\n";
+  write "b_broken.cir" "broken\nr1 in out\n.end\n";
+  write "c_good.cir" "rc2\nr1 in out 2k\nc1 out 0 1u\nv1 in 0 ac 1\n.end\n";
+  let report = Batch.run dir in
+  rm_rf dir;
+  Alcotest.(check int) "three files" 3 report.Batch.files;
+  Alcotest.(check int) "one failure" 1 report.Batch.failed;
+  Alcotest.(check int) "two successes" 2 report.Batch.succeeded;
+  let broken =
+    List.find
+      (fun (o : Batch.outcome) ->
+        Filename.basename o.Batch.file = "b_broken.cir")
+      report.Batch.outcomes
+  in
+  Alcotest.(check bool) "broken file is an error entry" true
+    (broken.Batch.reply.Protocol.status = Protocol.Error);
+  (match Protocol.error_message broken.Batch.reply with
+  | Some m ->
+      Alcotest.(check bool)
+        ("diagnostic has file:line (" ^ m ^ ")")
+        true
+        (has_line_colon m)
+  | None -> Alcotest.fail "error entry carries a message");
+  (* The aggregate document reflects the failure too. *)
+  match Json.member "failed" (Batch.report_to_json report) with
+  | Some (Json.Num n) -> Alcotest.(check int) "json failed count" 1 (int_of_float n)
+  | _ -> Alcotest.fail "report json has a failed field"
+
+(* --- daemon end to end --- *)
+
+let submit_text client ?id ?timeout_ms text =
+  Serve.Client.request client
+    (Protocol.Submit (reference_job ?id ?timeout_ms text))
+
+let test_daemon_round_trip () =
+  let dir = temp_dir "symref-serve-e2e" in
+  let socket_path = Filename.concat dir "symref.sock" in
+  let daemon = Serve.Daemon.create ~socket_path () in
+  let daemon_thread = Thread.create Serve.Daemon.serve daemon in
+  let text = ua741_text () in
+  let cache = Service.cache (Serve.Daemon.service daemon) in
+  Serve.Client.with_connection ~socket_path (fun c ->
+      (match Json.member "hello" (Serve.Client.banner c) with
+      | Some (Json.Str s) -> Alcotest.(check string) "banner" "symref" s
+      | _ -> Alcotest.fail "daemon must greet with a hello banner");
+      (* Reference job, then an identical resubmission: cache hit with a
+         bit-identical payload and a hit-counter increment. *)
+      let r1 = submit_text c ~id:"first" text in
+      Alcotest.(check bool) "first ok" true (r1.Protocol.status = Protocol.Ok);
+      Alcotest.(check bool) "first computed" false r1.Protocol.cached;
+      let hits_before = Cache.hits cache in
+      let r2 = submit_text c ~id:"second" text in
+      Alcotest.(check bool) "second ok" true (r2.Protocol.status = Protocol.Ok);
+      Alcotest.(check bool) "second from cache" true r2.Protocol.cached;
+      Alcotest.(check int) "hit counter" (hits_before + 1) (Cache.hits cache);
+      Alcotest.(check string) "bit-identical payload"
+        (Json.to_string r1.Protocol.body)
+        (Json.to_string r2.Protocol.body);
+      (* Malformed line: structured protocol error, connection survives. *)
+      let bad = Serve.Client.request c (Protocol.Submit Protocol.default_job) in
+      Alcotest.(check bool) "empty submit is an error reply" true
+        (bad.Protocol.status = Protocol.Error);
+      (* Forced timeout on one connection while another completes. *)
+      let fine =
+        Thread.create
+          (fun () ->
+            Serve.Client.with_connection ~socket_path (fun c2 ->
+                submit_text c2 ~id:"concurrent" text))
+          ()
+      in
+      let late = submit_text c ~id:"late" ~timeout_ms:0 (text ^ "* poke\n") in
+      Alcotest.(check bool) "expired deadline -> timeout status" true
+        (late.Protocol.status = Protocol.Timeout);
+      Thread.join fine;
+      (* Stats op answers with live gauges. *)
+      let stats = Serve.Client.request c Protocol.Stats in
+      (match Json.member "cache" stats.Protocol.body with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "stats reply carries cache gauges");
+      (* Graceful shutdown drains and answers before the socket dies. *)
+      let bye = Serve.Client.request c Protocol.Shutdown in
+      Alcotest.(check bool) "shutdown acknowledged" true
+        (bye.Protocol.status = Protocol.Ok));
+  Thread.join daemon_thread;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket_path);
+  rm_rf dir
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "cache: LRU eviction under byte budget" `Quick
+          test_cache_lru;
+        Alcotest.test_case "cache: oversize, replace, clear" `Quick
+          test_cache_oversize_and_replace;
+        Alcotest.test_case "scheduler: bounded admission + backpressure" `Quick
+          test_scheduler_backpressure;
+        Alcotest.test_case "scheduler: job exception isolation" `Quick
+          test_scheduler_exception_isolation;
+        Alcotest.test_case "service: cache hit is bit-identical" `Quick
+          test_service_cache_bit_identity;
+        Alcotest.test_case "service: canonicalised cache key" `Quick
+          test_service_formatting_invariance;
+        Alcotest.test_case "service: timeout with concurrent success" `Quick
+          test_service_timeout_and_isolation;
+        Alcotest.test_case "service: parse failure is structured" `Quick
+          test_service_error_isolation;
+        Alcotest.test_case "batch: examples match single-shot runs" `Quick
+          test_batch_examples_vs_single_shot;
+        Alcotest.test_case "batch: broken netlist reported, sweep continues"
+          `Quick test_batch_broken_netlist;
+        Alcotest.test_case "daemon: socket round trip end to end" `Quick
+          test_daemon_round_trip;
+      ] );
+  ]
