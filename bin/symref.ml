@@ -22,6 +22,7 @@ module Trace = Symref_obs.Trace
 module Snapshot = Symref_obs.Snapshot
 module Json = Symref_obs.Json
 module Serve = Symref_serve
+module Inject = Symref_fault.Inject
 open Cmdliner
 
 (* --- shared arguments --- *)
@@ -133,6 +134,8 @@ let wrap ?file obs f =
   in
   (try f () with
   | Failure m | Invalid_argument m -> fail "error: %s%s" where m
+  | Serve.Errors.Error e -> fail "error: %s%s" where (Serve.Errors.message e)
+  | Inject.Injected m -> fail "error: %sinjected fault fired: %s" where m
   | Parser.Parse_error { line; message } -> (
       match file with
       | Some f -> fail "error: %s:%d: %s" f line message
@@ -203,6 +206,61 @@ let coeffs_cmd =
     Term.(
       const run $ netlist_arg $ input_arg $ output_arg $ sigma_arg $ r_arg
       $ no_reduce_arg $ no_conj_arg $ obs_term)
+
+(* --- doctor --- *)
+
+let stall_to_string = function
+  | Adaptive.No_stall -> "none"
+  | Adaptive.Stalled_above i ->
+      Printf.sprintf "stalled tilting up from coefficient %d" i
+  | Adaptive.Stalled_below i ->
+      Printf.sprintf "stalled tilting down from coefficient %d" i
+  | Adaptive.Stalled_gap (l, r) ->
+      Printf.sprintf "stalled filling the gap between coefficients %d and %d" l r
+  | Adaptive.Peak_lost i ->
+      Printf.sprintf "lost the established peak at coefficient %d (corrupted state)" i
+
+let doctor_cmd =
+  let tolerance_arg =
+    let doc = "Relative-residual tolerance for the verification probes." in
+    Arg.(value & opt float 1e-4 & info [ "tolerance" ] ~docv:"TOL" ~doc)
+  in
+  let run file input output sigma r no_reduce no_conj tolerance obs =
+    (* The exit status is decided inside [wrap] but applied after it, so the
+       --stats/--trace telemetry still flushes on an unhealthy verdict. *)
+    let healthy = ref false in
+    wrap ~file obs (fun () ->
+        let c = load_nodal file in
+        let input = parse_input c input and output = parse_output output in
+        let config = config_of sigma r no_reduce no_conj in
+        let t = Reference.generate ~config c ~input ~output in
+        let h = Reference.health ~tolerance t in
+        Printf.printf "health report for %s:\n" file;
+        List.iter
+          (fun (k, v) -> Printf.printf "  %-18s %s\n" k v)
+          (Reference.health_to_strings h);
+        let side name (r : Adaptive.result) =
+          let d = r.Adaptive.diagnosis in
+          if d.Adaptive.stalled <> Adaptive.No_stall then
+            Printf.printf "  %s: %s\n" name (stall_to_string d.Adaptive.stalled);
+          if d.Adaptive.dry_pass_total > 0 then
+            Printf.printf "  %s: %d dry pass(es)\n" name d.Adaptive.dry_pass_total
+        in
+        side "numerator" t.Reference.num;
+        side "denominator" t.Reference.den;
+        healthy := h.Reference.healthy);
+    if not !healthy then exit 1
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Generate references and print a health report: convergence of both \
+          adaptive runs, an independent residual verification of every \
+          established coefficient, and the singular-point recovery counters. \
+          Exits non-zero when any check fails.")
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg $ sigma_arg $ r_arg
+      $ no_reduce_arg $ no_conj_arg $ tolerance_arg $ obs_term)
 
 (* --- bode --- *)
 
@@ -669,12 +727,14 @@ let submit_cmd =
                 { job with Serve.Protocol.netlist = `Text text; id = Some file })
     in
     let reply =
-      try
-        Serve.Client.with_connection ~socket_path:socket (fun c ->
-            Serve.Client.request c request)
-      with
+      (* Busy backpressure and transient connection failures retry with
+         capped exponential backoff; a final failure is a one-line error. *)
+      try Serve.Client.retry_request ~socket_path:socket request with
       | Unix.Unix_error (e, _, _) ->
           Printf.eprintf "error: %s: %s\n" socket (Unix.error_message e);
+          exit 1
+      | Serve.Errors.Error e ->
+          Printf.eprintf "error: %s\n" (Serve.Errors.message e);
           exit 1
       | Failure m ->
           Printf.eprintf "error: %s\n" m;
@@ -720,6 +780,7 @@ let main =
     [
       info_cmd;
       coeffs_cmd;
+      doctor_cmd;
       bode_cmd;
       ac_cmd;
       sbg_cmd;
@@ -736,4 +797,11 @@ let main =
       batch_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Chaos configuration from the environment (SYMREF_FAULT /
+     SYMREF_FAULT_SEED) — a no-op when neither variable is set. *)
+  (try Inject.arm_from_env ()
+   with Failure m ->
+     Printf.eprintf "error: SYMREF_FAULT: %s\n" m;
+     exit 2);
+  exit (Cmd.eval main)

@@ -35,6 +35,39 @@ type band_report = {
   fresh : int;
 }
 
+(* What still has to be done, relative to the established set. *)
+type objective =
+  | Above of int (* tilt up from this established edge *)
+  | Below of int (* tilt down from this established edge *)
+  | Gap of int * int (* unknown run strictly between two established indices *)
+  | Done
+
+type stall =
+  | No_stall
+  | Stalled_above of int
+  | Stalled_below of int
+  | Stalled_gap of int * int
+  | Peak_lost of int
+
+type diagnosis = {
+  stalled : stall;
+  dry_pass_total : int;
+  last_band : Band.t option;
+  singular_retries : int;
+  nonfinite_retries : int;
+  retry_giveups : int;
+}
+
+let clean_diagnosis =
+  {
+    stalled = No_stall;
+    dry_pass_total = 0;
+    last_band = None;
+    singular_retries = 0;
+    nonfinite_retries = 0;
+    retry_giveups = 0;
+  }
+
 type result = {
   coeffs : Ef.t array;
   established : bool array;
@@ -46,14 +79,8 @@ type result = {
   evaluations : int;
   max_overlap_mismatch : float;
   converged : bool;
+  diagnosis : diagnosis;
 }
-
-(* What still has to be done, relative to the established set. *)
-type objective =
-  | Above of int (* tilt up from this established edge *)
-  | Below of int (* tilt down from this established edge *)
-  | Gap of int * int (* unknown run strictly between two established indices *)
-  | Done
 
 let run ?(config = default_config) (ev : Evaluator.t) =
   let n = ev.Evaluator.order_bound in
@@ -69,6 +96,13 @@ let run ?(config = default_config) (ev : Evaluator.t) =
   let reports = ref [] in
   let pass_no = ref 0 in
   let mismatch = ref 0. in
+  (* Diagnosis accumulators. *)
+  let stalled = ref No_stall in
+  let dry_total = ref 0 in
+  let last_band = ref None in
+  let singular_retries = ref 0 in
+  let nonfinite_retries = ref 0 in
+  let retry_giveups = ref 0 in
 
   let objective () =
     let est = ref [] in
@@ -158,6 +192,9 @@ let run ?(config = default_config) (ev : Evaluator.t) =
         ~domains:config.domains ev ~scale ~k
     in
     Obs.observe Obs.points_per_pass p.Interp.evaluations;
+    singular_retries := !singular_retries + p.Interp.singular_retries;
+    nonfinite_retries := !nonfinite_retries + p.Interp.nonfinite_retries;
+    retry_giveups := !retry_giveups + p.Interp.retry_giveups;
     (* Validity floor anchored to the pre-deflation values: noise in the
        recovered coefficients is ~1e-13 of the ceiling even when deflation
        removed the dominant part of the polynomial. *)
@@ -196,7 +233,11 @@ let run ?(config = default_config) (ev : Evaluator.t) =
         fresh = !fresh;
       }
       :: !reports;
-    if !fresh = 0 then Obs.incr Obs.dry_passes;
+    last_band := band;
+    if !fresh = 0 then begin
+      Obs.incr Obs.dry_passes;
+      incr dry_total
+    end;
     (band, !fresh)
   in
 
@@ -219,6 +260,12 @@ let run ?(config = default_config) (ev : Evaluator.t) =
   while !continue_ do
     if !pass_no >= config.max_passes then begin
       converged := false;
+      (stalled :=
+         match objective () with
+         | Done -> No_stall
+         | Above top -> Stalled_above top
+         | Below bottom -> Stalled_below bottom
+         | Gap (l, r) -> Stalled_gap (l, r));
       continue_ := false
     end
     else begin
@@ -227,7 +274,12 @@ let run ?(config = default_config) (ev : Evaluator.t) =
       | Above top -> (
           let base_scale = scale_of_edge top in
           match peak_at base_scale with
-          | None -> assert false
+          | None ->
+              (* Unreachable in theory (the edge itself is established), but
+                 a structured stall beats dying inside a server job. *)
+              converged := false;
+              stalled := Peak_lost top;
+              continue_ := false
           | Some (m, peak_mag) ->
               let edge_mag = Ef.abs (Scaling.normalize ~gdeg base_scale top coeffs.(top)) in
               let scale =
@@ -253,7 +305,10 @@ let run ?(config = default_config) (ev : Evaluator.t) =
       | Below bottom -> (
           let base_scale = scale_of_edge bottom in
           match peak_at base_scale with
-          | None -> assert false
+          | None ->
+              converged := false;
+              stalled := Peak_lost bottom;
+              continue_ := false
           | Some (m, peak_mag) ->
               let edge_mag =
                 Ef.abs (Scaling.normalize ~gdeg base_scale bottom coeffs.(bottom))
@@ -318,6 +373,15 @@ let run ?(config = default_config) (ev : Evaluator.t) =
     evaluations;
     max_overlap_mismatch = !mismatch;
     converged = !converged;
+    diagnosis =
+      {
+        stalled = !stalled;
+        dry_pass_total = !dry_total;
+        last_band = !last_band;
+        singular_retries = !singular_retries;
+        nonfinite_retries = !nonfinite_retries;
+        retry_giveups = !retry_giveups;
+      };
   }
 
 let coefficient_ratios result =

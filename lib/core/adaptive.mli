@@ -45,6 +45,35 @@ type band_report = {
   fresh : int;         (** coefficients established by this pass *)
 }
 
+(** Which objective the run was pursuing when it gave up — the structured
+    replacement for "converged = false, good luck". *)
+type stall =
+  | No_stall  (** the run converged, or stopped with nothing left to do *)
+  | Stalled_above of int
+      (** [max_passes] hit while tilting up from this established edge *)
+  | Stalled_below of int  (** likewise, tilting down from this edge *)
+  | Stalled_gap of int * int
+      (** likewise, filling the unknown run between these two indices *)
+  | Peak_lost of int
+      (** the established set showed no peak at the edge's own scale — a
+          numerically corrupted state (theoretically unreachable; previously
+          an assertion failure) *)
+
+type diagnosis = {
+  stalled : stall;
+  dry_pass_total : int;  (** passes that established nothing, whole run *)
+  last_band : Band.t option;  (** valid band of the final pass *)
+  singular_retries : int;
+      (** singular evaluations recovered at perturbed points
+          ({!Interp.run}'s guard), summed over all passes *)
+  nonfinite_retries : int;  (** non-finite evaluations recovered likewise *)
+  retry_giveups : int;  (** points whose retry budget ran out *)
+}
+
+val clean_diagnosis : diagnosis
+(** All-clear: [No_stall], zero counters, no band — the value hand-built
+    results in tests start from. *)
+
 type result = {
   coeffs : Symref_numeric.Extfloat.t array;
       (** denormalised coefficients [0 .. order_bound]; zero where declared
@@ -66,8 +95,11 @@ type result = {
           the paper's cross-validation criterion (§3.1): coefficients valid
           in two interpolations must agree *)
   converged : bool;
-      (** [false] when [max_passes] stopped the loop with coefficients still
-          undecided (those are reported as zero) *)
+      (** [false] when [max_passes] (or a lost peak) stopped the loop with
+          coefficients still undecided (those are reported as zero) *)
+  diagnosis : diagnosis;
+      (** what stalled and what was recovered — meaningful whether or not
+          the run converged *)
 }
 
 val run : ?config:config -> Evaluator.t -> result

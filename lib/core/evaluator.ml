@@ -3,6 +3,7 @@ module Ef = Symref_numeric.Extfloat
 module Epoly = Symref_poly.Epoly
 module Nodal = Symref_mna.Nodal
 module Obs = Symref_obs.Metrics
+module Inject = Symref_fault.Inject
 
 type t = {
   eval : f:float -> g:float -> Complex.t -> Ec.t;
@@ -12,13 +13,26 @@ type t = {
   g0 : float;
   name : string;
   counter : int Atomic.t;
+  guarded : bool;
 }
+
+(* Fault hooks shared by the nodal constructors.  NaN poisoning corrupts
+   the evaluation point itself (extended-range values are non-finite-free
+   by construction): every matrix entry becomes NaN, the pivot search finds
+   nothing — NaN fails every comparison — and the evaluation surfaces as a
+   singular zero value, the degradation path [Interp.run]'s guard covers. *)
+let inject_faults (s : Complex.t) =
+  if Inject.fire Inject.eval_delay then Inject.sleep_payload Inject.eval_delay;
+  if Inject.fire Inject.eval_raise then Inject.fail Inject.eval_raise;
+  if Inject.fire Inject.eval_nan then { Complex.re = Float.nan; im = Float.nan }
+  else s
 
 let of_nodal problem ~num =
   let counter = Atomic.make 0 in
   let eval ~f ~g s =
     Atomic.incr counter;
     Obs.incr Obs.evaluator_calls;
+    let s = inject_faults s in
     let v = Nodal.eval ~f ~g problem s in
     if num then v.Nodal.num else v.Nodal.den
   in
@@ -30,6 +44,7 @@ let of_nodal problem ~num =
     g0 = 1. /. Nodal.mean_conductance problem;
     name = (if num then "num" else "den");
     counter;
+    guarded = true;
   }
 
 type shared = { snum : t; sden : t; factorizations : unit -> int; hits : unit -> int }
@@ -76,6 +91,10 @@ let of_nodal_shared problem =
     let eval ~f ~g s =
       Atomic.incr counter;
       Obs.incr Obs.evaluator_calls;
+      (* Poisoned points carry NaN keys, which never match in the memo
+         (NaN compares unequal to itself) — an injected fault can therefore
+         never contaminate the shared table. *)
+      let s = inject_faults s in
       let v = shared_eval ~f ~g s in
       if num then v.Nodal.num else v.Nodal.den
     in
@@ -87,6 +106,7 @@ let of_nodal_shared problem =
       g0 = 1. /. Nodal.mean_conductance problem;
       name = (if num then "num" else "den");
       counter;
+      guarded = true;
     }
   in
   {
@@ -113,6 +133,6 @@ let of_epoly ?(name = "poly") ~gdeg ~f0 ~g0 p =
     in
     Epoly.eval (Epoly.of_coeffs scaled) (Ec.of_complex s)
   in
-  { eval; gdeg; order_bound = Epoly.degree p; f0; g0; name; counter }
+  { eval; gdeg; order_bound = Epoly.degree p; f0; g0; name; counter; guarded = false }
 
 let eval_count t = Atomic.get t.counter

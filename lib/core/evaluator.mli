@@ -23,6 +23,13 @@ type t = {
           each call is one LU decomposition when the evaluator comes from
           {!of_nodal} — the paper's cost metric.  Atomic so multi-domain
           interpolation ({!Interp.run}[ ~domains]) counts exactly. *)
+  guarded : bool;
+      (** [true] when a zero value may mean a {e failed factorisation}
+          (singular matrix at that point) rather than a true polynomial
+          value — the nodal constructors.  {!Interp.run} retries such
+          evaluations at perturbed points; synthetic {!of_epoly} evaluators
+          are unguarded, so legitimate roots on the unit circle are never
+          perturbed. *)
 }
 
 val of_nodal : Symref_mna.Nodal.t -> num:bool -> t

@@ -13,6 +13,9 @@ type t = {
   points : int;
   evaluations : int;
   ceiling : Ef.t;
+  singular_retries : int;
+  nonfinite_retries : int;
+  retry_giveups : int;
 }
 
 (* Bring extended-range values to a common binary exponent and hand doubles
@@ -79,23 +82,90 @@ let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
           known;
         Some (Epoly.of_coeffs arr)
   in
+  (* Guard counters for this pass (atomic: points fan out over domains). *)
+  let singular_retries = Atomic.make 0
+  and nonfinite_retries = Atomic.make 0
+  and retry_giveups = Atomic.make 0 in
+  (* A guarded evaluator's zero value may mean a failed factorisation
+     (singular matrix at that point — possibly injected), and a non-finite
+     one arithmetic contamination.  Either way the point itself carries no
+     information, so recover it from a symmetric pair of slightly rotated
+     unit-circle points: the average of [P(s e^{+i delta})] and
+     [P(s e^{-i delta})] cancels the first-order term of the rotation,
+     leaving an [O(delta^2 P'')] bias — orders of magnitude below even the
+     weakest established coefficient's validity floor, where a one-sided
+     perturbation would visibly shift band-edge coefficients.  The rotation
+     widens tenfold per attempt in case the neighbourhood itself is
+     degenerate.  Deterministic (the rotation depends only on the attempt
+     index), so multi-domain runs stay bit-identical. *)
+  let max_point_retries = 3 in
+  let classify (raw : Ec.t) =
+    if Ec.is_zero raw then `Singular
+    else
+      let c = raw.Ec.c in
+      if Float.is_finite c.Complex.re && Float.is_finite c.Complex.im then `Ok
+      else `Nonfinite
+  in
   (* Pure per-point evaluation: (collected value, pre-deflation magnitude).
      Purity is what lets the points fan out across domains bit-identically —
      every point computes the same value whichever domain runs it, and the
      ceiling is an order-independent maximum. *)
   let value_at j =
-    let s = Uc.point k j in
-    let raw = ev.Evaluator.eval ~f:scale.Scaling.f ~g:scale.Scaling.g s in
+    let s0 = Uc.point k j in
+    let eval_at s = ev.Evaluator.eval ~f:scale.Scaling.f ~g:scale.Scaling.g s in
+    let count_retry = function
+      | `Singular ->
+          Atomic.incr singular_retries;
+          Obs.incr Obs.guard_singular_retries
+      | `Nonfinite ->
+          Atomic.incr nonfinite_retries;
+          Obs.incr Obs.guard_nonfinite_retries
+    in
+    (* [last] is the best value seen so far: a one-sided perturbed value
+       when only half a pair succeeded, else whatever the failed evaluation
+       returned — a give-up keeps it rather than inventing anything. *)
+    let rec recover last attempt cls =
+      if attempt >= max_point_retries then begin
+        Atomic.incr retry_giveups;
+        Obs.incr Obs.guard_retry_giveups;
+        last
+      end
+      else begin
+        count_retry cls;
+        let delta = 1e-9 *. (10. ** float_of_int attempt) in
+        let rot = { Complex.re = Float.cos delta; im = Float.sin delta } in
+        let vp = eval_at (Complex.mul s0 rot) in
+        let vm = eval_at (Complex.mul s0 (Complex.conj rot)) in
+        match (classify vp, classify vm) with
+        | `Ok, `Ok ->
+            Ec.mul_complex (Ec.add vp vm) { Complex.re = 0.5; im = 0. }
+        | `Ok, ((`Singular | `Nonfinite) as bad) -> recover vp (attempt + 1) bad
+        | ((`Singular | `Nonfinite) as bad), `Ok -> recover vm (attempt + 1) bad
+        | ((`Singular | `Nonfinite) as bad), _ -> recover last (attempt + 1) bad
+      end
+    in
+    let raw0 = eval_at s0 in
+    let raw =
+      match classify raw0 with
+      | `Ok -> raw0
+      | (`Singular | `Nonfinite) when not ev.Evaluator.guarded ->
+          (* A synthetic polynomial's zero is a true value, never a failed
+             factorisation: collect it as-is. *)
+          raw0
+      | (`Singular | `Nonfinite) as cls -> recover raw0 0 cls
+    in
     let mag = Ec.norm raw in
     let deflated =
       match deflation with
       | None -> raw
-      | Some poly -> Ec.sub raw (Epoly.eval poly (Ec.of_complex s))
+      | Some poly -> Ec.sub raw (Epoly.eval poly (Ec.of_complex s0))
     in
     let v =
       if base = 0 then deflated
       else
-        (* Divide by s^base: multiply by the conjugate root w^(-j*base). *)
+        (* Divide by s^base: multiply by the conjugate root w^(-j*base).
+           A recovered value approximates P at the nominal point, so the
+           nominal root is the right divisor. *)
         Ec.mul_complex deflated (Uc.point k (-j * base))
     in
     (v, mag)
@@ -159,4 +229,7 @@ let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
     points = k;
     evaluations;
     ceiling;
+    singular_retries = Atomic.get singular_retries;
+    nonfinite_retries = Atomic.get nonfinite_retries;
+    retry_giveups = Atomic.get retry_giveups;
   }

@@ -27,6 +27,13 @@ type t = {
           points: the round-off noise in the recovered coefficients is
           [~1e-16 * ceiling] regardless of deflation, which anchors the
           validity floor (see {!Band.detect}) *)
+  singular_retries : int;
+      (** singular (zero) evaluations of a {e guarded} evaluator retried at
+          perturbed points in this pass (see the recovery note below) *)
+  nonfinite_retries : int;  (** non-finite evaluations retried likewise *)
+  retry_giveups : int;
+      (** points that stayed singular/non-finite after the retry budget
+          (their last value was collected as-is) *)
 }
 
 val run :
@@ -53,4 +60,18 @@ val run :
     pays a fresh [Domain.spawn] per pass (the pre-pool behaviour, kept as a
     benchmark baseline).  Both split the points into the same index-ordered
     chunks, so the choice never changes results.
+
+    {b Singular-point recovery.}  When a {e guarded} evaluator (see
+    {!Evaluator.t.guarded}) returns an exactly-zero or non-finite value —
+    the scaled matrix was singular at that unit-circle point, whether
+    structurally, through an injected fault, or by NaN contamination — the
+    point is recovered from a symmetric pair of rotated positions:
+    the average of [P(s e^{+i delta})] and [P(s e^{-i delta})] cancels the
+    rotation's first-order error, leaving an [O(delta^2)] bias far below
+    the sigma-digit validity floor of even band-edge coefficients.  Up to
+    3 attempts with [delta = 1e-9 * 10^attempt] radians; a half-successful
+    pair keeps its one good (first-order accurate) value as the fallback.
+    Retries are counted in the [guard.*] metrics and the result's
+    [singular_retries]/[nonfinite_retries]/[retry_giveups] fields; the
+    policy is deterministic, so multi-domain runs stay bit-identical.
     @raise Invalid_argument when [k < 1], [base < 0] or [domains < 1]. *)

@@ -11,6 +11,7 @@ type t = {
   input : Nodal.input;
   output : Nodal.output;
   config : Adaptive.config;
+  problem : Nodal.t;
 }
 
 (* The numerator and denominator runs draw from one memoised evaluation per
@@ -60,7 +61,7 @@ let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
   in
   let num = Tr.span ~cat:"reference" "reference.num" (fun () -> Adaptive.run ~config ev_num) in
   let den = Tr.span ~cat:"reference" "reference.den" (fun () -> Adaptive.run ~config ev_den) in
-  { num; den; input; output; config }
+  { num; den; input; output; config; problem }
 
 let numerator t = Epoly.of_coeffs t.num.Adaptive.coeffs
 let denominator t = Epoly.of_coeffs t.den.Adaptive.coeffs
@@ -73,7 +74,13 @@ let eval t s =
 
 let dc_gain t =
   let n0 = Epoly.coeff (numerator t) 0 and d0 = Epoly.coeff (denominator t) 0 in
-  if Ef.is_zero d0 then infinity else Ef.to_float (Ef.div n0 d0)
+  if Ef.is_zero d0 then
+    (* H(0) = n0 / 0: the sign of the divergence is the sign of n0; 0/0 is
+       genuinely indeterminate. *)
+    if Ef.is_zero n0 then Float.nan
+    else if Ef.sign n0 > 0 then infinity
+    else neg_infinity
+  else Ef.to_float (Ef.div n0 d0)
 
 type bode_point = { freq_hz : float; mag_db : float; phase_deg : float }
 
@@ -110,3 +117,50 @@ let bode_vs_simulator t (sim : Ac.bode_point array) =
   (!dmag, !dph)
 
 let total_evaluations t = t.num.Adaptive.evaluations + t.den.Adaptive.evaluations
+
+(* --- health ------------------------------------------------------------- *)
+
+type health = {
+  converged : bool;
+  verified : bool;
+  max_residual : float;
+  probes : int;
+  singular_retries : int;
+  nonfinite_retries : int;
+  retry_giveups : int;
+  healthy : bool;
+}
+
+let health ?tolerance t =
+  (* Fresh unshared evaluators: the verification probes must not draw from
+     any table the generation populated. *)
+  let vn = Verify.check ?tolerance (Evaluator.of_nodal t.problem ~num:true) t.num in
+  let vd = Verify.check ?tolerance (Evaluator.of_nodal t.problem ~num:false) t.den in
+  let dn = t.num.Adaptive.diagnosis and dd = t.den.Adaptive.diagnosis in
+  let converged = t.num.Adaptive.converged && t.den.Adaptive.converged in
+  let verified = vn.Verify.passed && vd.Verify.passed in
+  let retry_giveups = dn.Adaptive.retry_giveups + dd.Adaptive.retry_giveups in
+  {
+    converged;
+    verified;
+    max_residual =
+      Float.max vn.Verify.max_relative_residual vd.Verify.max_relative_residual;
+    probes = vn.Verify.probes + vd.Verify.probes;
+    singular_retries = dn.Adaptive.singular_retries + dd.Adaptive.singular_retries;
+    nonfinite_retries =
+      dn.Adaptive.nonfinite_retries + dd.Adaptive.nonfinite_retries;
+    retry_giveups;
+    healthy = converged && verified && retry_giveups = 0;
+  }
+
+let health_to_strings h =
+  [
+    ("converged", string_of_bool h.converged);
+    ("verified", string_of_bool h.verified);
+    ("max_residual", Printf.sprintf "%.3e" h.max_residual);
+    ("probes", string_of_int h.probes);
+    ("singular_retries", string_of_int h.singular_retries);
+    ("nonfinite_retries", string_of_int h.nonfinite_retries);
+    ("retry_giveups", string_of_int h.retry_giveups);
+    ("healthy", string_of_bool h.healthy);
+  ]

@@ -12,6 +12,9 @@ type t = {
   input : Symref_mna.Nodal.input;
   output : Symref_mna.Nodal.output;
   config : Adaptive.config;
+  problem : Symref_mna.Nodal.t;
+      (** the prepared nodal problem the references were generated from —
+          what {!health} builds its fresh verification evaluators on *)
 }
 
 val generate :
@@ -44,7 +47,9 @@ val eval : t -> Complex.t -> Complex.t
     division, rounded at the end). *)
 
 val dc_gain : t -> float
-(** [H(0) = n_0 / d_0]. *)
+(** [H(0) = n_0 / d_0].  When [d_0 = 0] the gain diverges: the result is
+    [infinity] or [neg_infinity] following the sign of [n_0], and [nan]
+    when [n_0 = 0] too (indeterminate). *)
 
 type bode_point = { freq_hz : float; mag_db : float; phase_deg : float }
 
@@ -59,3 +64,35 @@ val bode_vs_simulator :
 
 val total_evaluations : t -> int
 (** LU decompositions spent for both polynomials. *)
+
+(** {1 Health}
+
+    The one-stop answer to "can I trust this result?" — convergence of
+    both adaptive runs, an independent {!Verify.check} residual probe of
+    both polynomials, and the guard's recovery counters
+    (see [doc/robustness.mld]). *)
+
+type health = {
+  converged : bool;  (** both adaptive runs converged *)
+  verified : bool;  (** both residual checks passed *)
+  max_residual : float;
+      (** worst relative residual over all probes, both sides *)
+  probes : int;  (** verification probes evaluated, both sides *)
+  singular_retries : int;
+      (** singular points recovered at perturbed positions, both sides *)
+  nonfinite_retries : int;  (** non-finite values recovered likewise *)
+  retry_giveups : int;  (** points whose retry budget ran out *)
+  healthy : bool;
+      (** [converged && verified && retry_giveups = 0] — recovered retries
+          do {e not} make a result unhealthy, exhausted budgets do *)
+}
+
+val health : ?tolerance:float -> t -> health
+(** Re-evaluates the circuit at {!Verify}'s off-circle probe points with
+    fresh (unshared, unmemoised) evaluators and combines the residuals with
+    the generation's own diagnosis.  [tolerance] is {!Verify.check}'s
+    (default [1e-4]). *)
+
+val health_to_strings : health -> (string * string) list
+(** Rendered key/value rows, in display order — shared by the [doctor]
+    CLI report and the serve reply payload. *)

@@ -1,6 +1,7 @@
 module Ec = Symref_numeric.Extcomplex
 module Obs = Symref_obs.Metrics
 module Tr = Symref_obs.Trace
+module Inject = Symref_fault.Inject
 
 exception Singular
 
@@ -60,9 +61,28 @@ let permutation_sign perm =
   done;
   !sign
 
+(* The forced-singular fault: what {!factor} would return on a matrix with
+   no admissible pivot at all.  Exercises every consumer's singular path
+   (Cramer numerators, Interp's perturbed-point retry) without a contrived
+   input matrix. *)
+let injected_singular n =
+  {
+    n;
+    pivot_rows = Array.make n (-1);
+    pivot_cols = Array.make n (-1);
+    pivots = Array.make n Complex.zero;
+    lower = [||];
+    upper = Array.make n [||];
+    det = Ec.zero;
+    fill_in = 0;
+    singular = true;
+  }
+
 let factor ?(pivot_threshold = 0.1) (b : builder) =
   Obs.incr Obs.lu_factor;
   Tr.span ~cat:"lu" "lu.factor" @@ fun () ->
+  if Inject.fire Inject.sparse_singular then injected_singular b.n
+  else
   let n = b.n in
   let rows = Array.map Hashtbl.copy b.rows in
   let row_active = Array.make n true and col_active = Array.make n true in
@@ -473,7 +493,9 @@ let refactor (p : pattern) (values : Complex.t array) =
   if Array.length values <> Array.length p.coo_slot then
     invalid_arg "Sparse.refactor: values length does not match pattern";
   Tr.span ~cat:"lu" "lu.refactor" @@ fun () ->
-
+  if Inject.fire Inject.sparse_singular then None
+    (* as if a reused pivot hit the threshold floor: caller falls back *)
+  else
   let re = Array.make p.nslots 0. and im = Array.make p.nslots 0. in
   Array.iteri
     (fun e (v : Complex.t) ->
@@ -500,7 +522,11 @@ let refactor (p : pattern) (values : Complex.t array) =
         let m = Float.hypot re.(s) im.(s) in
         if m > !rmax then rmax := m)
       us;
-    if pmag = 0. || pmag < p.p_threshold *. !rmax then ok := false
+    (* A non-finite pivot (NaN-contaminated values) must also bail out: NaN
+       compares false against the floor, and the full search degrades to a
+       clean singular result where the replay would feed NaN downstream. *)
+    if pmag = 0. || (not (Float.is_finite pmag)) || pmag < p.p_threshold *. !rmax
+    then ok := false
     else begin
       let den = (pr *. pr) +. (pim *. pim) in
       let targets = p.elim_row.(step) in

@@ -103,6 +103,13 @@ let deflated_passes = counter "adaptive.deflated_passes"
 let points_evaluated = counter "interp.points_evaluated"
 let points_per_pass = histogram "interp.points_per_pass"
 
+(* The guard family: graceful degradation inside [Interp.run] — singular or
+   non-finite evaluations retried at perturbed unit-circle points instead of
+   aborting the pass (see [doc/robustness.mld]). *)
+let guard_singular_retries = counter "guard.singular_retries"
+let guard_nonfinite_retries = counter "guard.nonfinite_retries"
+let guard_retry_giveups = counter "guard.retry_giveups"
+
 (* The serve family: the result cache and job scheduler of [Symref_serve].
    (The cache and scheduler also keep their own always-on gauges for
    protocol stats replies; these counters are the --stats/snapshot view.) *)
@@ -114,3 +121,4 @@ let serve_jobs_completed = counter "serve.jobs_completed"
 let serve_jobs_failed = counter "serve.jobs_failed"
 let serve_jobs_timeout = counter "serve.jobs_timeout"
 let serve_jobs_rejected = counter "serve.jobs_rejected"
+let serve_client_retries = counter "serve.client_retries"

@@ -102,6 +102,21 @@ val points_evaluated : counter
 val points_per_pass : histogram
 (** Distribution of evaluation points per interpolation batch. *)
 
+(** {2 The guard family}
+
+    Graceful degradation inside {!Symref_core.Interp.run}: evaluations that
+    come back singular (zero) or non-finite are retried at slightly
+    perturbed unit-circle points instead of aborting the pass. *)
+
+val guard_singular_retries : counter
+(** Singular (zero) evaluations retried at a perturbed point. *)
+
+val guard_nonfinite_retries : counter
+(** Non-finite evaluations retried at a perturbed point. *)
+
+val guard_retry_giveups : counter
+(** Points whose retry budget ran out (the original value was kept). *)
+
 (** {2 The serve family}
 
     Result cache and job scheduler of the [Symref_serve] service (daemon
@@ -130,3 +145,7 @@ val serve_jobs_timeout : counter
 
 val serve_jobs_rejected : counter
 (** Submissions refused with a backpressure reply (queue full). *)
+
+val serve_client_retries : counter
+(** Client-side request retries (busy replies and transient socket
+    failures, see {!Symref_serve.Client}). *)

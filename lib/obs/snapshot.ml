@@ -12,6 +12,9 @@ type t = {
   dry_passes : int;
   deflated_passes : int;
   points_evaluated : int;
+  guard_singular_retries : int;
+  guard_nonfinite_retries : int;
+  guard_retry_giveups : int;
   serve_cache_hits : int;
   serve_cache_misses : int;
   serve_cache_evictions : int;
@@ -20,6 +23,7 @@ type t = {
   serve_jobs_failed : int;
   serve_jobs_timeout : int;
   serve_jobs_rejected : int;
+  serve_client_retries : int;
   points_per_pass : (int * int) list;
 }
 
@@ -38,6 +42,9 @@ let zero =
     dry_passes = 0;
     deflated_passes = 0;
     points_evaluated = 0;
+    guard_singular_retries = 0;
+    guard_nonfinite_retries = 0;
+    guard_retry_giveups = 0;
     serve_cache_hits = 0;
     serve_cache_misses = 0;
     serve_cache_evictions = 0;
@@ -46,6 +53,7 @@ let zero =
     serve_jobs_failed = 0;
     serve_jobs_timeout = 0;
     serve_jobs_rejected = 0;
+    serve_client_retries = 0;
     points_per_pass = [];
   }
 
@@ -64,6 +72,9 @@ let capture () =
     dry_passes = Metrics.value Metrics.dry_passes;
     deflated_passes = Metrics.value Metrics.deflated_passes;
     points_evaluated = Metrics.value Metrics.points_evaluated;
+    guard_singular_retries = Metrics.value Metrics.guard_singular_retries;
+    guard_nonfinite_retries = Metrics.value Metrics.guard_nonfinite_retries;
+    guard_retry_giveups = Metrics.value Metrics.guard_retry_giveups;
     serve_cache_hits = Metrics.value Metrics.serve_cache_hits;
     serve_cache_misses = Metrics.value Metrics.serve_cache_misses;
     serve_cache_evictions = Metrics.value Metrics.serve_cache_evictions;
@@ -72,6 +83,7 @@ let capture () =
     serve_jobs_failed = Metrics.value Metrics.serve_jobs_failed;
     serve_jobs_timeout = Metrics.value Metrics.serve_jobs_timeout;
     serve_jobs_rejected = Metrics.value Metrics.serve_jobs_rejected;
+    serve_client_retries = Metrics.value Metrics.serve_client_retries;
     points_per_pass = Metrics.histogram_buckets_of Metrics.points_per_pass;
   }
 
@@ -110,6 +122,15 @@ let fields =
     ( "interp.points_evaluated",
       (fun t -> t.points_evaluated),
       fun t v -> { t with points_evaluated = v } );
+    ( "guard.singular_retries",
+      (fun t -> t.guard_singular_retries),
+      fun t v -> { t with guard_singular_retries = v } );
+    ( "guard.nonfinite_retries",
+      (fun t -> t.guard_nonfinite_retries),
+      fun t v -> { t with guard_nonfinite_retries = v } );
+    ( "guard.retry_giveups",
+      (fun t -> t.guard_retry_giveups),
+      fun t v -> { t with guard_retry_giveups = v } );
     ( "serve.cache_hit",
       (fun t -> t.serve_cache_hits),
       fun t v -> { t with serve_cache_hits = v } );
@@ -134,6 +155,9 @@ let fields =
     ( "serve.jobs_rejected",
       (fun t -> t.serve_jobs_rejected),
       fun t v -> { t with serve_jobs_rejected = v } );
+    ( "serve.client_retries",
+      (fun t -> t.serve_client_retries),
+      fun t v -> { t with serve_client_retries = v } );
   ]
 
 let histogram_key = "interp.points_per_pass"

@@ -19,6 +19,11 @@ type t = {
   dry_passes : int;  (** passes that established nothing *)
   deflated_passes : int;  (** passes using eq.-17 deflation *)
   points_evaluated : int;  (** LU points across all batches *)
+  guard_singular_retries : int;
+      (** singular evaluations retried at perturbed points *)
+  guard_nonfinite_retries : int;
+      (** non-finite evaluations retried at perturbed points *)
+  guard_retry_giveups : int;  (** points whose retry budget ran out *)
   serve_cache_hits : int;  (** serve jobs answered from the result cache *)
   serve_cache_misses : int;  (** serve cache lookups that ran the analysis *)
   serve_cache_evictions : int;  (** entries evicted by the cache byte budget *)
@@ -27,6 +32,7 @@ type t = {
   serve_jobs_failed : int;  (** jobs finished with a structured error *)
   serve_jobs_timeout : int;  (** jobs cancelled by their deadline *)
   serve_jobs_rejected : int;  (** submissions refused by backpressure *)
+  serve_client_retries : int;  (** client retries (busy/transient failures) *)
   points_per_pass : (int * int) list;
       (** histogram, [(bucket upper bound, batches)] *)
 }

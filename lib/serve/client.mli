@@ -1,23 +1,70 @@
-(** Minimal blocking client for the serve protocol — what [symref submit]
-    and the CI round-trip test speak through.
+(** Blocking client for the serve protocol — what [symref submit] and the
+    CI round-trip test speak through.
 
-    One request, one reply, in order, on a single connection.  All functions
-    raise [Unix.Unix_error] on connection failures and [Failure] on protocol
-    violations (malformed JSON from the server). *)
+    One request, one reply, in order, on a single connection.  Connection
+    failures raise [Unix.Unix_error]; protocol-level failures (no banner,
+    connection closed mid-exchange) raise the typed {!Errors.Error};
+    malformed JSON from the server raises [Failure].
+
+    {!retry_request} wraps the one-shot path in a retry loop with capped
+    exponential backoff for [Busy] backpressure replies and transient
+    connection failures (see [doc/robustness.mld]). *)
 
 type t
 
 val connect : socket_path:string -> t
-(** Connect and consume the daemon's hello banner. *)
+(** Connect and consume the daemon's hello banner.
+    @raise Errors.Error [No_banner] when the connection closes first. *)
 
 val banner : t -> Symref_obs.Json.t
 (** The greeting the daemon sent on connect
     ([{"hello":"symref";"version";...}]). *)
 
 val request : t -> Protocol.request -> Protocol.reply
-(** Send one request line and block for its reply line. *)
+(** Send one request line and block for its reply line.
+    @raise Errors.Error [Connection_closed] when the connection drops
+    before the reply. *)
 
 val close : t -> unit
 
 val with_connection : socket_path:string -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exceptions). *)
+
+(** {1 Retry with capped exponential backoff} *)
+
+type backoff = {
+  attempts : int;  (** total attempts (initial try included), [>= 1] *)
+  base_delay_ms : float;  (** delay before the second attempt *)
+  multiplier : float;  (** geometric growth per attempt *)
+  max_delay_ms : float;  (** delay ceiling *)
+  jitter : float;
+      (** relative jitter width: the delay is scaled by a deterministic
+          factor in [1 ± jitter/2] *)
+  seed : int;  (** jitter seed — same seed, same schedule *)
+}
+
+val default_backoff : backoff
+(** 5 attempts, 25 ms base, doubling, 1 s cap, 20% jitter, seed 0 —
+    worst case ≈ 0.4 s of waiting. *)
+
+val backoff_schedule : backoff -> float array
+(** The exact delays (ms) slept after attempts [0 .. attempts-2]:
+    [min max_delay (base * multiplier^n)] scaled by the deterministic
+    jitter factor.  Pure — tests assert against it. *)
+
+val retry_request :
+  ?backoff:backoff ->
+  ?sleep:(float -> unit) ->
+  socket_path:string ->
+  Protocol.request ->
+  Protocol.reply
+(** One logical request with retries: each attempt opens a fresh
+    connection, sends [req] and reads the reply.  A [Busy] reply
+    (backpressure) or a transient failure — [ECONNREFUSED], [ECONNRESET],
+    [EPIPE], [ENOENT], [EAGAIN], a dropped connection, a missing banner —
+    sleeps the next scheduled delay and tries again; each retry counts in
+    the [serve.client_retries] metric.  When the attempt budget runs out
+    the final [Busy] reply is returned as-is (structured give-up), and a
+    final transient failure re-raises.  Non-transient failures propagate
+    immediately.  [sleep] (default [Unix.sleepf] of ms) is injectable so
+    tests run instantly. *)

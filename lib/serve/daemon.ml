@@ -1,6 +1,7 @@
 (* Accept loop + per-connection threads for the serve daemon. *)
 
 module Json = Symref_obs.Json
+module Inject = Symref_fault.Inject
 
 type t = {
   service : Service.t;
@@ -63,9 +64,24 @@ let handle_request t = function
 let handle_conn t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  (* The two socket-path injection points (chaos tests): [serve.drop] kills
+     the connection instead of replying, [serve.partial] leaks half a line
+     first — either way the client sees the connection close mid-exchange,
+     exactly what a crashed or OOM-killed daemon produces.  The raised
+     [Sys_error] rides the connection handler's normal teardown path. *)
   let send json =
-    output_string oc (Json.to_string json);
-    output_char oc '\n';
+    if Inject.fire Inject.serve_drop then begin
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      raise (Sys_error "injected: connection dropped")
+    end;
+    let line = Json.to_string json ^ "\n" in
+    if Inject.fire Inject.serve_partial then begin
+      output_string oc (String.sub line 0 (String.length line / 2));
+      flush oc;
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      raise (Sys_error "injected: partial write")
+    end;
+    output_string oc line;
     flush oc
   in
   let serve_line line =

@@ -1,0 +1,38 @@
+(* Typed failure taxonomy for the serve subsystem.
+
+   Everything the client and the job-resolution path used to report as a
+   bare [Failure _] is a value of [t] instead: callers can match on the
+   shape (retry transient connection losses, reject bad specs outright)
+   and the reply kind is derived from the constructor, not from parsing
+   the message text. *)
+
+type t =
+  | No_banner
+      (* the connection closed before the daemon's hello banner arrived *)
+  | Connection_closed of { during : string }
+      (* the connection closed mid-exchange, e.g. before a reply line *)
+  | Bad_spec of { what : string; message : string }
+      (* a malformed or unresolvable input/output specification *)
+
+exception Error of t
+
+let fail e = raise (Error e)
+let bad_spec what fmt = Printf.ksprintf (fun m -> fail (Bad_spec { what; message = m })) fmt
+
+(* Reply-kind slug: what goes into the structured reply's "kind" field. *)
+let kind = function
+  | No_banner | Connection_closed _ -> "connection"
+  | Bad_spec _ -> "spec"
+
+let message = function
+  | No_banner -> "serve client: no hello banner"
+  | Connection_closed { during } ->
+      Printf.sprintf "serve client: connection closed during %s" during
+  | Bad_spec { what; message } -> Printf.sprintf "%s: %s" what message
+
+(* A connection-level failure is worth retrying (the daemon may be
+   restarting, the socket may have been torn down mid-reply); a bad spec
+   never is. *)
+let transient = function
+  | No_banner | Connection_closed _ -> true
+  | Bad_spec _ -> false

@@ -1,0 +1,36 @@
+(** Typed failure taxonomy for the serve subsystem.
+
+    Replaces the bare [Failure _] escapes of the client and the job
+    input/output resolution: callers match on the shape — {!Client.retry_request}
+    retries what {!transient} says is worth retrying, {!Service.run_job}
+    maps the constructor to a structured reply kind — instead of parsing
+    message strings.  See [doc/robustness.mld]. *)
+
+type t =
+  | No_banner
+      (** the connection closed before the daemon's hello banner arrived *)
+  | Connection_closed of { during : string }
+      (** the connection closed mid-exchange ([during] names the phase,
+          e.g. ["the reply"]) *)
+  | Bad_spec of { what : string; message : string }
+      (** a malformed or unresolvable input/output specification ([what]
+          names the offending spec, e.g. ["input"] or the raw string) *)
+
+exception Error of t
+
+val fail : t -> 'a
+(** [raise (Error t)]. *)
+
+val bad_spec : string -> ('a, unit, string, 'b) format4 -> 'a
+(** [bad_spec what fmt ...] formats the message and raises
+    [Error (Bad_spec _)]. *)
+
+val kind : t -> string
+(** The structured-reply kind slug: ["connection"] or ["spec"]. *)
+
+val message : t -> string
+(** Human-readable one-liner (what the old [Failure] carried). *)
+
+val transient : t -> bool
+(** Whether a retry can plausibly succeed: [true] for connection-level
+    failures, [false] for bad specs. *)

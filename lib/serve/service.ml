@@ -20,6 +20,7 @@ module Ef = Symref_numeric.Extfloat
 module Json = Symref_obs.Json
 module Metrics = Symref_obs.Metrics
 module Snapshot = Symref_obs.Snapshot
+module Inject = Symref_fault.Inject
 
 type config = {
   workers : int;
@@ -51,13 +52,13 @@ let parse_input circuit s =
   let split_pair v =
     match String.split_on_char ',' v with
     | [ a; b ] -> (a, b)
-    | _ -> failwith "expected two comma-separated node names"
+    | _ -> Errors.bad_spec "input" "expected two comma-separated node names"
   in
   match String.index_opt s ':' with
   | None -> (
       match N.find_element circuit s with
       | Some _ -> Nodal.Vsrc_element s
-      | None -> failwith (Printf.sprintf "no element named %s in the netlist" s))
+      | None -> Errors.bad_spec "input" "no element named %s in the netlist" s)
   | Some i -> (
       let kind = String.sub s 0 i
       and v = String.sub s (i + 1) (String.length s - i - 1) in
@@ -67,13 +68,13 @@ let parse_input circuit s =
           Nodal.V_diff (p, m)
       | "node" -> Nodal.V_single v
       | "current" -> Nodal.I_single v
-      | k -> failwith (Printf.sprintf "unknown input kind %s" k))
+      | k -> Errors.bad_spec "input" "unknown input kind %s" k)
 
 let parse_output s =
   match String.split_on_char ',' s with
   | [ a ] -> Nodal.Out_node a
   | [ a; b ] -> Nodal.Out_diff (a, b)
-  | _ -> failwith "output must be NODE or NODE,NODE"
+  | _ -> Errors.bad_spec "output" "output must be NODE or NODE,NODE"
 
 (* Grounded voltage sources, each as (name, non-ground node, effective drive
    at that node) — the sign flips when the source hangs off ground by its
@@ -115,11 +116,11 @@ let auto_input circuit =
       with
       | Some n -> (circuit, Nodal.V_single n, "node:" ^ n)
       | None ->
-          failwith
+          Errors.bad_spec "input"
             "cannot auto-detect the input: no voltage source and no node \
              named in/vin (pass input explicitly)")
   | _ ->
-      failwith
+      Errors.bad_spec "input"
         "cannot auto-detect the input: the voltage sources are not a single \
          grounded drive or an antisymmetric grounded pair (pass input \
          explicitly)"
@@ -131,7 +132,8 @@ let auto_output circuit =
   | Some n -> (Nodal.Out_node n, n)
   | None ->
       let last = N.node_count circuit in
-      if last = 0 then failwith "cannot auto-detect the output: no nodes"
+      if last = 0 then
+        Errors.bad_spec "output" "cannot auto-detect the output: no nodes"
       else
         let n = N.node_name circuit last in
         (Nodal.Out_node n, n)
@@ -182,6 +184,23 @@ let side_fields (r : Adaptive.result) =
     ("converged", Json.Bool r.Adaptive.converged);
   ]
 
+(* The per-job health verdict (see {!Reference.health}): convergence, an
+   independent residual probe, and the recovery counters.  Costs a handful
+   of extra LU evaluations per computed (not cached) job. *)
+let health_json (t : Reference.t) =
+  let h = Reference.health t in
+  Json.Obj
+    [
+      ("converged", Json.Bool h.Reference.converged);
+      ("verified", Json.Bool h.Reference.verified);
+      ("max_residual", num h.Reference.max_residual);
+      ("probes", inum h.Reference.probes);
+      ("singular_retries", inum h.Reference.singular_retries);
+      ("nonfinite_retries", inum h.Reference.nonfinite_retries);
+      ("retry_giveups", inum h.Reference.retry_giveups);
+      ("healthy", Json.Bool h.Reference.healthy);
+    ]
+
 let coeffs_fields (t : Reference.t) =
   [
     ("num", coeff_array t.Reference.num);
@@ -210,6 +229,7 @@ let payload (job : Protocol.job) ~input_desc ~output_desc (t : Reference.t) =
       ("analysis", str (Protocol.analysis_to_string job.Protocol.analysis));
       ("input", str input_desc);
       ("output", str output_desc);
+      ("health", health_json t);
     ]
   in
   match job.Protocol.analysis with
@@ -308,6 +328,8 @@ let run_job t ?deadline (job : Protocol.job) =
       in
       failed "parse" (Printf.sprintf "%s:%d: %s" where line message)
   | Nodal.Unsupported m -> failed "unsupported" ("unsupported circuit: " ^ m)
+  | Errors.Error e -> failed (Errors.kind e) (Errors.message e)
+  | Inject.Injected m -> failed "injected" m
   | Failure m -> failed "invalid" m
   | Invalid_argument m -> failed "invalid" m
   | Sys_error m -> failed "io" m

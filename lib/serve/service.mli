@@ -33,10 +33,10 @@ exception Deadline_exceeded
 
 val parse_input : Symref_circuit.Netlist.t -> string -> Symref_mna.Nodal.input
 (** CLI input syntax: an element name, [diff:P,M], [node:P], [current:P].
-    @raise Failure on unknown elements or malformed specs. *)
+    @raise Errors.Error [Bad_spec] on unknown elements or malformed specs. *)
 
 val parse_output : string -> Symref_mna.Nodal.output
-(** [NODE] or [P,M].  @raise Failure on malformed specs. *)
+(** [NODE] or [P,M].  @raise Errors.Error [Bad_spec] on malformed specs. *)
 
 val resolve_io :
   Symref_circuit.Netlist.t ->
@@ -50,7 +50,7 @@ val resolve_io :
     [output = None] prefers a node named [out]/[vout]/[output], falling
     back to the last node the netlist introduced.  The descriptors are the
     canonical CLI spellings used in cache keys and reply payloads.
-    @raise Failure when nothing matches. *)
+    @raise Errors.Error [Bad_spec] when nothing matches. *)
 
 (** {1 Jobs} *)
 

@@ -33,10 +33,14 @@
     {!Metrics}, {!Trace}, {!Snapshot}, {!Json}; the worker pool behind
     [Interp.run ~domains] is {!Domain_pool}.
 
+    {2 Fault injection}
+    {!Inject} — the deterministic chaos registry of {!page-robustness}.
+
     {2 The serve subsystem}
     {!Serve_protocol}, {!Serve_service}, {!Serve_daemon}, {!Serve_client},
     {!Serve_batch} — the persistent reference-generation service of
-    {!page-serve}; {!Version} is the package version the daemon reports. *)
+    {!page-serve}; {!Serve_errors} is its typed failure taxonomy;
+    {!Version} is the package version the daemon reports. *)
 
 (* numerics *)
 module Extfloat = Symref_numeric.Extfloat
@@ -121,10 +125,14 @@ module Trace = Symref_obs.Trace
 module Snapshot = Symref_obs.Snapshot
 module Json = Symref_obs.Json
 
+(* fault injection *)
+module Inject = Symref_fault.Inject
+
 (* the serve subsystem *)
 module Serve_protocol = Symref_serve.Protocol
 module Serve_service = Symref_serve.Service
 module Serve_daemon = Symref_serve.Daemon
 module Serve_client = Symref_serve.Client
+module Serve_errors = Symref_serve.Errors
 module Serve_batch = Symref_serve.Batch
 module Version = Symref_serve.Version

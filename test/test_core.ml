@@ -427,6 +427,38 @@ let test_ota_reference () =
   Alcotest.(check bool) "dc gain matches" true
     (Float.abs (Reference.dc_gain r) > 100.)
 
+(* dc_gain at a degenerate constant term: the divergence must keep the
+   numerator's sign, and 0/0 must be reported as indeterminate, never as a
+   confident +inf. *)
+let set_coeff0 (res : Adaptive.result) v =
+  let coeffs = Array.copy res.Adaptive.coeffs in
+  coeffs.(0) <- v;
+  { res with Adaptive.coeffs }
+
+let test_dc_gain_signed_divergence () =
+  let c = Ladder.circuit 2 in
+  let r =
+    Reference.generate c ~input:(Nodal.Vsrc_element "vin")
+      ~output:(Nodal.Out_node Ladder.output_node)
+  in
+  Alcotest.(check bool) "baseline finite" true
+    (Float.is_finite (Reference.dc_gain r));
+  Alcotest.(check bool) "baseline positive" true (Reference.dc_gain r > 0.);
+  let n0 = Epoly.coeff (Reference.numerator r) 0 in
+  let degenerate = { r with Reference.den = set_coeff0 r.Reference.den Ef.zero } in
+  Alcotest.(check bool) "n0 > 0, d0 = 0 -> +inf" true
+    (Reference.dc_gain degenerate = infinity);
+  let negated =
+    { degenerate with Reference.num = set_coeff0 degenerate.Reference.num (Ef.neg n0) }
+  in
+  Alcotest.(check bool) "n0 < 0, d0 = 0 -> -inf" true
+    (Reference.dc_gain negated = neg_infinity);
+  let indeterminate =
+    { degenerate with Reference.num = set_coeff0 degenerate.Reference.num Ef.zero }
+  in
+  Alcotest.(check bool) "0/0 -> nan" true
+    (Float.is_nan (Reference.dc_gain indeterminate))
+
 let test_gmc_reference () =
   let c = Gm_c.circuit 10 in
   let input = Nodal.V_single Gm_c.input_node in
@@ -629,6 +661,8 @@ let suite =
       [
         Alcotest.test_case "rc ladders vs exact oracle" `Quick test_ladder_exact_match;
         Alcotest.test_case "ota end-to-end" `Quick test_ota_reference;
+        Alcotest.test_case "dc gain: signed divergence and 0/0" `Quick
+          test_dc_gain_signed_divergence;
         Alcotest.test_case "gm-c end-to-end" `Quick test_gmc_reference;
         Alcotest.test_case "ua741 end-to-end (Tables 2-3, Fig 2)" `Quick
           test_ua741_reference;

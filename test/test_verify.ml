@@ -49,6 +49,45 @@ let test_corrupted_references_fail () =
        report.Verify.max_relative_residual)
     false report.Verify.passed
 
+let test_ua741_corruption_detected () =
+  let ev =
+    den_evaluator Ua741.circuit
+      (Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+      (Nodal.Out_node Ua741.output)
+  in
+  let result = Adaptive.run ev in
+  Alcotest.(check bool) "untouched 741 passes" true
+    (Verify.check ev result).Verify.passed;
+  (* Corrupt one established coefficient by 1%: the spread between
+     consecutive 741 coefficients is ~1e6, so the probe must notice the
+     defect through the residual, not through magnitude alone. *)
+  let target =
+    let rec find i =
+      if i >= Array.length result.Adaptive.established then
+        Alcotest.fail "no established coefficient to corrupt"
+      else if
+        result.Adaptive.established.(i)
+        && not (Ef.is_zero result.Adaptive.coeffs.(i))
+      then i
+      else find (i + 1)
+    in
+    find 1
+  in
+  let corrupted =
+    {
+      result with
+      Adaptive.coeffs =
+        Array.mapi
+          (fun i c -> if i = target then Ef.mul_float c 1.01 else c)
+          result.Adaptive.coeffs;
+    }
+  in
+  let report = Verify.check ev corrupted in
+  Alcotest.(check bool)
+    (Printf.sprintf "741 corruption at coefficient %d detected (residual %.2e)"
+       target report.Verify.max_relative_residual)
+    false report.Verify.passed
+
 let suite =
   [
     ( "verify",
@@ -56,5 +95,7 @@ let suite =
         Alcotest.test_case "good references pass" `Quick test_good_references_pass;
         Alcotest.test_case "corrupted references fail" `Quick
           test_corrupted_references_fail;
+        Alcotest.test_case "ua741: one corrupted coefficient detected" `Quick
+          test_ua741_corruption_detected;
       ] );
   ]
