@@ -213,15 +213,15 @@ let x2 () =
    baselines and writes machine-readable results to BENCH_interp.json, so
    successive PRs accumulate a perf trajectory:
 
-     - full Markowitz factorisation per point vs symbolic-once/numeric-many
-       refactorisation (per-evaluation cost),
+     - full Markowitz factorisation per point vs boxed refactorisation vs
+       the fused unboxed kernel (per-evaluation cost, three rungs),
      - seed-style duplicated num/den adaptive runs vs the shared memoised
        evaluator, at equal coefficients,
      - 1-domain vs N-domain interpolation fan-out (bit-identical results),
        persistent pool vs per-pass Domain.spawn,
      - a Symref_obs counter snapshot of one pipeline run, and the measured
-       overhead of enabling counters / tracing (schema v2, documented in
-       doc/pipeline.mld).  *)
+       overhead of enabling counters / tracing, median-of-5 per mode
+       (schema v4, documented in doc/pipeline.mld).  *)
 
 module Interp_m = Interp
 module Random_net = Symref_circuit.Random_net
@@ -237,6 +237,15 @@ let time_wall reps f =
     ignore (f ())
   done;
   (wall () -. t0) /. float_of_int reps
+
+(* Median over independent timing runs: a single [time_wall] sample sits at
+   the mercy of scheduler noise, which on near-identical modes (counters
+   off vs on) can even come out negative as an "overhead".  The median of
+   an odd number of runs discards outliers in both directions. *)
+let median_wall ~runs reps f =
+  let samples = Array.init runs (fun _ -> time_wall reps f) in
+  Array.sort compare samples;
+  samples.(runs / 2)
 
 type jcircuit = {
   jname : string;
@@ -368,18 +377,25 @@ let run_json ~smoke =
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   section (if smoke then "SMOKE" else "JSON")
     "pipeline benchmark: full-factor vs refactor, shared num/den, domains";
-  out "{\n  \"schema\": \"symref/bench-interp/v3\",\n";
+  out "{\n  \"schema\": \"symref/bench-interp/v4\",\n";
   out "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
   out "  \"circuits\": [\n";
   let ncirc = List.length (json_circuits ~smoke) in
   List.iteri
     (fun ci jc ->
-      let mk reuse = Nodal.make ~reuse jc.jcircuit ~input:jc.jinput ~output:jc.joutput in
-      let p_reuse = mk true and p_full = mk false in
-      let dim = Nodal.dimension p_reuse in
-      let f = 1. /. Nodal.mean_capacitance p_reuse
-      and g = 1. /. Nodal.mean_conductance p_reuse in
-      let k = Nodal.order_bound p_reuse + 1 in
+      let mk ~reuse ~kernel =
+        Nodal.make ~reuse ~kernel jc.jcircuit ~input:jc.jinput ~output:jc.joutput
+      in
+      (* Three rungs of the same evaluation: full Markowitz search per point,
+         boxed replay of the recorded pivot order, and the fused unboxed
+         kernel.  All three return bit-identical values. *)
+      let p_full = mk ~reuse:false ~kernel:false in
+      let p_refac = mk ~reuse:true ~kernel:false in
+      let p_kernel = mk ~reuse:true ~kernel:true in
+      let dim = Nodal.dimension p_kernel in
+      let f = 1. /. Nodal.mean_capacitance p_kernel
+      and g = 1. /. Nodal.mean_conductance p_kernel in
+      let k = Nodal.order_bound p_kernel + 1 in
       (* Per-evaluation cost over the unit-circle points of a first pass. *)
       let sweep p () =
         for j = 0 to (k / 2) + 1 do
@@ -387,8 +403,9 @@ let run_json ~smoke =
         done
       in
       let per_point t = t /. float_of_int ((k / 2) + 2) *. 1e6 in
-      let t_full = time_wall eval_reps (sweep p_full) in
-      let t_refac = time_wall eval_reps (sweep p_reuse) in
+      let t_full = median_wall ~runs:5 eval_reps (sweep p_full) in
+      let t_refac = median_wall ~runs:5 eval_reps (sweep p_refac) in
+      let t_kernel = median_wall ~runs:5 eval_reps (sweep p_kernel) in
       (* Whole reference generation: seed path vs pipeline, equal results. *)
       let gen ~share ~reuse () =
         Reference.generate ~share ~reuse jc.jcircuit ~input:jc.jinput
@@ -403,16 +420,20 @@ let run_json ~smoke =
         && coeffs_match r_seed.Reference.den r_pipe.Reference.den
       in
       Printf.printf
-        "%-16s dim %3d: eval %8.1f -> %7.1f us/pt (%4.1fx)   reference %8.2f -> \
-         %7.2f ms (%4.1fx)  equal %b\n"
-        jc.jname dim (per_point t_full) (per_point t_refac) (t_full /. t_refac)
-        (t_seed *. 1000.) (t_pipeline *. 1000.)
+        "%-16s dim %3d: eval %8.1f -> %7.1f -> %7.1f us/pt (kernel %4.2fx)   \
+         reference %8.2f -> %7.2f ms (%4.1fx)  equal %b\n"
+        jc.jname dim (per_point t_full) (per_point t_refac) (per_point t_kernel)
+        (t_refac /. t_kernel) (t_seed *. 1000.) (t_pipeline *. 1000.)
         (t_seed /. t_pipeline)
         equal;
       out "    {\n      \"name\": \"%s\", \"dim\": %d, \"order_bound\": %d,\n"
-        jc.jname dim (Nodal.order_bound p_reuse);
-      out "      \"eval_us_per_point\": { \"full_factor\": %.3f, \"refactor\": %.3f, \"speedup\": %.3f },\n"
-        (per_point t_full) (per_point t_refac) (t_full /. t_refac);
+        jc.jname dim (Nodal.order_bound p_kernel);
+      out
+        "      \"eval_us_per_point\": { \"full_factor\": %.3f, \"refactor\": \
+         %.3f, \"kernel\": %.3f, \"speedup\": %.3f, \"kernel_speedup\": %.3f },\n"
+        (per_point t_full) (per_point t_refac) (per_point t_kernel)
+        (t_full /. t_refac) (t_refac /. t_kernel);
+      out "      \"kernel_us_per_point\": %.3f,\n" (per_point t_kernel);
       out "      \"reference_ms\": { \"seed\": %.4f, \"pipeline\": %.4f, \"speedup\": %.3f, \"coeffs_match\": %b },\n"
         (t_seed *. 1000.) (t_pipeline *. 1000.) (t_seed /. t_pipeline) equal;
       out "      \"lu_evaluations\": { \"seed\": %d, \"pipeline\": %d }\n"
@@ -494,16 +515,39 @@ let run_json ~smoke =
     (Json.to_string (Snapshot.to_json snap));
   Obs.reset ();
   (* Observability overhead: the same reference generation with counters
-     off, with counters on, and with tracing on. *)
-  let t_off = time_wall reps gen_target in
-  Obs.enable ();
-  let t_stats = time_wall reps gen_target in
-  Obs.disable ();
-  Obs.reset ();
+     off, with counters on, and with tracing on.  Median-of-5 per mode,
+     with the modes interleaved round-robin: the overheads are small
+     enough that single-run noise used to dominate, and measuring the
+     modes in sequence adds a systematic warm-up drift on top — the
+     mode measured first looked slowest, so tracing could even report
+     as *faster* than off.  Interleaving exposes every mode to the same
+     drift; the median then discards the remaining outliers. *)
+  let runs = 5 in
+  (* More inner repetitions than the other sections: the quantity of
+     interest is a sub-percent difference, so each sample needs to be a
+     long enough average for the medians to order meaningfully. *)
+  let obs_reps = reps * 4 in
   let trace_tmp = "BENCH_trace.tmp.json" in
-  Trace.start ~file:trace_tmp;
-  let t_trace = time_wall reps gen_target in
-  Trace.finish ();
+  let s_off = Array.make runs 0.
+  and s_stats = Array.make runs 0.
+  and s_trace = Array.make runs 0. in
+  for r = 0 to runs - 1 do
+    s_off.(r) <- time_wall obs_reps gen_target;
+    Obs.enable ();
+    s_stats.(r) <- time_wall obs_reps gen_target;
+    Obs.disable ();
+    Obs.reset ();
+    Trace.start ~file:trace_tmp;
+    s_trace.(r) <- time_wall obs_reps gen_target;
+    Trace.finish ()
+  done;
+  let median a =
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let t_off = median s_off in
+  let t_stats = median s_stats in
+  let t_trace = median s_trace in
   (try Sys.remove trace_tmp with Sys_error _ -> ());
   let pct t = (t -. t_off) /. t_off *. 100. in
   Printf.printf

@@ -43,6 +43,13 @@ val ensure : int -> unit
 val size : unit -> int
 (** Workers currently alive. *)
 
+val worker_index : unit -> int
+(** A small dense index for the calling domain, assigned on first use —
+    the key of the fused kernel's per-domain workspace pools
+    ({!Symref_linalg.Kernel.Pool}).  Pool workers claim theirs at spawn, so
+    long-lived domains occupy the low indices; the main domain gets one on
+    its first evaluation. *)
+
 val shutdown : unit -> unit
 (** Join every worker (also runs automatically at exit).  The pool can be
     used again afterwards; the next {!parallel} respawns workers. *)

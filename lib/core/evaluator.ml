@@ -14,6 +14,7 @@ type t = {
   name : string;
   counter : int Atomic.t;
   guarded : bool;
+  kernel : bool;
 }
 
 (* Fault hooks shared by the nodal constructors.  NaN poisoning corrupts
@@ -45,6 +46,7 @@ let of_nodal problem ~num =
     name = (if num then "num" else "den");
     counter;
     guarded = true;
+    kernel = Nodal.kernel_enabled problem;
   }
 
 type shared = { snum : t; sden : t; factorizations : unit -> int; hits : unit -> int }
@@ -107,6 +109,7 @@ let of_nodal_shared problem =
       name = (if num then "num" else "den");
       counter;
       guarded = true;
+      kernel = Nodal.kernel_enabled problem;
     }
   in
   {
@@ -133,6 +136,16 @@ let of_epoly ?(name = "poly") ~gdeg ~f0 ~g0 p =
     in
     Epoly.eval (Epoly.of_coeffs scaled) (Ec.of_complex s)
   in
-  { eval; gdeg; order_bound = Epoly.degree p; f0; g0; name; counter; guarded = false }
+  {
+    eval;
+    gdeg;
+    order_bound = Epoly.degree p;
+    f0;
+    g0;
+    name;
+    counter;
+    guarded = false;
+    kernel = false;
+  }
 
 let eval_count t = Atomic.get t.counter

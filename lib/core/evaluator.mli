@@ -30,6 +30,12 @@ type t = {
           evaluations at perturbed points; synthetic {!of_epoly} evaluators
           are unguarded, so legitimate roots on the unit circle are never
           perturbed. *)
+  kernel : bool;
+      (** [true] when evaluations may run through the fused unboxed
+          refactor+solve kernel ({!Symref_linalg.Kernel}) — a pure cost
+          property ({!Symref_mna.Nodal.kernel_enabled}); results are
+          bit-identical either way.  Surfaced in trace spans and bench
+          reports. *)
 }
 
 val of_nodal : Symref_mna.Nodal.t -> num:bool -> t

@@ -65,6 +65,7 @@ let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
         ("base", string_of_int base);
         ("domains", string_of_int domains);
         ("evaluator", ev.Evaluator.name);
+        ("kernel", string_of_bool ev.Evaluator.kernel);
       ]
     "interp.batch"
   @@ fun () ->

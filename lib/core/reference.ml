@@ -22,14 +22,15 @@ type t = {
    split inside {!Symref_mna.Nodal.make}.  Both switches change cost only,
    never values. *)
 let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
-    ?check circuit ~input ~output =
-  let problem = Nodal.make ~reuse circuit ~input ~output in
+    ?kernel ?check circuit ~input ~output =
+  let problem = Nodal.make ~reuse ?kernel circuit ~input ~output in
   Tr.span ~cat:"reference"
     ~args:
       [
         ("dim", string_of_int (Nodal.dimension problem));
         ("share", string_of_bool share);
         ("reuse", string_of_bool reuse);
+        ("kernel", string_of_bool (Nodal.kernel_enabled problem));
       ]
     "reference.generate"
   @@ fun () ->

@@ -21,6 +21,7 @@ val generate :
   ?config:Adaptive.config ->
   ?share:bool ->
   ?reuse:bool ->
+  ?kernel:bool ->
   ?check:(unit -> unit) ->
   Symref_circuit.Netlist.t ->
   input:Symref_mna.Nodal.input ->
@@ -30,8 +31,11 @@ val generate :
     [share] (default [true]) lets the two runs draw from one memoised
     evaluation per point — one factorisation yields both values (eq. 8-10);
     [reuse] (default [true]) enables the symbolic/numeric factorisation
-    split per scale pair (see {!Symref_mna.Nodal.make}).  Both are pure
-    cost switches: the returned coefficients are identical either way.
+    split per scale pair (see {!Symref_mna.Nodal.make}); [kernel] (default
+    [true] unless [SYMREF_NO_KERNEL] is set) runs replays through the
+    fused unboxed refactor+solve engine on per-domain workspaces
+    ({!Symref_linalg.Kernel}).  All are pure cost switches: the returned
+    coefficients are identical either way.
     [check] is a cooperative-cancellation hook run before {e every}
     evaluation (one LU decomposition each): raising from it aborts the
     generation with that exception — {!Symref_serve} uses it to enforce

@@ -1,0 +1,398 @@
+module Ec = Symref_numeric.Extcomplex
+module Obs = Symref_obs.Metrics
+module Tr = Symref_obs.Trace
+module Inject = Symref_fault.Inject
+
+(* The fused refactor+solve execution engine.
+
+   [Sparse.refactor] already performs its elimination on flat [re]/[im]
+   float arrays, but then round-trips through a boxed [factor] (boxed
+   [Complex.t] per multiplier, nested [upper] arrays built by [Array.init]
+   closures) that [Sparse.solve] immediately unboxes again.  This module
+   replays the same recorded elimination program {e and} the forward/back
+   substitution directly on the flat workspaces: the boxed factor never
+   exists on the hot path, the multipliers are never stored (the RHS
+   forward elimination is fused into the step that computes each
+   multiplier), and a [workspace] is allocated once per (pattern, domain)
+   and reused across points and passes — the inner loop allocates nothing.
+
+   Bit-identity contract: every float operation below mirrors the boxed
+   [Sparse.refactor] + [Sparse.solve] + [Extcomplex] chain in the same
+   order with the same formulas, so the kernel's determinant and solution
+   are bit-for-bit the boxed path's.  Guard behaviour is mirrored too:
+   the [Inject.sparse_singular] hook fires at the same place, and the
+   threshold-floor / non-finite-pivot checks bail out exactly where
+   [refactor] would return [None]. *)
+
+type program = {
+  n : int;  (* matrix dimension *)
+  nslots : int;  (* workspace slots, structural fill included *)
+  sign : int;  (* permutation sign of the pivot orders *)
+  threshold : float;  (* threshold-pivoting floor parameter *)
+  coo_slot : int array;  (* values index -> slot (the scatter map) *)
+  pivot_rows : int array;  (* step -> original row *)
+  pivot_cols : int array;  (* step -> original column *)
+  pivot_slot : int array;  (* step -> slot of the pivot *)
+  u_cols : int array array;  (* step -> original column per U entry *)
+  u_slots : int array array;  (* step -> slot per U entry *)
+  elim_row : int array array;  (* step -> row id per eliminated row *)
+  elim_a_slot : int array array;  (* step -> slot of (row, pivot col) *)
+  elim_upd : int array array array;
+      (* step -> target -> destination slot per U entry *)
+  lower_len : int;
+  fill : int;
+}
+
+type workspace = {
+  prog : program;
+  re : float array;  (* nslots: matrix values, then L/U after [run] *)
+  im : float array;
+  y_re : float array;  (* n, by original row: RHS, then L^-1 RHS *)
+  y_im : float array;
+  x_re : float array;  (* n, by original column: the solution *)
+  x_im : float array;
+  det_m : float array;  (* length 2: determinant mantissa (re, im) *)
+  mutable det_e : int;  (* determinant binary exponent *)
+  mutable busy : bool;  (* checked out (same-domain reentrancy guard) *)
+  scratch : float array;  (* length 1: loop-carried row maximum *)
+}
+
+let program ws = ws.prog
+
+let workspace prog =
+  Obs.incr Obs.kernel_workspaces;
+  {
+    prog;
+    re = Array.make prog.nslots 0.;
+    im = Array.make prog.nslots 0.;
+    y_re = Array.make prog.n 0.;
+    y_im = Array.make prog.n 0.;
+    x_re = Array.make prog.n 0.;
+    x_im = Array.make prog.n 0.;
+    det_m = [| 0.; 0. |];
+    det_e = 0;
+    busy = false;
+    scratch = [| 0. |];
+  }
+
+let begin_point ws =
+  Array.fill ws.re 0 (Array.length ws.re) 0.;
+  Array.fill ws.im 0 (Array.length ws.im) 0.;
+  Array.fill ws.y_re 0 (Array.length ws.y_re) 0.;
+  Array.fill ws.y_im 0 (Array.length ws.y_im) 0.
+
+let[@inline] set_slot ws slot ~re ~im =
+  ws.re.(slot) <- re;
+  ws.im.(slot) <- im
+
+let[@inline] set_value ws e ~re ~im = set_slot ws ws.prog.coo_slot.(e) ~re ~im
+
+let[@inline] set_rhs ws row ~re ~im =
+  ws.y_re.(row) <- re;
+  ws.y_im.(row) <- im
+
+(* Raw buffer access for hot-path scatters: a cross-module call to the
+   setters above boxes its float arguments (no flambda), so allocation-free
+   callers store into the flat arrays directly. *)
+let matrix_re ws = ws.re
+let matrix_im ws = ws.im
+let rhs_buf_re ws = ws.y_re
+let rhs_buf_im ws = ws.y_im
+
+(* [snd (Float.frexp a)] for finite [a >= 0.], allocation-free
+   ([Float.frexp] boxes a tuple on every call).  Scaling by a power of two
+   is exact, so the exponent — and the mantissa [Float.ldexp a (-e)] the
+   caller derives from it — is bit-for-bit what [frexp] computes.  The
+   [512] step runs twice so deep subnormals (down to [2^-1074]) reach the
+   [[2^-512, 2^512)] band the cascade then narrows to [[0.5, 2)]. *)
+let[@inline always] frexp_exp a =
+  let x = if a >= 0x1p512 then a *. 0x1p-512 else if a < 0x1p-512 then a *. 0x1p512 else a in
+  let e = if a >= 0x1p512 then 512 else if a < 0x1p-512 then -512 else 0 in
+  let e = if x >= 0x1p512 then e + 512 else if x < 0x1p-512 then e - 512 else e in
+  let x = if x >= 0x1p512 then x *. 0x1p-512 else if x < 0x1p-512 then x *. 0x1p512 else x in
+  let e = if x >= 0x1p256 then e + 256 else if x < 0x1p-256 then e - 256 else e in
+  let x = if x >= 0x1p256 then x *. 0x1p-256 else if x < 0x1p-256 then x *. 0x1p256 else x in
+  let e = if x >= 0x1p128 then e + 128 else if x < 0x1p-128 then e - 128 else e in
+  let x = if x >= 0x1p128 then x *. 0x1p-128 else if x < 0x1p-128 then x *. 0x1p128 else x in
+  let e = if x >= 0x1p64 then e + 64 else if x < 0x1p-64 then e - 64 else e in
+  let x = if x >= 0x1p64 then x *. 0x1p-64 else if x < 0x1p-64 then x *. 0x1p64 else x in
+  let e = if x >= 0x1p32 then e + 32 else if x < 0x1p-32 then e - 32 else e in
+  let x = if x >= 0x1p32 then x *. 0x1p-32 else if x < 0x1p-32 then x *. 0x1p32 else x in
+  let e = if x >= 0x1p16 then e + 16 else if x < 0x1p-16 then e - 16 else e in
+  let x = if x >= 0x1p16 then x *. 0x1p-16 else if x < 0x1p-16 then x *. 0x1p16 else x in
+  let e = if x >= 0x1p8 then e + 8 else if x < 0x1p-8 then e - 8 else e in
+  let x = if x >= 0x1p8 then x *. 0x1p-8 else if x < 0x1p-8 then x *. 0x1p8 else x in
+  let e = if x >= 0x1p4 then e + 4 else if x < 0x1p-4 then e - 4 else e in
+  let x = if x >= 0x1p4 then x *. 0x1p-4 else if x < 0x1p-4 then x *. 0x1p4 else x in
+  let e = if x >= 0x1p2 then e + 2 else if x < 0x1p-2 then e - 2 else e in
+  let x = if x >= 0x1p2 then x *. 0x1p-2 else if x < 0x1p-2 then x *. 0x1p2 else x in
+  let e = if x >= 2. then e + 1 else if x < 0.5 then e - 1 else e in
+  let x = if x >= 2. then x *. 0.5 else if x < 0.5 then x *. 2. else x in
+  if x >= 1. then e + 1 else e
+
+exception Bail
+
+(* The fused replay.  Identical arithmetic to [Sparse.refactor] step for
+   step; the only additions are (a) the RHS forward elimination folded into
+   each multiplier — reading the pivot row's RHS, which is frozen once its
+   step runs, so the update sequence per row is exactly the boxed
+   [Sparse.solve] lower replay — and (b) the determinant accumulated
+   per step as an unboxed mirror of
+   [Ec.mul acc (Ec.of_complex pivot)] instead of a post-hoc fold. *)
+let run_fused ws =
+  let p = ws.prog in
+  let re = ws.re and im = ws.im in
+  let y_re = ws.y_re and y_im = ws.y_im in
+  let det_m = ws.det_m and scratch = ws.scratch in
+  let n = p.n in
+  (* det := Ec.one = { c = (0.5, 0.); e = 1 }. *)
+  det_m.(0) <- 0.5;
+  det_m.(1) <- 0.;
+  ws.det_e <- 1;
+  try
+    for step = 0 to n - 1 do
+      let ps = p.pivot_slot.(step) in
+      let pr = re.(ps) and pim = im.(ps) in
+      let pmag = Float.hypot pr pim in
+      (* Threshold floor: the pivot must still dominate its remaining row
+         the way Markowitz + threshold pivoting would have required.  A
+         non-finite pivot (NaN-contaminated values) bails out too: NaN
+         compares false against the floor, and the full search degrades to
+         a clean singular result where a replay would feed NaN downstream. *)
+      let us = p.u_slots.(step) in
+      (* Unsafe accesses below: every index comes straight out of the
+         recorded elimination program, whose construction in
+         [Sparse.symbolic] guarantees slots < nslots and rows < n —
+         bounds checks in these innermost loops are pure overhead. *)
+      scratch.(0) <- pmag;
+      for idx = 0 to Array.length us - 1 do
+        let s = Array.unsafe_get us idx in
+        let m = Float.hypot (Array.unsafe_get re s) (Array.unsafe_get im s) in
+        if m > scratch.(0) then scratch.(0) <- m
+      done;
+      if pmag = 0. || (not (Float.is_finite pmag)) || pmag < p.threshold *. scratch.(0)
+      then raise Bail;
+      let den = (pr *. pr) +. (pim *. pim) in
+      let targets = p.elim_row.(step) in
+      let a_slots = p.elim_a_slot.(step) in
+      let upds = p.elim_upd.(step) in
+      let prow = p.pivot_rows.(step) in
+      let pyr = y_re.(prow) and pyi = y_im.(prow) in
+      for t = 0 to Array.length targets - 1 do
+        let a = Array.unsafe_get a_slots t in
+        let ar = Array.unsafe_get re a and ai = Array.unsafe_get im a in
+        (* m = a / pivot, unboxed (same naive quotient as refactor). *)
+        let mr = ((ar *. pr) +. (ai *. pim)) /. den
+        and mi = ((ai *. pr) -. (ar *. pim)) /. den in
+        (* Fused forward elimination: y_i -= m * y_pivot, the boxed
+           [solve]'s lower replay without ever storing the multiplier. *)
+        let i = Array.unsafe_get targets t in
+        Array.unsafe_set y_re i
+          (Array.unsafe_get y_re i -. ((mr *. pyr) -. (mi *. pyi)));
+        Array.unsafe_set y_im i
+          (Array.unsafe_get y_im i -. ((mr *. pyi) +. (mi *. pyr)));
+        let upd = Array.unsafe_get upds t in
+        for idx = 0 to Array.length us - 1 do
+          let s = Array.unsafe_get us idx in
+          let ur = Array.unsafe_get re s and ui = Array.unsafe_get im s in
+          let d = Array.unsafe_get upd idx in
+          Array.unsafe_set re d
+            (Array.unsafe_get re d -. ((mr *. ur) -. (mi *. ui)));
+          Array.unsafe_set im d
+            (Array.unsafe_get im d -. ((mr *. ui) +. (mi *. ur)))
+        done
+      done;
+      (* det := det * pivot — [Ec.mul acc (Ec.of_complex pv)] unboxed:
+         normalise the pivot mantissa, multiply, renormalise. *)
+      let pa =
+        let apr = Float.abs pr and api = Float.abs pim in
+        if apr >= api then apr else api
+      in
+      let dep = frexp_exp pa in
+      let pmr = Float.ldexp pr (-dep) and pmi = Float.ldexp pim (-dep) in
+      let ar = det_m.(0) and ai = det_m.(1) in
+      let prr = (ar *. pmr) -. (ai *. pmi) in
+      let pri = (ar *. pmi) +. (ai *. pmr) in
+      let ma =
+        let apr = Float.abs prr and api = Float.abs pri in
+        if apr >= api then apr else api
+      in
+      if ma = 0. then begin
+        det_m.(0) <- 0.;
+        det_m.(1) <- 0.;
+        ws.det_e <- 0
+      end
+      else begin
+        let dem = frexp_exp ma in
+        det_m.(0) <- Float.ldexp prr (-dem);
+        det_m.(1) <- Float.ldexp pri (-dem);
+        ws.det_e <- ws.det_e + dep + dem
+      end
+    done;
+    if p.sign < 0 then begin
+      (* [Ec.neg]: mantissa negated, exponent untouched. *)
+      det_m.(0) <- -.det_m.(0);
+      det_m.(1) <- -.det_m.(1)
+    end;
+    true
+  with Bail -> false
+
+let run ws =
+  (* Same site, same budget as [Sparse.refactor]'s injection check, so an
+     armed fault plan consumes hits identically on either path.  Like the
+     boxed refactor, an injected singular is *not* a threshold fallback —
+     [refactor_fallbacks] stays untouched; only the kernel-local counter
+     records that this point left the fused path. *)
+  if Inject.fire Inject.sparse_singular then begin
+    Obs.incr Obs.kernel_fallbacks;
+    false
+  end
+  else begin
+    let ok =
+      if Tr.is_on () then Tr.span ~cat:"lu" "lu.kernel" (fun () -> run_fused ws)
+      else run_fused ws
+    in
+    if ok then begin
+      (* The kernel run IS the numeric refactorisation: count it under the
+         same catalogue entry so `replays + fallbacks = memo misses` keeps
+         holding whichever engine served the point. *)
+      Obs.incr Obs.lu_refactor;
+      Obs.incr Obs.kernel_points
+    end
+    else begin
+      Obs.incr Obs.refactor_fallbacks;
+      Obs.incr Obs.kernel_fallbacks
+    end;
+    ok
+  end
+
+let det_is_zero ws = ws.det_m.(0) = 0. && ws.det_m.(1) = 0.
+
+let det ws =
+  (* The stored mantissa is already normalised (it came out of the unboxed
+     [norm_mantissa] mirror above), so [Ec.make] reconstructs the exact
+     record the boxed fold produces. *)
+  Ec.make ~c:{ Complex.re = ws.det_m.(0); im = ws.det_m.(1) } ~e:ws.det_e
+
+(* Back substitution, accumulated in the solution arrays themselves: each
+   step's partial sums land in [x.(pivot_col)] — written by this step only —
+   so no register-like temporaries (which would box) are needed.  The final
+   division replicates [Complex.div]'s Smith's algorithm branch for branch. *)
+let solve_into ws =
+  let p = ws.prog in
+  let re = ws.re and im = ws.im in
+  let y_re = ws.y_re and y_im = ws.y_im in
+  let x_re = ws.x_re and x_im = ws.x_im in
+  for k = p.n - 1 downto 0 do
+    let prow = p.pivot_rows.(k) in
+    let pc = p.pivot_cols.(k) in
+    x_re.(pc) <- y_re.(prow);
+    x_im.(pc) <- y_im.(prow);
+    let cols = p.u_cols.(k) and slots = p.u_slots.(k) in
+    (* Program-derived indices, as in the replay above: unchecked. *)
+    for idx = 0 to Array.length cols - 1 do
+      let j = Array.unsafe_get cols idx in
+      let s = Array.unsafe_get slots idx in
+      let ur = Array.unsafe_get re s and ui = Array.unsafe_get im s in
+      let xr = Array.unsafe_get x_re j and xi = Array.unsafe_get x_im j in
+      x_re.(pc) <- x_re.(pc) -. ((ur *. xr) -. (ui *. xi));
+      x_im.(pc) <- x_im.(pc) -. ((ur *. xi) +. (ui *. xr))
+    done;
+    let ps = p.pivot_slot.(k) in
+    let pr = re.(ps) and pim = im.(ps) in
+    let ar = x_re.(pc) and ai = x_im.(pc) in
+    if Float.abs pr >= Float.abs pim then begin
+      let r = pim /. pr in
+      let d = pr +. (r *. pim) in
+      x_re.(pc) <- (ar +. (r *. ai)) /. d;
+      x_im.(pc) <- (ai -. (r *. ar)) /. d
+    end
+    else begin
+      let r = pr /. pim in
+      let d = pim +. (r *. pr) in
+      x_re.(pc) <- ((r *. ar) +. ai) /. d;
+      x_im.(pc) <- ((r *. ai) -. ar) /. d
+    end
+  done
+
+let solution_re ws = ws.x_re
+let solution_im ws = ws.x_im
+
+(* --- Per-domain workspace pooling ----------------------------------------
+
+   Workspaces are mutable scratch state: one per (pattern, domain).  Each
+   domain gets a dense small index on first use ([Domain_pool] workers touch
+   theirs at spawn), indexing a copy-on-write slot table per pool.  Only the
+   owning domain ever touches its slot, so the unlocked fast path is
+   race-free; growth serialises on a mutex and publishes a fresh array.
+   The [busy] flag guards same-domain reentrancy (systhreads running jobs on
+   one domain): a busy or over-cap checkout returns [None] and the caller
+   uses the boxed path, which is bit-identical, so pooling pressure is
+   invisible in results. *)
+
+let next_index = Atomic.make 0
+let index_key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add next_index 1)
+let domain_index () = Domain.DLS.get index_key
+
+let try_acquire ws =
+  if ws.busy then false
+  else begin
+    ws.busy <- true;
+    true
+  end
+
+let release ws = ws.busy <- false
+
+module Pool = struct
+  type t = {
+    p_prog : program;
+    slots : workspace option array Atomic.t;
+    grow : Mutex.t;
+  }
+
+  (* Spawn-strategy interpolation creates fresh domains per pass, so domain
+     indices can grow without bound; beyond the cap a point simply takes the
+     boxed path instead of leaking workspaces. *)
+  let max_slots = 64
+
+  let create prog = { p_prog = prog; slots = Atomic.make [||]; grow = Mutex.create () }
+
+  let slot_workspace pl idx =
+    let arr = Atomic.get pl.slots in
+    if idx < Array.length arr && arr.(idx) <> None then arr.(idx)
+    else begin
+      Mutex.lock pl.grow;
+      let arr = Atomic.get pl.slots in
+      let arr =
+        if idx < Array.length arr then arr
+        else begin
+          let bigger =
+            Array.make (Int.min max_slots (Int.max (idx + 1) ((2 * Array.length arr) + 1))) None
+          in
+          Array.blit arr 0 bigger 0 (Array.length arr);
+          Atomic.set pl.slots bigger;
+          bigger
+        end
+      in
+      let ws =
+        match arr.(idx) with
+        | Some ws -> ws
+        | None ->
+            let ws = workspace pl.p_prog in
+            arr.(idx) <- Some ws;
+            ws
+      in
+      Mutex.unlock pl.grow;
+      Some ws
+    end
+
+  let checkout pl =
+    let idx = domain_index () in
+    if idx >= max_slots then None
+    else
+      match slot_workspace pl idx with
+      | None -> None
+      | Some ws -> if try_acquire ws then Some ws else None
+
+  let release = release
+end

@@ -1,0 +1,148 @@
+(** Fused unboxed refactor+solve execution engine.
+
+    {!Sparse.refactor} replays a recorded elimination program on flat float
+    arrays but then materialises a boxed factor that {!Sparse.solve}
+    immediately unboxes again.  This module runs the {e same} program plus
+    the forward/back substitution directly on preallocated flat [re]/[im]
+    workspaces: no boxed factor, no stored multipliers (the RHS forward
+    elimination is fused into multiplier computation), and zero heap
+    allocation per point once a workspace exists.
+
+    Bit-identity contract: {!run}, {!det} and {!solve_into} perform exactly
+    the float operations of the boxed
+    [Sparse.refactor] → [Sparse.det] → [Sparse.solve] chain, in the same
+    order — results are bit-for-bit identical, and the threshold-floor
+    bailout, non-finite-pivot degradation and
+    [Inject.sparse_singular] fault hook behave identically, so the boxed
+    path remains a semantically invisible fallback.
+
+    Typical use per evaluation point: {!Pool.checkout} (or a dedicated
+    {!workspace}), {!begin_point}, scatter with {!set_value}/{!set_rhs},
+    {!run}; on success read {!det} and, unless {!det_is_zero}, call
+    {!solve_into} and read {!solution_re}/{!solution_im}; finally
+    {!Pool.release}. *)
+
+type program = {
+  n : int;  (** matrix dimension *)
+  nslots : int;  (** workspace slots, structural fill included *)
+  sign : int;  (** permutation sign of the pivot orders *)
+  threshold : float;  (** threshold-pivoting floor parameter *)
+  coo_slot : int array;  (** values index -> slot (the scatter map) *)
+  pivot_rows : int array;  (** step -> original row *)
+  pivot_cols : int array;  (** step -> original column *)
+  pivot_slot : int array;  (** step -> slot of the pivot *)
+  u_cols : int array array;  (** step -> original column per U entry *)
+  u_slots : int array array;  (** step -> slot per U entry *)
+  elim_row : int array array;  (** step -> row id per eliminated row *)
+  elim_a_slot : int array array;  (** step -> slot of (row, pivot col) *)
+  elim_upd : int array array array;
+      (** step -> target -> destination slot per U entry (aligned with
+          [u_slots]) *)
+  lower_len : int;  (** multipliers the boxed path would store *)
+  fill : int;  (** structural fill-in *)
+}
+(** The recorded elimination program — the value-independent half of a
+    factorisation, shared with {!Sparse.pattern}
+    (see {!Sparse.pattern_program}). *)
+
+type workspace
+(** Flat preallocated scratch state for one (program, domain): matrix
+    slots, RHS and solution buffers, determinant accumulator. *)
+
+val workspace : program -> workspace
+(** Allocate a fresh workspace (counted by [kernel.workspaces]). *)
+
+val program : workspace -> program
+
+val begin_point : workspace -> unit
+(** Zero the matrix and RHS buffers for a new evaluation point. *)
+
+val set_value : workspace -> int -> re:float -> im:float -> unit
+(** [set_value ws e ~re ~im] stores the value of structural entry [e] (in
+    {!Sparse.pattern_coords} order — the scatter {!Sparse.refactor} applies
+    to its [values] argument). *)
+
+val set_slot : workspace -> int -> re:float -> im:float -> unit
+(** Store directly by workspace slot (callers that precompose the
+    coordinate-to-slot map skip the [coo_slot] indirection). *)
+
+val set_rhs : workspace -> int -> re:float -> im:float -> unit
+(** [set_rhs ws row ~re ~im] stores the right-hand side for an original
+    row. *)
+
+val matrix_re : workspace -> float array
+val matrix_im : workspace -> float array
+(** The raw slot-indexed matrix buffers (what {!set_slot} writes into).
+    Hot-path scatter loops store into these directly: without flambda a
+    cross-module [set_slot] call boxes its float arguments, and the whole
+    point of the kernel is an allocation-free inner loop.  Write only
+    between {!begin_point} and {!run}, at indices below the program's
+    [nslots]. *)
+
+val rhs_buf_re : workspace -> float array
+val rhs_buf_im : workspace -> float array
+(** The raw row-indexed right-hand-side buffers behind {!set_rhs}, under
+    the same direct-store contract as {!matrix_re}. *)
+
+val run : workspace -> bool
+(** Replay the elimination program on the scattered values, fusing the RHS
+    forward elimination.  [false] exactly when {!Sparse.refactor} would
+    return [None]: a reused pivot is zero, non-finite, or under the
+    threshold-pivoting floor — or the [sparse.singular] fault fired (the
+    hook consumes one hit here just as [refactor] does).  Counts a success
+    under [lu.refactor] + [kernel.points] and a threshold bailout under
+    [lu.refactor_fallback] + [kernel.fallback], mirroring the boxed path's
+    accounting; an injected singular counts only [kernel.fallback], since
+    the boxed refactor's injection path increments nothing.
+    Allocation-free in the steady state (a trace span is built only while
+    tracing is on). *)
+
+val frexp_exp : float -> int
+(** [snd (Float.frexp a)] for finite [a >= 0.], allocation-free
+    ([Float.frexp] boxes a tuple per call) — the determinant accumulator's
+    normalisation step.  Exposed so the test suite can check it against
+    [Float.frexp] across the full range, subnormals included. *)
+
+val det : workspace -> Symref_numeric.Extcomplex.t
+(** Determinant of the last successful {!run}: product of the pivots times
+    the permutation sign, accumulated without ever storing the lower
+    multipliers — bit-identical to [Sparse.det (Sparse.refactor ...)]. *)
+
+val det_is_zero : workspace -> bool
+(** Allocation-free [Ec.is_zero (det ws)]. *)
+
+val solve_into : workspace -> unit
+(** Back substitution into the preallocated solution buffers (the forward
+    half already happened inside {!run}).  Only meaningful after a
+    successful {!run} with a non-zero determinant. *)
+
+val solution_re : workspace -> float array
+val solution_im : workspace -> float array
+(** The solution by original column index, valid until the next
+    {!begin_point}.  These are the workspace's own buffers: read, don't
+    keep. *)
+
+(** {1 Per-domain indexing and pooling} *)
+
+val domain_index : unit -> int
+(** A small dense index for the calling domain, assigned on first use
+    (re-exported as {!Symref_core.Domain_pool.worker_index}; pool workers
+    touch theirs at spawn so long-lived domains get the low indices). *)
+
+val try_acquire : workspace -> bool
+(** Check the workspace out ([false] if already checked out — e.g. a
+    systhread re-entering on the same domain). *)
+
+val release : workspace -> unit
+
+(** A per-domain workspace pool for one program: each domain lazily gets
+    its own workspace, indexed by {!domain_index} in a copy-on-write table.
+    Checkout fails (→ caller takes the bit-identical boxed path) when the
+    index exceeds the table cap or the domain's workspace is busy. *)
+module Pool : sig
+  type t
+
+  val create : program -> t
+  val checkout : t -> workspace option
+  val release : workspace -> unit
+end

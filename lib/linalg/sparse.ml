@@ -16,7 +16,11 @@ let add b i j v =
     invalid_arg "Sparse.add: index out of range";
   let row = b.rows.(i) in
   match Hashtbl.find_opt row j with
-  | None -> if v <> Complex.zero then Hashtbl.replace row j v
+  | None ->
+      (* Component tests instead of the polymorphic [<> Complex.zero]: one
+         [caml_compare] call per stamped entry, for two float compares.
+         Identical semantics ([-0.] equal, NaN entries kept either way). *)
+      if v.Complex.re <> 0. || v.Complex.im <> 0. then Hashtbl.replace row j v
   | Some old -> Hashtbl.replace row j (Complex.add old v)
 
 let dimension b = b.n
@@ -195,7 +199,10 @@ let factor ?(pivot_threshold = 0.1) (b : builder) =
                        let upd = Complex.neg (Complex.mul m u) in
                        match Hashtbl.find_opt rows.(i) j with
                        | None ->
-                           if upd <> Complex.zero then begin
+                           (* Innermost loop: component tests instead of a
+                              polymorphic-compare call, same semantics. *)
+                           if upd.Complex.re <> 0. || upd.Complex.im <> 0.
+                           then begin
                              Hashtbl.replace rows.(i) j upd;
                              col_count.(j) <- col_count.(j) + 1;
                              row_count.(i) <- row_count.(i) + 1;
@@ -203,7 +210,7 @@ let factor ?(pivot_threshold = 0.1) (b : builder) =
                            end
                        | Some w ->
                            let nv = Complex.add w upd in
-                           if nv = Complex.zero then begin
+                           if nv.Complex.re = 0. && nv.Complex.im = 0. then begin
                              (* Exact cancellation: keeping a stored zero
                                 would inflate the Markowitz row/column
                                 counts and skew later pivot choices. *)
@@ -248,32 +255,23 @@ let fill_in f = f.fill_in
    [G + sC] is the same at every interpolation point, so the ordering work
    is paid once per scale pair instead of once per point. *)
 
+module Kernel = Kernel
+
+(* The slot layout and elimination program live in {!Kernel.program} — the
+   fused execution engine replays them without this module — while the
+   pattern keeps the coordinate list that defines {!refactor}'s [values]
+   order. *)
 type pattern = {
-  pn : int;
-  p_pivot_rows : int array;
-  p_pivot_cols : int array;
-  p_sign : int;  (* permutation sign of the pivot orders *)
-  p_threshold : float;
-  nslots : int;
+  prog : Kernel.program;
   coo_rows : int array;  (* values index -> original row *)
   coo_cols : int array;  (* values index -> original column *)
-  coo_slot : int array;  (* values index -> slot *)
-  pivot_slot : int array;  (* step -> slot of the pivot *)
-  u_cols : int array array;  (* step -> original column per U entry *)
-  u_slots : int array array;  (* step -> slot per U entry *)
-  elim_row : int array array;  (* step -> row id per eliminated row *)
-  elim_a_slot : int array array;  (* step -> slot of (row, pivot col) *)
-  elim_upd : int array array array;
-      (* step -> target -> destination slot per U entry (aligned with
-         [u_slots]); fill-in destinations are slots >= the structural count *)
-  p_lower_len : int;
-  p_fill : int;
 }
 
-let pattern_dimension p = p.pn
+let pattern_program p = p.prog
+let pattern_dimension p = p.prog.Kernel.n
 let pattern_nnz p = Array.length p.coo_rows
 let pattern_coords p = Array.init (Array.length p.coo_rows) (fun e -> (p.coo_rows.(e), p.coo_cols.(e)))
-let pattern_stats p = (p.nslots, p.p_fill)
+let pattern_stats p = (p.prog.Kernel.nslots, p.prog.Kernel.fill)
 
 (* Symbolic analysis: one full Markowitz factorisation that additionally
    records the slot layout and elimination program.  Unlike {!factor}, exact
@@ -460,25 +458,30 @@ let symbolic ?(pivot_threshold = 0.1) (b : builder) =
         singular = false;
       }
     in
-    let pat =
+    let prog =
       {
-        pn = n;
-        p_pivot_rows = pivot_rows;
-        p_pivot_cols = pivot_cols;
-        p_sign = sign;
-        p_threshold = pivot_threshold;
+        Kernel.n;
         nslots = !next_slot;
-        coo_rows = Array.of_list (List.rev !coo_rows);
-        coo_cols = Array.of_list (List.rev !coo_cols);
+        sign;
+        threshold = pivot_threshold;
         coo_slot = Array.of_list (List.rev !coo_slot);
+        pivot_rows;
+        pivot_cols;
         pivot_slot;
         u_cols;
         u_slots;
         elim_row;
         elim_a_slot;
         elim_upd;
-        p_lower_len = !lower_len;
-        p_fill = !fill;
+        lower_len = !lower_len;
+        fill = !fill;
+      }
+    in
+    let pat =
+      {
+        prog;
+        coo_rows = Array.of_list (List.rev !coo_rows);
+        coo_cols = Array.of_list (List.rev !coo_cols);
       }
     in
     Some (pat, fct)
@@ -490,32 +493,33 @@ let symbolic ?(pivot_threshold = 0.1) (b : builder) =
    threshold-pivoting floor relative to its remaining row, so accuracy never
    regresses versus from-scratch pivoting. *)
 let refactor (p : pattern) (values : Complex.t array) =
-  if Array.length values <> Array.length p.coo_slot then
+  let q = p.prog in
+  if Array.length values <> Array.length q.Kernel.coo_slot then
     invalid_arg "Sparse.refactor: values length does not match pattern";
   Tr.span ~cat:"lu" "lu.refactor" @@ fun () ->
   if Inject.fire Inject.sparse_singular then None
     (* as if a reused pivot hit the threshold floor: caller falls back *)
   else
-  let re = Array.make p.nslots 0. and im = Array.make p.nslots 0. in
+  let re = Array.make q.Kernel.nslots 0. and im = Array.make q.Kernel.nslots 0. in
   Array.iteri
     (fun e (v : Complex.t) ->
-      let s = p.coo_slot.(e) in
+      let s = q.Kernel.coo_slot.(e) in
       re.(s) <- v.Complex.re;
       im.(s) <- v.Complex.im)
     values;
-  let n = p.pn in
-  let lower = Array.make p.p_lower_len (0, 0, Complex.zero) in
+  let n = q.Kernel.n in
+  let lower = Array.make q.Kernel.lower_len (0, 0, Complex.zero) in
   let lpos = ref 0 in
   let ok = ref true in
   let k = ref 0 in
   while !ok && !k < n do
     let step = !k in
-    let ps = p.pivot_slot.(step) in
+    let ps = q.Kernel.pivot_slot.(step) in
     let pr = re.(ps) and pim = im.(ps) in
     let pmag = Float.hypot pr pim in
     (* Threshold floor: the pivot must still dominate its remaining row the
        way Markowitz + threshold pivoting would have required. *)
-    let us = p.u_slots.(step) in
+    let us = q.Kernel.u_slots.(step) in
     let rmax = ref pmag in
     Array.iter
       (fun s ->
@@ -525,13 +529,13 @@ let refactor (p : pattern) (values : Complex.t array) =
     (* A non-finite pivot (NaN-contaminated values) must also bail out: NaN
        compares false against the floor, and the full search degrades to a
        clean singular result where the replay would feed NaN downstream. *)
-    if pmag = 0. || (not (Float.is_finite pmag)) || pmag < p.p_threshold *. !rmax
+    if pmag = 0. || (not (Float.is_finite pmag)) || pmag < q.Kernel.threshold *. !rmax
     then ok := false
     else begin
       let den = (pr *. pr) +. (pim *. pim) in
-      let targets = p.elim_row.(step) in
-      let a_slots = p.elim_a_slot.(step) in
-      let upds = p.elim_upd.(step) in
+      let targets = q.Kernel.elim_row.(step) in
+      let a_slots = q.Kernel.elim_a_slot.(step) in
+      let upds = q.Kernel.elim_upd.(step) in
       for t = 0 to Array.length targets - 1 do
         let a = a_slots.(t) in
         let ar = re.(a) and ai = im.(a) in
@@ -563,12 +567,12 @@ let refactor (p : pattern) (values : Complex.t array) =
        exactly the U snapshots and pivots the factor needs. *)
     let pivots =
       Array.init n (fun k ->
-          let s = p.pivot_slot.(k) in
+          let s = q.Kernel.pivot_slot.(k) in
           { Complex.re = re.(s); im = im.(s) })
     in
     let upper =
       Array.init n (fun k ->
-          let cols = p.u_cols.(k) and slots = p.u_slots.(k) in
+          let cols = q.Kernel.u_cols.(k) and slots = q.Kernel.u_slots.(k) in
           Array.init (Array.length cols) (fun idx ->
               let s = slots.(idx) in
               (cols.(idx), { Complex.re = re.(s); im = im.(s) })))
@@ -576,17 +580,17 @@ let refactor (p : pattern) (values : Complex.t array) =
     let det_mag =
       Array.fold_left (fun acc pv -> Ec.mul acc (Ec.of_complex pv)) Ec.one pivots
     in
-    let det = if p.p_sign < 0 then Ec.neg det_mag else det_mag in
+    let det = if q.Kernel.sign < 0 then Ec.neg det_mag else det_mag in
     Some
       {
         n;
-        pivot_rows = p.p_pivot_rows;
-        pivot_cols = p.p_pivot_cols;
+        pivot_rows = q.Kernel.pivot_rows;
+        pivot_cols = q.Kernel.pivot_cols;
         pivots;
         lower;
         upper;
         det;
-        fill_in = p.p_fill;
+        fill_in = q.Kernel.fill;
         singular = false;
       }
   end

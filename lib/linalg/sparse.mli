@@ -99,3 +99,18 @@ val pattern_nnz : pattern -> int
 
 val pattern_stats : pattern -> int * int
 (** [(slots, structural_fill)] — workspace size diagnostics. *)
+
+(** {1 The fused kernel}
+
+    {!Kernel} executes a pattern's recorded elimination program {e and} the
+    forward/back substitution directly on flat preallocated workspaces —
+    no boxed factor on the hot path, bit-identical results.
+    [Sparse.Kernel] re-exports it so the engine reads as part of this
+    module's API. *)
+
+module Kernel = Kernel
+
+val pattern_program : pattern -> Kernel.program
+(** The pattern's elimination program, ready for {!Kernel.workspace} /
+    {!Kernel.Pool.create}.  Entry [e] of {!refactor}'s [values] order
+    scatters to slot [(pattern_program p).coo_slot.(e)]. *)

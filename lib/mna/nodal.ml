@@ -1,4 +1,5 @@
 module Sparse = Symref_linalg.Sparse
+module Kernel = Symref_linalg.Kernel
 module Ec = Symref_numeric.Extcomplex
 module Element = Symref_circuit.Element
 module Netlist = Symref_circuit.Netlist
@@ -41,8 +42,20 @@ type stamp = {
    could not be learned (singular at the canonical point); evaluate from
    scratch.  The mutex makes concurrent [eval] calls from several domains
    safe. *)
+(* The kernel half of a learned pattern: the coordinate-to-slot scatter map
+   ([-1] for entries identically zero over the pass) and the per-domain
+   workspace pool of the fused engine.  [None] when the kernel is disabled
+   for this problem. *)
+type kernel_payload = { k_slot : int array; k_pool : Kernel.Pool.t }
+
+type payload = {
+  pl_pat : Sparse.pattern;
+  pl_pos : int array;  (* stamp coordinate -> pattern values index, -1 none *)
+  pl_kernel : kernel_payload option;
+}
+
 type cache = {
-  mutable pat : (float * float * (Sparse.pattern * int array) option) option;
+  mutable pat : (float * float * payload option) option;
   lock : Mutex.t;
 }
 
@@ -58,6 +71,7 @@ type t = {
   order_bound : int;
   stamp : stamp;
   reuse : bool;
+  use_kernel : bool;
   cache : cache;
 }
 
@@ -161,7 +175,12 @@ let build_stamp circuit (roles : role array) dim injections =
     live;
   { m_rows; m_cols; m_g; m_c; rhs_g; rhs_c; rhs_k }
 
-let make ?(reuse = true) circuit ~input ~output =
+(* Escape hatch for A/B gating outside the API (CI's kernel bit-identity
+   job diffs a kernel-on against a kernel-off run of the same binary). *)
+let kernel_default =
+  match Sys.getenv_opt "SYMREF_NO_KERNEL" with Some _ -> false | None -> true
+
+let make ?(reuse = true) ?(kernel = kernel_default) circuit ~input ~output =
   (* Resolve the input into (circuit without source, driven nodes, current
      injections). *)
   let circuit, driven, injections_nodes =
@@ -248,6 +267,7 @@ let make ?(reuse = true) circuit ~input ~output =
     order_bound = Int.min (Netlist.capacitor_count circuit) dim;
     stamp = build_stamp circuit roles dim injections;
     reuse;
+    use_kernel = kernel;
     cache = { pat = None; lock = Mutex.create () };
   }
 
@@ -271,6 +291,7 @@ let plan t =
   }
 
 let dimension t = t.dim
+let kernel_enabled t = t.use_kernel && t.reuse
 let order_bound t = t.order_bound
 let den_gdeg t = t.den_gdeg
 let num_gdeg t = t.num_gdeg
@@ -301,7 +322,21 @@ let learn_pattern t ~f ~g =
             | Some p -> p
             | None -> -1 (* identically zero at every point of this pass *))
       in
-      Some (pat, pos)
+      let pl_kernel =
+        if not t.use_kernel then None
+        else begin
+          let prog = Sparse.pattern_program pat in
+          (* Precompose coordinate -> values index -> slot so the hot-path
+             scatter is one indirection. *)
+          let k_slot =
+            Array.map
+              (fun p -> if p < 0 then -1 else prog.Kernel.coo_slot.(p))
+              pos
+          in
+          Some { k_slot; k_pool = Kernel.Pool.create prog }
+        end
+      in
+      Some { pl_pat = pat; pl_pos = pos; pl_kernel }
 
 let pattern_for t ~f ~g =
   let c = t.cache in
@@ -328,13 +363,17 @@ let eval ?(f = 1.) ?(g = 1.) t s =
     let cf = st.m_c.(e) *. f in
     { Complex.re = (st.m_g.(e) *. g) +. (sre *. cf); im = sim *. cf }
   in
+  (* Lazy: the kernel path writes the right-hand side straight into its
+     workspace and never needs the boxed array — only the boxed solve and
+     the Cramer fallback force it. *)
   let rhs =
-    Array.init t.dim (fun r ->
-        let cf = st.rhs_c.(r) *. f in
-        {
-          Complex.re = st.rhs_k.(r) +. (st.rhs_g.(r) *. g) +. (sre *. cf);
-          im = sim *. cf;
-        })
+    lazy
+      (Array.init t.dim (fun r ->
+           let cf = st.rhs_c.(r) *. f in
+           {
+             Complex.re = st.rhs_k.(r) +. (st.rhs_g.(r) *. g) +. (sre *. cf);
+             im = sim *. cf;
+           }))
   in
   (* Assemble a builder from the coordinate arrays — the full-Markowitz
      fallback and the singular-point Cramer matrices (column [col] replaced
@@ -347,24 +386,27 @@ let eval ?(f = 1.) ?(g = 1.) t s =
         for e = 0 to m - 1 do
           if st.m_cols.(e) <> col then Sparse.add b st.m_rows.(e) st.m_cols.(e) (value e)
         done;
-        Array.iteri (fun r v -> if v <> Complex.zero then Sparse.add b r col v) rhs);
+        Array.iteri
+          (fun r v -> if v <> Complex.zero then Sparse.add b r col v)
+          (Lazy.force rhs));
     b
+  in
+  let singular_value () =
+    (* A pole sits exactly on this interpolation point: H is undefined, but
+       the numerator value is still well-defined through Cramer's rule
+       (x_j * D = det of the matrix with column j replaced by the RHS). *)
+    let cramer = function
+      | None -> Ec.zero
+      | Some col -> Sparse.det (Sparse.factor (build ~replace_col:col ()))
+    in
+    let num = Ec.sub (cramer t.out_p) (cramer t.out_m) in
+    { den = Ec.zero; num; h = Complex.zero; singular = true }
   in
   let finish factor =
     let den = Sparse.det factor in
-    if Ec.is_zero den then begin
-      (* A pole sits exactly on this interpolation point: H is undefined, but
-         the numerator value is still well-defined through Cramer's rule
-         (x_j * D = det of the matrix with column j replaced by the RHS). *)
-      let cramer = function
-        | None -> Ec.zero
-        | Some col -> Sparse.det (Sparse.factor (build ~replace_col:col ()))
-      in
-      let num = Ec.sub (cramer t.out_p) (cramer t.out_m) in
-      { den = Ec.zero; num; h = Complex.zero; singular = true }
-    end
+    if Ec.is_zero den then singular_value ()
     else begin
-      let x = Sparse.solve factor rhs in
+      let x = Sparse.solve factor (Lazy.force rhs) in
       let pick = function Some i -> x.(i) | None -> Complex.zero in
       let h = Complex.sub (pick t.out_p) (pick t.out_m) in
       let num = Ec.mul_complex den h in
@@ -372,18 +414,86 @@ let eval ?(f = 1.) ?(g = 1.) t s =
     end
   in
   let from_scratch () = finish (Sparse.factor (build ())) in
+  (* Fused-kernel evaluation: scatter, replay and substitute on the calling
+     domain's pooled workspace — no boxed factor, no per-point allocation
+     inside the engine.  Every outcome re-joins a boxed-path behaviour
+     bit-identically: [`Bail] is exactly [refactor] returning [None],
+     [`Pole] (a determinant of exactly zero) the boxed Cramer branch, and
+     [`Unavailable] (workspace busy or over the pool cap) simply runs the
+     boxed replay. *)
+  let eval_kernel kp =
+    match Kernel.Pool.checkout kp.k_pool with
+    | None -> `Unavailable
+    | Some ws ->
+        Kernel.begin_point ws;
+        (* Direct stores into the workspace buffers: a cross-module setter
+           call would box every float argument in the scatter loop. *)
+        let wre = Kernel.matrix_re ws and wim = Kernel.matrix_im ws in
+        let k_slot = kp.k_slot in
+        for e = 0 to m - 1 do
+          let sl = k_slot.(e) in
+          if sl >= 0 then begin
+            let cf = st.m_c.(e) *. f in
+            wre.(sl) <- (st.m_g.(e) *. g) +. (sre *. cf);
+            wim.(sl) <- sim *. cf
+          end
+        done;
+        (* Same arithmetic as the boxed [rhs] array, written straight into
+           the workspace — no boxed Complex per entry. *)
+        let yre = Kernel.rhs_buf_re ws and yim = Kernel.rhs_buf_im ws in
+        for r = 0 to t.dim - 1 do
+          let cf = st.rhs_c.(r) *. f in
+          yre.(r) <- st.rhs_k.(r) +. (st.rhs_g.(r) *. g) +. (sre *. cf);
+          yim.(r) <- sim *. cf
+        done;
+        if not (Kernel.run ws) then begin
+          Kernel.Pool.release ws;
+          `Bail
+        end
+        else if Kernel.det_is_zero ws then begin
+          Kernel.Pool.release ws;
+          `Pole
+        end
+        else begin
+          let den = Kernel.det ws in
+          Kernel.solve_into ws;
+          let xr = Kernel.solution_re ws and xi = Kernel.solution_im ws in
+          let hre =
+            (match t.out_p with Some i -> xr.(i) | None -> 0.)
+            -. (match t.out_m with Some i -> xr.(i) | None -> 0.)
+          and him =
+            (match t.out_p with Some i -> xi.(i) | None -> 0.)
+            -. (match t.out_m with Some i -> xi.(i) | None -> 0.)
+          in
+          Kernel.Pool.release ws;
+          let h = { Complex.re = hre; im = him } in
+          let num = Ec.mul_complex den h in
+          `Value { den; num; h; singular = false }
+        end
+  in
   if not t.reuse then from_scratch ()
   else
     match pattern_for t ~f ~g with
     | None -> from_scratch ()
-    | Some (pat, pos) ->
-        let vals = Array.make (Sparse.pattern_nnz pat) Complex.zero in
-        for e = 0 to m - 1 do
-          let p = pos.(e) in
-          if p >= 0 then vals.(p) <- value e
-        done;
-        (match Sparse.refactor pat vals with
-        (* Reused pivots hit the threshold floor (or an exact pole): redo
-           the full Markowitz search so accuracy never regresses. *)
-        | None -> from_scratch ()
-        | Some factor -> finish factor)
+    | Some pl -> (
+        let boxed () =
+          let pat = pl.pl_pat and pos = pl.pl_pos in
+          let vals = Array.make (Sparse.pattern_nnz pat) Complex.zero in
+          for e = 0 to m - 1 do
+            let p = pos.(e) in
+            if p >= 0 then vals.(p) <- value e
+          done;
+          match Sparse.refactor pat vals with
+          (* Reused pivots hit the threshold floor (or an exact pole): redo
+             the full Markowitz search so accuracy never regresses. *)
+          | None -> from_scratch ()
+          | Some factor -> finish factor
+        in
+        match pl.pl_kernel with
+        | None -> boxed ()
+        | Some kp -> (
+            match eval_kernel kp with
+            | `Value v -> v
+            | `Pole -> singular_value ()
+            | `Bail -> from_scratch ()
+            | `Unavailable -> boxed ()))

@@ -45,14 +45,29 @@ exception Unsupported of string
     nodes/elements. *)
 
 val make :
-  ?reuse:bool -> Symref_circuit.Netlist.t -> input:input -> output:output -> t
+  ?reuse:bool ->
+  ?kernel:bool ->
+  Symref_circuit.Netlist.t ->
+  input:input ->
+  output:output ->
+  t
 (** [reuse] (default [true]) enables the symbolic/numeric factorisation
     split: the Markowitz ordering of the reduced matrix is learned once per
     scale pair (at the canonical point [s = i]) and every evaluation replays
     only the numeric elimination, falling back to a full from-scratch
     factorisation whenever a reused pivot hits the threshold-pivoting floor.
     [~reuse:false] restores the factor-from-scratch-per-point behaviour
-    (benchmark baseline).  Evaluation is thread-safe either way. *)
+    (benchmark baseline).  [kernel] (default [true] unless the
+    [SYMREF_NO_KERNEL] environment variable is set) additionally runs the
+    replay {e and} the solve through the fused unboxed engine
+    ({!Symref_linalg.Kernel}) on a per-domain pooled workspace; it only
+    takes effect together with [reuse], is bit-identical to the boxed
+    replay (including threshold-floor, fault-injection and singular-point
+    behaviour), and is therefore a pure cost switch.  Evaluation is
+    thread-safe either way. *)
+
+val kernel_enabled : t -> bool
+(** Whether evaluations may use the fused kernel ([kernel && reuse]). *)
 
 val dimension : t -> int
 (** Order of the reduced nodal matrix. *)

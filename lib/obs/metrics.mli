@@ -70,6 +70,24 @@ val refactor_fallbacks : counter
 (** Refactor attempts rejected by the threshold-pivoting floor (the caller
     fell back to a full factorisation). *)
 
+(** {2 The kernel family}
+
+    The fused unboxed refactor+solve engine ({!Symref_linalg.Kernel}).
+    Kernel-served points are {e also} counted under
+    [lu.refactor]/[lu.refactor_fallback] — the kernel {e is} the numeric
+    refactorisation, fused — so the lu.* invariants are engine-agnostic. *)
+
+val kernel_points : counter
+(** Evaluation points served by the fused kernel (elimination + solve on
+    flat workspaces, no boxed factor). *)
+
+val kernel_fallbacks : counter
+(** Kernel runs that bailed (threshold floor, non-finite pivot or injected
+    singularity) back to the boxed path. *)
+
+val kernel_workspaces : counter
+(** Workspaces allocated — one per (pattern, domain) in the steady state. *)
+
 val evaluator_calls : counter
 (** {!Symref_core.Evaluator} [eval] calls — the paper's cost metric. *)
 

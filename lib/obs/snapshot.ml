@@ -3,6 +3,9 @@ type t = {
   lu_symbolic : int;
   lu_refactor : int;
   refactor_fallbacks : int;
+  kernel_points : int;
+  kernel_fallbacks : int;
+  kernel_workspaces : int;
   evaluator_calls : int;
   memo_hits : int;
   memo_misses : int;
@@ -33,6 +36,9 @@ let zero =
     lu_symbolic = 0;
     lu_refactor = 0;
     refactor_fallbacks = 0;
+    kernel_points = 0;
+    kernel_fallbacks = 0;
+    kernel_workspaces = 0;
     evaluator_calls = 0;
     memo_hits = 0;
     memo_misses = 0;
@@ -63,6 +69,9 @@ let capture () =
     lu_symbolic = Metrics.value Metrics.lu_symbolic;
     lu_refactor = Metrics.value Metrics.lu_refactor;
     refactor_fallbacks = Metrics.value Metrics.refactor_fallbacks;
+    kernel_points = Metrics.value Metrics.kernel_points;
+    kernel_fallbacks = Metrics.value Metrics.kernel_fallbacks;
+    kernel_workspaces = Metrics.value Metrics.kernel_workspaces;
     evaluator_calls = Metrics.value Metrics.evaluator_calls;
     memo_hits = Metrics.value Metrics.memo_hits;
     memo_misses = Metrics.value Metrics.memo_misses;
@@ -101,6 +110,13 @@ let fields =
     ( "lu.refactor_fallback",
       (fun t -> t.refactor_fallbacks),
       fun t v -> { t with refactor_fallbacks = v } );
+    ("kernel.points", (fun t -> t.kernel_points), fun t v -> { t with kernel_points = v });
+    ( "kernel.fallback",
+      (fun t -> t.kernel_fallbacks),
+      fun t v -> { t with kernel_fallbacks = v } );
+    ( "kernel.workspaces",
+      (fun t -> t.kernel_workspaces),
+      fun t v -> { t with kernel_workspaces = v } );
     ( "evaluator.calls",
       (fun t -> t.evaluator_calls),
       fun t v -> { t with evaluator_calls = v } );

@@ -10,6 +10,9 @@ type t = {
   lu_symbolic : int;  (** symbolic (pattern-recording) factorisations *)
   lu_refactor : int;  (** successful numeric replays *)
   refactor_fallbacks : int;  (** replays rejected by the threshold floor *)
+  kernel_points : int;  (** points served by the fused kernel *)
+  kernel_fallbacks : int;  (** kernel bailouts to the boxed path *)
+  kernel_workspaces : int;  (** kernel workspaces allocated *)
   evaluator_calls : int;  (** evaluator [eval] calls *)
   memo_hits : int;  (** shared num/den table hits *)
   memo_misses : int;  (** shared num/den table misses (factorised) *)

@@ -1,0 +1,416 @@
+(* The fused unboxed kernel: bit-identity against the boxed
+   refactor+det+solve chain, allocation-freedom of the steady-state inner
+   loop, workspace-reuse invariance, and fault-injection parity.
+
+   "Bit-identical" here is literal: every comparison goes through
+   [Int64.bits_of_float], so even NaN payloads and [-0.] must match. *)
+
+module Sparse = Symref_linalg.Sparse
+module Kernel = Symref_linalg.Kernel
+module Ec = Symref_numeric.Extcomplex
+module Nodal = Symref_mna.Nodal
+module Random_net = Symref_circuit.Random_net
+module Ua741 = Symref_circuit.Ua741
+module Uc = Symref_dft.Unit_circle
+module Inject = Symref_fault.Inject
+
+let bits = Int64.bits_of_float
+
+let check_float_bits msg a b =
+  Alcotest.(check int64) msg (bits a) (bits b)
+
+let check_complex_bits msg (a : Complex.t) (b : Complex.t) =
+  check_float_bits (msg ^ " re") a.Complex.re b.Complex.re;
+  check_float_bits (msg ^ " im") a.Complex.im b.Complex.im
+
+let check_ec_bits msg (a : Ec.t) (b : Ec.t) =
+  check_complex_bits (msg ^ " mantissa") a.Ec.c b.Ec.c;
+  Alcotest.(check int) (msg ^ " exponent") a.Ec.e b.Ec.e
+
+(* --- frexp_exp ----------------------------------------------------------- *)
+
+let prop_frexp_exp =
+  QCheck2.Test.make ~name:"frexp_exp = snd Float.frexp across the full range"
+    ~count:2000
+    QCheck2.Gen.(
+      oneof
+        [
+          float_bound_exclusive 1e308;
+          (* deep subnormals and huge values via exponent sampling *)
+          map2
+            (fun m e -> Float.ldexp (Float.abs m) e)
+            (float_bound_exclusive 1.) (int_range (-1080) 1024);
+        ])
+    (fun a ->
+      let a = Float.abs a in
+      (not (Float.is_finite a)) || a = 0.
+      || Kernel.frexp_exp a = snd (Float.frexp a))
+
+let test_frexp_exp_edges () =
+  List.iter
+    (fun a ->
+      Alcotest.(check int)
+        (Printf.sprintf "frexp_exp %.17g" a)
+        (snd (Float.frexp a))
+        (Kernel.frexp_exp a))
+    [
+      min_float;
+      max_float;
+      Float.ldexp 1. (-1074) (* smallest subnormal *);
+      Float.ldexp 1. (-1022);
+      Float.ldexp 0.75 (-1060);
+      1.;
+      0.5;
+      2.;
+      0x1p512;
+      0x1p-512;
+      1e-300;
+      1e300;
+      Float.pi;
+    ]
+
+(* --- Sparse-level bit-identity ------------------------------------------- *)
+
+(* Deterministic LCG so every run exercises the same matrices. *)
+let lcg seed =
+  let state = ref (Int64.of_int seed) in
+  fun () ->
+    state :=
+      Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_float (Int64.shift_right_logical !state 11)
+    /. 9007199254740992.0
+
+let random_system rand n =
+  let b = Sparse.create n in
+  for i = 0 to n - 1 do
+    (* Strong diagonal so replays at perturbed values rarely bail — the
+       bail-parity case is covered separately below. *)
+    Sparse.add b i i
+      { Complex.re = 2. +. rand (); im = 1. +. rand () };
+    let offs = 1 + (int_of_float (rand () *. 3.) mod 3) in
+    for _ = 1 to offs do
+      let j = int_of_float (rand () *. float_of_int n) mod n in
+      if j <> i then
+        Sparse.add b i j
+          { Complex.re = (rand () -. 0.5) *. 0.8; im = (rand () -. 0.5) *. 0.8 }
+    done
+  done;
+  let rhs =
+    Array.init n (fun _ ->
+        { Complex.re = rand () -. 0.5; im = rand () -. 0.5 })
+  in
+  (b, rhs)
+
+(* One value assignment: the same sparsity, perturbed values — what a new
+   unit-circle point looks like to a learned pattern. *)
+let perturbed rand coords base =
+  ignore coords;
+  Array.map
+    (fun (v : Complex.t) ->
+      {
+        Complex.re = v.Complex.re *. (0.5 +. rand ());
+        im = v.Complex.im *. (0.5 +. rand ());
+      })
+    base
+
+let test_sparse_bit_identity () =
+  let rand = lcg 12345 in
+  for trial = 0 to 19 do
+    let n = 4 + (trial mod 12) in
+    let b, rhs = random_system rand n in
+    match Sparse.symbolic b with
+    | None -> Alcotest.fail "symbolic factorisation unexpectedly failed"
+    | Some (pat, _) ->
+        let coords = Sparse.pattern_coords pat in
+        let base =
+          Array.map
+            (fun (i, j) ->
+              (Sparse.to_dense b).(i).(j))
+            coords
+        in
+        let ws = Kernel.workspace (Sparse.pattern_program pat) in
+        for point = 0 to 4 do
+          let vals = if point = 0 then base else perturbed rand coords base in
+          (* Boxed chain. *)
+          let boxed = Sparse.refactor pat vals in
+          (* Kernel chain. *)
+          Kernel.begin_point ws;
+          Array.iteri
+            (fun e (v : Complex.t) ->
+              Kernel.set_value ws e ~re:v.Complex.re ~im:v.Complex.im)
+            vals;
+          Array.iteri
+            (fun r (v : Complex.t) ->
+              Kernel.set_rhs ws r ~re:v.Complex.re ~im:v.Complex.im)
+            rhs;
+          let ok = Kernel.run ws in
+          let tag = Printf.sprintf "trial %d point %d" trial point in
+          (match boxed with
+          | None ->
+              Alcotest.(check bool) (tag ^ ": kernel bails with refactor")
+                false ok
+          | Some factor ->
+              Alcotest.(check bool) (tag ^ ": kernel succeeds with refactor")
+                true ok;
+              check_ec_bits (tag ^ " det") (Sparse.det factor) (Kernel.det ws);
+              Kernel.solve_into ws;
+              let x = Sparse.solve factor rhs in
+              let xr = Kernel.solution_re ws and xi = Kernel.solution_im ws in
+              Array.iteri
+                (fun j (v : Complex.t) ->
+                  check_float_bits
+                    (Printf.sprintf "%s x.(%d) re" tag j)
+                    v.Complex.re xr.(j);
+                  check_float_bits
+                    (Printf.sprintf "%s x.(%d) im" tag j)
+                    v.Complex.im xi.(j))
+                x)
+        done
+  done
+
+let test_bail_parity () =
+  (* Degrade a pivot towards zero until the threshold floor trips: the
+     kernel must bail on exactly the same value assignments as the boxed
+     refactor. *)
+  let rand = lcg 777 in
+  let b, rhs = random_system rand 8 in
+  ignore rhs;
+  match Sparse.symbolic b with
+  | None -> Alcotest.fail "symbolic factorisation unexpectedly failed"
+  | Some (pat, _) ->
+      let coords = Sparse.pattern_coords pat in
+      let dense = Sparse.to_dense b in
+      let base = Array.map (fun (i, j) -> dense.(i).(j)) coords in
+      let ws = Kernel.workspace (Sparse.pattern_program pat) in
+      let bails = ref 0 in
+      List.iter
+        (fun scale ->
+          (* Shrink every diagonal entry: sooner or later a reused pivot
+             loses its dominance. *)
+          let vals =
+            Array.mapi
+              (fun e (v : Complex.t) ->
+                let i, j = coords.(e) in
+                if i = j then
+                  { Complex.re = v.Complex.re *. scale; im = v.Complex.im *. scale }
+                else v)
+              base
+          in
+          let boxed = Sparse.refactor pat vals in
+          Kernel.begin_point ws;
+          Array.iteri
+            (fun e (v : Complex.t) ->
+              Kernel.set_value ws e ~re:v.Complex.re ~im:v.Complex.im)
+            vals;
+          let ok = Kernel.run ws in
+          Alcotest.(check bool)
+            (Printf.sprintf "scale %g: bail parity" scale)
+            (boxed <> None) ok;
+          if not ok then incr bails)
+        [ 1.; 0.1; 1e-3; 1e-6; 1e-9; 1e-12; 0. ];
+      Alcotest.(check bool) "the sweep actually triggered bailouts" true
+        (!bails > 0)
+
+let test_zero_alloc () =
+  (* The acceptance bar of the fused engine: once the workspace exists, a
+     full point — scatter, replay, forward and back substitution — costs
+     zero words of heap.  [Gc.minor_words] counts allocation (not
+     collection), so the delta over any number of steady-state points must
+     be exactly zero. *)
+  let rand = lcg 99 in
+  let b, rhs = random_system rand 16 in
+  match Sparse.symbolic b with
+  | None -> Alcotest.fail "symbolic factorisation unexpectedly failed"
+  | Some (pat, _) ->
+      let coords = Sparse.pattern_coords pat in
+      let dense = Sparse.to_dense b in
+      let m = Array.length coords in
+      let vre = Array.init m (fun e -> (dense.(fst coords.(e)).(snd coords.(e))).Complex.re)
+      and vim = Array.init m (fun e -> (dense.(fst coords.(e)).(snd coords.(e))).Complex.im) in
+      let rre = Array.map (fun (v : Complex.t) -> v.Complex.re) rhs
+      and rim = Array.map (fun (v : Complex.t) -> v.Complex.im) rhs in
+      let prog = Sparse.pattern_program pat in
+      let ws = Kernel.workspace prog in
+      (* The documented hot path: direct stores into the raw buffers (a
+         cross-module setter call would box its float arguments). *)
+      let slot = prog.Kernel.coo_slot in
+      let wre = Kernel.matrix_re ws and wim = Kernel.matrix_im ws in
+      let yre = Kernel.rhs_buf_re ws and yim = Kernel.rhs_buf_im ws in
+      let point () =
+        Kernel.begin_point ws;
+        for e = 0 to m - 1 do
+          let s = slot.(e) in
+          wre.(s) <- vre.(e);
+          wim.(s) <- vim.(e)
+        done;
+        for r = 0 to Array.length rre - 1 do
+          yre.(r) <- rre.(r);
+          yim.(r) <- rim.(r)
+        done;
+        if Kernel.run ws && not (Kernel.det_is_zero ws) then Kernel.solve_into ws
+      in
+      (* Warm up (and sanity-check the system solves at all). *)
+      point ();
+      Alcotest.(check bool) "warm-up point solves" false (Kernel.det_is_zero ws);
+      let probe iters =
+        let before = Gc.minor_words () in
+        for _ = 1 to iters do
+          point ()
+        done;
+        Gc.minor_words () -. before
+      in
+      Alcotest.(check (float 0.)) "1000 points allocate zero words" 0.
+        (probe 1000);
+      Alcotest.(check (float 0.)) "2000 points allocate zero words" 0.
+        (probe 2000)
+
+(* --- Nodal-level bit-identity on random circuits ------------------------- *)
+
+let problem_of ~kernel seed nodes =
+  let circuit = Random_net.circuit ~seed ~nodes () in
+  Nodal.make ~reuse:true ~kernel circuit ~input:(Nodal.Vsrc_element "vin")
+    ~output:(Nodal.Out_node (Random_net.output_node ~seed ~nodes))
+
+let value_bits_equal (a : Nodal.value) (b : Nodal.value) =
+  bits a.Nodal.den.Ec.c.Complex.re = bits b.Nodal.den.Ec.c.Complex.re
+  && bits a.Nodal.den.Ec.c.Complex.im = bits b.Nodal.den.Ec.c.Complex.im
+  && a.Nodal.den.Ec.e = b.Nodal.den.Ec.e
+  && bits a.Nodal.num.Ec.c.Complex.re = bits b.Nodal.num.Ec.c.Complex.re
+  && bits a.Nodal.num.Ec.c.Complex.im = bits b.Nodal.num.Ec.c.Complex.im
+  && a.Nodal.num.Ec.e = b.Nodal.num.Ec.e
+  && bits a.Nodal.h.Complex.re = bits b.Nodal.h.Complex.re
+  && bits a.Nodal.h.Complex.im = bits b.Nodal.h.Complex.im
+  && a.Nodal.singular = b.Nodal.singular
+
+let prop_nodal_bit_identity =
+  QCheck2.Test.make
+    ~name:"kernel = boxed bitwise on random circuits (den, num, H)" ~count:20
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 3 14))
+    (fun (seed, nodes) ->
+      let pk = problem_of ~kernel:true seed nodes in
+      let pb = problem_of ~kernel:false seed nodes in
+      let f = 1. /. Nodal.mean_capacitance pk
+      and g = 1. /. Nodal.mean_conductance pk in
+      let k = Int.max 4 (Nodal.order_bound pk + 1) in
+      List.for_all
+        (fun j ->
+          let s = Uc.point k j in
+          value_bits_equal (Nodal.eval ~f ~g pk s) (Nodal.eval ~f ~g pb s))
+        (List.init k Fun.id)
+      (* A second scale pair exercises pattern relearning + pool reuse. *)
+      && List.for_all
+           (fun j ->
+             let s = Uc.point k j in
+             value_bits_equal
+               (Nodal.eval ~f:(2. *. f) ~g pk s)
+               (Nodal.eval ~f:(2. *. f) ~g pb s))
+           (List.init ((k / 2) + 1) Fun.id))
+
+let test_workspace_reuse_invariance () =
+  (* The same pooled workspace serves many points and passes: replaying a
+     point later — after the buffers held other data — must reproduce the
+     first visit bit for bit. *)
+  let p =
+    Nodal.make ~reuse:true ~kernel:true Ua741.circuit
+      ~input:(Nodal.V_diff (Ua741.input_p, Ua741.input_n))
+      ~output:(Nodal.Out_node Ua741.output)
+  in
+  let f = 1. /. Nodal.mean_capacitance p
+  and g = 1. /. Nodal.mean_conductance p in
+  let k = Nodal.order_bound p + 1 in
+  let first =
+    Array.init k (fun j -> Nodal.eval ~f ~g p (Uc.point k j))
+  in
+  (* Interleave other work: another scale (fresh pattern + workspace), then
+     revisit every original point. *)
+  for j = 0 to (k / 2) + 1 do
+    ignore (Nodal.eval ~f:(3. *. f) ~g:(2. *. g) p (Uc.point k j))
+  done;
+  Array.iteri
+    (fun j v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "point %d replays bit-identically" j)
+        true
+        (value_bits_equal v (Nodal.eval ~f ~g p (Uc.point k j))))
+    first
+
+(* --- fault-injection parity ---------------------------------------------- *)
+
+let with_registry f = Fun.protect ~finally:Inject.disable f
+
+let test_chaos_singular_parity () =
+  with_registry (fun () ->
+      (* The same armed plan must produce the same fire sequence, the same
+         degraded evaluations and the same recovered values on both
+         engines: Kernel.run consumes its hit at the same site as
+         Sparse.refactor. *)
+      let sweep ~kernel =
+        Inject.enable ~seed:7 ();
+        Inject.arm Inject.sparse_singular
+          (Inject.Times { skip = 3; count = 4 });
+        let p = problem_of ~kernel 4242 10 in
+        let f = 1. /. Nodal.mean_capacitance p
+        and g = 1. /. Nodal.mean_conductance p in
+        let k = Int.max 4 (Nodal.order_bound p + 1) in
+        let vs = Array.init k (fun j -> Nodal.eval ~f ~g p (Uc.point k j)) in
+        let consumed = (Inject.hits Inject.sparse_singular, Inject.fired Inject.sparse_singular) in
+        (vs, consumed)
+      in
+      let vk, ck = sweep ~kernel:true in
+      let vb, cb = sweep ~kernel:false in
+      Alcotest.(check (pair int int)) "hook consumption identical" cb ck;
+      Alcotest.(check bool) "the plan actually fired" true (snd ck > 0);
+      Array.iteri
+        (fun j a ->
+          Alcotest.(check bool)
+            (Printf.sprintf "faulted point %d bit-identical" j)
+            true (value_bits_equal a vb.(j)))
+        vk)
+
+let test_kernel_counters () =
+  (* Successful kernel points count under both [kernel.points] and the
+     shared [lu.refactor], so the established observability invariants
+     survive the engine swap. *)
+  let module Obs = Symref_obs.Metrics in
+  let module Snapshot = Symref_obs.Snapshot in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      let p = problem_of ~kernel:true 99 8 in
+      let f = 1. /. Nodal.mean_capacitance p
+      and g = 1. /. Nodal.mean_conductance p in
+      let k = Int.max 4 (Nodal.order_bound p + 1) in
+      for j = 0 to k - 1 do
+        ignore (Nodal.eval ~f ~g p (Uc.point k j))
+      done;
+      let s = Snapshot.capture () in
+      Alcotest.(check int) "every replayed point was kernel-served"
+        s.Snapshot.lu_refactor s.Snapshot.kernel_points;
+      Alcotest.(check bool) "kernel served points" true (s.Snapshot.kernel_points > 0);
+      Alcotest.(check int) "no fallbacks on a healthy sweep" 0
+        s.Snapshot.kernel_fallbacks;
+      Alcotest.(check bool) "a workspace was pooled" true
+        (s.Snapshot.kernel_workspaces >= 1))
+
+let suite =
+  [
+    ( "kernel",
+      [
+        QCheck_alcotest.to_alcotest prop_frexp_exp;
+        Alcotest.test_case "frexp_exp edge cases" `Quick test_frexp_exp_edges;
+        Alcotest.test_case "sparse-level bit-identity" `Quick
+          test_sparse_bit_identity;
+        Alcotest.test_case "threshold bail parity" `Quick test_bail_parity;
+        Alcotest.test_case "zero allocation per point" `Quick test_zero_alloc;
+        QCheck_alcotest.to_alcotest prop_nodal_bit_identity;
+        Alcotest.test_case "workspace reuse invariance" `Quick
+          test_workspace_reuse_invariance;
+        Alcotest.test_case "chaos: sparse.singular parity" `Quick
+          test_chaos_singular_parity;
+        Alcotest.test_case "kernel counters" `Quick test_kernel_counters;
+      ] );
+  ]
