@@ -7,6 +7,7 @@ module Inject = Symref_fault.Inject
 
 type t = {
   eval : f:float -> g:float -> Complex.t -> Ec.t;
+  prefetch : (f:float -> g:float -> Complex.t array -> unit) option;
   gdeg : int;
   order_bound : int;
   f0 : float;
@@ -39,6 +40,7 @@ let of_nodal problem ~num =
   in
   {
     eval;
+    prefetch = None;
     gdeg = (if num then Nodal.num_gdeg problem else Nodal.den_gdeg problem);
     order_bound = Nodal.order_bound problem;
     f0 = 1. /. Nodal.mean_capacitance problem;
@@ -51,6 +53,12 @@ let of_nodal problem ~num =
 
 type shared = { snum : t; sden : t; factorizations : unit -> int; hits : unit -> int }
 
+(* Escape hatch mirroring [SYMREF_NO_KERNEL]: batching is bit-identical per
+   point, so the switch is a pure cost lever for A/B runs (CI's batched
+   bit-identity gate diffs a batch-on against a batch-off run). *)
+let batch_default =
+  match Sys.getenv_opt "SYMREF_NO_BATCH" with Some _ -> false | None -> true
+
 (* One factorisation already yields both the numerator and the denominator
    (eq. 8-10: one LU, one solve), yet separate adaptive runs would redo it.
    Memoise the full nodal evaluation per (f, g, s): the numerator and
@@ -58,12 +66,55 @@ type shared = { snum : t; sden : t; factorizations : unit -> int; hits : unit ->
    share — all of the first pass, since the initial scale and point set
    depend only on the problem — costs a single factorisation.  Mutex-guarded
    so multi-domain interpolation can call it concurrently. *)
-let of_nodal_shared problem =
+let of_nodal_shared ?(batch = batch_default) problem =
   let table : (float * float * float * float, Nodal.value) Hashtbl.t =
     Hashtbl.create 256
   in
   let lock = Mutex.create () in
   let misses = Atomic.make 0 and hits = Atomic.make 0 in
+  (* Batched pass warm-up: compute every not-yet-memoised point of a chunk
+     through [Nodal.eval_batch] (one elimination-program decode for the
+     whole chunk) and seed the table, so the subsequent per-point [eval]
+     calls all hit.  Counter shape: each prefetched point is a memo miss —
+     the same misses a per-point sweep would record, just ahead of the
+     calls — and the later [eval] calls are hits.  Keys are the exact
+     (f, g, re, im) quadruples of the points handed in, so [Interp.run]
+     must prefetch with the same [Uc.point] values it evaluates. *)
+  let prefetch =
+    if not (batch && Nodal.kernel_enabled problem) then None
+    else
+      Some
+        (fun ~f ~g (points : Complex.t array) ->
+          let seen = Hashtbl.create (2 * Array.length points) in
+          let missing =
+            Array.to_list points
+            |> List.filter (fun (s : Complex.t) ->
+                   let key = (f, g, s.Complex.re, s.Complex.im) in
+                   if Hashtbl.mem seen key then false
+                   else begin
+                     Hashtbl.add seen key ();
+                     Mutex.lock lock;
+                     let cached = Hashtbl.mem table key in
+                     Mutex.unlock lock;
+                     not cached
+                   end)
+            |> Array.of_list
+          in
+          if Array.length missing > 0 then begin
+            (* Compute outside the lock, like the per-point miss path:
+               concurrent domains may duplicate a point's work, but
+               identical results make the race benign. *)
+            let vals = Nodal.eval_batch ~f ~g problem missing in
+            Mutex.lock lock;
+            Array.iteri
+              (fun i (s : Complex.t) ->
+                Atomic.incr misses;
+                Obs.incr Obs.memo_misses;
+                Hashtbl.replace table (f, g, s.Complex.re, s.Complex.im) vals.(i))
+              missing;
+            Mutex.unlock lock
+          end)
+  in
   let shared_eval ~f ~g (s : Complex.t) =
     let key = (f, g, s.Complex.re, s.Complex.im) in
     let cached =
@@ -102,6 +153,7 @@ let of_nodal_shared problem =
     in
     {
       eval;
+      prefetch;
       gdeg = (if num then Nodal.num_gdeg problem else Nodal.den_gdeg problem);
       order_bound = Nodal.order_bound problem;
       f0 = 1. /. Nodal.mean_capacitance problem;
@@ -138,6 +190,7 @@ let of_epoly ?(name = "poly") ~gdeg ~f0 ~g0 p =
   in
   {
     eval;
+    prefetch = None;
     gdeg;
     order_bound = Epoly.degree p;
     f0;

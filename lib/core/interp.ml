@@ -178,14 +178,29 @@ let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
      persistent {!Domain_pool} workers across passes; [`Spawn] pays a fresh
      [Domain.spawn] per pass and exists as the benchmark baseline that
      motivated the pool. *)
+  (* Warm the evaluator's memo for a contiguous index range through the
+     batched kernel before the per-point loop: the exact [Uc.point] values
+     the loop evaluates, so the memo keys match bit-for-bit.  Guard-retry
+     points are perturbed off the circle and stay on the per-point path. *)
+  let prefetch_range lo hi =
+    match ev.Evaluator.prefetch with
+    | None -> ()
+    | Some pf ->
+        pf ~f:scale.Scaling.f ~g:scale.Scaling.g
+          (Array.init (hi - lo) (fun i -> Uc.point k (lo + i)))
+  in
   let eval_many count =
-    if domains <= 1 || count <= 1 then Array.init count value_at
+    if domains <= 1 || count <= 1 then begin
+      prefetch_range 0 count;
+      Array.init count value_at
+    end
     else begin
       let d = Int.min domains count in
       let results = Array.make count (Ec.zero, Ef.zero) in
       let chunk = (count + d - 1) / d in
       let worker i () =
         let lo = i * chunk in
+        prefetch_range lo (Int.min count (lo + chunk));
         for j = lo to Int.min count (lo + chunk) - 1 do
           results.(j) <- value_at j
         done

@@ -22,8 +22,13 @@ type t = {
    split inside {!Symref_mna.Nodal.make}.  Both switches change cost only,
    never values. *)
 let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
-    ?kernel ?check circuit ~input ~output =
+    ?kernel ?batch ?check circuit ~input ~output =
   let problem = Nodal.make ~reuse ?kernel circuit ~input ~output in
+  let batch_on =
+    (match batch with Some b -> b | None -> Evaluator.batch_default)
+    && share
+    && Nodal.kernel_enabled problem
+  in
   Tr.span ~cat:"reference"
     ~args:
       [
@@ -31,12 +36,13 @@ let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
         ("share", string_of_bool share);
         ("reuse", string_of_bool reuse);
         ("kernel", string_of_bool (Nodal.kernel_enabled problem));
+        ("batch", string_of_bool batch_on);
       ]
     "reference.generate"
   @@ fun () ->
   let ev_num, ev_den =
     if share then
-      let s = Evaluator.of_nodal_shared problem in
+      let s = Evaluator.of_nodal_shared ?batch problem in
       (s.Evaluator.snum, s.Evaluator.sden)
     else
       (Evaluator.of_nodal problem ~num:true, Evaluator.of_nodal problem ~num:false)
@@ -44,7 +50,9 @@ let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
   (* Cooperative cancellation: every evaluation — the unit of cost — first
      runs the caller's check, which may raise (e.g. a deadline exceeded).
      The evaluators are wrapped here rather than hooking Adaptive so the
-     engines stay oblivious to scheduling concerns. *)
+     engines stay oblivious to scheduling concerns.  The prefetch hook is
+     wrapped too: a whole-chunk warm-up is many evaluations' worth of work,
+     so it must observe cancellation at least once. *)
   let ev_num, ev_den =
     match check with
     | None -> (ev_num, ev_den)
@@ -56,6 +64,12 @@ let generate ?(config = Adaptive.default_config) ?(share = true) ?(reuse = true)
               (fun ~f ~g s ->
                 chk ();
                 ev.Evaluator.eval ~f ~g s);
+            Evaluator.prefetch =
+              Option.map
+                (fun pf ~f ~g points ->
+                  chk ();
+                  pf ~f ~g points)
+                ev.Evaluator.prefetch;
           }
         in
         (wrap ev_num, wrap ev_den)

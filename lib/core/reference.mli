@@ -22,6 +22,7 @@ val generate :
   ?share:bool ->
   ?reuse:bool ->
   ?kernel:bool ->
+  ?batch:bool ->
   ?check:(unit -> unit) ->
   Symref_circuit.Netlist.t ->
   input:Symref_mna.Nodal.input ->
@@ -34,8 +35,13 @@ val generate :
     split per scale pair (see {!Symref_mna.Nodal.make}); [kernel] (default
     [true] unless [SYMREF_NO_KERNEL] is set) runs replays through the
     fused unboxed refactor+solve engine on per-domain workspaces
-    ({!Symref_linalg.Kernel}).  All are pure cost switches: the returned
-    coefficients are identical either way.
+    ({!Symref_linalg.Kernel}); [batch] (default [true] unless
+    [SYMREF_NO_BATCH] is set, effective only with [share] and the kernel)
+    prefetches each interpolation pass through the batched
+    structure-of-arrays engine — one elimination-program replay per chunk
+    of points instead of one per point
+    ({!Symref_mna.Nodal.eval_batch}).  All are pure cost switches: the
+    returned coefficients are identical either way.
     [check] is a cooperative-cancellation hook run before {e every}
     evaluation (one LU decomposition each): raising from it aborts the
     generation with that exception — {!Symref_serve} uses it to enforce

@@ -146,3 +146,114 @@ module Pool : sig
   val checkout : t -> workspace option
   val release : workspace -> unit
 end
+
+(** {1 The batched structure-of-arrays engine} *)
+
+type plane = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A flat [Float64] plane holding one value per (slot, point): slot-major,
+    index [slot * stride + point] with [stride] the batch's point count
+    padded to the tile width ({!Batch.stride}), so each instruction's
+    operand column is contiguous across the points of a batch and tiles
+    never straddle columns. *)
+
+(** Replays the elimination program {e once per batch}: the program —
+    pre-flattened into int32 instruction streams — is decoded instruction
+    by instruction, and every instruction runs an inner contiguous loop
+    over a tile of the batch's points — amortising the decode traffic the
+    per-point engine pays at every point, which dominates on long
+    programs with little float work per step (the rc-ladder shape).  The
+    loops themselves live in a C stub (batch_stub.c) compiled with
+    vectorisation on and FP contraction off, so the float work runs as
+    packed IEEE arithmetic while every per-point rounding stays exactly
+    the OCaml engine's.
+
+    Bit-identity: batching reorders float operations only across points
+    (whose data never interact); within one point the dataflow is
+    operation-for-operation the per-point {!run} + {!solve_into} chain, so
+    per-point results are bit-for-bit identical.
+
+    Eject semantics: a point that trips the threshold floor (or goes
+    non-finite) is {e marked} ({!Batch.ejected}) and keeps computing
+    garbage confined to its own plane column while the batch proceeds; the
+    caller re-evaluates marked points on the boxed path.  The engine itself
+    fires no fault hooks and touches no counters — the caller owns both, so
+    it can interleave [Inject.sparse_singular] fires and per-point
+    fallbacks in point order, reproducing the per-point engine's fire
+    sequence exactly ({!Symref_mna.Nodal.eval_batch} is the reference
+    consumer, and the accounting contract lives with the
+    [kernel.batch_points]/[kernel.batch_ejects] counters). *)
+module Batch : sig
+  type t
+  (** A growable batch workspace for one program: value/RHS/solution planes
+      plus per-point scratch (pivot, row-max, multiplier, determinant
+      accumulator, eject marks). *)
+
+  val create : program -> t
+  (** Allocate an empty batch workspace (counted under
+      [kernel.workspaces]); capacity grows on first use. *)
+
+  val program : t -> program
+
+  val begin_batch : t -> int -> unit
+  (** [begin_batch b count] sizes the planes for [count] points (growing
+      capacity if needed — the steady state allocates nothing) and zeroes
+      the value and RHS planes.  Fixes {!stride} for this batch. *)
+
+  val count : t -> int
+  (** Points in the current batch. *)
+
+  val stride : t -> int
+  (** The plane stride for the current batch: {!count} padded up to the
+      engine's tile width (a multiple of 8).  Lanes at
+      [count <= q < stride] are padding — zero-scattered, computed as
+      garbage, never read back. *)
+
+  val matrix_re : t -> plane
+  val matrix_im : t -> plane
+  (** Raw value planes for the scatter, under the same direct-store
+      contract as the per-point {!matrix_re}: write between
+      {!begin_batch} and {!run} at [slot * stride + point]. *)
+
+  val rhs_re : t -> plane
+  val rhs_im : t -> plane
+  (** Raw right-hand-side planes, index [row * stride + point]. *)
+
+  val point_re : t -> float array
+  val point_im : t -> float array
+  (** Per-point scratch of length >= [count] for the batch's evaluation
+      points, so scatter loops read unboxed floats instead of chasing
+      [Complex.t] records.  Purely a caller convenience: the engine never
+      reads them. *)
+
+  val run : t -> unit
+  (** Batched elimination and back substitution (one [lu.batch] trace span
+      when tracing is on).  Never fails: threshold/non-finite bails only
+      mark {!ejected}.  Allocation-free in the steady state. *)
+
+  val ejected : t -> int -> bool
+  (** Whether the point left the batch (threshold floor or non-finite
+      pivot at some step) — its column is garbage; re-evaluate it on the
+      boxed path. *)
+
+  val det_is_zero : t -> int -> bool
+
+  val det : t -> int -> Symref_numeric.Extcomplex.t
+  (** Determinant of a non-ejected point, bit-identical to the per-point
+      {!det}. *)
+
+  val solution_re : t -> plane
+  val solution_im : t -> plane
+  (** Solution planes, index [column * stride + point], valid until the
+      next {!begin_batch}. *)
+
+  (** Per-domain batch pooling, mirroring {!Pool}: a failed checkout sends
+      the whole batch to the bit-identical per-point path. *)
+  module Pool : sig
+    type batch = t
+    type t
+
+    val create : program -> t
+    val checkout : t -> batch option
+    val release : batch -> unit
+  end
+end

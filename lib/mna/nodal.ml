@@ -4,6 +4,8 @@ module Ec = Symref_numeric.Extcomplex
 module Element = Symref_circuit.Element
 module Netlist = Symref_circuit.Netlist
 module Obs = Symref_obs.Metrics
+module Inject = Symref_fault.Inject
+module BA1 = Bigarray.Array1
 
 type input =
   | Vsrc_element of string
@@ -46,7 +48,11 @@ type stamp = {
    ([-1] for entries identically zero over the pass) and the per-domain
    workspace pool of the fused engine.  [None] when the kernel is disabled
    for this problem. *)
-type kernel_payload = { k_slot : int array; k_pool : Kernel.Pool.t }
+type kernel_payload = {
+  k_slot : int array;
+  k_pool : Kernel.Pool.t;
+  k_batch : Kernel.Batch.Pool.t;
+}
 
 type payload = {
   pl_pat : Sparse.pattern;
@@ -333,7 +339,12 @@ let learn_pattern t ~f ~g =
               (fun p -> if p < 0 then -1 else prog.Kernel.coo_slot.(p))
               pos
           in
-          Some { k_slot; k_pool = Kernel.Pool.create prog }
+          Some
+            {
+              k_slot;
+              k_pool = Kernel.Pool.create prog;
+              k_batch = Kernel.Batch.Pool.create prog;
+            }
         end
       in
       Some { pl_pat = pat; pl_pos = pos; pl_kernel }
@@ -354,6 +365,75 @@ let pattern_for t ~f ~g =
           c.pat <- Some (f, g, payload);
           payload)
 
+(* The boxed per-point machinery, shared between [eval] and [eval_batch]'s
+   per-point fallbacks (ejected points, pole points).  Toplevel rather than
+   closures so both entry points run the exact same float expressions —
+   bit-identity across the engines depends on the expression shapes here. *)
+
+(* Lazy: the kernel paths write the right-hand side straight into their
+   workspaces and never need the boxed array — only the boxed solve and the
+   Cramer fallback force it. *)
+let rhs_lazy t ~f ~g ~sre ~sim =
+  let st = t.stamp in
+  lazy
+    (Array.init t.dim (fun r ->
+         let cf = st.rhs_c.(r) *. f in
+         {
+           Complex.re = st.rhs_k.(r) +. (st.rhs_g.(r) *. g) +. (sre *. cf);
+           im = sim *. cf;
+         }))
+
+(* Assemble a builder from the coordinate arrays — the full-Markowitz
+   fallback and the singular-point Cramer matrices (column [col] replaced
+   by the right-hand side) share this, so nothing is ever stamped twice.
+   Value of coordinate [e] at a point: [g_coef*g + s*(c_coef*f)]. *)
+let build_at t ~f ~g ~sre ~sim ~rhs ?replace_col () =
+  let st = t.stamp in
+  let m = Array.length st.m_rows in
+  let value e =
+    let cf = st.m_c.(e) *. f in
+    { Complex.re = (st.m_g.(e) *. g) +. (sre *. cf); im = sim *. cf }
+  in
+  let b = Sparse.create t.dim in
+  (match replace_col with
+  | None -> for e = 0 to m - 1 do Sparse.add b st.m_rows.(e) st.m_cols.(e) (value e) done
+  | Some col ->
+      for e = 0 to m - 1 do
+        if st.m_cols.(e) <> col then Sparse.add b st.m_rows.(e) st.m_cols.(e) (value e)
+      done;
+      Array.iteri
+        (fun r v -> if v <> Complex.zero then Sparse.add b r col v)
+        (Lazy.force rhs));
+  b
+
+let singular_value_at t ~f ~g ~sre ~sim ~rhs =
+  (* A pole sits exactly on this interpolation point: H is undefined, but
+     the numerator value is still well-defined through Cramer's rule
+     (x_j * D = det of the matrix with column j replaced by the RHS). *)
+  let cramer = function
+    | None -> Ec.zero
+    | Some col ->
+        Sparse.det
+          (Sparse.factor (build_at t ~f ~g ~sre ~sim ~rhs ~replace_col:col ()))
+  in
+  let num = Ec.sub (cramer t.out_p) (cramer t.out_m) in
+  { den = Ec.zero; num; h = Complex.zero; singular = true }
+
+let finish_at t ~f ~g ~sre ~sim ~rhs factor =
+  let den = Sparse.det factor in
+  if Ec.is_zero den then singular_value_at t ~f ~g ~sre ~sim ~rhs
+  else begin
+    let x = Sparse.solve factor (Lazy.force rhs) in
+    let pick = function Some i -> x.(i) | None -> Complex.zero in
+    let h = Complex.sub (pick t.out_p) (pick t.out_m) in
+    let num = Ec.mul_complex den h in
+    { den; num; h; singular = false }
+  end
+
+let from_scratch_at t ~f ~g ~sre ~sim ~rhs =
+  finish_at t ~f ~g ~sre ~sim ~rhs
+    (Sparse.factor (build_at t ~f ~g ~sre ~sim ~rhs ()))
+
 let eval ?(f = 1.) ?(g = 1.) t s =
   let st = t.stamp in
   let m = Array.length st.m_rows in
@@ -363,57 +443,10 @@ let eval ?(f = 1.) ?(g = 1.) t s =
     let cf = st.m_c.(e) *. f in
     { Complex.re = (st.m_g.(e) *. g) +. (sre *. cf); im = sim *. cf }
   in
-  (* Lazy: the kernel path writes the right-hand side straight into its
-     workspace and never needs the boxed array — only the boxed solve and
-     the Cramer fallback force it. *)
-  let rhs =
-    lazy
-      (Array.init t.dim (fun r ->
-           let cf = st.rhs_c.(r) *. f in
-           {
-             Complex.re = st.rhs_k.(r) +. (st.rhs_g.(r) *. g) +. (sre *. cf);
-             im = sim *. cf;
-           }))
-  in
-  (* Assemble a builder from the coordinate arrays — the full-Markowitz
-     fallback and the singular-point Cramer matrices (column [col] replaced
-     by the right-hand side) share this, so nothing is ever stamped twice. *)
-  let build ?replace_col () =
-    let b = Sparse.create t.dim in
-    (match replace_col with
-    | None -> for e = 0 to m - 1 do Sparse.add b st.m_rows.(e) st.m_cols.(e) (value e) done
-    | Some col ->
-        for e = 0 to m - 1 do
-          if st.m_cols.(e) <> col then Sparse.add b st.m_rows.(e) st.m_cols.(e) (value e)
-        done;
-        Array.iteri
-          (fun r v -> if v <> Complex.zero then Sparse.add b r col v)
-          (Lazy.force rhs));
-    b
-  in
-  let singular_value () =
-    (* A pole sits exactly on this interpolation point: H is undefined, but
-       the numerator value is still well-defined through Cramer's rule
-       (x_j * D = det of the matrix with column j replaced by the RHS). *)
-    let cramer = function
-      | None -> Ec.zero
-      | Some col -> Sparse.det (Sparse.factor (build ~replace_col:col ()))
-    in
-    let num = Ec.sub (cramer t.out_p) (cramer t.out_m) in
-    { den = Ec.zero; num; h = Complex.zero; singular = true }
-  in
-  let finish factor =
-    let den = Sparse.det factor in
-    if Ec.is_zero den then singular_value ()
-    else begin
-      let x = Sparse.solve factor (Lazy.force rhs) in
-      let pick = function Some i -> x.(i) | None -> Complex.zero in
-      let h = Complex.sub (pick t.out_p) (pick t.out_m) in
-      let num = Ec.mul_complex den h in
-      { den; num; h; singular = false }
-    end
-  in
-  let from_scratch () = finish (Sparse.factor (build ())) in
+  let rhs = rhs_lazy t ~f ~g ~sre ~sim in
+  let singular_value () = singular_value_at t ~f ~g ~sre ~sim ~rhs in
+  let finish factor = finish_at t ~f ~g ~sre ~sim ~rhs factor in
+  let from_scratch () = from_scratch_at t ~f ~g ~sre ~sim ~rhs in
   (* Fused-kernel evaluation: scatter, replay and substitute on the calling
      domain's pooled workspace — no boxed factor, no per-point allocation
      inside the engine.  Every outcome re-joins a boxed-path behaviour
@@ -497,3 +530,144 @@ let eval ?(f = 1.) ?(g = 1.) t s =
             | `Pole -> singular_value ()
             | `Bail -> from_scratch ()
             | `Unavailable -> boxed ()))
+
+(* One whole interpolation pass through the batched structure-of-arrays
+   engine: scatter every point's matrix and RHS into slot-major planes, run
+   the elimination program once (inner loops over the contiguous points of
+   each instruction), then walk the points {e in order} to fire the
+   [sparse.singular] hook and dispatch per-point fallbacks.
+
+   Fire ordering is the reason the walk is sequential and ordered: the
+   batched engine itself consumes no [Inject] hits and touches no counters,
+   so point [q]'s kernel-site fire — and any [Sparse.factor] fires its
+   fallback performs — lands strictly between point [q-1]'s and [q+1]'s,
+   exactly the sequence the per-point engine produces.  An armed fault plan
+   therefore replays identically under both engines, which is what the CI
+   batched bit-identity gate diffs.
+
+   Counter contract (see [Metrics.kernel_batch_points]): a batch-served
+   point counts [lu.refactor] + [kernel.batch_points]; an ejected point
+   (threshold floor, non-finite pivot, or injected singular) counts
+   [kernel.fallback] + [kernel.batch_ejects] exactly once — it goes
+   straight to the boxed full factorisation, never through the per-point
+   kernel, so the eject can't double-count.  Threshold ejects additionally
+   count [lu.refactor_fallback], injected ones don't — mirroring
+   [Kernel.run]'s accounting branch for branch. *)
+let run_batch t ~f ~g kp b points =
+  let st = t.stamp in
+  let m = Array.length st.m_rows in
+  let cnt = Array.length points in
+  Kernel.Batch.begin_batch b cnt;
+  let stride = Kernel.Batch.stride b in
+  let pre = Kernel.Batch.point_re b and pim = Kernel.Batch.point_im b in
+  for q = 0 to cnt - 1 do
+    pre.(q) <- points.(q).Complex.re;
+    pim.(q) <- points.(q).Complex.im
+  done;
+  (* Direct stores into the planes: the per-coordinate coefficients are
+     loop-invariant across the batch, so hoisting [g_coef*g] and [c_coef*f]
+     keeps the per-point expression tree identical to [eval]'s
+     [(m_g*g) +. (sre *. (m_c*f))]. *)
+  let wre = Kernel.Batch.matrix_re b and wim = Kernel.Batch.matrix_im b in
+  let k_slot = kp.k_slot in
+  for e = 0 to m - 1 do
+    let sl = Array.unsafe_get k_slot e in
+    if sl >= 0 then begin
+      let gc = Array.unsafe_get st.m_g e *. g
+      and cf = Array.unsafe_get st.m_c e *. f in
+      let base = sl * stride in
+      for q = 0 to cnt - 1 do
+        BA1.unsafe_set wre (base + q) (gc +. (Array.unsafe_get pre q *. cf));
+        BA1.unsafe_set wim (base + q) (Array.unsafe_get pim q *. cf)
+      done
+    end
+  done;
+  let yre = Kernel.Batch.rhs_re b and yim = Kernel.Batch.rhs_im b in
+  for r = 0 to t.dim - 1 do
+    let cf = st.rhs_c.(r) *. f in
+    let kg = st.rhs_k.(r) +. (st.rhs_g.(r) *. g) in
+    let base = r * stride in
+    for q = 0 to cnt - 1 do
+      BA1.unsafe_set yre (base + q) (kg +. (Array.unsafe_get pre q *. cf));
+      BA1.unsafe_set yim (base + q) (Array.unsafe_get pim q *. cf)
+    done
+  done;
+  Kernel.Batch.run b;
+  let xr = Kernel.Batch.solution_re b and xi = Kernel.Batch.solution_im b in
+  Array.init cnt (fun q ->
+      let s = points.(q) in
+      let sre = s.Complex.re and sim = s.Complex.im in
+      let rhs = rhs_lazy t ~f ~g ~sre ~sim in
+      if Inject.fire Inject.sparse_singular then begin
+        (* Injected singular: the per-point kernel bails here before its
+           elimination, so injection takes precedence over a threshold
+           eject — and, like [Kernel.run], it is not a threshold fallback:
+           [lu.refactor_fallback] stays untouched. *)
+        Obs.incr Obs.kernel_fallbacks;
+        Obs.incr Obs.kernel_batch_ejects;
+        from_scratch_at t ~f ~g ~sre ~sim ~rhs
+      end
+      else if Kernel.Batch.ejected b q then begin
+        Obs.incr Obs.refactor_fallbacks;
+        Obs.incr Obs.kernel_fallbacks;
+        Obs.incr Obs.kernel_batch_ejects;
+        from_scratch_at t ~f ~g ~sre ~sim ~rhs
+      end
+      else begin
+        Obs.incr Obs.lu_refactor;
+        Obs.incr Obs.kernel_batch_points;
+        if Kernel.Batch.det_is_zero b q then
+          singular_value_at t ~f ~g ~sre ~sim ~rhs
+        else begin
+          let den = Kernel.Batch.det b q in
+          let hre =
+            (match t.out_p with
+            | Some i -> BA1.unsafe_get xr ((i * stride) + q)
+            | None -> 0.)
+            -. (match t.out_m with
+               | Some i -> BA1.unsafe_get xr ((i * stride) + q)
+               | None -> 0.)
+          and him =
+            (match t.out_p with
+            | Some i -> BA1.unsafe_get xi ((i * stride) + q)
+            | None -> 0.)
+            -. (match t.out_m with
+               | Some i -> BA1.unsafe_get xi ((i * stride) + q)
+               | None -> 0.)
+          in
+          let h = { Complex.re = hre; im = him } in
+          let num = Ec.mul_complex den h in
+          { den; num; h; singular = false }
+        end
+      end)
+
+let eval_batch ?(f = 1.) ?(g = 1.) t points =
+  let cnt = Array.length points in
+  if cnt = 0 then [||]
+  else begin
+    let per_point () = Array.map (fun s -> eval ~f ~g t s) points in
+    if not (kernel_enabled t) then per_point ()
+    else
+      match pattern_for t ~f ~g with
+      | None -> per_point ()
+      | Some pl -> (
+          match pl.pl_kernel with
+          | None -> per_point ()
+          | Some kp -> (
+              (* A failed checkout (pool cap, busy batch on a re-entrant
+                 systhread) sends the whole pass down the bit-identical
+                 per-point path. *)
+              match Kernel.Batch.Pool.checkout kp.k_batch with
+              | None -> per_point ()
+              | Some b ->
+                  Fun.protect
+                    ~finally:(fun () -> Kernel.Batch.Pool.release b)
+                    (fun () -> run_batch t ~f ~g kp b points)))
+  end
+
+let elimination_program ?(f = 1.) ?(g = 1.) t =
+  if not t.reuse then None
+  else
+    match pattern_for t ~f ~g with
+    | None -> None
+    | Some pl -> Some (Sparse.pattern_program pl.pl_pat)

@@ -98,6 +98,29 @@ val eval : ?f:float -> ?g:float -> t -> Complex.t -> value
 (** [eval ~f ~g t s] evaluates at the point [s] with frequency scale [f] and
     conductance scale [g] (both default [1.]). *)
 
+val eval_batch : ?f:float -> ?g:float -> t -> Complex.t array -> value array
+(** [eval_batch ~f ~g t points] evaluates every point of one interpolation
+    pass through the batched structure-of-arrays engine
+    ({!Symref_linalg.Kernel.Batch}): the elimination program is decoded once
+    and each instruction loops over the contiguous points, instead of
+    replaying the whole program per point.  Result [i] is bit-for-bit the
+    value [eval ~f ~g t points.(i)] would produce, including threshold-floor
+    ejects, singular points and armed [sparse.singular] fault plans (hook
+    fires are interleaved in point order, exactly as a sequential per-point
+    sweep consumes them) — so batching is a pure cost switch.  Falls back to
+    a per-point sweep when the kernel is disabled, the pattern is
+    unavailable, or the per-domain batch pool refuses a checkout.
+    Batch-served points count [kernel.batch_points] (instead of
+    [kernel.points]); ejected points count [kernel.fallback] +
+    [kernel.batch_ejects] exactly once each. *)
+
+val elimination_program :
+  ?f:float -> ?g:float -> t -> Symref_linalg.Kernel.program option
+(** The recorded elimination program for a scale pair — [None] when [reuse]
+    is off or the canonical point is singular.  Exposed for the benchmark's
+    program-shape statistics (steps, slots, fill, update counts); learning
+    or reusing the pattern counts under the pattern.* counters as usual. *)
+
 val mean_conductance : t -> float
 val mean_capacitance : t -> float
 (** Heuristic inputs for the first interpolation (paper §3.2).

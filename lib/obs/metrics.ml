@@ -101,6 +101,8 @@ let refactor_fallbacks = counter "lu.refactor_fallback"
 let kernel_points = counter "kernel.points"
 let kernel_fallbacks = counter "kernel.fallback"
 let kernel_workspaces = counter "kernel.workspaces"
+let kernel_batch_points = counter "kernel.batch_points"
+let kernel_batch_ejects = counter "kernel.batch_ejects"
 let evaluator_calls = counter "evaluator.calls"
 let memo_hits = counter "evaluator.memo_hit"
 let memo_misses = counter "evaluator.memo_miss"

@@ -86,7 +86,21 @@ val kernel_fallbacks : counter
     singularity) back to the boxed path. *)
 
 val kernel_workspaces : counter
-(** Workspaces allocated — one per (pattern, domain) in the steady state. *)
+(** Workspaces allocated — one per (pattern, domain) in the steady state,
+    per-point and batched alike. *)
+
+val kernel_batch_points : counter
+(** Evaluation points served by the batched structure-of-arrays engine
+    ({!Symref_linalg.Kernel.Batch}) — counted {e instead of}
+    [kernel.points], so the two engines stay distinguishable; batch-served
+    points still count under [lu.refactor]. *)
+
+val kernel_batch_ejects : counter
+(** Points ejected from a batch to the boxed per-point fallback (threshold
+    floor, non-finite pivot, or injected singularity).  An ejected point is
+    counted here and under [kernel.fallback] exactly once — it goes
+    straight to the boxed full factorisation, never through the per-point
+    kernel, so the two counters cannot double-count one point. *)
 
 val evaluator_calls : counter
 (** {!Symref_core.Evaluator} [eval] calls — the paper's cost metric. *)

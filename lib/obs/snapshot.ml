@@ -6,6 +6,8 @@ type t = {
   kernel_points : int;
   kernel_fallbacks : int;
   kernel_workspaces : int;
+  kernel_batch_points : int;
+  kernel_batch_ejects : int;
   evaluator_calls : int;
   memo_hits : int;
   memo_misses : int;
@@ -39,6 +41,8 @@ let zero =
     kernel_points = 0;
     kernel_fallbacks = 0;
     kernel_workspaces = 0;
+    kernel_batch_points = 0;
+    kernel_batch_ejects = 0;
     evaluator_calls = 0;
     memo_hits = 0;
     memo_misses = 0;
@@ -72,6 +76,8 @@ let capture () =
     kernel_points = Metrics.value Metrics.kernel_points;
     kernel_fallbacks = Metrics.value Metrics.kernel_fallbacks;
     kernel_workspaces = Metrics.value Metrics.kernel_workspaces;
+    kernel_batch_points = Metrics.value Metrics.kernel_batch_points;
+    kernel_batch_ejects = Metrics.value Metrics.kernel_batch_ejects;
     evaluator_calls = Metrics.value Metrics.evaluator_calls;
     memo_hits = Metrics.value Metrics.memo_hits;
     memo_misses = Metrics.value Metrics.memo_misses;
@@ -117,6 +123,12 @@ let fields =
     ( "kernel.workspaces",
       (fun t -> t.kernel_workspaces),
       fun t v -> { t with kernel_workspaces = v } );
+    ( "kernel.batch_points",
+      (fun t -> t.kernel_batch_points),
+      fun t v -> { t with kernel_batch_points = v } );
+    ( "kernel.batch_ejects",
+      (fun t -> t.kernel_batch_ejects),
+      fun t v -> { t with kernel_batch_ejects = v } );
     ( "evaluator.calls",
       (fun t -> t.evaluator_calls),
       fun t v -> { t with evaluator_calls = v } );

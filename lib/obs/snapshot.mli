@@ -13,6 +13,9 @@ type t = {
   kernel_points : int;  (** points served by the fused kernel *)
   kernel_fallbacks : int;  (** kernel bailouts to the boxed path *)
   kernel_workspaces : int;  (** kernel workspaces allocated *)
+  kernel_batch_points : int;  (** points served by the batched SoA engine *)
+  kernel_batch_ejects : int;
+      (** points ejected from a batch to the boxed fallback *)
   evaluator_calls : int;  (** evaluator [eval] calls *)
   memo_hits : int;  (** shared num/den table hits *)
   memo_misses : int;  (** shared num/den table misses (factorised) *)

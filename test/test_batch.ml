@@ -1,0 +1,312 @@
+(* The batched structure-of-arrays engine: per-point bit-identity against
+   the per-point kernel / boxed chain, eject parity with the threshold
+   bailout, allocation-freedom of the steady-state batch, fault-injection
+   parity with the hook interleaved mid-batch, and the no-double-count
+   accounting of kernel.batch_ejects.
+
+   "Bit-identical" is literal, as in [Test_kernel]: comparisons go through
+   [Int64.bits_of_float]. *)
+
+module Sparse = Symref_linalg.Sparse
+module Kernel = Symref_linalg.Kernel
+module Batch = Symref_linalg.Kernel.Batch
+module Ec = Symref_numeric.Extcomplex
+module Nodal = Symref_mna.Nodal
+module Random_net = Symref_circuit.Random_net
+module Uc = Symref_dft.Unit_circle
+module Inject = Symref_fault.Inject
+module BA1 = Bigarray.Array1
+
+let bits = Int64.bits_of_float
+
+let ec_bits_equal (a : Ec.t) (b : Ec.t) =
+  bits a.Ec.c.Complex.re = bits b.Ec.c.Complex.re
+  && bits a.Ec.c.Complex.im = bits b.Ec.c.Complex.im
+  && a.Ec.e = b.Ec.e
+
+(* --- Sparse-level: batched = boxed refactor+det+solve, per point --------- *)
+
+let lcg = Test_kernel.lcg
+let random_system = Test_kernel.random_system
+
+(* Scatter one value assignment into column [q] of the batch planes, and
+   the same RHS for every point (value variation is what matters; the RHS
+   forward elimination is folded into the same inner loops). *)
+let scatter_point b prog q vals (rhs : Complex.t array) =
+  let stride = Batch.stride b in
+  let wre = Batch.matrix_re b and wim = Batch.matrix_im b in
+  let yre = Batch.rhs_re b and yim = Batch.rhs_im b in
+  Array.iteri
+    (fun e (v : Complex.t) ->
+      let sl = prog.Kernel.coo_slot.(e) in
+      BA1.set wre ((sl * stride) + q) v.Complex.re;
+      BA1.set wim ((sl * stride) + q) v.Complex.im)
+    vals;
+  Array.iteri
+    (fun r (v : Complex.t) ->
+      BA1.set yre ((r * stride) + q) v.Complex.re;
+      BA1.set yim ((r * stride) + q) v.Complex.im)
+    rhs
+
+let prop_sparse_batch_identity =
+  QCheck2.Test.make
+    ~name:"batched = boxed bitwise on random sparse systems" ~count:30
+    QCheck2.Gen.(triple (int_range 1 100_000) (int_range 3 14) (int_range 1 9))
+    (fun (seed, n, cnt) ->
+      let rand = lcg seed in
+      let b, rhs = random_system rand n in
+      match Sparse.symbolic b with
+      | None -> true
+      | Some (pat, _) ->
+          let coords = Sparse.pattern_coords pat in
+          let dense = Sparse.to_dense b in
+          let base = Array.map (fun (i, j) -> dense.(i).(j)) coords in
+          let prog = Sparse.pattern_program pat in
+          (* Per-point value assignments: the first is the base system, the
+             rest perturb it — including a decade-scaled one so some points
+             of a batch bail while others don't. *)
+          let per_point =
+            Array.init cnt (fun q ->
+                if q = 0 then base
+                else
+                  let scale = if q mod 3 = 2 then 1e-7 else 0.5 +. rand () in
+                  Array.map
+                    (fun (v : Complex.t) ->
+                      {
+                        Complex.re = v.Complex.re *. scale;
+                        im = v.Complex.im *. (scale *. (0.5 +. rand ()));
+                      })
+                    base)
+          in
+          let bt = Batch.create prog in
+          Batch.begin_batch bt cnt;
+          Array.iteri (fun q vals -> scatter_point bt prog q vals rhs) per_point;
+          Batch.run bt;
+          let stride = Batch.stride bt in
+          let xr = Batch.solution_re bt and xi = Batch.solution_im bt in
+          Array.for_all Fun.id
+            (Array.mapi
+               (fun q vals ->
+                 match Sparse.refactor pat vals with
+                 | None -> Batch.ejected bt q
+                 | Some factor ->
+                     (not (Batch.ejected bt q))
+                     && ec_bits_equal (Sparse.det factor) (Batch.det bt q)
+                     && Ec.is_zero (Sparse.det factor) = Batch.det_is_zero bt q
+                     && (Batch.det_is_zero bt q
+                        ||
+                        let x = Sparse.solve factor rhs in
+                        Array.for_all Fun.id
+                          (Array.mapi
+                             (fun j (v : Complex.t) ->
+                               bits v.Complex.re
+                               = bits (BA1.get xr ((j * stride) + q))
+                               && bits v.Complex.im
+                                  = bits (BA1.get xi ((j * stride) + q)))
+                             x)))
+               per_point))
+
+(* --- Nodal-level: eval_batch = per-point eval on random circuits --------- *)
+
+let problem_of = Test_kernel.problem_of
+let value_bits_equal = Test_kernel.value_bits_equal
+
+let batch_matches_per_point p ~f ~g points =
+  let vb = Nodal.eval_batch ~f ~g p points in
+  Array.length vb = Array.length points
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun i s -> value_bits_equal vb.(i) (Nodal.eval ~f ~g p s))
+          points)
+
+let prop_nodal_batch_identity =
+  QCheck2.Test.make
+    ~name:"eval_batch = eval bitwise on random circuits" ~count:20
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 3 14))
+    (fun (seed, nodes) ->
+      let p = problem_of ~kernel:true seed nodes in
+      let f = 1. /. Nodal.mean_capacitance p
+      and g = 1. /. Nodal.mean_conductance p in
+      let k = Int.max 4 (Nodal.order_bound p + 1) in
+      let all = Array.init k (fun j -> Uc.point k j) in
+      (* Full circle, a single point, and the odd/even conjugate halves a
+         conj-symmetric pass would batch. *)
+      batch_matches_per_point p ~f ~g all
+      && batch_matches_per_point p ~f ~g [| all.(0) |]
+      && batch_matches_per_point p ~f ~g
+           (Array.init ((k / 2) + 1) (fun j -> all.(j)))
+      && batch_matches_per_point p ~f ~g
+           (Array.init (k / 2) (fun j -> all.(j)))
+      (* A second scale pair exercises pattern relearning + batch reuse. *)
+      && batch_matches_per_point p ~f:(2. *. f) ~g all)
+
+(* --- zero allocation per batch ------------------------------------------- *)
+
+let test_zero_alloc_batch () =
+  (* Once the planes are grown, a full batch — scatter, one program replay
+     over all points, back substitution — allocates zero heap words. *)
+  let rand = lcg 99 in
+  let b, rhs = random_system rand 16 in
+  match Sparse.symbolic b with
+  | None -> Alcotest.fail "symbolic factorisation unexpectedly failed"
+  | Some (pat, _) ->
+      let coords = Sparse.pattern_coords pat in
+      let dense = Sparse.to_dense b in
+      let m = Array.length coords in
+      let prog = Sparse.pattern_program pat in
+      let cnt = 32 in
+      let slot = prog.Kernel.coo_slot in
+      let vre = Array.init m (fun e -> (dense.(fst coords.(e)).(snd coords.(e))).Complex.re)
+      and vim = Array.init m (fun e -> (dense.(fst coords.(e)).(snd coords.(e))).Complex.im) in
+      let rre = Array.map (fun (v : Complex.t) -> v.Complex.re) rhs
+      and rim = Array.map (fun (v : Complex.t) -> v.Complex.im) rhs in
+      let bt = Batch.create prog in
+      let batch () =
+        Batch.begin_batch bt cnt;
+        let stride = Batch.stride bt in
+        let wre = Batch.matrix_re bt and wim = Batch.matrix_im bt in
+        let yre = Batch.rhs_re bt and yim = Batch.rhs_im bt in
+        for e = 0 to m - 1 do
+          let base = slot.(e) * stride in
+          for q = 0 to cnt - 1 do
+            BA1.set wre (base + q) (vre.(e) *. (1. +. (0.001 *. float_of_int q)));
+            BA1.set wim (base + q) vim.(e)
+          done
+        done;
+        for r = 0 to Array.length rre - 1 do
+          let base = r * stride in
+          for q = 0 to cnt - 1 do
+            BA1.set yre (base + q) rre.(r);
+            BA1.set yim (base + q) rim.(r)
+          done
+        done;
+        Batch.run bt
+      in
+      (* Warm up: grows the planes to [cnt] and sanity-checks the solve. *)
+      batch ();
+      Alcotest.(check bool) "warm-up batch solves" false (Batch.det_is_zero bt 0);
+      Alcotest.(check bool) "warm-up batch ejects nothing" false
+        (Batch.ejected bt (cnt - 1));
+      let probe iters =
+        let before = Gc.minor_words () in
+        for _ = 1 to iters do
+          batch ()
+        done;
+        Gc.minor_words () -. before
+      in
+      Alcotest.(check (float 0.)) "100 batches allocate zero words" 0.
+        (probe 100);
+      Alcotest.(check (float 0.)) "200 batches allocate zero words" 0.
+        (probe 200)
+
+(* --- chaos: sparse.singular armed mid-batch ------------------------------ *)
+
+let with_registry f = Fun.protect ~finally:Inject.disable f
+
+let test_chaos_batch_parity () =
+  with_registry (fun () ->
+      (* An armed plan whose window opens mid-batch: the batched sweep must
+         consume hook hits in point order — ejecting exactly the injected
+         points to the boxed path — and reproduce the sequential per-point
+         sweep bit for bit, hits and fires included. *)
+      let sweep ~how =
+        Inject.enable ~seed:7 ();
+        Inject.arm Inject.sparse_singular
+          (Inject.Times { skip = 3; count = 4 });
+        let p = problem_of ~kernel:true 4242 10 in
+        let f = 1. /. Nodal.mean_capacitance p
+        and g = 1. /. Nodal.mean_conductance p in
+        let k = Int.max 4 (Nodal.order_bound p + 1) in
+        let points = Array.init k (fun j -> Uc.point k j) in
+        let vs =
+          match how with
+          | `Batch -> Nodal.eval_batch ~f ~g p points
+          | `Point -> Array.map (fun s -> Nodal.eval ~f ~g p s) points
+        in
+        let consumed =
+          (Inject.hits Inject.sparse_singular, Inject.fired Inject.sparse_singular)
+        in
+        (vs, consumed)
+      in
+      let vb, cb = sweep ~how:`Batch in
+      let vp, cp = sweep ~how:`Point in
+      Alcotest.(check (pair int int)) "hook consumption identical" cp cb;
+      Alcotest.(check bool) "the plan actually fired" true (snd cb > 0);
+      Array.iteri
+        (fun j a ->
+          Alcotest.(check bool)
+            (Printf.sprintf "faulted point %d bit-identical" j)
+            true
+            (value_bits_equal a vp.(j)))
+        vb)
+
+(* --- eject accounting ---------------------------------------------------- *)
+
+let test_batch_counters () =
+  let module Obs = Symref_obs.Metrics in
+  let module Snapshot = Symref_obs.Snapshot in
+  let sweep () =
+    let p = problem_of ~kernel:true 99 8 in
+    let f = 1. /. Nodal.mean_capacitance p
+    and g = 1. /. Nodal.mean_conductance p in
+    let k = Int.max 4 (Nodal.order_bound p + 1) in
+    let points = Array.init k (fun j -> Uc.point k j) in
+    ignore (Nodal.eval_batch ~f ~g p points);
+    k
+  in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      (* Clean sweep: every point batch-served, nothing ejected, nothing
+         leaked to the per-point kernel counters. *)
+      let k = sweep () in
+      let s = Snapshot.capture () in
+      Alcotest.(check int) "every point batch-served" k
+        s.Snapshot.kernel_batch_points;
+      Alcotest.(check int) "batch points count as replays"
+        s.Snapshot.lu_refactor s.Snapshot.kernel_batch_points;
+      Alcotest.(check int) "no per-point kernel points" 0 s.Snapshot.kernel_points;
+      Alcotest.(check int) "no ejects" 0 s.Snapshot.kernel_batch_ejects;
+      Alcotest.(check int) "no kernel fallbacks" 0 s.Snapshot.kernel_fallbacks;
+      (* Injected sweep: each fired point is ejected and counted exactly
+         once under kernel.fallback = kernel.batch_ejects; served + ejected
+         still covers every point, so nothing is double-counted. *)
+      Obs.reset ();
+      with_registry (fun () ->
+          Inject.enable ~seed:1 ();
+          Inject.arm Inject.sparse_singular (Inject.Times { skip = 1; count = 2 });
+          let k = sweep () in
+          let fired = Inject.fired Inject.sparse_singular in
+          let s = Snapshot.capture () in
+          Alcotest.(check bool) "the plan actually fired" true (fired > 0);
+          Alcotest.(check int) "ejects = kernel fallbacks"
+            s.Snapshot.kernel_fallbacks s.Snapshot.kernel_batch_ejects;
+          Alcotest.(check int) "served + ejected = points" k
+            (s.Snapshot.kernel_batch_points + s.Snapshot.kernel_batch_ejects);
+          Alcotest.(check int) "no per-point kernel points" 0
+            s.Snapshot.kernel_points;
+          (* Injected ejects are not threshold fallbacks, so lu.refactor
+             plus the full-factorisation count must still cover the sweep:
+             the fired points went straight to Sparse.factor. *)
+          Alcotest.(check bool) "ejected points were factorised from scratch"
+            true
+            (s.Snapshot.lu_factor >= s.Snapshot.kernel_batch_ejects)))
+
+let suite =
+  [
+    ( "batch",
+      [
+        QCheck_alcotest.to_alcotest prop_sparse_batch_identity;
+        QCheck_alcotest.to_alcotest prop_nodal_batch_identity;
+        Alcotest.test_case "zero allocation per batch" `Quick
+          test_zero_alloc_batch;
+        Alcotest.test_case "chaos: sparse.singular armed mid-batch" `Quick
+          test_chaos_batch_parity;
+        Alcotest.test_case "batch counters and eject accounting" `Quick
+          test_batch_counters;
+      ] );
+  ]
