@@ -602,11 +602,20 @@ let tables_cmd =
 (* --- serve / submit / batch: the persistent-service front end --- *)
 
 let socket_arg =
-  let doc = "Unix domain socket path of the daemon." in
+  let doc =
+    "Daemon endpoint: a Unix domain socket path, or $(b,HOST:PORT) for TCP."
+  in
   Arg.(
     required
     & opt (some string) None
-    & info [ "socket" ] ~docv:"PATH" ~doc)
+    & info [ "socket" ] ~docv:"ADDR" ~doc)
+
+let tcp_extra_arg =
+  let doc =
+    "Additionally listen on this TCP endpoint ($(b,HOST:PORT)); the daemon \
+     then serves both transports at once."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
 
 let workers_arg =
   let doc = "Worker domains for job execution (0 = cores - 1)." in
@@ -624,12 +633,43 @@ let timeout_ms_arg =
   let doc = "Per-job wall-clock budget in milliseconds (0 = none)." in
   Arg.(value & opt int 0 & info [ "timeout-ms" ] ~doc)
 
-let service_config workers capacity cache_mb timeout_ms =
+let disk_cache_arg =
+  let doc =
+    "Persistent result-cache directory, shared across restarts and across \
+     the fleet's daemon processes (omit for in-memory only)."
+  in
+  Arg.(value & opt (some string) None & info [ "disk-cache" ] ~docv:"DIR" ~doc)
+
+let backlog_arg =
+  let doc = "listen(2) backlog of the daemon's sockets." in
+  Arg.(value & opt int 16 & info [ "backlog" ] ~doc)
+
+let socket_mode_arg =
+  let doc =
+    "Permission bits (octal, e.g. $(b,600)) applied to the Unix listening \
+     socket; omitted = the process umask decides."
+  in
+  Arg.(value & opt (some string) None & info [ "socket-mode" ] ~docv:"OCTAL" ~doc)
+
+let parse_socket_mode = function
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt ("0o" ^ s) with
+      | Some m when m >= 0 && m <= 0o777 -> Some m
+      | _ ->
+          Printf.eprintf "error: --socket-mode: %s is not an octal mode\n" s;
+          exit 2)
+
+let service_config ?disk_cache_dir ?(backlog = 16) ?socket_mode workers capacity
+    cache_mb timeout_ms =
   {
     Serve.Service.workers;
     capacity;
     cache_bytes = cache_mb * 1024 * 1024;
     default_timeout_ms = (if timeout_ms > 0 then Some timeout_ms else None);
+    disk_cache_dir;
+    backlog;
+    socket_mode;
   }
 
 let analysis_arg =
@@ -675,22 +715,36 @@ let job_term =
     $ r_arg $ timeout_ms_arg $ from_arg $ to_arg $ per_decade_arg)
 
 let serve_cmd =
-  let run socket workers capacity cache_mb timeout_ms obs =
+  let run socket tcp_extra workers capacity cache_mb timeout_ms disk_cache
+      backlog socket_mode obs =
     wrap obs (fun () ->
-        let config = service_config workers capacity cache_mb timeout_ms in
-        Printf.eprintf "symref %s serving on %s\n%!" Serve.Version.version socket;
-        Serve.Daemon.run ~config ~socket_path:socket ())
+        let config =
+          service_config ?disk_cache_dir:disk_cache ~backlog
+            ?socket_mode:(parse_socket_mode socket_mode) workers capacity
+            cache_mb timeout_ms
+        in
+        let listen =
+          Serve.Transport.parse socket
+          :: (match tcp_extra with
+             | Some spec -> [ Serve.Transport.parse spec ]
+             | None -> [])
+        in
+        Printf.eprintf "symref %s serving on %s\n%!" Serve.Version.version
+          (String.concat ", " (List.map Serve.Transport.to_string listen));
+        Serve.Daemon.run ~config ~listen ())
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the reference-generation daemon: newline-delimited JSON jobs \
-          over a Unix domain socket, scheduled on the worker pool and \
-          answered from a content-addressed result cache.  Runs in the \
-          foreground until a shutdown request arrives.")
+          over a Unix domain socket or TCP (or both at once with $(b,--tcp)), \
+          scheduled on the worker pool and answered from a content-addressed \
+          result cache — optionally persisted on disk with $(b,--disk-cache). \
+          Runs in the foreground until a shutdown request arrives.")
     Term.(
-      const run $ socket_arg $ workers_arg $ capacity_arg $ cache_mb_arg
-      $ timeout_ms_arg $ obs_term)
+      const run $ socket_arg $ tcp_extra_arg $ workers_arg $ capacity_arg
+      $ cache_mb_arg $ timeout_ms_arg $ disk_cache_arg $ backlog_arg
+      $ socket_mode_arg $ obs_term)
 
 let submit_cmd =
   let netlist_opt_arg =
@@ -729,7 +783,8 @@ let submit_cmd =
     let reply =
       (* Busy backpressure and transient connection failures retry with
          capped exponential backoff; a final failure is a one-line error. *)
-      try Serve.Client.retry_request ~socket_path:socket request with
+      try Serve.Client.retry_request ~addr:(Serve.Transport.parse socket) request
+      with
       | Unix.Unix_error (e, _, _) ->
           Printf.eprintf "error: %s: %s\n" socket (Unix.error_message e);
           exit 1
@@ -773,6 +828,57 @@ let batch_cmd =
       const run $ dir_arg $ workers_arg $ capacity_arg $ cache_mb_arg
       $ timeout_ms_arg $ job_term $ obs_term)
 
+let router_cmd =
+  let listen_arg =
+    let doc = "Front endpoint to listen on (socket path or $(b,HOST:PORT))." in
+    Arg.(
+      required & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let worker_args =
+    let doc =
+      "A worker daemon's endpoint (repeatable; socket path or \
+       $(b,HOST:PORT))."
+    in
+    Arg.(non_empty & opt_all string [] & info [ "worker" ] ~docv:"ADDR" ~doc)
+  in
+  let replicas_arg =
+    let doc = "Virtual nodes per worker on the consistent-hash ring." in
+    Arg.(value & opt int 64 & info [ "replicas" ] ~doc)
+  in
+  let health_arg =
+    let doc = "Milliseconds between Hello health probes of the workers." in
+    Arg.(value & opt int 1000 & info [ "health-interval-ms" ] ~doc)
+  in
+  let run listen workers replicas health_ms backlog obs =
+    wrap obs (fun () ->
+        let router =
+          Serve.Router.create ~replicas
+            (List.map Serve.Transport.parse workers)
+        in
+        let server =
+          Serve.Router.create_server ~backlog ~health_interval_ms:health_ms
+            ~listen:[ Serve.Transport.parse listen ]
+            router
+        in
+        Printf.eprintf "symref %s routing %d workers on %s\n%!"
+          Serve.Version.version (List.length workers)
+          (String.concat ", "
+             (List.map Serve.Transport.to_string
+                (Serve.Router.server_addresses server)));
+        Serve.Router.serve server)
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:
+         "Run the fleet front end: consistent-hash jobs across the \
+          $(b,--worker) daemons (same NDJSON protocol as $(b,serve)), with \
+          Hello health probes and automatic failover to the next worker on \
+          the ring.  Stats replies aggregate the whole fleet.  Runs in the \
+          foreground until a shutdown request arrives.")
+    Term.(
+      const run $ listen_arg $ worker_args $ replicas_arg $ health_arg
+      $ backlog_arg $ obs_term)
+
 let main =
   let doc = "numerical reference generation for symbolic analysis of analog circuits" in
   Cmd.group
@@ -795,6 +901,7 @@ let main =
       serve_cmd;
       submit_cmd;
       batch_cmd;
+      router_cmd;
     ]
 
 let () =

@@ -22,39 +22,70 @@ type t = {
    to the IDFT; the common factor is reapplied afterwards.  This emulates the
    paper's double-precision pipeline (including its 1e-13 noise floor) while
    never over/underflowing on wild scale factors. *)
+let max_exponent values =
+  Array.fold_left (fun acc (v : Ec.t) -> if Ec.is_zero v then acc else Int.max acc v.Ec.e)
+    min_int values
+
+let to_doubles ~max_e values =
+  Array.map
+    (fun (v : Ec.t) ->
+      if Ec.is_zero v then Complex.zero
+      else
+        let shift = v.Ec.e - max_e in
+        if shift < -1000 then Complex.zero
+        else
+          {
+            Complex.re = Float.ldexp v.Ec.c.Complex.re shift;
+            im = Float.ldexp v.Ec.c.Complex.im shift;
+          })
+    values
+
+let of_doubles ~max_e coeffs =
+  Array.map
+    (fun (c : Complex.t) ->
+      if c = Complex.zero then Ec.zero else Ec.make ~c ~e:max_e)
+    coeffs
+
 let idft_extended values =
-  let max_e =
-    Array.fold_left (fun acc (v : Ec.t) -> if Ec.is_zero v then acc else Int.max acc v.Ec.e)
-      min_int values
-  in
+  let max_e = max_exponent values in
   if max_e = min_int then Array.map (fun _ -> Ec.zero) values
   else begin
-    let doubles =
-      Array.map
-        (fun (v : Ec.t) ->
-          if Ec.is_zero v then Complex.zero
-          else
-            let shift = v.Ec.e - max_e in
-            if shift < -1000 then Complex.zero
-            else
-              {
-                Complex.re = Float.ldexp v.Ec.c.Complex.re shift;
-                im = Float.ldexp v.Ec.c.Complex.im shift;
-              })
-        values
-    in
+    let doubles = to_doubles ~max_e values in
     let inverse =
       if Symref_dft.Fft.is_pow2 (Array.length doubles) then Symref_dft.Fft.inverse
       else Dft.inverse
     in
-    Array.map
-      (fun (c : Complex.t) ->
-        if c = Complex.zero then Ec.zero else Ec.make ~c ~e:max_e)
-      (inverse doubles)
+    of_doubles ~max_e (inverse doubles)
   end
 
-let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
-    ?(domain_strategy = `Pool) (ev : Evaluator.t) ~(scale : Scaling.pair) ~k =
+(* Half-spectrum variant: [half] holds the (k/2)+1 upper-half-circle values
+   of a conjugate-symmetric pass.  [Ec.conj] preserves both the exponent and
+   zero-ness, so the common exponent over the half array equals the one the
+   completed full array would produce, and conjugating after the ldexp shift
+   is bit-identical to shifting the conjugate ([ldexp] negates exactly).
+   Power-of-two [k] therefore completes the {e doubles} by conjugation and
+   keeps [Fft.inverse] bit-identical to the full path; other [k] take
+   [Dft.inverse_real_spectrum], which folds each conjugate pair before
+   summing — half the multiply-adds, coefficients equal to a few ulp (and
+   imaginary round-off residue cancelled exactly rather than approximately,
+   which is why {!Naive} opts out: its garbage diagnostic reads that
+   residue). *)
+let idft_extended_half ~k half =
+  let max_e = max_exponent half in
+  if max_e = min_int then Array.make k Ec.zero
+  else begin
+    let doubles = to_doubles ~max_e half in
+    let coeffs =
+      if Symref_dft.Fft.is_pow2 k then
+        Symref_dft.Fft.inverse (Dft.complete_real_spectrum k doubles)
+      else Dft.inverse_real_spectrum k doubles
+    in
+    of_doubles ~max_e coeffs
+  end
+
+let run ?(conj_symmetry = true) ?(full_spectrum_idft = false) ?(known = [])
+    ?(base = 0) ?(domains = 1) ?(domain_strategy = `Pool) (ev : Evaluator.t)
+    ~(scale : Scaling.pair) ~k =
   if k < 1 then invalid_arg "Interp.run: k must be >= 1";
   if base < 0 then invalid_arg "Interp.run: base must be >= 0";
   if domains < 1 then invalid_arg "Interp.run: domains must be >= 1";
@@ -221,27 +252,31 @@ let run ?(conj_symmetry = true) ?(known = []) ?(base = 0) ?(domains = 1)
       (fun acc (_, mag) -> if Ef.compare_mag mag acc > 0 then mag else acc)
       Ef.zero pairs
   in
-  let values, ceiling, evaluations =
+  let normalized, ceiling, evaluations =
     if conj_symmetry then begin
       (* P(conj s) = conj (P s) for real circuits: evaluate only the upper
          half circle (same symmetry as Dft.complete_real_spectrum, here on
          extended-range values). *)
       let half = eval_many ((k / 2) + 1) in
-      ( Array.init k (fun i ->
-            if i <= k / 2 then fst half.(i) else Ec.conj (fst half.(k - i))),
-        collect half,
-        (k / 2) + 1 )
+      let coeffs =
+        if full_spectrum_idft then
+          idft_extended
+            (Array.init k (fun i ->
+                 if i <= k / 2 then fst half.(i) else Ec.conj (fst half.(k - i))))
+        else idft_extended_half ~k (Array.map fst half)
+      in
+      (coeffs, collect half, (k / 2) + 1)
     end
     else begin
       let all = eval_many k in
-      (Array.map fst all, collect all, k)
+      (idft_extended (Array.map fst all), collect all, k)
     end
   in
   Obs.add Obs.points_evaluated evaluations;
   {
     scale;
     base;
-    normalized = idft_extended values;
+    normalized;
     points = k;
     evaluations;
     ceiling;

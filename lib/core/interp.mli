@@ -38,6 +38,7 @@ type t = {
 
 val run :
   ?conj_symmetry:bool ->
+  ?full_spectrum_idft:bool ->
   ?known:(int * Symref_numeric.Extfloat.t) list ->
   ?base:int ->
   ?domains:int ->
@@ -50,7 +51,16 @@ val run :
     {e denormalised} coefficients to deflate (eq. 17); [base] (default [0])
     is the first power to recover.  [conj_symmetry] (default [true])
     evaluates only the upper half circle and completes by conjugation
-    (real-coefficient polynomials, §2.1).  [domains] (default [1]) fans the
+    (real-coefficient polynomials, §2.1); the inverse transform then also
+    runs on the half spectrum ({!Dft.inverse_real_spectrum}), folding each
+    conjugate pair before summation — about half the IDFT multiply-adds.
+    Power-of-two [k] keeps the FFT on the completed spectrum and is
+    bit-identical to previous releases; other [k] agree to a few ulp.
+    [full_spectrum_idft] (default [false]) forces the conjugate-completed
+    full transform of previous releases even under [conj_symmetry] — the
+    approximate (rather than exact) cancellation of conjugate pairs leaves
+    the imaginary round-off residue that {!Naive.garbage_fraction} reads as
+    its failure signature.  [domains] (default [1]) fans the
     independent point evaluations out over that many OCaml domains; results,
     ceiling and evaluation counts are bit-identical to the sequential run
     (the evaluator must be thread-safe when [domains > 1], which all

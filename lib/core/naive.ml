@@ -10,8 +10,13 @@ type t = {
 
 let run ?(conj_symmetry = true) ?(sigma = 6) (ev : Evaluator.t) =
   let k = ev.Evaluator.order_bound + 1 in
+  (* Force the conjugate-completed full IDFT: its approximate pair
+     cancellation is what leaves the imaginary round-off residue that
+     [garbage_fraction] diagnoses; the half transform cancels pairs exactly
+     and would erase the signature. *)
   let pass =
-    Interp.run ~conj_symmetry ev ~scale:{ Scaling.f = 1.; g = 1. } ~k
+    Interp.run ~conj_symmetry ~full_spectrum_idft:true ev
+      ~scale:{ Scaling.f = 1.; g = 1. } ~k
   in
   {
     coeffs = pass.Interp.normalized;

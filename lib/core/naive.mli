@@ -14,7 +14,11 @@ type t = {
 
 val run : ?conj_symmetry:bool -> ?sigma:int -> Evaluator.t -> t
 (** Interpolate with [order_bound + 1] unit-circle points and unit scale
-    factors.  [sigma] (default 6) only affects the reported band. *)
+    factors.  [sigma] (default 6) only affects the reported band.  Always
+    uses the conjugate-completed {e full} IDFT
+    ([Interp.run ~full_spectrum_idft:true]): the half-spectrum transform
+    cancels conjugate pairs exactly and would erase the imaginary residue
+    that {!garbage_fraction} diagnoses. *)
 
 val garbage_fraction : t -> float
 (** Fraction of coefficients whose imaginary part is at least a tenth of

@@ -27,3 +27,35 @@ let complete_real_spectrum k half =
   if Array.length half <> (k / 2) + 1 then
     invalid_arg "Dft.complete_real_spectrum: need k/2 + 1 values";
   Array.init k (fun i -> if i <= k / 2 then half.(i) else Complex.conj half.(k - i))
+
+let inverse_real_spectrum k half =
+  if k < 1 then invalid_arg "Dft.inverse_real_spectrum: k must be >= 1";
+  if Array.length half <> (k / 2) + 1 then
+    invalid_arg "Dft.inverse_real_spectrum: need k/2 + 1 values";
+  let inv_k = 1. /. float_of_int k in
+  (* Highest index whose conjugate partner k-j is a distinct point; the
+     self-conjugate points (j = 0 and, for even k, j = k/2) contribute on
+     their own and are the only carriers of imaginary residue. *)
+  let jmax = (k - 1) / 2 in
+  Array.init k (fun i ->
+      let re = ref half.(0).Complex.re and im = ref half.(0).Complex.im in
+      for j = 1 to jmax do
+        (* The pair x_j w^(-ij) + conj(x_j) w^(ij) is 2 Re (x_j w^(-ij))
+           exactly — one twiddle lookup and one complex multiply where the
+           full transform pays two of each and cancels only approximately. *)
+        let t = Complex.mul half.(j) (Unit_circle.point k (-i * j mod k)) in
+        re := !re +. (2. *. t.Complex.re)
+      done;
+      if k land 1 = 0 then begin
+        (* w^(-i*k/2) = (-1)^i exactly. *)
+        let m = half.(k / 2) in
+        if i land 1 = 0 then begin
+          re := !re +. m.Complex.re;
+          im := !im +. m.Complex.im
+        end
+        else begin
+          re := !re -. m.Complex.re;
+          im := !im -. m.Complex.im
+        end
+      end;
+      { Complex.re = !re *. inv_k; im = !im *. inv_k })

@@ -24,3 +24,18 @@ val complete_real_spectrum : int -> Complex.t array -> Complex.t array
     roots of unity into all [k] values using the conjugate symmetry
     [P(conj s) = conj (P s)] that holds for real-coefficient polynomials.
     @raise Invalid_argument when [Array.length half <> k/2 + 1]. *)
+
+val inverse_real_spectrum : int -> Complex.t array -> Complex.t array
+(** [inverse_real_spectrum k half] recovers the [k] coefficients directly
+    from the [k/2 + 1] upper-half-circle values of a conjugate-symmetric
+    spectrum — the same answer as
+    [inverse (complete_real_spectrum k half)] but with roughly half the
+    multiply-adds: each conjugate pair [x_j w^(-ij) + conj(x_j) w^(ij)]
+    is folded to [2 Re (x_j w^(-ij))] before it is summed.  The folding
+    cancels each pair's imaginary parts {e exactly} (the full transform
+    cancels them only to round-off), so the output's imaginary residue
+    comes solely from the self-conjugate points [j = 0] and (even [k])
+    [j = k/2]; results agree with the completed full transform to a few
+    ulp, not to the bit.
+    @raise Invalid_argument when [k < 1] or
+    [Array.length half <> k/2 + 1]. *)

@@ -133,3 +133,16 @@ let serve_jobs_failed = counter "serve.jobs_failed"
 let serve_jobs_timeout = counter "serve.jobs_timeout"
 let serve_jobs_rejected = counter "serve.jobs_rejected"
 let serve_client_retries = counter "serve.client_retries"
+
+(* Fleet additions: the in-memory cache's live byte gauge (maintained by
+   +/- deltas, so it reads as a level, not a rate), the persistent on-disk
+   cache layer, and the consistent-hash front router. *)
+let serve_cache_bytes = counter "serve.cache_bytes"
+let serve_disk_cache_hits = counter "serve.disk_cache_hit"
+let serve_disk_cache_misses = counter "serve.disk_cache_miss"
+let serve_disk_cache_writes = counter "serve.disk_cache_write"
+let serve_disk_cache_corrupt = counter "serve.disk_cache_corrupt"
+let router_requests = counter "router.requests"
+let router_failovers = counter "router.failovers"
+let router_health_checks = counter "router.health_checks"
+let router_dead_workers = counter "router.dead_workers"

@@ -181,3 +181,39 @@ val serve_jobs_rejected : counter
 val serve_client_retries : counter
 (** Client-side request retries (busy replies and transient socket
     failures, see {!Symref_serve.Client}). *)
+
+val serve_cache_bytes : counter
+(** Live byte footprint of the in-memory result cache — maintained with
+    signed deltas on insert/evict/clear, so it is a gauge: its value is the
+    current level, not a monotone total. *)
+
+val serve_disk_cache_hits : counter
+(** Jobs answered from the persistent on-disk cache layer (an in-memory
+    miss that a previous process — or life — of the fleet had computed). *)
+
+val serve_disk_cache_misses : counter
+(** On-disk lookups that found no (valid) entry. *)
+
+val serve_disk_cache_writes : counter
+(** Payloads persisted to the on-disk cache (atomic tmp + rename). *)
+
+val serve_disk_cache_corrupt : counter
+(** On-disk entries rejected by the checksum header (truncated or
+    corrupted files are skipped, never fatal). *)
+
+(** {2 The router family}
+
+    The consistent-hash front router ({!Symref_serve.Router} /
+    [symref router]). *)
+
+val router_requests : counter
+(** Requests forwarded to a worker. *)
+
+val router_failovers : counter
+(** Requests re-routed to the next worker on the ring after a failure. *)
+
+val router_health_checks : counter
+(** Hello health probes sent to workers. *)
+
+val router_dead_workers : counter
+(** Health transitions from alive to dead. *)

@@ -29,6 +29,15 @@ type t = {
   serve_jobs_timeout : int;
   serve_jobs_rejected : int;
   serve_client_retries : int;
+  serve_cache_bytes : int;
+  serve_disk_cache_hits : int;
+  serve_disk_cache_misses : int;
+  serve_disk_cache_writes : int;
+  serve_disk_cache_corrupt : int;
+  router_requests : int;
+  router_failovers : int;
+  router_health_checks : int;
+  router_dead_workers : int;
   points_per_pass : (int * int) list;
 }
 
@@ -64,6 +73,15 @@ let zero =
     serve_jobs_timeout = 0;
     serve_jobs_rejected = 0;
     serve_client_retries = 0;
+    serve_cache_bytes = 0;
+    serve_disk_cache_hits = 0;
+    serve_disk_cache_misses = 0;
+    serve_disk_cache_writes = 0;
+    serve_disk_cache_corrupt = 0;
+    router_requests = 0;
+    router_failovers = 0;
+    router_health_checks = 0;
+    router_dead_workers = 0;
     points_per_pass = [];
   }
 
@@ -99,6 +117,15 @@ let capture () =
     serve_jobs_timeout = Metrics.value Metrics.serve_jobs_timeout;
     serve_jobs_rejected = Metrics.value Metrics.serve_jobs_rejected;
     serve_client_retries = Metrics.value Metrics.serve_client_retries;
+    serve_cache_bytes = Metrics.value Metrics.serve_cache_bytes;
+    serve_disk_cache_hits = Metrics.value Metrics.serve_disk_cache_hits;
+    serve_disk_cache_misses = Metrics.value Metrics.serve_disk_cache_misses;
+    serve_disk_cache_writes = Metrics.value Metrics.serve_disk_cache_writes;
+    serve_disk_cache_corrupt = Metrics.value Metrics.serve_disk_cache_corrupt;
+    router_requests = Metrics.value Metrics.router_requests;
+    router_failovers = Metrics.value Metrics.router_failovers;
+    router_health_checks = Metrics.value Metrics.router_health_checks;
+    router_dead_workers = Metrics.value Metrics.router_dead_workers;
     points_per_pass = Metrics.histogram_buckets_of Metrics.points_per_pass;
   }
 
@@ -186,6 +213,33 @@ let fields =
     ( "serve.client_retries",
       (fun t -> t.serve_client_retries),
       fun t v -> { t with serve_client_retries = v } );
+    ( "serve.cache_bytes",
+      (fun t -> t.serve_cache_bytes),
+      fun t v -> { t with serve_cache_bytes = v } );
+    ( "serve.disk_cache_hit",
+      (fun t -> t.serve_disk_cache_hits),
+      fun t v -> { t with serve_disk_cache_hits = v } );
+    ( "serve.disk_cache_miss",
+      (fun t -> t.serve_disk_cache_misses),
+      fun t v -> { t with serve_disk_cache_misses = v } );
+    ( "serve.disk_cache_write",
+      (fun t -> t.serve_disk_cache_writes),
+      fun t v -> { t with serve_disk_cache_writes = v } );
+    ( "serve.disk_cache_corrupt",
+      (fun t -> t.serve_disk_cache_corrupt),
+      fun t v -> { t with serve_disk_cache_corrupt = v } );
+    ( "router.requests",
+      (fun t -> t.router_requests),
+      fun t v -> { t with router_requests = v } );
+    ( "router.failovers",
+      (fun t -> t.router_failovers),
+      fun t v -> { t with router_failovers = v } );
+    ( "router.health_checks",
+      (fun t -> t.router_health_checks),
+      fun t v -> { t with router_health_checks = v } );
+    ( "router.dead_workers",
+      (fun t -> t.router_dead_workers),
+      fun t v -> { t with router_dead_workers = v } );
   ]
 
 let histogram_key = "interp.points_per_pass"

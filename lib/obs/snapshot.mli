@@ -39,6 +39,15 @@ type t = {
   serve_jobs_timeout : int;  (** jobs cancelled by their deadline *)
   serve_jobs_rejected : int;  (** submissions refused by backpressure *)
   serve_client_retries : int;  (** client retries (busy/transient failures) *)
+  serve_cache_bytes : int;  (** live in-memory cache bytes (gauge) *)
+  serve_disk_cache_hits : int;  (** jobs replayed from the on-disk cache *)
+  serve_disk_cache_misses : int;  (** on-disk lookups with no valid entry *)
+  serve_disk_cache_writes : int;  (** payloads persisted to disk *)
+  serve_disk_cache_corrupt : int;  (** checksum-rejected on-disk entries *)
+  router_requests : int;  (** requests forwarded by the front router *)
+  router_failovers : int;  (** requests re-routed after a worker failure *)
+  router_health_checks : int;  (** Hello health probes sent *)
+  router_dead_workers : int;  (** alive-to-dead health transitions *)
   points_per_pass : (int * int) list;
       (** histogram, [(bucket upper bound, batches)] *)
 }

@@ -42,6 +42,11 @@ let create ?(max_bytes = 64 * 1024 * 1024) () =
 
 let size_of n = String.length n.key + String.length n.payload
 
+(* [serve.cache_bytes] mirrors [used_bytes] with signed deltas: every
+   mutation below pairs its [used_bytes] update with the same delta here,
+   so the counter reads as a live gauge in --stats and snapshots. *)
+let track_bytes delta = Metrics.add Metrics.serve_cache_bytes delta
+
 (* --- recency list primitives (caller holds the lock) --- *)
 
 let unlink t n =
@@ -62,6 +67,7 @@ let drop_tail t =
       unlink t n;
       Hashtbl.remove t.table n.key;
       t.used_bytes <- t.used_bytes - size_of n;
+      track_bytes (-size_of n);
       t.evictions <- t.evictions + 1;
       Metrics.incr Metrics.serve_cache_evictions
 
@@ -91,13 +97,15 @@ let add t ~key payload =
   | Some old ->
       unlink t old;
       Hashtbl.remove t.table key;
-      t.used_bytes <- t.used_bytes - size_of old
+      t.used_bytes <- t.used_bytes - size_of old;
+      track_bytes (-size_of old)
   | None -> ());
   let n = { key; payload; prev = None; next = None } in
   if size_of n <= t.max_bytes then begin
     Hashtbl.replace t.table key n;
     push_front t n;
     t.used_bytes <- t.used_bytes + size_of n;
+    track_bytes (size_of n);
     while t.used_bytes > t.max_bytes do
       drop_tail t
     done
@@ -114,6 +122,7 @@ let clear t =
   Hashtbl.reset t.table;
   t.head <- None;
   t.tail <- None;
+  track_bytes (-t.used_bytes);
   t.used_bytes <- 0
 
 let stats_json t =

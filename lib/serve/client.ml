@@ -8,12 +8,8 @@ type t = {
   banner : Json.t;
 }
 
-let connect ~socket_path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
+let connect ~addr =
+  let fd = Transport.connect addr in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let banner =
@@ -23,6 +19,19 @@ let connect ~socket_path =
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Errors.fail Errors.No_banner
   in
+  (* Version check at Hello: refuse to speak to a daemon whose banner
+     advertises a different protocol (or none at all) before any request
+     crosses the wire. *)
+  let got =
+    match Json.member "protocol" banner with
+    | Some v -> ( try Json.to_int v with Failure _ -> 0)
+    | None -> 0
+  in
+  if got <> Protocol.protocol_version then begin
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Errors.fail
+      (Errors.Version_mismatch { got; want = Protocol.protocol_version })
+  end;
   { fd; ic; oc; banner }
 
 let banner t = t.banner
@@ -38,8 +47,8 @@ let request t req =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let with_connection ~socket_path f =
-  let t = connect ~socket_path in
+let with_connection ~addr f =
+  let t = connect ~addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 (* --- retry with capped exponential backoff --- *)
@@ -94,11 +103,11 @@ let transient_errno = function
   | _ -> false
 
 let retry_request ?(backoff = default_backoff)
-    ?(sleep = fun ms -> Unix.sleepf (ms /. 1000.)) ~socket_path req =
+    ?(sleep = fun ms -> Unix.sleepf (ms /. 1000.)) ~addr req =
   if backoff.attempts < 1 then invalid_arg "Client.retry_request: attempts < 1";
   let attempt () =
     (* A fresh connection per attempt: the previous one may be half-dead. *)
-    match with_connection ~socket_path (fun t -> request t req) with
+    match with_connection ~addr (fun t -> request t req) with
     | reply -> Ok reply
     | exception Unix.Unix_error (e, _, _) when transient_errno e ->
         Error (`Unix e)
@@ -117,9 +126,11 @@ let retry_request ?(backoff = default_backoff)
         if last then begin
           (* Budget exhausted: surface the terminal failure as-is. *)
           match failure with
-          | `Unix e -> raise (Unix.Unix_error (e, "symref client", socket_path))
+          | `Unix e ->
+              raise (Unix.Unix_error (e, "symref client", Transport.to_string addr))
           | `Typed e -> Errors.fail e
-          | `Sys -> raise (Sys_error (socket_path ^ ": connection failed"))
+          | `Sys ->
+              raise (Sys_error (Transport.to_string addr ^ ": connection failed"))
         end
         else begin
           Metrics.incr Metrics.serve_client_retries;

@@ -12,9 +12,12 @@
 
 type t
 
-val connect : socket_path:string -> t
-(** Connect and consume the daemon's hello banner.
-    @raise Errors.Error [No_banner] when the connection closes first. *)
+val connect : addr:Transport.address -> t
+(** Connect (Unix socket or TCP, see {!Transport.parse}) and consume the
+    daemon's hello banner, checking its advertised protocol version.
+    @raise Errors.Error [No_banner] when the connection closes first,
+    [Version_mismatch] when the banner's [protocol] field is missing or
+    differs from {!Protocol.protocol_version}. *)
 
 val banner : t -> Symref_obs.Json.t
 (** The greeting the daemon sent on connect
@@ -27,7 +30,7 @@ val request : t -> Protocol.request -> Protocol.reply
 
 val close : t -> unit
 
-val with_connection : socket_path:string -> (t -> 'a) -> 'a
+val with_connection : addr:Transport.address -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exceptions). *)
 
 (** {1 Retry with capped exponential backoff} *)
@@ -47,6 +50,11 @@ val default_backoff : backoff
 (** 5 attempts, 25 ms base, doubling, 1 s cap, 20% jitter, seed 0 —
     worst case ≈ 0.4 s of waiting. *)
 
+val transient_errno : Unix.error -> bool
+(** The connection-level errnos a fresh attempt can plausibly outlive
+    ([ECONNREFUSED], [ECONNRESET], [EPIPE], [ENOENT], [EAGAIN]) — shared
+    with {!Router.forward}'s failover classification. *)
+
 val backoff_schedule : backoff -> float array
 (** The exact delays (ms) slept after attempts [0 .. attempts-2]:
     [min max_delay (base * multiplier^n)] scaled by the deterministic
@@ -55,7 +63,7 @@ val backoff_schedule : backoff -> float array
 val retry_request :
   ?backoff:backoff ->
   ?sleep:(float -> unit) ->
-  socket_path:string ->
+  addr:Transport.address ->
   Protocol.request ->
   Protocol.reply
 (** One logical request with retries: each attempt opens a fresh

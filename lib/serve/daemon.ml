@@ -5,32 +5,40 @@ module Inject = Symref_fault.Inject
 
 type t = {
   service : Service.t;
-  sock : Unix.file_descr;
-  socket_path : string;
+  listeners : (Transport.address * Unix.file_descr) list;
   lock : Mutex.t;
   mutable stop : bool;
   mutable conns : (Unix.file_descr * Thread.t) list;
 }
 
-let create ?config ~socket_path () =
+let create ?config ~listen () =
+  if listen = [] then invalid_arg "Daemon.create: no listen addresses";
   (* A client that disconnects while a reply is in flight must surface as a
      write error on that connection, not kill the whole daemon. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let service = Service.create ?config () in
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
-  Unix.bind sock (Unix.ADDR_UNIX socket_path);
-  Unix.listen sock 16;
-  {
-    service;
-    sock;
-    socket_path;
-    lock = Mutex.create ();
-    stop = false;
-    conns = [];
-  }
+  let cfg = Service.config service in
+  let listeners =
+    (* Bind them all before serving anything; unwind on partial failure so
+       a clashing port doesn't leak the sockets that did bind. *)
+    let rec bind_all acc = function
+      | [] -> List.rev acc
+      | addr :: rest -> (
+          match
+            Transport.listen ~backlog:cfg.Service.backlog
+              ?socket_mode:cfg.Service.socket_mode addr
+          with
+          | fd -> bind_all ((Transport.bound_address addr fd, fd) :: acc) rest
+          | exception e ->
+              List.iter (fun (a, fd) -> Transport.close_listener a fd) acc;
+              raise e)
+    in
+    bind_all [] listen
+  in
+  { service; listeners; lock = Mutex.create (); stop = false; conns = [] }
 
 let service t = t.service
+let addresses t = List.map fst t.listeners
 
 let request_stop t =
   Mutex.lock t.lock;
@@ -106,20 +114,24 @@ let handle_conn t fd =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let serve t =
+  let socks = List.map snd t.listeners in
   let rec accept_loop () =
     if not (stopping t) then begin
       (* Poll so a stop request (from a handler thread) is noticed even when
          no client ever connects again. *)
-      (match Unix.select [ t.sock ] [] [] 0.2 with
+      (match Unix.select socks [] [] 0.2 with
       | [], _, _ -> ()
-      | _ -> (
-          match Unix.accept t.sock with
-          | fd, _ ->
-              let th = Thread.create (handle_conn t) fd in
-              Mutex.lock t.lock;
-              t.conns <- (fd, th) :: t.conns;
-              Mutex.unlock t.lock
-          | exception Unix.Unix_error _ -> ()));
+      | ready, _, _ ->
+          List.iter
+            (fun sock ->
+              match Unix.accept sock with
+              | fd, _ ->
+                  let th = Thread.create (handle_conn t) fd in
+                  Mutex.lock t.lock;
+                  t.conns <- (fd, th) :: t.conns;
+                  Mutex.unlock t.lock
+              | exception Unix.Unix_error _ -> ())
+            ready);
       accept_loop ()
     end
   in
@@ -127,8 +139,7 @@ let serve t =
   (* Graceful teardown: finish the admitted jobs (their replies flush on the
      still-open connections), then unblock the readers and join. *)
   Service.shutdown t.service;
-  (try Unix.close t.sock with Unix.Unix_error _ -> ());
-  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  List.iter (fun (addr, fd) -> Transport.close_listener addr fd) t.listeners;
   Mutex.lock t.lock;
   let conns = t.conns in
   t.conns <- [];
@@ -139,4 +150,4 @@ let serve t =
     conns;
   List.iter (fun (_, th) -> Thread.join th) conns
 
-let run ?config ~socket_path () = serve (create ?config ~socket_path ())
+let run ?config ~listen () = serve (create ?config ~listen ())

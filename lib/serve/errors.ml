@@ -13,6 +13,8 @@ type t =
       (* the connection closed mid-exchange, e.g. before a reply line *)
   | Bad_spec of { what : string; message : string }
       (* a malformed or unresolvable input/output specification *)
+  | Version_mismatch of { got : int; want : int }
+      (* the daemon's hello banner advertised a different protocol *)
 
 exception Error of t
 
@@ -23,16 +25,22 @@ let bad_spec what fmt = Printf.ksprintf (fun m -> fail (Bad_spec { what; message
 let kind = function
   | No_banner | Connection_closed _ -> "connection"
   | Bad_spec _ -> "spec"
+  | Version_mismatch _ -> "protocol"
 
 let message = function
   | No_banner -> "serve client: no hello banner"
   | Connection_closed { during } ->
       Printf.sprintf "serve client: connection closed during %s" during
   | Bad_spec { what; message } -> Printf.sprintf "%s: %s" what message
+  | Version_mismatch { got; want } ->
+      Printf.sprintf
+        "serve client: daemon speaks protocol %d, this client speaks %d" got
+        want
 
 (* A connection-level failure is worth retrying (the daemon may be
    restarting, the socket may have been torn down mid-reply); a bad spec
-   never is. *)
+   never is, and neither is a protocol mismatch — reconnecting to the same
+   daemon yields the same banner. *)
 let transient = function
   | No_banner | Connection_closed _ -> true
-  | Bad_spec _ -> false
+  | Bad_spec _ | Version_mismatch _ -> false

@@ -15,6 +15,9 @@ type t =
   | Bad_spec of { what : string; message : string }
       (** a malformed or unresolvable input/output specification ([what]
           names the offending spec, e.g. ["input"] or the raw string) *)
+  | Version_mismatch of { got : int; want : int }
+      (** the daemon's hello banner advertised protocol [got] where this
+          client speaks [want] — refused at connect, before any request *)
 
 exception Error of t
 
@@ -26,7 +29,8 @@ val bad_spec : string -> ('a, unit, string, 'b) format4 -> 'a
     [Error (Bad_spec _)]. *)
 
 val kind : t -> string
-(** The structured-reply kind slug: ["connection"] or ["spec"]. *)
+(** The structured-reply kind slug: ["connection"], ["spec"] or
+    ["protocol"]. *)
 
 val message : t -> string
 (** Human-readable one-liner (what the old [Failure] carried). *)

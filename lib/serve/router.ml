@@ -1,0 +1,338 @@
+(* Consistent-hash front router for a fleet of serve daemons.
+
+   The ring holds [replicas] virtual nodes per worker (MD5 of
+   "<addr>#<i>", first 8 bytes as an unsigned int64), sorted by hash.  A
+   job's key hashes onto the ring and walks clockwise: the first virtual
+   node's worker owns it, the following *distinct* workers are its failover
+   order.  Adding or removing one worker therefore only remaps the keys
+   that hashed onto its virtual nodes — the rest of the fleet keeps its
+   (warm) share.
+
+   The router holds no job state: it forwards one request, relays one
+   reply.  Worker health is a soft signal — dead workers are skipped when
+   routing, but when every candidate is marked dead the walk tries them
+   all anyway (the marks may be stale; a wrong "dead" must degrade to a
+   slow request, not an outage). *)
+
+module Json = Symref_obs.Json
+module Metrics = Symref_obs.Metrics
+
+type worker = { addr : Transport.address; mutable alive : bool }
+
+type t = {
+  workers : worker array;
+  ring : (int64 * int) array; (* (vnode hash, worker index), sorted *)
+  replicas : int;
+  backoff : Client.backoff;
+  lock : Mutex.t; (* guards the alive flags *)
+}
+
+let hash64 s =
+  let d = Digest.string s in
+  let x = ref 0L in
+  for i = 0 to 7 do
+    x := Int64.logor (Int64.shift_left !x 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  !x
+
+(* Forwarding wants to fail over quickly, not sit out a full client retry
+   schedule against a dead worker: two attempts, short delays. *)
+let default_backoff =
+  { Client.default_backoff with Client.attempts = 2; base_delay_ms = 10. }
+
+let create ?(replicas = 64) ?(backoff = default_backoff) addrs =
+  if addrs = [] then invalid_arg "Router.create: no workers";
+  if replicas < 1 then invalid_arg "Router.create: replicas must be >= 1";
+  let workers =
+    Array.of_list (List.map (fun addr -> { addr; alive = true }) addrs)
+  in
+  let ring =
+    Array.init
+      (Array.length workers * replicas)
+      (fun i ->
+        let w = i / replicas and r = i mod replicas in
+        ( hash64
+            (Printf.sprintf "%s#%d" (Transport.to_string workers.(w).addr) r),
+          w ))
+  in
+  Array.sort
+    (fun (a, wa) (b, wb) ->
+      match Int64.unsigned_compare a b with 0 -> compare wa wb | c -> c)
+    ring;
+  { workers; ring; replicas; backoff; lock = Mutex.create () }
+
+let workers t = Array.to_list (Array.map (fun w -> w.addr) t.workers)
+
+(* The routing key is over the job's *spelling* (raw netlist text or path,
+   analysis, io, sigma, r): cheap, deterministic, and identical requests
+   always land on the same worker — which is what makes each worker's LRU
+   cache effective.  It intentionally does not canonicalise the netlist;
+   only the owning worker pays for parsing. *)
+let job_key (job : Protocol.job) =
+  let netlist =
+    match job.Protocol.netlist with
+    | `Text s -> "text\x00" ^ s
+    | `Path p -> "path\x00" ^ p
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            netlist;
+            Protocol.analysis_to_string job.Protocol.analysis;
+            job.Protocol.input;
+            (match job.Protocol.output with Some o -> o | None -> "");
+            string_of_int job.Protocol.sigma;
+            Printf.sprintf "%.17g" job.Protocol.r;
+          ]))
+
+(* First ring slot at or clockwise-after [h] (binary search, wrapping). *)
+let ring_start t h =
+  let n = Array.length t.ring in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.ring.(mid)) h < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+(* Worker indices in ring order starting at the key's owner, each worker
+   once: the failover sequence. *)
+let route t key =
+  let n = Array.length t.ring in
+  let start = ring_start t (hash64 key) in
+  let seen = Array.make (Array.length t.workers) false in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    let _, w = t.ring.((start + i) mod n) in
+    if not seen.(w) then begin
+      seen.(w) <- true;
+      order := w :: !order
+    end
+  done;
+  List.rev !order
+
+let owner t key =
+  match route t key with
+  | w :: _ -> t.workers.(w).addr
+  | [] -> assert false (* create requires >= 1 worker *)
+
+let alive t w =
+  Mutex.lock t.lock;
+  let a = t.workers.(w).alive in
+  Mutex.unlock t.lock;
+  a
+
+let set_alive t w v =
+  Mutex.lock t.lock;
+  let was = t.workers.(w).alive in
+  t.workers.(w).alive <- v;
+  Mutex.unlock t.lock;
+  if was && not v then Metrics.incr Metrics.router_dead_workers
+
+(* One forwarded exchange; transient failures surface as [Error] so the
+   walk can fail over.  Anything non-transient (a version mismatch, a bad
+   spec mapped by the worker) propagates — the next worker would only say
+   the same thing. *)
+let try_worker t w req =
+  match Client.retry_request ~backoff:t.backoff ~addr:t.workers.(w).addr req with
+  | reply ->
+      set_alive t w true;
+      Ok reply
+  | exception Unix.Unix_error (e, _, _) when Client.transient_errno e ->
+      Error (`Unix e)
+  | exception Errors.Error e when Errors.transient e -> Error (`Typed e)
+  | exception Sys_error m -> Error (`Sys m)
+
+let forward t (job : Protocol.job) =
+  Metrics.incr Metrics.router_requests;
+  let order = route t (job_key job) in
+  let candidates =
+    match List.filter (alive t) order with [] -> order | live -> live
+  in
+  let rec walk first = function
+    | [] ->
+        (* Every candidate failed: a structured error, so one dead fleet
+           never crashes the router's connection handler. *)
+        Protocol.error ~id:job.Protocol.id ~kind:"connection"
+          "router: no worker reachable for this job"
+    | w :: rest -> (
+        if not first then Metrics.incr Metrics.router_failovers;
+        match try_worker t w (Protocol.Submit job) with
+        | Ok reply -> reply
+        | Error _ ->
+            set_alive t w false;
+            walk false rest)
+  in
+  walk true candidates
+
+let health_check t =
+  Array.iteri
+    (fun w _ ->
+      Metrics.incr Metrics.router_health_checks;
+      match try_worker t w Protocol.Hello with
+      | Ok _ -> ()
+      | Error _ -> set_alive t w false)
+    t.workers
+
+let stats_json t =
+  let per_worker =
+    Array.to_list
+      (Array.mapi
+         (fun w (worker : worker) ->
+           let base =
+             [
+               ("addr", Json.Str (Transport.to_string worker.addr));
+               ("alive", Json.Bool (alive t w));
+             ]
+           in
+           match try_worker t w Protocol.Stats with
+           | Ok reply when reply.Protocol.status = Protocol.Ok ->
+               Json.Obj (base @ [ ("stats", reply.Protocol.body) ])
+           | Ok _ | Error _ -> Json.Obj base)
+         t.workers)
+  in
+  Json.Obj
+    [
+      ("version", Json.Str Version.version);
+      ("role", Json.Str "router");
+      ("replicas", Json.Num (float_of_int t.replicas));
+      ("workers", Json.Arr per_worker);
+    ]
+
+(* --- the front-end server: same accept-loop shape as {!Daemon} --- *)
+
+type server = {
+  router : t;
+  listeners : (Transport.address * Unix.file_descr) list;
+  health_interval_ms : int;
+  lock : Mutex.t;
+  mutable stop : bool;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+}
+
+let create_server ?(backlog = 16) ?(health_interval_ms = 1000) ~listen router =
+  if listen = [] then invalid_arg "Router.create_server: no listen addresses";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listeners =
+    let rec bind_all acc = function
+      | [] -> List.rev acc
+      | addr :: rest -> (
+          match Transport.listen ~backlog addr with
+          | fd -> bind_all ((Transport.bound_address addr fd, fd) :: acc) rest
+          | exception e ->
+              List.iter (fun (a, fd) -> Transport.close_listener a fd) acc;
+              raise e)
+    in
+    bind_all [] listen
+  in
+  {
+    router;
+    listeners;
+    health_interval_ms;
+    lock = Mutex.create ();
+    stop = false;
+    conns = [];
+  }
+
+let server_addresses s = List.map fst s.listeners
+
+let request_stop s =
+  Mutex.lock s.lock;
+  s.stop <- true;
+  Mutex.unlock s.lock
+
+let stopping s =
+  Mutex.lock s.lock;
+  let v = s.stop in
+  Mutex.unlock s.lock;
+  v
+
+let handle_request s = function
+  | Protocol.Hello -> Protocol.ok (Protocol.hello_banner ())
+  | Protocol.Stats -> Protocol.ok (stats_json s.router)
+  | Protocol.Shutdown ->
+      request_stop s;
+      Protocol.ok (Json.Obj [ ("shutting_down", Json.Bool true) ])
+  | Protocol.Submit job -> forward s.router job
+
+let handle_conn s fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send json =
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    flush oc
+  in
+  let serve_line line =
+    let reply =
+      match Protocol.request_of_json (Json.parse line) with
+      | exception Failure m -> Protocol.error ~kind:"protocol" m
+      | request -> handle_request s request
+    in
+    send (Protocol.reply_to_json reply)
+  in
+  (try
+     send (Protocol.hello_banner ());
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line ->
+           if String.trim line <> "" then serve_line line;
+           loop ()
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve s =
+  (* Health probing on its own thread, so a slow worker never delays
+     accepts; it winds down with the accept loop. *)
+  let prober =
+    Thread.create
+      (fun () ->
+        let interval = float_of_int s.health_interval_ms /. 1000. in
+        while not (stopping s) do
+          health_check s.router;
+          (* Sleep in short slices so shutdown is prompt. *)
+          let remaining = ref interval in
+          while !remaining > 0. && not (stopping s) do
+            let slice = Float.min 0.2 !remaining in
+            Unix.sleepf slice;
+            remaining := !remaining -. slice
+          done
+        done)
+      ()
+  in
+  let socks = List.map snd s.listeners in
+  let rec accept_loop () =
+    if not (stopping s) then begin
+      (match Unix.select socks [] [] 0.2 with
+      | [], _, _ -> ()
+      | ready, _, _ ->
+          List.iter
+            (fun sock ->
+              match Unix.accept sock with
+              | fd, _ ->
+                  let th = Thread.create (handle_conn s) fd in
+                  Mutex.lock s.lock;
+                  s.conns <- (fd, th) :: s.conns;
+                  Mutex.unlock s.lock
+              | exception Unix.Unix_error _ -> ())
+            ready);
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  List.iter (fun (addr, fd) -> Transport.close_listener addr fd) s.listeners;
+  Mutex.lock s.lock;
+  let conns = s.conns in
+  s.conns <- [];
+  Mutex.unlock s.lock;
+  List.iter
+    (fun (fd, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (_, th) -> Thread.join th) conns;
+  Thread.join prober

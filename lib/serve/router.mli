@@ -1,0 +1,84 @@
+(** Consistent-hash front router: one address for a fleet of serve
+    daemons ([symref router]).
+
+    Jobs hash by their request {e spelling} (netlist text or path,
+    analysis, io, sigma, r) onto a virtual-node ring — identical requests
+    always reach the same worker, keeping each worker's result cache
+    effective, and resizing the fleet only remaps the keys whose virtual
+    nodes moved.  A worker that fails a forward is marked dead and the
+    walk continues clockwise to the next distinct worker (counted in
+    [router.failovers]); a background Hello prober revives it when it
+    comes back.  Health marks are advisory: when every candidate is
+    marked dead the walk tries them all anyway, so a stale mark degrades
+    to latency, never an outage.
+
+    The router holds no job state and never parses a netlist; it relays
+    replies byte-for-byte, so an answer through the router is identical
+    to one straight from the worker. *)
+
+type t
+
+val create : ?replicas:int -> ?backoff:Client.backoff -> Transport.address list -> t
+(** [create addrs] builds the ring with [replicas] (default 64) virtual
+    nodes per worker.  [backoff] shapes each forwarding attempt (default:
+    2 attempts, 10 ms base — fail over fast rather than out-wait a dead
+    worker).  @raise Invalid_argument on an empty worker list or
+    [replicas < 1]. *)
+
+val workers : t -> Transport.address list
+
+val job_key : Protocol.job -> string
+(** The routing key: MD5 hex over the job's value-relevant spelling.
+    Deterministic and cheap — no parsing, no canonicalisation. *)
+
+val owner : t -> string -> Transport.address
+(** The worker a key hashes to (ignoring health). *)
+
+val route : t -> string -> int list
+(** Worker indices in ring walk order from the key's owner, each distinct
+    worker once — the failover sequence [forward] follows. *)
+
+val forward : t -> Protocol.job -> Protocol.reply
+(** Submit through the ring: the owner first, then failover. Transient
+    failures (connection refused/reset/dropped, no banner) mark the worker
+    dead and move on; non-transient failures propagate.  When no worker is
+    reachable the reply is a structured [connection] error. *)
+
+val health_check : t -> unit
+(** Probe every worker with Hello once, updating the alive marks
+    ([router.health_checks] / [router.dead_workers]). *)
+
+val stats_json : t -> Symref_obs.Json.t
+(** Fleet-wide stats: ring parameters plus, per worker, its address,
+    health mark and — when reachable — its own stats reply. *)
+
+(** {1 Front-end server}
+
+    The accept loop that makes the router a drop-in daemon: same NDJSON
+    protocol, same banner, [Submit] forwarded to the fleet, [Stats]
+    answered with {!stats_json}, [Shutdown] stopping the router (workers
+    are administered separately). *)
+
+type server
+
+val create_server :
+  ?backlog:int ->
+  ?health_interval_ms:int ->
+  listen:Transport.address list ->
+  t ->
+  server
+(** Bind the front listeners (default backlog 16).  [health_interval_ms]
+    (default 1000) paces the background prober {!serve} runs.
+    @raise Unix.Unix_error when binding fails, [Invalid_argument] when
+    [listen] is empty. *)
+
+val server_addresses : server -> Transport.address list
+(** Bound addresses, ephemeral TCP ports resolved. *)
+
+val serve : server -> unit
+(** Run the accept loop and the health prober until a [shutdown] request
+    or {!request_stop}; listeners are closed and every connection joined
+    before this returns. *)
+
+val request_stop : server -> unit
+(** Ask {!serve} to wind down; safe from any thread. *)

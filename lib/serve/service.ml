@@ -27,24 +27,43 @@ type config = {
   capacity : int;
   cache_bytes : int;
   default_timeout_ms : int option;
+  disk_cache_dir : string option;
+  backlog : int;
+  socket_mode : int option;
 }
 
 let default_config =
-  { workers = 0; capacity = 64; cache_bytes = 64 * 1024 * 1024; default_timeout_ms = None }
+  {
+    workers = 0;
+    capacity = 64;
+    cache_bytes = 64 * 1024 * 1024;
+    default_timeout_ms = None;
+    disk_cache_dir = None;
+    backlog = 16;
+    socket_mode = None;
+  }
 
-type t = { cfg : config; cache : Cache.t; sched : Scheduler.t }
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  disk : Disk_cache.t option;
+  sched : Scheduler.t;
+}
 
 let create ?(config = default_config) () =
   {
     cfg = config;
     cache = Cache.create ~max_bytes:config.cache_bytes ();
+    disk = Option.map (fun dir -> Disk_cache.create ~dir) config.disk_cache_dir;
     sched = Scheduler.create ~capacity:config.capacity ~workers:config.workers ();
   }
 
 exception Deadline_exceeded
 
+let config t = t.cfg
 let scheduler t = t.sched
 let cache t = t.cache
+let disk_cache t = t.disk
 
 (* --- input/output resolution --- *)
 
@@ -308,15 +327,32 @@ let run_job t ?deadline (job : Protocol.job) =
     | Some stored ->
         Metrics.incr Metrics.serve_jobs_completed;
         Protocol.ok ~id ~cached:true (Json.parse stored)
-    | None ->
-        let config =
-          { Adaptive.default_config with Adaptive.sigma = job.Protocol.sigma; r = job.Protocol.r }
+    | None -> (
+        (* Layered lookup: the persistent on-disk cache sits under the LRU,
+           so a hit survives restarts and is shared across the fleet's
+           processes.  The stored string is replayed verbatim either way —
+           bit-identical to the reply that first produced it. *)
+        let disk_hit =
+          match t.disk with
+          | None -> None
+          | Some d -> Disk_cache.find d ~key
         in
-        let reference = Reference.generate ~config ~check circuit ~input ~output in
-        let body = payload job ~input_desc ~output_desc reference in
-        Cache.add t.cache ~key (Json.to_string body);
-        Metrics.incr Metrics.serve_jobs_completed;
-        Protocol.ok ~id body
+        match disk_hit with
+        | Some stored ->
+            Cache.add t.cache ~key stored;
+            Metrics.incr Metrics.serve_jobs_completed;
+            Protocol.ok ~id ~cached:true (Json.parse stored)
+        | None ->
+            let config =
+              { Adaptive.default_config with Adaptive.sigma = job.Protocol.sigma; r = job.Protocol.r }
+            in
+            let reference = Reference.generate ~config ~check circuit ~input ~output in
+            let body = payload job ~input_desc ~output_desc reference in
+            let rendered = Json.to_string body in
+            Cache.add t.cache ~key rendered;
+            Option.iter (fun d -> Disk_cache.store d ~key rendered) t.disk;
+            Metrics.incr Metrics.serve_jobs_completed;
+            Protocol.ok ~id body)
   with
   | Deadline_exceeded ->
       Metrics.incr Metrics.serve_jobs_timeout;
@@ -353,9 +389,14 @@ let submit t (job : Protocol.job) =
 
 let stats_json t =
   Json.Obj
-    [
-      ("version", str Version.version);
-      ("cache", Cache.stats_json t.cache);
+    ([
+       ("version", str Version.version);
+       ("cache", Cache.stats_json t.cache);
+     ]
+    @ (match t.disk with
+      | Some d -> [ ("disk_cache", Disk_cache.stats_json d) ]
+      | None -> [])
+    @ [
       ( "scheduler",
         Json.Obj
           [
@@ -363,7 +404,7 @@ let stats_json t =
             ("capacity", inum (Scheduler.capacity t.sched));
           ] );
       ("counters", Snapshot.to_json (Snapshot.capture ()));
-    ]
+    ])
 
 let drain t = Scheduler.drain t.sched
 let shutdown t = Scheduler.shutdown t.sched

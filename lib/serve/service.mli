@@ -13,14 +13,24 @@ type config = {
   cache_bytes : int;  (** result-cache byte budget *)
   default_timeout_ms : int option;
       (** applied to jobs that do not carry their own [timeout_ms] *)
+  disk_cache_dir : string option;
+      (** persistent {!Disk_cache} directory layered under the LRU; [None]
+          keeps the cache purely in-memory *)
+  backlog : int;  (** listen(2) backlog of the daemon's sockets *)
+  socket_mode : int option;
+      (** chmod mask applied to a Unix listening socket (e.g. [0o600]);
+          [None] keeps the process umask's result *)
 }
 
 val default_config : config
-(** 0 workers (auto), capacity 64, 64 MiB cache, no default timeout. *)
+(** 0 workers (auto), capacity 64, 64 MiB cache, no default timeout, no
+    disk cache, backlog 16, default socket permissions. *)
 
 type t
 
 val create : ?config:config -> unit -> t
+
+val config : t -> config
 
 exception Deadline_exceeded
 (** Raised by the cooperative check inside a job whose wall-clock budget —
@@ -69,6 +79,9 @@ val submit : t -> Protocol.job -> [ `Ticket of Protocol.reply Scheduler.ticket |
 
 val scheduler : t -> Scheduler.t
 val cache : t -> Cache.t
+
+val disk_cache : t -> Disk_cache.t option
+(** The persistent layer, when [disk_cache_dir] was configured. *)
 
 val stats_json : t -> Symref_obs.Json.t
 (** [{version; cache; scheduler; counters}] — cache gauges are always

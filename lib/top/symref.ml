@@ -39,7 +39,10 @@
     {2 The serve subsystem}
     {!Serve_protocol}, {!Serve_service}, {!Serve_daemon}, {!Serve_client},
     {!Serve_batch} — the persistent reference-generation service of
-    {!page-serve}; {!Serve_errors} is its typed failure taxonomy;
+    {!page-serve}; {!Serve_transport} names its endpoints (Unix socket or
+    TCP), {!Serve_disk_cache} is the persistent result-cache layer,
+    {!Serve_router} the consistent-hash fleet front end;
+    {!Serve_errors} is its typed failure taxonomy;
     {!Version} is the package version the daemon reports. *)
 
 (* numerics *)
@@ -135,4 +138,7 @@ module Serve_daemon = Symref_serve.Daemon
 module Serve_client = Symref_serve.Client
 module Serve_errors = Symref_serve.Errors
 module Serve_batch = Symref_serve.Batch
+module Serve_transport = Symref_serve.Transport
+module Serve_disk_cache = Symref_serve.Disk_cache
+module Serve_router = Symref_serve.Router
 module Version = Symref_serve.Version

@@ -78,6 +78,48 @@ let test_real_spectrum_completion () =
     check_cx (Printf.sprintf "coeff %d" i) (Cx.of_float (Poly.coeff p i)) coeffs.(i)
   done
 
+let test_inverse_real_spectrum () =
+  (* Odd and even k, including the self-conjugate k/2 point. *)
+  List.iter
+    (fun k ->
+      let p = Poly.of_list [ 1.; -2.; 3.; 0.5 ] in
+      let full = poly_values p k in
+      let half = Array.sub full 0 ((k / 2) + 1) in
+      let via_full = Dft.inverse (Dft.complete_real_spectrum k half) in
+      let via_half = Dft.inverse_real_spectrum k half in
+      Array.iteri
+        (fun i z ->
+          check_cx (Printf.sprintf "k=%d coeff %d" k i) via_full.(i) z;
+          (* Pair folding cancels the pairs' imaginary parts exactly; only
+             the self-conjugate points contribute, and for a real signal
+             their values are real, so the residue is exactly zero. *)
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "k=%d exact real %d" k i)
+            0. z.Complex.im)
+        via_half)
+    [ 1; 2; 5; 6; 9; 10 ];
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Dft.inverse_real_spectrum: need k/2 + 1 values")
+    (fun () -> ignore (Dft.inverse_real_spectrum 9 (Array.make 3 Complex.zero)))
+
+let prop_inverse_real_spectrum =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 12) (float_range (-10.) 10.))
+        (int_range 0 6))
+  in
+  QCheck2.Test.make ~name:"half-spectrum inverse matches completed full" ~count:100
+    gen (fun (coeffs, extra) ->
+      let p = Poly.of_list coeffs in
+      let k = Poly.degree p + 1 + extra in
+      if k < 1 then true
+      else
+        let half = Array.sub (poly_values p k) 0 ((k / 2) + 1) in
+        let a = Dft.inverse (Dft.complete_real_spectrum k half) in
+        let b = Dft.inverse_real_spectrum k half in
+        Array.for_all2 (fun x y -> Cx.approx_equal ~rel:1e-9 ~abs:1e-9 x y) a b)
+
 let prop_roundtrip =
   let gen =
     QCheck2.Gen.(
@@ -111,7 +153,9 @@ let prop_interpolation_exact =
               (Cx.of_float (Poly.coeff p i)))
           (Array.init k Fun.id))
 
-let props = List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_interpolation_exact ]
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_interpolation_exact; prop_inverse_real_spectrum ]
 
 let suite =
   [
@@ -124,6 +168,7 @@ let suite =
         Alcotest.test_case "fft matches dft" `Quick test_fft_matches_dft;
         Alcotest.test_case "fft validation" `Quick test_fft_validation;
         Alcotest.test_case "real spectrum completion" `Quick test_real_spectrum_completion;
+        Alcotest.test_case "half-spectrum inverse" `Quick test_inverse_real_spectrum;
       ]
       @ props );
   ]

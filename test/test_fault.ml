@@ -294,8 +294,9 @@ let test_backoff_schedule () =
 let with_gated_daemon f =
   let dir = Filename.temp_dir "symref-fault" "" in
   let socket_path = Filename.concat dir "symref.sock" in
+  let addr = Serve.Transport.Unix_sock socket_path in
   let config = { Service.default_config with Service.capacity = 1; workers = 1 } in
-  let daemon = Serve.Daemon.create ~config ~socket_path () in
+  let daemon = Serve.Daemon.create ~config ~listen:[ addr ] () in
   let daemon_thread = Thread.create Serve.Daemon.serve daemon in
   let sched = Service.scheduler (Serve.Daemon.service daemon) in
   let gate = Mutex.create () in
@@ -324,7 +325,7 @@ let with_gated_daemon f =
     ~finally:(fun () ->
       release ();
       (try
-         Serve.Client.with_connection ~socket_path (fun c ->
+         Serve.Client.with_connection ~addr (fun c ->
              ignore (Serve.Client.request c Protocol.Shutdown))
        with _ -> ());
       Thread.join daemon_thread;
@@ -332,10 +333,10 @@ let with_gated_daemon f =
         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
         (Sys.readdir dir);
       (try Unix.rmdir dir with Unix.Unix_error _ -> ()))
-    (fun () -> f ~socket_path ~sched ~hold ~release)
+    (fun () -> f ~addr ~sched ~hold ~release)
 
 let test_busy_retry_until_admitted () =
-  with_gated_daemon (fun ~socket_path ~sched ~hold ~release ->
+  with_gated_daemon (fun ~addr ~sched ~hold ~release ->
       hold ();
       let slept = ref [] in
       let sleep ms =
@@ -346,7 +347,7 @@ let test_busy_retry_until_admitted () =
         Scheduler.drain sched
       in
       let reply =
-        Client.retry_request ~sleep ~socket_path
+        Client.retry_request ~sleep ~addr
           (Protocol.Submit (reference_job ~id:"busy-then-ok" rc_text))
       in
       Alcotest.(check bool) "admitted after backoff" true
@@ -357,13 +358,13 @@ let test_busy_retry_until_admitted () =
         (List.hd !slept))
 
 let test_busy_giveup_is_structured () =
-  with_gated_daemon (fun ~socket_path ~sched:_ ~hold ~release:_ ->
+  with_gated_daemon (fun ~addr ~sched:_ ~hold ~release:_ ->
       hold ();
       let backoff = { Client.default_backoff with Client.attempts = 3 } in
       let slept = ref [] in
       let sleep ms = slept := ms :: !slept in
       let reply =
-        Client.retry_request ~backoff ~sleep ~socket_path
+        Client.retry_request ~backoff ~sleep ~addr
           (Protocol.Submit (reference_job ~id:"always-busy" rc_text))
       in
       (* Budget exhausted: the final Busy reply comes back as a value, not
@@ -379,7 +380,7 @@ let test_busy_giveup_is_structured () =
 (* --- daemon socket faults --- *)
 
 let test_dropped_connection_retry () =
-  with_gated_daemon (fun ~socket_path ~sched:_ ~hold:_ ~release:_ ->
+  with_gated_daemon (fun ~addr ~sched:_ ~hold:_ ~release:_ ->
       with_registry (fun () ->
           Inject.enable ();
           (* Hit 0 is the hello banner of the first connection; hit 1 is
@@ -387,7 +388,7 @@ let test_dropped_connection_retry () =
              hits 2 and 3 untouched. *)
           Inject.arm Inject.serve_drop (Inject.Times { skip = 1; count = 1 });
           (match
-             Serve.Client.with_connection ~socket_path (fun c ->
+             Serve.Client.with_connection ~addr (fun c ->
                  Serve.Client.request c Protocol.Hello)
            with
           | exception Errors.Error (Errors.Connection_closed _) -> ()
@@ -401,19 +402,19 @@ let test_dropped_connection_retry () =
           let reply =
             Client.retry_request
               ~sleep:(fun _ -> incr slept)
-              ~socket_path Protocol.Hello
+              ~addr Protocol.Hello
           in
           Alcotest.(check bool) "retry recovered" true
             (reply.Protocol.status = Protocol.Ok);
           Alcotest.(check int) "one backoff sleep" 1 !slept))
 
 let test_partial_write_detected () =
-  with_gated_daemon (fun ~socket_path ~sched:_ ~hold:_ ~release:_ ->
+  with_gated_daemon (fun ~addr ~sched:_ ~hold:_ ~release:_ ->
       with_registry (fun () ->
           Inject.enable ();
           Inject.arm Inject.serve_partial (Inject.Times { skip = 1; count = 1 });
           (match
-             Serve.Client.with_connection ~socket_path (fun c ->
+             Serve.Client.with_connection ~addr (fun c ->
                  Serve.Client.request c Protocol.Hello)
            with
           | exception Failure _ ->
@@ -429,7 +430,7 @@ let test_partial_write_detected () =
             (Inject.fired Inject.serve_partial);
           (* The daemon survives the injected connection death. *)
           let reply =
-            Serve.Client.with_connection ~socket_path (fun c ->
+            Serve.Client.with_connection ~addr (fun c ->
                 Serve.Client.request c Protocol.Hello)
           in
           Alcotest.(check bool) "daemon alive afterwards" true

@@ -272,11 +272,12 @@ let submit_text client ?id ?timeout_ms text =
 let test_daemon_round_trip () =
   let dir = temp_dir "symref-serve-e2e" in
   let socket_path = Filename.concat dir "symref.sock" in
-  let daemon = Serve.Daemon.create ~socket_path () in
+  let addr = Serve.Transport.Unix_sock socket_path in
+  let daemon = Serve.Daemon.create ~listen:[ addr ] () in
   let daemon_thread = Thread.create Serve.Daemon.serve daemon in
   let text = ua741_text () in
   let cache = Service.cache (Serve.Daemon.service daemon) in
-  Serve.Client.with_connection ~socket_path (fun c ->
+  Serve.Client.with_connection ~addr (fun c ->
       (match Json.member "hello" (Serve.Client.banner c) with
       | Some (Json.Str s) -> Alcotest.(check string) "banner" "symref" s
       | _ -> Alcotest.fail "daemon must greet with a hello banner");
@@ -301,7 +302,7 @@ let test_daemon_round_trip () =
       let fine =
         Thread.create
           (fun () ->
-            Serve.Client.with_connection ~socket_path (fun c2 ->
+            Serve.Client.with_connection ~addr (fun c2 ->
                 submit_text c2 ~id:"concurrent" text))
           ()
       in
@@ -320,6 +321,281 @@ let test_daemon_round_trip () =
         (bye.Protocol.status = Protocol.Ok));
   Thread.join daemon_thread;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket_path);
+  rm_rf dir
+
+(* --- the fleet layer: transports, disk cache, router --- *)
+
+let test_transport_parse () =
+  let open Serve.Transport in
+  (match parse "/tmp/symref.sock" with
+  | Unix_sock p -> Alcotest.(check string) "path kept" "/tmp/symref.sock" p
+  | Tcp _ -> Alcotest.fail "a path is a Unix socket");
+  (match parse "127.0.0.1:7070" with
+  | Tcp { host; port } ->
+      Alcotest.(check string) "host" "127.0.0.1" host;
+      Alcotest.(check int) "port" 7070 port
+  | Unix_sock _ -> Alcotest.fail "host:port is TCP");
+  (match parse ":8080" with
+  | Tcp { host; port } ->
+      Alcotest.(check string) "empty host is loopback" "127.0.0.1" host;
+      Alcotest.(check int) "port" 8080 port
+  | Unix_sock _ -> Alcotest.fail ":port is TCP");
+  (match parse "sock:abc" with
+  | Unix_sock p ->
+      Alcotest.(check string) "non-numeric port is a path" "sock:abc" p
+  | Tcp _ -> Alcotest.fail "a non-numeric suffix is not a port");
+  (match parse "./v:1/symref.sock" with
+  | Unix_sock _ -> ()
+  | Tcp _ -> Alcotest.fail "a slash forces a path");
+  (match parse "host:70000" with
+  | Unix_sock _ -> ()
+  | Tcp _ -> Alcotest.fail "an out-of-range port is not TCP");
+  List.iter
+    (fun spec ->
+      Alcotest.(check string)
+        ("round trip " ^ spec)
+        spec
+        (to_string (parse spec)))
+    [ "/run/symref.sock"; "127.0.0.1:7070"; "localhost:1234" ]
+
+let test_disk_cache_round_trip_and_corruption () =
+  let dir = temp_dir "symref-disk-cache" in
+  let dc = Serve.Disk_cache.create ~dir in
+  let payload = "{\"answer\":42}" in
+  let key = Digest.to_hex (Digest.string "job-a") in
+  Alcotest.(check (option string)) "absent is a miss" None
+    (Serve.Disk_cache.find dc ~key);
+  Serve.Disk_cache.store dc ~key payload;
+  Alcotest.(check (option string)) "round trip" (Some payload)
+    (Serve.Disk_cache.find dc ~key);
+  Alcotest.(check int) "one entry" 1 (Serve.Disk_cache.entries dc);
+  Alcotest.(check bool) "bytes include the header" true
+    (Serve.Disk_cache.bytes dc > String.length payload);
+  let path = Filename.concat dir key in
+  let full = read_file path in
+  let rewrite content =
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc
+  in
+  (* Truncation — a crash that somehow hit the final name — is a miss,
+     never fatal. *)
+  rewrite (String.sub full 0 (String.length full - 3));
+  Alcotest.(check (option string)) "truncated entry is a miss" None
+    (Serve.Disk_cache.find dc ~key);
+  (* A flipped payload byte fails the digest check. *)
+  let corrupt = Bytes.of_string full in
+  Bytes.set corrupt (String.length full - 1) '\000';
+  rewrite (Bytes.to_string corrupt);
+  Alcotest.(check (option string)) "corrupt entry is a miss" None
+    (Serve.Disk_cache.find dc ~key);
+  (* So does a foreign file squatting on an entry name. *)
+  rewrite "not a cache entry at all\n";
+  Alcotest.(check (option string)) "foreign file is a miss" None
+    (Serve.Disk_cache.find dc ~key);
+  (* The next store atomically replaces the damaged file. *)
+  Serve.Disk_cache.store dc ~key payload;
+  Alcotest.(check (option string)) "store repairs the entry" (Some payload)
+    (Serve.Disk_cache.find dc ~key);
+  (* Keys that are not hex digests never touch the filesystem. *)
+  Serve.Disk_cache.store dc ~key:"../escape" payload;
+  Alcotest.(check (option string)) "invalid key is rejected" None
+    (Serve.Disk_cache.find dc ~key:"../escape");
+  Alcotest.(check int) "still one entry" 1 (Serve.Disk_cache.entries dc);
+  rm_rf dir
+
+let test_disk_cache_two_process_sharing () =
+  let dir = temp_dir "symref-disk-share" in
+  let payload = String.concat "," (List.init 64 string_of_int) in
+  let key = Digest.to_hex (Digest.string "shared") in
+  (* Park the domain pool so the forked child owns a single-domain
+     runtime (a stop-the-world section in the child would otherwise wait
+     forever on domains that only exist in the parent). *)
+  Symref_core.Domain_pool.shutdown ();
+  (match Unix.fork () with
+  | 0 ->
+      (* The child is a genuinely separate process with its own handle on
+         the shared directory — the writer side of the fleet. *)
+      let dc = Serve.Disk_cache.create ~dir in
+      Serve.Disk_cache.store dc ~key payload;
+      Unix._exit 0
+  | pid ->
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "writer exited cleanly" true
+        (status = Unix.WEXITED 0);
+      let dc = Serve.Disk_cache.create ~dir in
+      Alcotest.(check (option string)) "reader sees the writer's entry"
+        (Some payload)
+        (Serve.Disk_cache.find dc ~key));
+  rm_rf dir
+
+let test_disk_cache_restart_replay () =
+  let dir = temp_dir "symref-disk-restart" in
+  let config =
+    { Service.default_config with Service.disk_cache_dir = Some dir }
+  in
+  let text = ua741_text () in
+  let s1 = Service.create ~config () in
+  let r1 = Service.run_job s1 (reference_job text) in
+  Alcotest.(check bool) "first run computes" false r1.Protocol.cached;
+  Service.shutdown s1;
+  (* A fresh service on the same directory — a full daemon restart: the
+     in-memory LRU starts empty, the disk layer replays the entry. *)
+  let s2 = Service.create ~config () in
+  let r2 = Service.run_job s2 (reference_job text) in
+  Alcotest.(check bool) "replayed from disk" true r2.Protocol.cached;
+  Alcotest.(check string) "bit-identical across restart"
+    (Json.to_string r1.Protocol.body)
+    (Json.to_string r2.Protocol.body);
+  (* The disk hit also warmed the LRU: the next submission hits memory. *)
+  let hits_before = Cache.hits (Service.cache s2) in
+  let r3 = Service.run_job s2 (reference_job text) in
+  Alcotest.(check bool) "memory hit after warm" true r3.Protocol.cached;
+  Alcotest.(check int) "LRU warmed by the disk hit" (hits_before + 1)
+    (Cache.hits (Service.cache s2));
+  Service.shutdown s2;
+  rm_rf dir
+
+let test_daemon_dual_transport_parity () =
+  let dir = temp_dir "symref-serve-dual" in
+  let socket_path = Filename.concat dir "symref.sock" in
+  let listen =
+    [
+      Serve.Transport.Unix_sock socket_path;
+      Serve.Transport.Tcp { host = "127.0.0.1"; port = 0 };
+    ]
+  in
+  let daemon = Serve.Daemon.create ~listen () in
+  let daemon_thread = Thread.create Serve.Daemon.serve daemon in
+  let unix_addr, tcp_addr =
+    match Serve.Daemon.addresses daemon with
+    | [ u; t ] -> (u, t)
+    | _ -> Alcotest.fail "daemon binds both listeners"
+  in
+  (match tcp_addr with
+  | Serve.Transport.Tcp { port; _ } ->
+      Alcotest.(check bool) "ephemeral port resolved" true (port > 0)
+  | Serve.Transport.Unix_sock _ -> Alcotest.fail "second listener is TCP");
+  let text = ua741_text () in
+  let ask addr =
+    Serve.Client.with_connection ~addr (fun c ->
+        submit_text c ~id:"parity" text)
+  in
+  let over_unix = ask unix_addr in
+  let over_tcp = ask tcp_addr in
+  Alcotest.(check bool) "unix ok" true
+    (over_unix.Protocol.status = Protocol.Ok);
+  Alcotest.(check bool) "tcp ok" true (over_tcp.Protocol.status = Protocol.Ok);
+  (* Same job, same daemon: the replies may differ only in the cached flag
+     (the second submission hits the cache the first filled). *)
+  Alcotest.(check string) "byte-identical over both transports"
+    (Json.to_string
+       (Protocol.reply_to_json { over_unix with Protocol.cached = false }))
+    (Json.to_string
+       (Protocol.reply_to_json { over_tcp with Protocol.cached = false }));
+  Serve.Daemon.request_stop daemon;
+  Thread.join daemon_thread;
+  rm_rf dir
+
+let test_client_version_mismatch () =
+  let dir = temp_dir "symref-version" in
+  let addr = Serve.Transport.Unix_sock (Filename.concat dir "old.sock") in
+  let listener = Serve.Transport.listen addr in
+  (* A fake daemon from the future: greets with a protocol this client
+     does not speak.  connect must refuse before any request is sent. *)
+  let impostor =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listener in
+        let oc = Unix.out_channel_of_descr fd in
+        output_string oc
+          "{\"hello\":\"symref\",\"version\":\"0.0.0\",\"protocol\":99}\n";
+        flush oc;
+        (try ignore (Unix.read fd (Bytes.create 1) 0 1)
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      ()
+  in
+  (match Serve.Client.connect ~addr with
+  | exception Serve.Errors.Error (Serve.Errors.Version_mismatch { got; want })
+    ->
+      Alcotest.(check int) "got the impostor's protocol" 99 got;
+      Alcotest.(check int) "want ours" Protocol.protocol_version want
+  | exception e ->
+      Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)
+  | c ->
+      Serve.Client.close c;
+      Alcotest.fail "connect must refuse a protocol mismatch");
+  Thread.join impostor;
+  Serve.Transport.close_listener addr listener;
+  rm_rf dir
+
+let test_router_determinism_and_failover () =
+  let dir = temp_dir "symref-router" in
+  let mk name =
+    let addr = Serve.Transport.Unix_sock (Filename.concat dir name) in
+    let d = Serve.Daemon.create ~listen:[ addr ] () in
+    (addr, d, Thread.create Serve.Daemon.serve d)
+  in
+  let addr_a, daemon_a, thread_a = mk "a.sock" in
+  let addr_b, daemon_b, thread_b = mk "b.sock" in
+  let router = Serve.Router.create [ addr_a; addr_b ] in
+  let text = ua741_text () in
+  let job = reference_job ~id:"routed" text in
+  (* The routing key and the ring walk are deterministic. *)
+  let key = Serve.Router.job_key job in
+  Alcotest.(check string) "job key stable" key (Serve.Router.job_key job);
+  let walk = Serve.Router.route router key in
+  Alcotest.(check (list int)) "walk covers each worker once" [ 0; 1 ]
+    (List.sort compare walk);
+  Alcotest.(check bool) "owner heads the walk" true
+    (Serve.Router.owner router key
+    = List.nth (Serve.Router.workers router) (List.hd walk));
+  (* A forwarded reply is byte-identical to a direct service run. *)
+  let standalone = Service.create () in
+  let direct = Service.run_job standalone (reference_job ~id:"routed" text) in
+  let via_router = Serve.Router.forward router job in
+  Alcotest.(check bool) "forward ok" true
+    (via_router.Protocol.status = Protocol.Ok);
+  Alcotest.(check string) "router relays byte-identically"
+    (Json.to_string
+       (Protocol.reply_to_json { direct with Protocol.cached = false }))
+    (Json.to_string
+       (Protocol.reply_to_json { via_router with Protocol.cached = false }));
+  (* Kill the key's owner: the walk fails over to the survivor and the
+     job still completes with the same bytes. *)
+  let owner_addr = Serve.Router.owner router key in
+  let owner_daemon, owner_thread =
+    if owner_addr = addr_a then (daemon_a, thread_a) else (daemon_b, thread_b)
+  in
+  let survivor_daemon, survivor_thread =
+    if owner_addr = addr_a then (daemon_b, thread_b) else (daemon_a, thread_a)
+  in
+  Serve.Daemon.request_stop owner_daemon;
+  Thread.join owner_thread;
+  let failed_over = Serve.Router.forward router job in
+  Alcotest.(check bool) "failover completes the job" true
+    (failed_over.Protocol.status = Protocol.Ok);
+  Alcotest.(check string) "failover reply byte-identical"
+    (Json.to_string
+       (Protocol.reply_to_json { direct with Protocol.cached = false }))
+    (Json.to_string
+       (Protocol.reply_to_json { failed_over with Protocol.cached = false }));
+  (* The prober records the casualty; stats list both workers. *)
+  Serve.Router.health_check router;
+  (match Json.member "workers" (Serve.Router.stats_json router) with
+  | Some (Json.Arr ws) ->
+      Alcotest.(check int) "two workers in stats" 2 (List.length ws);
+      let alive =
+        List.filter
+          (fun w -> Json.member "alive" w = Some (Json.Bool true))
+          ws
+      in
+      Alcotest.(check int) "one survivor alive" 1 (List.length alive)
+  | _ -> Alcotest.fail "router stats list the workers");
+  Serve.Daemon.request_stop survivor_daemon;
+  Thread.join survivor_thread;
+  Service.shutdown standalone;
   rm_rf dir
 
 let suite =
@@ -348,5 +624,19 @@ let suite =
           `Quick test_batch_broken_netlist;
         Alcotest.test_case "daemon: socket round trip end to end" `Quick
           test_daemon_round_trip;
+        Alcotest.test_case "transport: address parsing" `Quick
+          test_transport_parse;
+        Alcotest.test_case "disk cache: round trip, corruption is a miss"
+          `Quick test_disk_cache_round_trip_and_corruption;
+        Alcotest.test_case "disk cache: two-process sharing" `Quick
+          test_disk_cache_two_process_sharing;
+        Alcotest.test_case "disk cache: bit-identical replay after restart"
+          `Quick test_disk_cache_restart_replay;
+        Alcotest.test_case "daemon: Unix and TCP replies byte-identical"
+          `Quick test_daemon_dual_transport_parity;
+        Alcotest.test_case "client: protocol version mismatch refused" `Quick
+          test_client_version_mismatch;
+        Alcotest.test_case "router: deterministic ring and live failover"
+          `Quick test_router_determinism_and_failover;
       ] );
   ]
