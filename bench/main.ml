@@ -225,7 +225,7 @@ let x2 () =
        persistent pool vs per-pass Domain.spawn,
      - a Symref_obs counter snapshot of one pipeline run, and the measured
        overhead of enabling counters / tracing, median-of-5 per mode
-       (schema v5, documented in doc/pipeline.mld).  *)
+       (schema v7, documented in doc/pipeline.mld).  *)
 
 module Interp_m = Interp
 module Random_net = Symref_circuit.Random_net
@@ -648,6 +648,71 @@ let run_serve_load ~smoke =
     \    \"speedup\": %.3f },\n"
     clients duration keys cores (entry baseline) (entry fleet) speedup
 
+(* --- simplify benchmark: reference-driven symbolic compression --------------
+
+   Runs the lib/simplify pipeline (SBG -> SDG -> SAG under a 0.5 dB / 2 deg
+   budget, re-verified against the numerical reference over the full grid)
+   on the symbolic-sized built-in workloads and records the term compression
+   ratio, the certified worst-case error and the wall time.  Reported as the
+   "simplify" section of BENCH_interp.json (schema v7) and runnable
+   standalone as `main.exe simplify-smoke`. *)
+
+module Pipeline = Symref_simplify.Pipeline
+module Sbudget = Symref_simplify.Budget
+module Certificate = Symref_simplify.Certificate
+module Miller = Symref_circuit.Two_stage_miller
+
+let run_simplify ~smoke =
+  section
+    (if smoke then "SIMPLIFY-SMOKE" else "SIMPLIFY")
+    "reference-driven simplification: term compression under an error budget";
+  let targets =
+    let ota =
+      ( "ota", Ota.circuit,
+        Nodal.V_diff (Ota.input_p, Ota.input_n),
+        Nodal.Out_node Ota.output )
+    in
+    let miller =
+      ( "two-stage-miller", Miller.circuit (),
+        Nodal.V_diff (Miller.input_p, Miller.input_n),
+        Nodal.Out_node Miller.output )
+    in
+    if smoke then [ ota ] else [ ota; miller ]
+  in
+  let budget = Sbudget.v ~db:0.5 ~deg:2. () in
+  let freqs = Grid.decades ~start:1. ~stop:1e8 ~per_decade:4 in
+  let n = List.length targets in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "  \"simplify\": { \"budget_db\": 0.5, \"budget_deg\": 2, \"circuits\": [\n";
+  List.iteri
+    (fun i (name, c, input, output) ->
+      let t0 = wall () in
+      let r = Pipeline.run c ~input ~output ~budget ~freqs in
+      let dt = (wall () -. t0) *. 1000. in
+      let exact = r.Pipeline.exact_num_terms + r.Pipeline.exact_den_terms in
+      let kept = r.Pipeline.num_terms + r.Pipeline.den_terms in
+      let ratio = float_of_int exact /. float_of_int (Int.max 1 kept) in
+      let cert = r.Pipeline.certificate in
+      Printf.printf
+        "%-18s dim %2d: terms %5d -> %4d (%.1fx)  attempts %d  err %.3f dB / \
+         %.3f deg  within %b  %.1f ms\n"
+        name r.Pipeline.dim exact kept ratio r.Pipeline.attempts
+        cert.Certificate.max_db cert.Certificate.max_deg
+        cert.Certificate.within_budget dt;
+      Printf.bprintf buf
+        "    { \"name\": \"%s\", \"dim\": %d, \"exact_terms\": %d, \"terms\": \
+         %d, \"compression\": %.3f,\n\
+        \      \"attempts\": %d, \"fallback\": %b, \"max_db\": %.5f, \
+         \"max_deg\": %.5f, \"within_budget\": %b, \"wall_ms\": %.2f }%s\n"
+        name r.Pipeline.dim exact kept ratio r.Pipeline.attempts
+        r.Pipeline.fallback cert.Certificate.max_db cert.Certificate.max_deg
+        cert.Certificate.within_budget dt
+        (if i = n - 1 then "" else ","))
+    targets;
+  Buffer.add_string buf "  ] },\n";
+  Buffer.contents buf
+
 let coeffs_match (a : Adaptive.result) (b : Adaptive.result) =
   let ok = ref true in
   Array.iteri
@@ -665,7 +730,7 @@ let run_json ~smoke =
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   section (if smoke then "SMOKE" else "JSON")
     "pipeline benchmark: full-factor vs refactor, shared num/den, domains";
-  out "{\n  \"schema\": \"symref/bench-interp/v6\",\n";
+  out "{\n  \"schema\": \"symref/bench-interp/v7\",\n";
   out "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
   out "  \"circuits\": [\n";
   let ncirc = List.length (json_circuits ~smoke) in
@@ -893,6 +958,7 @@ let run_json ~smoke =
     \    \"overhead_pct\": { \"stats\": %.2f, \"trace\": %.2f } },\n"
     shared_target.jname (t_off *. 1000.) (t_stats *. 1000.) (t_trace *. 1000.)
     (pct t_stats) (pct t_trace);
+  out "%s" (run_simplify ~smoke);
   out "%s" (run_serve_load ~smoke);
   out "%s" (run_serve ~smoke);
   out "}\n";
@@ -1063,6 +1129,7 @@ let () =
   | "json" -> run_json ~smoke:false
   | "smoke" -> run_json ~smoke:true
   | "serve-smoke" -> print_string (run_serve ~smoke:true)
+  | "simplify-smoke" -> print_string (run_simplify ~smoke:true)
   | "all" ->
       run_tables ();
       run_timing ()
@@ -1097,6 +1164,6 @@ let () =
   | m ->
       Printf.eprintf
         "unknown mode %s (want \
-         tables|timing|all|json|smoke|serve-smoke|serve-load|serve-worker)\n"
+         tables|timing|all|json|smoke|serve-smoke|simplify-smoke|serve-load|serve-worker)\n"
         m;
       exit 1

@@ -15,6 +15,11 @@ module Evaluator = Symref_core.Evaluator
 module Naive = Symref_core.Naive
 module Fixed_scale = Symref_core.Fixed_scale
 module Sbg = Symref_symbolic.Sbg
+module Sym = Symref_symbolic.Sym
+module Nested = Symref_symbolic.Nested
+module Budget = Symref_simplify.Budget
+module Pipeline = Symref_simplify.Pipeline
+module Certificate = Symref_simplify.Certificate
 module Grid = Symref_numeric.Grid
 module Ef = Symref_numeric.Extfloat
 module Metrics = Symref_obs.Metrics
@@ -140,7 +145,13 @@ let wrap ?file obs f =
       match file with
       | Some f -> fail "error: %s:%d: %s" f line message
       | None -> fail "error: line %d: %s" line message)
-  | Nodal.Unsupported m -> fail "error: %sunsupported circuit: %s" where m);
+  | Nodal.Unsupported m -> fail "error: %sunsupported circuit: %s" where m
+  | Pipeline.Symbolic_limit { dim; limit } ->
+      fail
+        "error: %spruned circuit dimension %d exceeds the symbolic limit %d \
+         (lib/symbolic/sdet.ml: max_dimension); simplify needs a circuit \
+         that prunes to dimension <= %d"
+        where dim limit limit);
   flush_obs ()
 
 (* --- info --- *)
@@ -331,18 +342,44 @@ let sbg_cmd =
   let tol_deg =
     Arg.(value & opt float 5. & info [ "tol-deg" ] ~doc:"Phase tolerance (degrees).")
   in
-  let run file input output from_ to_ per_decade tdb tdeg obs =
+  let shorts_arg =
+    Arg.(
+      value & flag
+      & info [ "shorts" ]
+          ~doc:
+            "Also consider shorting resistive elements (series parasitics), \
+             not just opening them.")
+  in
+  let run file input output from_ to_ per_decade tdb tdeg shorts obs =
     wrap ~file obs (fun () ->
         let c = load_nodal file in
         let input = parse_input c input and output = parse_output output in
         let freqs = Grid.decades ~start:from_ ~stop:to_ ~per_decade in
         let config =
-          { Sbg.default_config with Sbg.tolerance_db = tdb; tolerance_deg = tdeg }
+          {
+            Sbg.default_config with
+            Sbg.tolerance_db = tdb;
+            tolerance_deg = tdeg;
+            shortable =
+              (if shorts then Sbg.default_shortable else fun _ -> false);
+          }
         in
         let o = Sbg.prune ~config c ~input ~output ~freqs in
-        Printf.printf "removed %d of %d candidates; residual %.3f dB / %.2f deg\n"
-          (List.length o.Sbg.removed) o.Sbg.candidates o.Sbg.error_db o.Sbg.error_deg;
-        List.iter (fun name -> print_endline ("  - " ^ name)) o.Sbg.removed;
+        Printf.printf
+          "removed %d of %d candidate moves; residual %.3f dB / %.2f deg\n"
+          (List.length o.Sbg.removals) o.Sbg.candidates o.Sbg.error_db
+          o.Sbg.error_deg;
+        List.iter
+          (fun (r : Sbg.removal) ->
+            Printf.printf
+              "  - %-12s %-7s +%.4f dB / +%.4f deg  (cumulative %.4f dB / \
+               %.4f deg)\n"
+              r.Sbg.element
+              (match r.Sbg.action with
+              | Sbg.Opened -> "opened"
+              | Sbg.Shorted -> "shorted")
+              r.Sbg.delta_db r.Sbg.delta_deg r.Sbg.error_db r.Sbg.error_deg)
+          o.Sbg.removals;
         print_string (Symref_spice.Writer.to_string o.Sbg.pruned))
   in
   Cmd.v
@@ -352,7 +389,146 @@ let sbg_cmd =
           print the reduced netlist.")
     Term.(
       const run $ netlist_arg $ input_arg $ output_arg $ from_arg $ to_arg
-      $ per_decade_arg $ tol_db $ tol_deg $ obs_term)
+      $ per_decade_arg $ tol_db $ tol_deg $ shorts_arg $ obs_term)
+
+(* --- simplify --- *)
+
+let budget_db_arg =
+  let doc = "End-to-end worst-case magnitude error budget (dB)." in
+  Arg.(value & opt float 0.5 & info [ "budget-db" ] ~docv:"DB" ~doc)
+
+let budget_deg_arg =
+  let doc = "End-to-end worst-case phase error budget (degrees)." in
+  Arg.(value & opt float 2. & info [ "budget-deg" ] ~docv:"DEG" ~doc)
+
+let simplify_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the serve payload JSON (identical to a daemon $(b,simplify) \
+             job reply body) instead of the text report.")
+  in
+  let max_attempts_arg =
+    Arg.(
+      value & opt int Pipeline.default_config.Pipeline.max_attempts
+      & info [ "max-attempts" ]
+          ~doc:"SDG/SAG tighten-and-retry rounds before the exact fallback.")
+  in
+  let no_shorts_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shorts" ]
+          ~doc:"Forbid SBG from shorting series resistive elements.")
+  in
+  let input_auto_arg =
+    let doc =
+      "Input drive (CLI syntax, see $(b,coeffs)); $(b,auto) detects the \
+       netlist's own voltage sources."
+    in
+    Arg.(value & opt string "auto" & info [ "i"; "input" ] ~docv:"INPUT" ~doc)
+  in
+  let output_auto_arg =
+    let doc = "Output node (or $(b,P,M)); omitted = auto-detect." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+  in
+  let run file input output budget_db budget_deg from_ to_ per_decade sigma r
+      max_attempts no_shorts json obs =
+    wrap ~file obs (fun () ->
+        if json then begin
+          (* One in-process service run, so the CLI JSON is byte-compatible
+             with a daemon reply body for the same job. *)
+          let config =
+            { Serve.Service.default_config with Serve.Service.cache_bytes = 0 }
+          in
+          let service = Serve.Service.create ~config () in
+          let job =
+            {
+              Serve.Protocol.default_job with
+              Serve.Protocol.netlist = `Path file;
+              id = Some file;
+              analysis =
+                Serve.Protocol.Simplify
+                  { budget_db; budget_deg; from_hz = from_; to_hz = to_;
+                    per_decade };
+              input;
+              output;
+              sigma;
+              r;
+            }
+          in
+          let reply = Serve.Service.run_job service job in
+          Serve.Service.shutdown service;
+          print_endline (Json.to_string (Serve.Protocol.reply_to_json reply));
+          if reply.Serve.Protocol.status <> Serve.Protocol.Ok then exit 1
+        end
+        else begin
+          let c = load_nodal file in
+          let c, input, output, in_desc, out_desc =
+            Serve.Service.resolve_io c ~input ~output
+          in
+          let budget = Budget.v ~db:budget_db ~deg:budget_deg () in
+          let freqs = Grid.decades ~start:from_ ~stop:to_ ~per_decade in
+          let config =
+            { Pipeline.sigma; r; max_attempts; shorts = not no_shorts }
+          in
+          let res = Pipeline.run ~config c ~input ~output ~budget ~freqs in
+          Printf.printf "simplify %s  (input %s, output %s)\n" file in_desc
+            out_desc;
+          Printf.printf "  elements: %d -> %d   nodal dimension: %d\n"
+            res.Pipeline.elements_before res.Pipeline.elements_after
+            res.Pipeline.dim;
+          let exact =
+            res.Pipeline.exact_num_terms + res.Pipeline.exact_den_terms
+          and kept = res.Pipeline.num_terms + res.Pipeline.den_terms in
+          Printf.printf
+            "  terms:    num %d -> %d, den %d -> %d   (%.1fx compression)\n"
+            res.Pipeline.exact_num_terms res.Pipeline.num_terms
+            res.Pipeline.exact_den_terms res.Pipeline.den_terms
+            (float_of_int exact /. float_of_int (Int.max 1 kept));
+          Printf.printf "  attempts: %d%s\n" res.Pipeline.attempts
+            (if res.Pipeline.fallback then
+               "  (fell back to the exact pruned expression)"
+             else "");
+          if res.Pipeline.sbg.Sbg.removals <> [] then begin
+            print_endline "pruned by SBG:";
+            List.iter
+              (fun (rm : Sbg.removal) ->
+                Printf.printf "  - %-12s %-7s (cumulative %.4f dB / %.4f deg)\n"
+                  rm.Sbg.element
+                  (match rm.Sbg.action with
+                  | Sbg.Opened -> "opened"
+                  | Sbg.Shorted -> "shorted")
+                  rm.Sbg.error_db rm.Sbg.error_deg)
+              res.Pipeline.sbg.Sbg.removals
+          end;
+          print_endline "certificate:";
+          List.iter
+            (fun (k, v) -> Printf.printf "  %-18s %s\n" k v)
+            (Certificate.to_strings res.Pipeline.certificate);
+          print_endline "simplified H(s):";
+          Printf.printf "  num = %s\n"
+            (Nested.to_string (Nested.nest res.Pipeline.num));
+          Printf.printf "  den = %s\n"
+            (Nested.to_string (Nested.nest res.Pipeline.den));
+          if not res.Pipeline.certificate.Certificate.within_budget then
+            exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:
+         "Reference-driven symbolic simplification: prune the circuit (SBG), \
+          generate the exact symbolic H(s), truncate coefficients (SDG) and \
+          drop function-level terms (SAG) under the error budget, then \
+          re-verify the simplified H(s) against the numerical reference over \
+          the full grid and print a machine-checkable error certificate.")
+    Term.(
+      const run $ netlist_arg $ input_auto_arg $ output_auto_arg
+      $ budget_db_arg $ budget_deg_arg $ from_arg $ to_arg $ per_decade_arg
+      $ sigma_arg $ r_arg $ max_attempts_arg $ no_shorts_arg $ json_arg
+      $ obs_term)
 
 (* --- poles --- *)
 
@@ -673,11 +849,15 @@ let service_config ?disk_cache_dir ?(backlog = 16) ?socket_mode workers capacity
   }
 
 let analysis_arg =
-  let doc = "Analysis to run: $(b,reference), $(b,adaptive), $(b,bode) or $(b,poles)." in
+  let doc =
+    "Analysis to run: $(b,reference), $(b,adaptive), $(b,bode), $(b,poles) \
+     or $(b,simplify)."
+  in
   Arg.(
     value
     & opt (enum [ ("reference", `Reference); ("adaptive", `Adaptive);
-                  ("bode", `Bode); ("poles", `Poles) ]) `Reference
+                  ("bode", `Bode); ("poles", `Poles);
+                  ("simplify", `Simplify) ]) `Reference
     & info [ "analysis" ] ~docv:"KIND" ~doc)
 
 let job_term =
@@ -692,13 +872,17 @@ let job_term =
     let doc = "Output node (or $(b,P,M)); omitted = auto-detect." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
   in
-  let make analysis input output sigma r timeout_ms from_ to_ per_decade =
+  let make analysis input output sigma r timeout_ms from_ to_ per_decade
+      budget_db budget_deg =
     let analysis =
       match analysis with
       | `Reference -> Serve.Protocol.Reference
       | `Adaptive -> Serve.Protocol.Adaptive
       | `Poles -> Serve.Protocol.Poles
       | `Bode -> Serve.Protocol.Bode { from_hz = from_; to_hz = to_; per_decade }
+      | `Simplify ->
+          Serve.Protocol.Simplify
+            { budget_db; budget_deg; from_hz = from_; to_hz = to_; per_decade }
     in
     {
       Serve.Protocol.default_job with
@@ -712,7 +896,8 @@ let job_term =
   in
   Term.(
     const make $ analysis_arg $ auto_input_arg $ auto_output_arg $ sigma_arg
-    $ r_arg $ timeout_ms_arg $ from_arg $ to_arg $ per_decade_arg)
+    $ r_arg $ timeout_ms_arg $ from_arg $ to_arg $ per_decade_arg
+    $ budget_db_arg $ budget_deg_arg)
 
 let serve_cmd =
   let run socket tcp_extra workers capacity cache_mb timeout_ms disk_cache
@@ -890,6 +1075,7 @@ let main =
       bode_cmd;
       ac_cmd;
       sbg_cmd;
+      simplify_cmd;
       poles_cmd;
       sensitivity_cmd;
       margins_cmd;

@@ -167,6 +167,97 @@ let extend t f =
   f b;
   Builder.finish b
 
+(* Rewrite every node reference through [rename] (same names, same values). *)
+let map_nodes rename (e : Element.t) =
+  let kind =
+    match e.Element.kind with
+    | Element.Conductance { a; b; siemens } ->
+        Element.Conductance { a = rename a; b = rename b; siemens }
+    | Element.Resistor { a; b; ohms } ->
+        Element.Resistor { a = rename a; b = rename b; ohms }
+    | Element.Capacitor { a; b; farads } ->
+        Element.Capacitor { a = rename a; b = rename b; farads }
+    | Element.Inductor { a; b; henries } ->
+        Element.Inductor { a = rename a; b = rename b; henries }
+    | Element.Vccs { p; m; cp; cm; gm } ->
+        Element.Vccs { p = rename p; m = rename m; cp = rename cp; cm = rename cm; gm }
+    | Element.Vcvs { p; m; cp; cm; gain } ->
+        Element.Vcvs { p = rename p; m = rename m; cp = rename cp; cm = rename cm; gain }
+    | Element.Cccs { p; m; vname; gain } ->
+        Element.Cccs { p = rename p; m = rename m; vname; gain }
+    | Element.Ccvs { p; m; vname; ohms } ->
+        Element.Ccvs { p = rename p; m = rename m; vname; ohms }
+    | Element.Isrc { a; b; amps } -> Element.Isrc { a = rename a; b = rename b; amps }
+    | Element.Vsrc { p; m; volts } -> Element.Vsrc { p = rename p; m = rename m; volts }
+  in
+  { e with Element.kind }
+
+let compact t =
+  let n = Array.length t.node_names in
+  let used = Array.make n false in
+  used.(0) <- true;
+  List.iter (fun e -> List.iter (fun x -> used.(x) <- true) (Element.nodes e)) t.elements;
+  let map = Array.make n 0 in
+  let b = Builder.create ~title:t.title () in
+  (* Intern surviving names in old-id order so the renumbering is stable. *)
+  for i = 1 to n - 1 do
+    if used.(i) then map.(i) <- Builder.node b t.node_names.(i)
+  done;
+  List.iter (fun e -> Builder.add b (map_nodes (fun x -> map.(x)) e)) t.elements;
+  Builder.finish b
+
+(* After a node merge an element can lose its stamped contribution entirely
+   (a self-loop branch, a controlled source whose output or control pair
+   coincides).  Constraint elements cannot just vanish: a collapsed voltage
+   source is a contradictory circuit, not a simplified one. *)
+let survives_merge (e : Element.t) =
+  match e.Element.kind with
+  | Element.Conductance { a; b; _ }
+  | Element.Resistor { a; b; _ }
+  | Element.Capacitor { a; b; _ }
+  | Element.Inductor { a; b; _ }
+  | Element.Isrc { a; b; _ } ->
+      a <> b
+  | Element.Vccs { p; m; cp; cm; _ } -> p <> m && cp <> cm
+  | Element.Cccs { p; m; _ } -> p <> m
+  | Element.Vsrc { p; m; _ } | Element.Vcvs { p; m; _ } | Element.Ccvs { p; m; _ } ->
+      if p = m then
+        invalid_arg
+          (Printf.sprintf "Netlist: short collapses constraint element %s"
+             e.Element.name);
+      true
+
+let short_element t name =
+  let e = match find_element t name with None -> raise Not_found | Some e -> e in
+  let a, b =
+    match e.Element.kind with
+    | Element.Conductance { a; b; _ }
+    | Element.Resistor { a; b; _ }
+    | Element.Capacitor { a; b; _ }
+    | Element.Inductor { a; b; _ } ->
+        (a, b)
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Netlist.short_element: %s is not a two-terminal branch"
+             name)
+  in
+  let elements =
+    List.filter (fun (x : Element.t) -> x.Element.name <> name) t.elements
+  in
+  let elements =
+    if a = b then elements
+    else begin
+      (* Ground absorbs the merge; otherwise the lower id keeps its name. *)
+      let keep, drop =
+        if a = 0 || b = 0 then (0, if a = 0 then b else a)
+        else (min a b, max a b)
+      in
+      let rename x = if x = drop then keep else x in
+      List.filter survives_merge (List.map (map_nodes rename) elements)
+    end
+  in
+  compact { t with elements }
+
 let scale_element t name k =
   if find_element t name = None then raise Not_found;
   {

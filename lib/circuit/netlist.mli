@@ -60,6 +60,23 @@ val find_element : t -> string -> Element.t option
 val remove_element : t -> string -> t
 (** @raise Not_found when no element has that name. *)
 
+val compact : t -> t
+(** Drop node names that no remaining element references (nodes stranded by
+    {!remove_element}, which would otherwise stamp a zero — singular — nodal
+    row).  Surviving nodes keep their names; ids are renumbered densely in
+    the original order. *)
+
+val short_element : t -> string -> t
+(** [short_element c name] removes the named two-terminal branch (R, G, C or
+    L) and merges its two terminal nodes — the short-circuit counterpart of
+    {!remove_element}'s open.  Ground absorbs the merge; otherwise the
+    lower-numbered node keeps its name.  Elements whose stamp vanishes under
+    the merge (self-loop branches, controlled sources with coincident output
+    or control pairs) are dropped, and the result is {!compact}ed.
+    @raise Not_found when no element has that name.
+    @raise Invalid_argument when the element is not a two-terminal branch or
+    the merge would collapse a voltage-constraint element (Vsrc/VCVS/CCVS). *)
+
 val extend : t -> (Builder.t -> unit) -> t
 (** [extend c f] rebuilds [c] in a fresh builder (same nodes and elements)
     and lets [f] add elements — e.g. attach sources or loads to a library

@@ -32,3 +32,26 @@ let detect ?(min_mag = Ef.zero) ~sigma ~base coeffs =
 
 let width b = b.hi - b.lo + 1
 let contains b i = i >= b.lo && i <= b.hi
+
+(* --- frequency-decade partition --- *)
+
+type span = { lo_hz : float; hi_hz : float; first : int; last : int }
+
+(* The nudge keeps 10^k grid points computed as 9.999..e(k-1) in decade k. *)
+let decade_of f = int_of_float (Float.floor (Float.log10 f +. 1e-9))
+
+let spans freqs =
+  let n = Array.length freqs in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      let d = decade_of freqs.(i) in
+      let j = ref i in
+      while !j + 1 < n && decade_of freqs.(!j + 1) = d do
+        incr j
+      done;
+      go (!j + 1)
+        ({ lo_hz = freqs.(i); hi_hz = freqs.(!j); first = i; last = !j } :: acc)
+    end
+  in
+  go 0 []

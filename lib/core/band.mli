@@ -36,3 +36,21 @@ val detect :
 
 val width : t -> int
 val contains : t -> int -> bool
+
+(** {1 Frequency-decade partition}
+
+    The same band idea over a frequency grid instead of coefficient indices:
+    a verification sweep reports its error breakdown per decade, so a
+    certificate can show where in frequency the budget went. *)
+
+type span = {
+  lo_hz : float;  (** first grid frequency in the decade *)
+  hi_hz : float;  (** last grid frequency in the decade *)
+  first : int;    (** index of [lo_hz] in the grid *)
+  last : int;     (** index of [hi_hz] in the grid *)
+}
+
+val spans : float array -> span list
+(** Partition a monotonically increasing frequency grid into runs sharing a
+    decade ([10^k <= f < 10^(k+1)]); grid points landing a hair under an
+    exact power of ten are counted in the upper decade. *)

@@ -1,0 +1,100 @@
+(* Deviation between two frequency responses over a grid.
+
+   The simplification stages and the final certificate all judge error the
+   same way the paper does: magnitude deviation in dB and phase deviation in
+   degrees, point by point on a logarithmic frequency grid.  This module is
+   the single definition of that measure, shared by the SBG greedy loop and
+   the end-of-pipeline verification sweep. *)
+
+type point = { freq_hz : float; delta_db : float; delta_deg : float }
+
+type band = {
+  lo_hz : float;
+  hi_hz : float;
+  points : int;
+  max_db : float;
+  max_deg : float;
+}
+
+type t = {
+  points : point array;
+  max_db : float;
+  max_deg : float;
+  rms_db : float;
+  rms_deg : float;
+  bands : band list;
+}
+
+(* A response that is exactly zero where the reference is not (or vice
+   versa) has no finite dB distance: report infinity so the caller rejects
+   the candidate rather than averaging the hole away. *)
+let pointwise ~reference value =
+  let mr = Complex.norm reference and mv = Complex.norm value in
+  if mr = 0. || mv = 0. then if mr = mv then (0., 0.) else (infinity, infinity)
+  else
+    let delta_db = Float.abs (20. *. Float.log10 (mv /. mr)) in
+    let delta_deg =
+      Float.abs (Complex.arg (Complex.div value reference)) *. 180. /. Float.pi
+    in
+    (delta_db, delta_deg)
+
+let worst ~reference values =
+  let ddb = ref 0. and ddeg = ref 0. in
+  Array.iteri
+    (fun i r ->
+      let db, deg = pointwise ~reference:r values.(i) in
+      ddb := Float.max !ddb db;
+      ddeg := Float.max !ddeg deg)
+    reference;
+  (!ddb, !ddeg)
+
+let of_points freqs points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Deviation.measure: empty frequency grid";
+  let max_db = ref 0. and max_deg = ref 0. in
+  let sq_db = ref 0. and sq_deg = ref 0. in
+  Array.iter
+    (fun p ->
+      max_db := Float.max !max_db p.delta_db;
+      max_deg := Float.max !max_deg p.delta_deg;
+      sq_db := !sq_db +. (p.delta_db *. p.delta_db);
+      sq_deg := !sq_deg +. (p.delta_deg *. p.delta_deg))
+    points;
+  let bands =
+    List.map
+      (fun (s : Band.span) ->
+        let max_db = ref 0. and max_deg = ref 0. in
+        for i = s.Band.first to s.Band.last do
+          max_db := Float.max !max_db points.(i).delta_db;
+          max_deg := Float.max !max_deg points.(i).delta_deg
+        done;
+        {
+          lo_hz = s.Band.lo_hz;
+          hi_hz = s.Band.hi_hz;
+          points = s.Band.last - s.Band.first + 1;
+          max_db = !max_db;
+          max_deg = !max_deg;
+        })
+      (Band.spans freqs)
+  in
+  {
+    points;
+    max_db = !max_db;
+    max_deg = !max_deg;
+    rms_db = Float.sqrt (!sq_db /. float_of_int n);
+    rms_deg = Float.sqrt (!sq_deg /. float_of_int n);
+    bands;
+  }
+
+let measure ~reference value freqs =
+  let points =
+    Array.map
+      (fun f ->
+        let s = { Complex.re = 0.; im = 2. *. Float.pi *. f } in
+        let delta_db, delta_deg = pointwise ~reference:(reference s) (value s) in
+        { freq_hz = f; delta_db; delta_deg })
+      freqs
+  in
+  of_points freqs points
+
+let within t ~db ~deg = t.max_db <= db && t.max_deg <= deg

@@ -1,0 +1,47 @@
+(** Magnitude/phase deviation between two frequency responses over a grid.
+
+    The single definition of the error measure shared by the SBG greedy loop
+    (worst-case over the grid) and the simplification certificate (worst +
+    RMS, with a per-decade breakdown via {!Band.spans}).  Magnitude error is
+    [|20 log10 |H'|/|H||] in dB, phase error is the principal angle of
+    [H'/H] in degrees. *)
+
+type point = { freq_hz : float; delta_db : float; delta_deg : float }
+
+type band = {
+  lo_hz : float;   (** first grid frequency of the decade *)
+  hi_hz : float;   (** last grid frequency of the decade *)
+  points : int;    (** grid points in the decade *)
+  max_db : float;  (** worst magnitude deviation inside the decade *)
+  max_deg : float; (** worst phase deviation inside the decade *)
+}
+
+type t = {
+  points : point array;  (** per-grid-point deviation, in grid order *)
+  max_db : float;        (** worst-case magnitude deviation *)
+  max_deg : float;       (** worst-case phase deviation *)
+  rms_db : float;        (** root-mean-square magnitude deviation *)
+  rms_deg : float;       (** root-mean-square phase deviation *)
+  bands : band list;     (** per-decade breakdown ({!Band.spans}) *)
+}
+
+val pointwise : reference:Complex.t -> Complex.t -> float * float
+(** [(delta_db, delta_deg)] between one response value and its reference.
+    Both are infinite when exactly one of the two magnitudes is zero, zero
+    when both are. *)
+
+val worst : reference:Complex.t array -> Complex.t array -> float * float
+(** Worst-case [(delta_db, delta_deg)] between two sampled responses of the
+    same length (the SBG accept test — cheaper than a full {!measure}). *)
+
+val measure :
+  reference:(Complex.t -> Complex.t) ->
+  (Complex.t -> Complex.t) ->
+  float array ->
+  t
+(** [measure ~reference h freqs] evaluates both responses at
+    [s = j 2 pi f] over the grid and aggregates the deviation.
+    @raise Invalid_argument on an empty grid. *)
+
+val within : t -> db:float -> deg:float -> bool
+(** Worst-case deviation within both limits. *)

@@ -146,3 +146,15 @@ let router_requests = counter "router.requests"
 let router_failovers = counter "router.failovers"
 let router_health_checks = counter "router.health_checks"
 let router_dead_workers = counter "router.dead_workers"
+
+(* The simplify family: the reference-driven simplification pipeline
+   ([Symref_simplify.Pipeline]).  Retries are tightened SDG/SAG re-runs
+   after a failed verification; fallbacks are runs that ended on the exact
+   pruned expression; unsupported counts circuits over the symbolic
+   dimension limit. *)
+let simplify_requests = counter "simplify.requests"
+let simplify_retries = counter "simplify.retries"
+let simplify_fallbacks = counter "simplify.fallbacks"
+let simplify_unsupported = counter "simplify.unsupported"
+let simplify_removed_elements = counter "simplify.removed_elements"
+let simplify_removed_terms = counter "simplify.removed_terms"

@@ -217,3 +217,27 @@ val router_health_checks : counter
 
 val router_dead_workers : counter
 (** Health transitions from alive to dead. *)
+
+(** {2 The simplify family}
+
+    The reference-driven simplification pipeline
+    ([Symref_simplify.Pipeline]). *)
+
+val simplify_requests : counter
+(** Pipeline runs started. *)
+
+val simplify_retries : counter
+(** Tightened SDG/SAG re-runs after a failed verification sweep. *)
+
+val simplify_fallbacks : counter
+(** Runs that ended on the exact pruned expression (no term dropping). *)
+
+val simplify_unsupported : counter
+(** Runs rejected because the pruned circuit stays above the symbolic
+    dimension limit. *)
+
+val simplify_removed_elements : counter
+(** Circuit elements removed by the SBG stage. *)
+
+val simplify_removed_terms : counter
+(** Symbolic terms removed by the SDG and SAG stages. *)

@@ -38,6 +38,12 @@ type t = {
   router_failovers : int;
   router_health_checks : int;
   router_dead_workers : int;
+  simplify_requests : int;
+  simplify_retries : int;
+  simplify_fallbacks : int;
+  simplify_unsupported : int;
+  simplify_removed_elements : int;
+  simplify_removed_terms : int;
   points_per_pass : (int * int) list;
 }
 
@@ -82,6 +88,12 @@ let zero =
     router_failovers = 0;
     router_health_checks = 0;
     router_dead_workers = 0;
+    simplify_requests = 0;
+    simplify_retries = 0;
+    simplify_fallbacks = 0;
+    simplify_unsupported = 0;
+    simplify_removed_elements = 0;
+    simplify_removed_terms = 0;
     points_per_pass = [];
   }
 
@@ -126,6 +138,12 @@ let capture () =
     router_failovers = Metrics.value Metrics.router_failovers;
     router_health_checks = Metrics.value Metrics.router_health_checks;
     router_dead_workers = Metrics.value Metrics.router_dead_workers;
+    simplify_requests = Metrics.value Metrics.simplify_requests;
+    simplify_retries = Metrics.value Metrics.simplify_retries;
+    simplify_fallbacks = Metrics.value Metrics.simplify_fallbacks;
+    simplify_unsupported = Metrics.value Metrics.simplify_unsupported;
+    simplify_removed_elements = Metrics.value Metrics.simplify_removed_elements;
+    simplify_removed_terms = Metrics.value Metrics.simplify_removed_terms;
     points_per_pass = Metrics.histogram_buckets_of Metrics.points_per_pass;
   }
 
@@ -240,6 +258,24 @@ let fields =
     ( "router.dead_workers",
       (fun t -> t.router_dead_workers),
       fun t v -> { t with router_dead_workers = v } );
+    ( "simplify.requests",
+      (fun t -> t.simplify_requests),
+      fun t v -> { t with simplify_requests = v } );
+    ( "simplify.retries",
+      (fun t -> t.simplify_retries),
+      fun t v -> { t with simplify_retries = v } );
+    ( "simplify.fallbacks",
+      (fun t -> t.simplify_fallbacks),
+      fun t v -> { t with simplify_fallbacks = v } );
+    ( "simplify.unsupported",
+      (fun t -> t.simplify_unsupported),
+      fun t v -> { t with simplify_unsupported = v } );
+    ( "simplify.removed_elements",
+      (fun t -> t.simplify_removed_elements),
+      fun t v -> { t with simplify_removed_elements = v } );
+    ( "simplify.removed_terms",
+      (fun t -> t.simplify_removed_terms),
+      fun t v -> { t with simplify_removed_terms = v } );
   ]
 
 let histogram_key = "interp.points_per_pass"

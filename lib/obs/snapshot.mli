@@ -48,6 +48,12 @@ type t = {
   router_failovers : int;  (** requests re-routed after a worker failure *)
   router_health_checks : int;  (** Hello health probes sent *)
   router_dead_workers : int;  (** alive-to-dead health transitions *)
+  simplify_requests : int;  (** simplification pipeline runs started *)
+  simplify_retries : int;  (** tightened SDG/SAG re-runs after verification *)
+  simplify_fallbacks : int;  (** runs ending on the exact pruned expression *)
+  simplify_unsupported : int;  (** runs over the symbolic dimension limit *)
+  simplify_removed_elements : int;  (** elements removed by the SBG stage *)
+  simplify_removed_terms : int;  (** terms removed by the SDG/SAG stages *)
   points_per_pass : (int * int) list;
       (** histogram, [(bucket upper bound, batches)] *)
 }

@@ -17,6 +17,13 @@ type analysis =
   | Adaptive
   | Bode of { from_hz : float; to_hz : float; per_decade : int }
   | Poles
+  | Simplify of {
+      budget_db : float;
+      budget_deg : float;
+      from_hz : float;
+      to_hz : float;
+      per_decade : int;
+    }
 
 let analysis_to_string = function
   | Reference -> "reference"
@@ -24,6 +31,9 @@ let analysis_to_string = function
   | Bode { from_hz; to_hz; per_decade } ->
       Printf.sprintf "bode(%.17g,%.17g,%d)" from_hz to_hz per_decade
   | Poles -> "poles"
+  | Simplify { budget_db; budget_deg; from_hz; to_hz; per_decade } ->
+      Printf.sprintf "simplify(%.17g,%.17g,%.17g,%.17g,%d)" budget_db budget_deg
+        from_hz to_hz per_decade
 
 (* --- requests --- *)
 
@@ -65,6 +75,15 @@ let analysis_fields = function
   | Bode { from_hz; to_hz; per_decade } ->
       [
         ("analysis", str "bode");
+        ("from", num from_hz);
+        ("to", num to_hz);
+        ("per_decade", inum per_decade);
+      ]
+  | Simplify { budget_db; budget_deg; from_hz; to_hz; per_decade } ->
+      [
+        ("analysis", str "simplify");
+        ("budget_db", num budget_db);
+        ("budget_deg", num budget_deg);
         ("from", num from_hz);
         ("to", num to_hz);
         ("per_decade", inum per_decade);
@@ -120,6 +139,15 @@ let analysis_of_json j =
   | Some "bode" ->
       Bode
         {
+          from_hz = Option.value ~default:1. (get_num "from" j);
+          to_hz = Option.value ~default:1e8 (get_num "to" j);
+          per_decade = Option.value ~default:4 (get_int "per_decade" j);
+        }
+  | Some "simplify" ->
+      Simplify
+        {
+          budget_db = Option.value ~default:0.5 (get_num "budget_db" j);
+          budget_deg = Option.value ~default:2. (get_num "budget_deg" j);
           from_hz = Option.value ~default:1. (get_num "from" j);
           to_hz = Option.value ~default:1e8 (get_num "to" j);
           per_decade = Option.value ~default:4 (get_int "per_decade" j);

@@ -24,10 +24,20 @@ type analysis =
   | Bode of { from_hz : float; to_hz : float; per_decade : int }
       (** Bode data reconstructed from the reference coefficients *)
   | Poles  (** pole/zero extraction from the references *)
+  | Simplify of {
+      budget_db : float;
+      budget_deg : float;
+      from_hz : float;
+      to_hz : float;
+      per_decade : int;
+    }
+      (** reference-driven symbolic simplification under an error budget,
+          verified over the [from_hz..to_hz] grid; the reply carries the
+          simplified expressions plus an error certificate *)
 
 val analysis_to_string : analysis -> string
 (** Canonical text form, also used in cache keys ([reference], [adaptive],
-    [bode(1,1e8,4)], [poles]). *)
+    [bode(1,1e8,4)], [poles], [simplify(0.5,2,1,1e8,4)]). *)
 
 (** {1 Requests} *)
 

@@ -15,6 +15,12 @@ module Writer = Symref_spice.Writer
 module Reference = Symref_core.Reference
 module Adaptive = Symref_core.Adaptive
 module Poles = Symref_core.Poles
+module Sym = Symref_symbolic.Sym
+module Nested = Symref_symbolic.Nested
+module Sbg = Symref_symbolic.Sbg
+module Pipeline = Symref_simplify.Pipeline
+module Budget = Symref_simplify.Budget
+module Certificate = Symref_simplify.Certificate
 module Grid = Symref_numeric.Grid
 module Ef = Symref_numeric.Extfloat
 module Json = Symref_obs.Json
@@ -252,6 +258,9 @@ let payload (job : Protocol.job) ~input_desc ~output_desc (t : Reference.t) =
     ]
   in
   match job.Protocol.analysis with
+  | Protocol.Simplify _ ->
+      (* Dispatched to [simplify_payload] before any reference exists. *)
+      invalid_arg "Service.payload: simplify does not use the reference payload"
   | Protocol.Reference -> Json.Obj (common @ coeffs_fields t)
   | Protocol.Adaptive ->
       Json.Obj
@@ -293,6 +302,87 @@ let payload (job : Protocol.job) ~input_desc ~output_desc (t : Reference.t) =
                        [ ("freq_hz", num r.Poles.freq_hz); ("q", num r.Poles.q) ])
                    a.Poles.resonances) );
           ])
+
+(* The simplify payload: simplified expressions (flat and nested forms),
+   per-stage removal logs and the error certificate.  Rendered from the
+   same deterministic printers as everything else, so the stored string
+   replays bit-identically from either cache layer. *)
+let simplify_payload (job : Protocol.job) ~input_desc ~output_desc
+    (r : Pipeline.result) =
+  let removal (rm : Sbg.removal) =
+    Json.Obj
+      [
+        ("element", str rm.Sbg.element);
+        ( "action",
+          str (match rm.Sbg.action with Sbg.Opened -> "opened" | Sbg.Shorted -> "shorted") );
+        ("delta_db", num rm.Sbg.delta_db);
+        ("delta_deg", num rm.Sbg.delta_deg);
+        ("error_db", num rm.Sbg.error_db);
+        ("error_deg", num rm.Sbg.error_deg);
+      ]
+  in
+  let sdg_side (rep : Symref_simplify.Pipeline.result) get =
+    let s : Symref_symbolic.Sdg.report = get rep in
+    Json.Obj
+      [
+        ("total_terms", inum s.Symref_symbolic.Sdg.total_terms);
+        ("kept_terms", inum s.Symref_symbolic.Sdg.kept_terms);
+      ]
+  in
+  Json.Obj
+    [
+      ("analysis", str (Protocol.analysis_to_string job.Protocol.analysis));
+      ("input", str input_desc);
+      ("output", str output_desc);
+      ("health", health_json r.Pipeline.reference);
+      ( "elements",
+        Json.Obj
+          [
+            ("before", inum r.Pipeline.elements_before);
+            ("after", inum r.Pipeline.elements_after);
+          ] );
+      ("dim", inum r.Pipeline.dim);
+      ( "exact_terms",
+        Json.Obj
+          [
+            ("num", inum r.Pipeline.exact_num_terms);
+            ("den", inum r.Pipeline.exact_den_terms);
+          ] );
+      ( "terms",
+        Json.Obj
+          [ ("num", inum r.Pipeline.num_terms); ("den", inum r.Pipeline.den_terms) ]
+      );
+      ("num", str (Sym.to_string r.Pipeline.num));
+      ("den", str (Sym.to_string r.Pipeline.den));
+      ("num_nested", str (Nested.to_string (Nested.nest r.Pipeline.num)));
+      ("den_nested", str (Nested.to_string (Nested.nest r.Pipeline.den)));
+      ( "sbg",
+        Json.Obj
+          [
+            ("removals", Json.Arr (List.map removal r.Pipeline.sbg.Sbg.removals));
+            ("error_db", num r.Pipeline.sbg.Sbg.error_db);
+            ("error_deg", num r.Pipeline.sbg.Sbg.error_deg);
+            ("candidates", inum r.Pipeline.sbg.Sbg.candidates);
+            ("trials", inum r.Pipeline.sbg.Sbg.trials);
+          ] );
+      ( "sdg",
+        Json.Obj
+          [
+            ("num", sdg_side r (fun x -> x.Pipeline.sdg_num));
+            ("den", sdg_side r (fun x -> x.Pipeline.sdg_den));
+          ] );
+      ( "sag",
+        Json.Obj
+          [
+            ("total_terms", inum r.Pipeline.sag.Symref_symbolic.Sag.total_terms);
+            ("kept_terms", inum r.Pipeline.sag.Symref_symbolic.Sag.kept_terms);
+            ("dropped", inum r.Pipeline.sag.Symref_symbolic.Sag.dropped);
+            ("max_error", num r.Pipeline.sag.Symref_symbolic.Sag.max_error);
+          ] );
+      ("attempts", inum r.Pipeline.attempts);
+      ("fallback", Json.Bool r.Pipeline.fallback);
+      ("certificate", Certificate.to_json r.Pipeline.certificate);
+    ]
 
 (* --- job execution --- *)
 
@@ -343,11 +433,33 @@ let run_job t ?deadline (job : Protocol.job) =
             Metrics.incr Metrics.serve_jobs_completed;
             Protocol.ok ~id ~cached:true (Json.parse stored)
         | None ->
-            let config =
-              { Adaptive.default_config with Adaptive.sigma = job.Protocol.sigma; r = job.Protocol.r }
+            let body =
+              match job.Protocol.analysis with
+              | Protocol.Simplify
+                  { budget_db; budget_deg; from_hz; to_hz; per_decade } ->
+                  (* The pipeline generates its own references (full and
+                     pruned circuit) and verifies over the request's grid. *)
+                  let freqs = Grid.decades ~start:from_hz ~stop:to_hz ~per_decade in
+                  let budget = Budget.v ~db:budget_db ~deg:budget_deg () in
+                  let config =
+                    {
+                      Pipeline.default_config with
+                      Pipeline.sigma = job.Protocol.sigma;
+                      r = job.Protocol.r;
+                    }
+                  in
+                  let result =
+                    Pipeline.run ~config ~check circuit ~input ~output ~budget
+                      ~freqs
+                  in
+                  simplify_payload job ~input_desc ~output_desc result
+              | _ ->
+                  let config =
+                    { Adaptive.default_config with Adaptive.sigma = job.Protocol.sigma; r = job.Protocol.r }
+                  in
+                  let reference = Reference.generate ~config ~check circuit ~input ~output in
+                  payload job ~input_desc ~output_desc reference
             in
-            let reference = Reference.generate ~config ~check circuit ~input ~output in
-            let body = payload job ~input_desc ~output_desc reference in
             let rendered = Json.to_string body in
             Cache.add t.cache ~key rendered;
             Option.iter (fun d -> Disk_cache.store d ~key rendered) t.disk;
@@ -364,6 +476,12 @@ let run_job t ?deadline (job : Protocol.job) =
       in
       failed "parse" (Printf.sprintf "%s:%d: %s" where line message)
   | Nodal.Unsupported m -> failed "unsupported" ("unsupported circuit: " ^ m)
+  | Pipeline.Symbolic_limit { dim; limit } ->
+      failed "symbolic_limit"
+        (Printf.sprintf
+           "pruned circuit dimension %d exceeds the symbolic limit %d; \
+            simplify needs a circuit (after pruning) of dimension <= %d"
+           dim limit limit)
   | Errors.Error e -> failed (Errors.kind e) (Errors.message e)
   | Inject.Injected m -> failed "injected" m
   | Failure m -> failed "invalid" m

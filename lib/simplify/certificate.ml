@@ -1,0 +1,112 @@
+(* The machine-checkable half of a simplification result: what was asked,
+   what was measured, and where the budget went.  The verification sweep is
+   re-run against the numerical reference after all three stages, so the
+   certificate reports measured deviation, not a sum of stage estimates. *)
+
+module Deviation = Symref_core.Deviation
+module Json = Symref_obs.Json
+
+type stage = {
+  stage : string;
+  budget_db : float;
+  budget_deg : float;
+  used_db : float;
+  used_deg : float;
+  removed : int;
+}
+
+type t = {
+  budget_db : float;
+  budget_deg : float;
+  max_db : float;
+  max_deg : float;
+  rms_db : float;
+  rms_deg : float;
+  bands : Deviation.band list;
+  grid_points : int;
+  from_hz : float;
+  to_hz : float;
+  attempts : int;
+  within_budget : bool;
+  stages : stage list;
+}
+
+let of_deviation ~budget_db ~budget_deg ~attempts ~stages (d : Deviation.t) =
+  let n = Array.length d.Deviation.points in
+  {
+    budget_db;
+    budget_deg;
+    max_db = d.Deviation.max_db;
+    max_deg = d.Deviation.max_deg;
+    rms_db = d.Deviation.rms_db;
+    rms_deg = d.Deviation.rms_deg;
+    bands = d.Deviation.bands;
+    grid_points = n;
+    from_hz = d.Deviation.points.(0).Deviation.freq_hz;
+    to_hz = d.Deviation.points.(n - 1).Deviation.freq_hz;
+    attempts;
+    within_budget =
+      d.Deviation.max_db <= budget_db && d.Deviation.max_deg <= budget_deg;
+    stages;
+  }
+
+(* The machine check: the verdict must follow from the recorded numbers. *)
+let check t =
+  t.within_budget = (t.max_db <= t.budget_db && t.max_deg <= t.budget_deg)
+  && List.for_all
+       (fun (b : Deviation.band) ->
+         b.Deviation.max_db <= t.max_db && b.Deviation.max_deg <= t.max_deg)
+       t.bands
+
+let num x = Json.Num x
+let inum i = Json.Num (float_of_int i)
+
+let stage_json s =
+  Json.Obj
+    [
+      ("stage", Json.Str s.stage);
+      ("budget_db", num s.budget_db);
+      ("budget_deg", num s.budget_deg);
+      ("used_db", num s.used_db);
+      ("used_deg", num s.used_deg);
+      ("removed", inum s.removed);
+    ]
+
+let band_json (b : Deviation.band) =
+  Json.Obj
+    [
+      ("from_hz", num b.Deviation.lo_hz);
+      ("to_hz", num b.Deviation.hi_hz);
+      ("points", inum b.Deviation.points);
+      ("max_db", num b.Deviation.max_db);
+      ("max_deg", num b.Deviation.max_deg);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("budget_db", num t.budget_db);
+      ("budget_deg", num t.budget_deg);
+      ("max_db", num t.max_db);
+      ("max_deg", num t.max_deg);
+      ("rms_db", num t.rms_db);
+      ("rms_deg", num t.rms_deg);
+      ("grid_points", inum t.grid_points);
+      ("from_hz", num t.from_hz);
+      ("to_hz", num t.to_hz);
+      ("attempts", inum t.attempts);
+      ("within_budget", Json.Bool t.within_budget);
+      ("stages", Json.Arr (List.map stage_json t.stages));
+      ("bands", Json.Arr (List.map band_json t.bands));
+    ]
+
+let to_strings t =
+  [
+    ("budget", Printf.sprintf "%g dB / %g deg" t.budget_db t.budget_deg);
+    ("worst error", Printf.sprintf "%.6f dB / %.6f deg" t.max_db t.max_deg);
+    ("rms error", Printf.sprintf "%.6f dB / %.6f deg" t.rms_db t.rms_deg);
+    ( "grid",
+      Printf.sprintf "%d points, %g..%g Hz" t.grid_points t.from_hz t.to_hz );
+    ("attempts", string_of_int t.attempts);
+    ("within budget", string_of_bool t.within_budget);
+  ]

@@ -1,0 +1,49 @@
+(** Error certificates for simplified network functions.
+
+    A certificate records the requested budget, the {e measured} worst-case
+    and RMS deviation of the simplified [H(s)] from the numerical reference
+    over the verification grid, a per-decade breakdown
+    ({!Symref_core.Deviation}), and a per-stage attribution of the budget.
+    It is machine-checkable: {!check} re-derives the verdict from the
+    recorded numbers. *)
+
+type stage = {
+  stage : string;      (** ["sbg"], ["sdg"] or ["sag"] *)
+  budget_db : float;   (** allowance the stage was given *)
+  budget_deg : float;
+  used_db : float;     (** measured deviation increase the stage caused *)
+  used_deg : float;
+  removed : int;       (** elements (SBG) or terms (SDG/SAG) removed *)
+}
+
+type t = {
+  budget_db : float;          (** requested end-to-end budget *)
+  budget_deg : float;
+  max_db : float;             (** measured worst-case magnitude deviation *)
+  max_deg : float;
+  rms_db : float;
+  rms_deg : float;
+  bands : Symref_core.Deviation.band list;  (** per-decade breakdown *)
+  grid_points : int;
+  from_hz : float;
+  to_hz : float;
+  attempts : int;             (** pipeline attempts before this result *)
+  within_budget : bool;       (** [max_db <= budget_db && max_deg <= budget_deg] *)
+  stages : stage list;        (** in pipeline order *)
+}
+
+val of_deviation :
+  budget_db:float ->
+  budget_deg:float ->
+  attempts:int ->
+  stages:stage list ->
+  Symref_core.Deviation.t ->
+  t
+
+val check : t -> bool
+(** Re-derive the verdict: [within_budget] must match the recorded errors
+    and no band may exceed the recorded overall maxima. *)
+
+val to_json : t -> Symref_obs.Json.t
+val to_strings : t -> (string * string) list
+(** Rendered key/value rows in display order (CLI text output). *)

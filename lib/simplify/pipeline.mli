@@ -1,0 +1,66 @@
+(** Reference-driven symbolic simplification, end to end.
+
+    The orchestration layer over the paper's machinery: generate a numerical
+    reference ({!Symref_core.Reference}), prune the circuit (SBG), build the
+    exact symbolic network function ({!Symref_symbolic.Sdet}), truncate
+    coefficients against fresh references (SDG), drop function-level terms
+    (SAG), and re-verify the simplified [H(s)] against the original
+    reference over the full grid, producing a {!Certificate}.
+
+    When verification fails the SDG/SAG tolerances are halved and re-run up
+    to [max_attempts] times; the final fallback is the exact expression of
+    the pruned circuit, whose deviation is the SBG residual — inside budget
+    by construction. *)
+
+exception Symbolic_limit of { dim : int; limit : int }
+(** The pruned circuit's nodal dimension still exceeds
+    {!Symref_symbolic.Sdet.max_dimension}: exact symbolic generation is out
+    of reach, so simplification is a typed unsupported error, never an
+    assertion failure. *)
+
+type config = {
+  sigma : int;        (** reference significant digits (default 6) *)
+  r : float;          (** interpolation radius factor (default 1) *)
+  max_attempts : int; (** SDG/SAG tighten-and-retry rounds (default 3) *)
+  shorts : bool;      (** let SBG short series elements (default true) *)
+}
+
+val default_config : config
+
+type result = {
+  exact_num_terms : int;   (** numerator terms of the exact pruned H(s) *)
+  exact_den_terms : int;
+  num : Symref_symbolic.Sym.expr;  (** simplified numerator *)
+  den : Symref_symbolic.Sym.expr;  (** simplified denominator *)
+  num_terms : int;
+  den_terms : int;
+  elements_before : int;   (** circuit elements before SBG *)
+  elements_after : int;    (** circuit elements after SBG *)
+  dim : int;               (** nodal dimension of the pruned circuit *)
+  pruned : Symref_circuit.Netlist.t;
+  sbg : Symref_symbolic.Sbg.outcome;
+  sdg_num : Symref_symbolic.Sdg.report;
+  sdg_den : Symref_symbolic.Sdg.report;
+  sag : Symref_symbolic.Sag.report;
+  attempts : int;          (** SDG/SAG rounds run (max_attempts + 1 = fallback) *)
+  fallback : bool;         (** result is the exact pruned expression *)
+  certificate : Certificate.t;
+  reference : Symref_core.Reference.t;  (** the verification reference *)
+}
+
+val run :
+  ?config:config ->
+  ?check:(unit -> unit) ->
+  Symref_circuit.Netlist.t ->
+  input:Symref_mna.Nodal.input ->
+  output:Symref_mna.Nodal.output ->
+  budget:Budget.t ->
+  freqs:float array ->
+  result
+(** [check] is a cooperative-cancellation hook, called between stages and
+    threaded into both reference generations (the serve layer uses it for
+    wall-clock deadlines).
+    @raise Symbolic_limit when the pruned circuit exceeds the symbolic
+    dimension limit.
+    @raise Invalid_argument on an empty frequency grid.
+    @raise Symref_mna.Nodal.Unsupported outside the nodal class. *)

@@ -1,11 +1,24 @@
 module Element = Symref_circuit.Element
 module Netlist = Symref_circuit.Netlist
 module Nodal = Symref_mna.Nodal
+module Deviation = Symref_core.Deviation
+
+type action = Opened | Shorted
+
+type removal = {
+  element : string;
+  action : action;
+  delta_db : float;
+  delta_deg : float;
+  error_db : float;
+  error_deg : float;
+}
 
 type config = {
   tolerance_db : float;
   tolerance_deg : float;
   removable : Element.t -> bool;
+  shortable : Element.t -> bool;
 }
 
 let default_removable (e : Element.t) =
@@ -15,12 +28,23 @@ let default_removable (e : Element.t) =
   | Element.Cccs _ | Element.Ccvs _ | Element.Vsrc _ ->
       false
 
+let default_shortable (e : Element.t) =
+  match e.Element.kind with
+  | Element.Conductance _ | Element.Resistor _ -> true
+  | _ -> false
+
 let default_config =
-  { tolerance_db = 0.5; tolerance_deg = 5.; removable = default_removable }
+  {
+    tolerance_db = 0.5;
+    tolerance_deg = 5.;
+    removable = default_removable;
+    shortable = (fun _ -> false);
+  }
 
 type outcome = {
   pruned : Netlist.t;
   removed : string list;
+  removals : removal list;
   error_db : float;
   error_deg : float;
   candidates : int;
@@ -42,22 +66,18 @@ let response circuit ~input ~output freqs =
       if Array.exists (fun v -> v.Nodal.singular) values then None
       else Some (Array.map (fun v -> v.Nodal.h) values)
 
-let deviation reference h =
-  let ddb = ref 0. and ddeg = ref 0. in
-  Array.iteri
-    (fun i (r : Complex.t) ->
-      let v : Complex.t = h.(i) in
-      let mr = Complex.norm r and mv = Complex.norm v in
-      if mr = 0. || mv = 0. then begin
-        if mr <> mv then ddb := infinity
-      end
-      else begin
-        ddb := Float.max !ddb (Float.abs (20. *. Float.log10 (mv /. mr)));
-        let dphase = Float.abs (Complex.arg (Complex.div v r)) *. 180. /. Float.pi in
-        ddeg := Float.max !ddeg dphase
-      end)
-    reference;
-  (!ddb, !ddeg)
+(* Build the candidate circuit for a move; None when the move is structurally
+   impossible (element already gone, a short collapsing a constraint element
+   or a controlled source's reference, the compaction dropping the circuit's
+   input/output node). *)
+let apply circuit (name, act) =
+  match
+    match act with
+    | Opened -> Netlist.compact (Netlist.remove_element circuit name)
+    | Shorted -> Netlist.short_element circuit name
+  with
+  | candidate -> Some candidate
+  | exception (Invalid_argument _ | Not_found) -> None
 
 let prune ?(config = default_config) circuit ~input ~output ~freqs =
   let reference =
@@ -65,48 +85,71 @@ let prune ?(config = default_config) circuit ~input ~output ~freqs =
     | Some h -> h
     | None -> invalid_arg "Sbg.prune: the full circuit itself is singular"
   in
-  let candidates =
-    List.filter config.removable (Netlist.elements circuit)
+  let moves =
+    List.concat_map
+      (fun (e : Element.t) ->
+        (if config.removable e then [ (e.Element.name, Opened) ] else [])
+        @ if config.shortable e then [ (e.Element.name, Shorted) ] else [])
+      (Netlist.elements circuit)
   in
   let trials = ref 0 in
-  (* Cheap impact estimate: deviation when the element alone is removed. *)
-  let impact (e : Element.t) =
+  (* Cheap impact estimate: deviation when the move is applied alone. *)
+  let impact move =
     incr trials;
-    match response (Netlist.remove_element circuit e.Element.name) ~input ~output freqs with
+    match apply circuit move with
     | None -> infinity
-    | Some h ->
-        let ddb, ddeg = deviation reference h in
-        (ddb /. config.tolerance_db) +. (ddeg /. config.tolerance_deg)
+    | Some candidate -> (
+        match response candidate ~input ~output freqs with
+        | None -> infinity
+        | Some h ->
+            let ddb, ddeg = Deviation.worst ~reference h in
+            (ddb /. config.tolerance_db) +. (ddeg /. config.tolerance_deg))
   in
   let ranked =
     List.sort
       (fun (_, a) (_, b) -> Float.compare a b)
-      (List.map (fun e -> (e, impact e)) candidates)
+      (List.map (fun m -> (m, impact m)) moves)
   in
-  let current = ref circuit and removed = ref [] in
+  let current = ref circuit and removals = ref [] in
   let err_db = ref 0. and err_deg = ref 0. in
   List.iter
-    (fun ((e : Element.t), est) ->
-      if Float.is_finite est then begin
+    (fun (((name, act) as move), est) ->
+      (* An element can be both an open and a short candidate; whichever
+         move lands first consumes it. *)
+      if Float.is_finite est && Netlist.find_element !current name <> None then begin
         incr trials;
-        let candidate = Netlist.remove_element !current e.Element.name in
-        match response candidate ~input ~output freqs with
+        match apply !current move with
         | None -> ()
-        | Some h ->
-            let ddb, ddeg = deviation reference h in
-            if ddb <= config.tolerance_db && ddeg <= config.tolerance_deg then begin
-              current := candidate;
-              removed := e.Element.name :: !removed;
-              err_db := ddb;
-              err_deg := ddeg
-            end
+        | Some candidate -> (
+            match response candidate ~input ~output freqs with
+            | None -> ()
+            | Some h ->
+                let ddb, ddeg = Deviation.worst ~reference h in
+                if ddb <= config.tolerance_db && ddeg <= config.tolerance_deg
+                then begin
+                  removals :=
+                    {
+                      element = name;
+                      action = act;
+                      delta_db = Float.max 0. (ddb -. !err_db);
+                      delta_deg = Float.max 0. (ddeg -. !err_deg);
+                      error_db = ddb;
+                      error_deg = ddeg;
+                    }
+                    :: !removals;
+                  current := candidate;
+                  err_db := ddb;
+                  err_deg := ddeg
+                end)
       end)
     ranked;
+  let removals = List.rev !removals in
   {
     pruned = !current;
-    removed = List.rev !removed;
+    removed = List.map (fun r -> r.element) removals;
+    removals;
     error_db = !err_db;
     error_deg = !err_deg;
-    candidates = List.length candidates;
+    candidates = List.length moves;
     trials = !trials;
   }

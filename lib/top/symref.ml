@@ -29,6 +29,13 @@
     {2 Symbolic analysis}
     {!Sym}, {!Sdet}, {!Sdg}, {!Sbg}, {!Sag}, {!Tree_terms}, {!Nested}.
 
+    {2 Simplification}
+    {!Simplify_budget}, {!Simplify_certificate}, {!Simplify_pipeline} — the
+    reference-driven simplification service of {!page-simplify}: SBG → SDG
+    → SAG under a split error budget, re-verified against the numerical
+    reference into a machine-checkable certificate ({!Deviation} holds the
+    grid-deviation statistics).
+
     {2 Observability}
     {!Metrics}, {!Trace}, {!Snapshot}, {!Json}; the worker pool behind
     [Interp.run ~domains] is {!Domain_pool}.
@@ -111,6 +118,7 @@ module Fit = Symref_core.Fit
 module Report = Symref_core.Report
 module Ascii_plot = Symref_core.Ascii_plot
 module Verify = Symref_core.Verify
+module Deviation = Symref_core.Deviation
 module Domain_pool = Symref_core.Domain_pool
 
 (* symbolic analysis *)
@@ -121,6 +129,11 @@ module Sbg = Symref_symbolic.Sbg
 module Sag = Symref_symbolic.Sag
 module Tree_terms = Symref_symbolic.Tree_terms
 module Nested = Symref_symbolic.Nested
+
+(* simplification *)
+module Simplify_budget = Symref_simplify.Budget
+module Simplify_certificate = Symref_simplify.Certificate
+module Simplify_pipeline = Symref_simplify.Pipeline
 
 (* observability *)
 module Metrics = Symref_obs.Metrics
