@@ -225,7 +225,7 @@ let x2 () =
        persistent pool vs per-pass Domain.spawn,
      - a Symref_obs counter snapshot of one pipeline run, and the measured
        overhead of enabling counters / tracing, median-of-5 per mode
-       (schema v7, documented in doc/pipeline.mld).  *)
+       (schema v8, documented in doc/pipeline.mld).  *)
 
 module Interp_m = Interp
 module Random_net = Symref_circuit.Random_net
@@ -648,6 +648,287 @@ let run_serve_load ~smoke =
     \    \"speedup\": %.3f },\n"
     clients duration keys cores (entry baseline) (entry fleet) speedup
 
+(* --- fleet-chaos benchmark: resilience under crash-loop + tarpit ------------
+
+   The acceptance rung for the resilience layer: a three-worker fleet on
+   fixed Unix sockets under a {!Symref_serve.Supervisor}, with one worker
+   crash-looping (SYMREF_FAULT [serve.crash], deterministic skip/count —
+   it dies mid-connection every Nth submit and is restarted on the same
+   socket) and one worker tarpitted ([serve.slow_worker] sleeps before
+   every submit).  The parent drives the library {!Symref_serve.Router}
+   with hedging enabled and tight worker admission (capacity 1, no queue)
+   so overload shedding fires under the duplicate bursts.  The rung
+   asserts the layer's whole contract at once: zero client-visible errors
+   and byte-identical payloads against a healthy baseline, while the
+   counters prove the machinery engaged (hedge wins, breaker transitions,
+   supervisor restarts, worker-side shed jobs).  Reported as the
+   "fleet_chaos" section of BENCH_interp.json (schema v8) and runnable
+   standalone as `main.exe fleet-chaos`. *)
+
+module Ssup = Symref_serve.Supervisor
+
+let chaos_sleepf s =
+  try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* Spawn one fleet worker on a fixed Unix socket with a small admission
+   window and an optional fault plan in its environment; stdout (the
+   address announce) goes to /dev/null — the socket path is already
+   known, and a restarted worker must not scribble on the bench output. *)
+let spawn_chaos_worker ~sock ~fault =
+  let keep s = not (String.length s >= 12 && String.sub s 0 12 = "SYMREF_FAULT") in
+  let env =
+    List.filter keep (Array.to_list (Unix.environment ()))
+    @ (match fault with None -> [] | Some f -> [ "SYMREF_FAULT=" ^ f ])
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name; "serve-worker"; sock; "1"; "0" |]
+      (Array.of_list env) Unix.stdin null Unix.stderr
+  in
+  Unix.close null;
+  pid
+
+let chaos_wait_ready ?(timeout_s = 10.) addr =
+  let deadline = wall () +. timeout_s in
+  let rec go () =
+    match open_conn addr with
+    | c ->
+        close_conn c;
+        true
+    | exception (Unix.Unix_error _ | Sys_error _ | End_of_file) ->
+        if wall () >= deadline then false
+        else begin
+          chaos_sleepf 0.02;
+          go ()
+        end
+  in
+  go ()
+
+let chaos_exchange_reply addr request =
+  let c = open_conn addr in
+  let line =
+    exchange c (Json.to_string (Sproto.request_to_json request) ^ "\n")
+  in
+  close_conn c;
+  Sproto.reply_of_json (Json.parse line)
+
+(* A worker-side counter, read back over the Stats op (the service embeds
+   the full metrics snapshot in its stats body). *)
+let chaos_worker_counter addr name =
+  match chaos_exchange_reply addr Sproto.Stats with
+  | reply -> (
+      match Json.member "counters" reply.Sproto.body with
+      | Some c -> (
+          match Json.member name c with Some v -> Json.to_int v | None -> 0)
+      | None -> 0)
+  | exception _ -> 0
+
+let run_fleet_chaos ~smoke =
+  section
+    (if smoke then "FLEET-CHAOS-SMOKE" else "FLEET-CHAOS")
+    "fleet chaos: crash-loop + tarpit behind hedging, breakers, supervision";
+  let threads = if smoke then 3 else 6 in
+  let per_thread = if smoke then 8 else 30 in
+  let slow_ms = if smoke then 80 else 120 in
+  let crash_skip = if smoke then 5 else 20 in
+  let base_keys = if smoke then 4 else 8 in
+  let dir = Filename.temp_dir "symref-chaos" "" in
+  let sock i = Filename.concat dir (Printf.sprintf "w%d.sock" i) in
+  let addrs = List.init 3 (fun i -> Stransport.parse (sock i)) in
+  (* Key set: grown until every worker owns at least one key on the
+     {e actual} ring (placement hashes the socket addresses), so the
+     tarpitted worker is guaranteed primary for some jobs (the hedge
+     trigger) and the crash-looper is guaranteed submissions. *)
+  let job_of_key i =
+    {
+      Sproto.default_job with
+      Sproto.netlist = `Text (key_netlist i);
+      id = Some (Printf.sprintf "chaos%02d" i);
+    }
+  in
+  let keys =
+    let probe = Srouter.create addrs in
+    let covered k =
+      let owners =
+        List.init k (fun i ->
+            List.hd (Srouter.route probe (Srouter.job_key (job_of_key i))))
+      in
+      List.for_all (fun w -> List.mem w owners) [ 0; 1; 2 ]
+    in
+    let rec grow k = if k >= 64 || covered k then k else grow (k + 1) in
+    grow base_keys
+  in
+  let jobs = Array.init keys job_of_key in
+  (* Healthy baseline payloads, from a pristine single worker. *)
+  let baseline =
+    let pid, addr = spawn_worker () in
+    let payloads =
+      Array.map
+        (fun j ->
+          let reply = chaos_exchange_reply addr (Sproto.Submit j) in
+          if reply.Sproto.status <> Sproto.Ok then
+            failwith "fleet-chaos: baseline worker failed a job";
+          Json.to_string reply.Sproto.body)
+        jobs
+    in
+    stop_worker (pid, addr);
+    payloads
+  in
+  (* The chaotic fleet: worker 0 healthy, worker 1 crash-looping, worker 2
+     tarpitted.  Fixed Unix sockets make restarts transparent to the ring. *)
+  let faults =
+    [|
+      None;
+      Some (Printf.sprintf "serve.crash:skip=%d,count=1" crash_skip);
+      Some (Printf.sprintf "serve.slow_worker:every=1,payload=%d" slow_ms);
+    |]
+  in
+  Obs.reset ();
+  Obs.enable ();
+  let sup =
+    Ssup.create
+      ~config:{ Ssup.default_config with Ssup.crash_budget = 1000 }
+      ~slots:3
+      ~spawn:(fun ~slot -> spawn_chaos_worker ~sock:(sock slot) ~fault:faults.(slot))
+      ()
+  in
+  let monitor = Ssup.run sup in
+  List.iter (fun a -> ignore (chaos_wait_ready a)) addrs;
+  let router =
+    (* Aggressive breaker for the rung: one mid-connection crash opens the
+       worker's circuit, and the short cooldown lets the half-open probe
+       and re-close land inside the bench window. *)
+    Srouter.create
+      ~breaker:
+        { Srouter.threshold = 1; cooldown_ms = 100.; max_cooldown_ms = 10_000. }
+      ~hedge:
+        (Some { Srouter.default_hedge with after_ms_min = 30.; after_ms_max = 30. })
+      addrs
+  in
+  let lock = Mutex.create () in
+  let errors = ref 0 and mismatches = ref 0 and retries = ref 0 in
+  let lats = ref [] in
+  let bump r = Mutex.lock lock; incr r; Mutex.unlock lock in
+  let client _t =
+    (* Every thread walks the same key sequence, so duplicate bursts hit
+       each owner concurrently: capacity 1 + queue 0 makes the excess shed
+       (typed Overloaded), which the client absorbs by honoring the
+       retry_after hint — chaos must stay invisible to callers. *)
+    for n = 0 to per_thread - 1 do
+      let k = n mod keys in
+      let t0 = wall () in
+      let rec attempt left =
+        if left = 0 then bump errors
+        else
+          let r = Srouter.forward router jobs.(k) in
+          if r.Sproto.status = Sproto.Ok then begin
+            if Json.to_string r.Sproto.body <> baseline.(k) then
+              bump mismatches
+          end
+          else if
+            r.Sproto.status = Sproto.Overloaded
+            || r.Sproto.status = Sproto.Busy
+          then begin
+            bump retries;
+            let after =
+              match Sproto.retry_after_ms r with Some ms -> ms | None -> 10.
+            in
+            chaos_sleepf (Float.min after 50. /. 1000.);
+            attempt (left - 1)
+          end
+          else if Sproto.error_kind r = Some "connection" then begin
+            (* Whole-ring transient (every candidate mid-restart): back
+               off briefly and go again. *)
+            bump retries;
+            chaos_sleepf 0.05;
+            attempt (left - 1)
+          end
+          else bump errors
+      in
+      attempt 200;
+      let ms = (wall () -. t0) *. 1000. in
+      Mutex.lock lock;
+      lats := ms :: !lats;
+      Mutex.unlock lock
+    done
+  in
+  let kids = List.init threads (fun t -> Thread.create client t) in
+  List.iter Thread.join kids;
+  (* Deterministic shed probe: two cache-miss submits race through the
+     tarpit's pre-admission sleep, which synchronises them onto the single
+     admission slot — one computes, the other is shed (capacity 1, queue
+     0) regardless of scheduling noise in the main run. *)
+  let slow_addr = List.nth addrs 2 in
+  let probe i =
+    let job =
+      {
+        Sproto.default_job with
+        Sproto.netlist = `Text (key_netlist (100 + i));
+        id = Some (Printf.sprintf "shedprobe%d" i);
+      }
+    in
+    try ignore (chaos_exchange_reply slow_addr (Sproto.Submit job))
+    with _ -> ()
+  in
+  let probes = List.init 2 (fun i -> Thread.create probe i) in
+  List.iter Thread.join probes;
+  (* Worker-side shed totals (each incarnation counts from zero; the sum
+     across live workers is the proof shedding engaged at all). *)
+  let shed =
+    List.fold_left
+      (fun acc a ->
+        ignore (chaos_wait_ready a);
+        acc + chaos_worker_counter a "serve.shed_jobs")
+      0 addrs
+  in
+  let restarts = Ssup.restarts sup in
+  let snap = Snapshot.capture () in
+  Ssup.stop ~grace_s:2.0
+    ~notify:(fun ~slot ~pid:_ ->
+      try ignore (chaos_exchange_reply (Stransport.parse (sock slot)) Sproto.Shutdown)
+      with _ -> ())
+    sup;
+  Thread.join monitor;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  Obs.disable ();
+  Obs.reset ();
+  let lats = Array.of_list !lats in
+  Array.sort compare lats;
+  let pct p =
+    let n = Array.length lats in
+    if n = 0 then Float.nan
+    else lats.(Int.min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let total = threads * per_thread in
+  Printf.printf
+    "chaos: %d jobs over %d threads, %d keys -> p50 %.2f ms  p99 %.2f ms\n\
+     contract: errors %d, payload mismatches %d (client retries %d)\n\
+     machinery: hedges %d (wins %d), failovers %d, breakers %d/%d/%d \
+     (open/half/close), restarts %d, shed %d\n"
+    total threads keys (pct 0.50) (pct 0.99) !errors !mismatches !retries
+    snap.Snapshot.router_hedges snap.Snapshot.router_hedge_wins
+    snap.Snapshot.router_failovers snap.Snapshot.router_breaker_opens
+    snap.Snapshot.router_breaker_half_opens snap.Snapshot.router_breaker_closes
+    restarts shed;
+  Printf.sprintf
+    "  \"fleet_chaos\": { \"workers\": 3, \"threads\": %d, \"keys\": %d, \
+     \"jobs\": %d,\n\
+    \    \"errors\": %d, \"mismatches\": %d, \"retries\": %d, \"p50_ms\": \
+     %.3f, \"p99_ms\": %.3f,\n\
+    \    \"hedges\": %d, \"hedge_wins\": %d, \"failovers\": %d,\n\
+    \    \"breaker_opens\": %d, \"breaker_half_opens\": %d, \
+     \"breaker_closes\": %d,\n\
+    \    \"restarts\": %d, \"giveups\": %d, \"shed_jobs\": %d },\n"
+    threads keys total !errors !mismatches !retries (pct 0.50) (pct 0.99)
+    snap.Snapshot.router_hedges snap.Snapshot.router_hedge_wins
+    snap.Snapshot.router_failovers snap.Snapshot.router_breaker_opens
+    snap.Snapshot.router_breaker_half_opens snap.Snapshot.router_breaker_closes
+    restarts snap.Snapshot.fleet_giveups shed
+
 (* --- simplify benchmark: reference-driven symbolic compression --------------
 
    Runs the lib/simplify pipeline (SBG -> SDG -> SAG under a 0.5 dB / 2 deg
@@ -730,7 +1011,7 @@ let run_json ~smoke =
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   section (if smoke then "SMOKE" else "JSON")
     "pipeline benchmark: full-factor vs refactor, shared num/den, domains";
-  out "{\n  \"schema\": \"symref/bench-interp/v7\",\n";
+  out "{\n  \"schema\": \"symref/bench-interp/v8\",\n";
   out "  \"mode\": \"%s\",\n" (if smoke then "smoke" else "full");
   out "  \"circuits\": [\n";
   let ncirc = List.length (json_circuits ~smoke) in
@@ -960,6 +1241,7 @@ let run_json ~smoke =
     (pct t_stats) (pct t_trace);
   out "%s" (run_simplify ~smoke);
   out "%s" (run_serve_load ~smoke);
+  out "%s" (run_fleet_chaos ~smoke);
   out "%s" (run_serve ~smoke);
   out "}\n";
   let file = if smoke then "BENCH_interp.smoke.json" else "BENCH_interp.json" in
@@ -1135,6 +1417,8 @@ let () =
       run_timing ()
   | "serve-load" -> print_string (run_serve_load ~smoke:false)
   | "serve-load-smoke" -> print_string (run_serve_load ~smoke:true)
+  | "fleet-chaos" -> print_string (run_fleet_chaos ~smoke:false)
+  | "fleet-chaos-smoke" -> print_string (run_fleet_chaos ~smoke:true)
   | "serve-load-client" ->
       let seed = int_of_string Sys.argv.(2) in
       let duration = float_of_string Sys.argv.(3) in
@@ -1145,14 +1429,29 @@ let () =
       in
       run_load_client ~seed ~duration ~keys ~addrs
   | "serve-worker" ->
-      (* Fleet worker for the serve-load bench: bind (ephemeral TCP by
-         default), announce the resolved address on stdout, then serve
-         until a shutdown request. *)
+      (* Fleet worker for the serve-load and fleet-chaos benches: bind
+         (ephemeral TCP by default), announce the resolved address on
+         stdout, then serve until a shutdown request.  Counters are live —
+         the chaos bench reads worker-side shed counts back over Stats —
+         and fault plans come from SYMREF_FAULT, so a supervisor restart
+         re-arms the same deterministic plan in the fresh process. *)
       let spec =
         if Array.length Sys.argv > 2 then Sys.argv.(2) else "127.0.0.1:0"
       in
+      let default = Symref_serve.Service.default_config in
+      let capacity =
+        if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3)
+        else default.Symref_serve.Service.capacity
+      in
+      let queue =
+        if Array.length Sys.argv > 4 then int_of_string Sys.argv.(4)
+        else default.Symref_serve.Service.queue
+      in
+      Obs.enable ();
+      Symref_fault.Inject.arm_from_env ();
       let daemon =
         Symref_serve.Daemon.create
+          ~config:{ default with Symref_serve.Service.capacity; queue }
           ~listen:[ Symref_serve.Transport.parse spec ]
           ()
       in
@@ -1164,6 +1463,6 @@ let () =
   | m ->
       Printf.eprintf
         "unknown mode %s (want \
-         tables|timing|all|json|smoke|serve-smoke|simplify-smoke|serve-load|serve-worker)\n"
+         tables|timing|all|json|smoke|serve-smoke|simplify-smoke|serve-load|fleet-chaos|serve-worker)\n"
         m;
       exit 1

@@ -798,8 +798,16 @@ let workers_arg =
   Arg.(value & opt int 0 & info [ "workers" ] ~doc)
 
 let capacity_arg =
-  let doc = "Job-queue bound; submissions above it get a busy reply." in
+  let doc = "Jobs running at once; the excess waits in the admission queue." in
   Arg.(value & opt int 64 & info [ "capacity" ] ~doc)
+
+let queue_arg =
+  let doc =
+    "Admission-queue bound behind $(b,--capacity); submissions above it are \
+     shed with a typed overloaded reply carrying a retry-after hint \
+     (negative = same as capacity)."
+  in
+  Arg.(value & opt int (-1) & info [ "queue" ] ~doc)
 
 let cache_mb_arg =
   let doc = "Result-cache budget in MiB (0 disables caching)." in
@@ -836,11 +844,12 @@ let parse_socket_mode = function
           Printf.eprintf "error: --socket-mode: %s is not an octal mode\n" s;
           exit 2)
 
-let service_config ?disk_cache_dir ?(backlog = 16) ?socket_mode workers capacity
-    cache_mb timeout_ms =
+let service_config ?disk_cache_dir ?(backlog = 16) ?socket_mode ?(queue = -1)
+    workers capacity cache_mb timeout_ms =
   {
     Serve.Service.workers;
     capacity;
+    queue = (if queue < 0 then capacity else queue);
     cache_bytes = cache_mb * 1024 * 1024;
     default_timeout_ms = (if timeout_ms > 0 then Some timeout_ms else None);
     disk_cache_dir;
@@ -900,12 +909,12 @@ let job_term =
     $ budget_db_arg $ budget_deg_arg)
 
 let serve_cmd =
-  let run socket tcp_extra workers capacity cache_mb timeout_ms disk_cache
+  let run socket tcp_extra workers capacity queue cache_mb timeout_ms disk_cache
       backlog socket_mode obs =
     wrap obs (fun () ->
         let config =
           service_config ?disk_cache_dir:disk_cache ~backlog
-            ?socket_mode:(parse_socket_mode socket_mode) workers capacity
+            ?socket_mode:(parse_socket_mode socket_mode) ~queue workers capacity
             cache_mb timeout_ms
         in
         let listen =
@@ -928,8 +937,8 @@ let serve_cmd =
           Runs in the foreground until a shutdown request arrives.")
     Term.(
       const run $ socket_arg $ tcp_extra_arg $ workers_arg $ capacity_arg
-      $ cache_mb_arg $ timeout_ms_arg $ disk_cache_arg $ backlog_arg
-      $ socket_mode_arg $ obs_term)
+      $ queue_arg $ cache_mb_arg $ timeout_ms_arg $ disk_cache_arg
+      $ backlog_arg $ socket_mode_arg $ obs_term)
 
 let submit_cmd =
   let netlist_opt_arg =
@@ -1013,12 +1022,40 @@ let batch_cmd =
       const run $ dir_arg $ workers_arg $ capacity_arg $ cache_mb_arg
       $ timeout_ms_arg $ job_term $ obs_term)
 
-let router_cmd =
-  let listen_arg =
-    let doc = "Front endpoint to listen on (socket path or $(b,HOST:PORT))." in
-    Arg.(
-      required & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+let listen_arg =
+  let doc = "Front endpoint to listen on (socket path or $(b,HOST:PORT))." in
+  Arg.(required & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let replicas_arg =
+  let doc = "Virtual nodes per worker on the consistent-hash ring." in
+  Arg.(value & opt int 64 & info [ "replicas" ] ~doc)
+
+let health_arg =
+  let doc = "Milliseconds between Hello health probes of the workers." in
+  Arg.(value & opt int 1000 & info [ "health-interval-ms" ] ~doc)
+
+let hedge_max_arg =
+  let doc =
+    "Ceiling on the hedged-request delay in milliseconds: when the owning \
+     worker has not answered after the p99 of recent latencies (clamped to \
+     this), the job is re-issued to the next ring worker and the first \
+     reply wins.  $(b,0) disables hedging."
   in
+  Arg.(value & opt int 500 & info [ "hedge-max-ms" ] ~docv:"MS" ~doc)
+
+let hedge_of_ms ms =
+  if ms <= 0 then None
+  else
+    Some
+      {
+        Serve.Router.default_hedge with
+        Serve.Router.after_ms_max = float_of_int ms;
+        after_ms_min =
+          Float.min Serve.Router.default_hedge.Serve.Router.after_ms_min
+            (float_of_int ms);
+      }
+
+let router_cmd =
   let worker_args =
     let doc =
       "A worker daemon's endpoint (repeatable; socket path or \
@@ -1026,18 +1063,10 @@ let router_cmd =
     in
     Arg.(non_empty & opt_all string [] & info [ "worker" ] ~docv:"ADDR" ~doc)
   in
-  let replicas_arg =
-    let doc = "Virtual nodes per worker on the consistent-hash ring." in
-    Arg.(value & opt int 64 & info [ "replicas" ] ~doc)
-  in
-  let health_arg =
-    let doc = "Milliseconds between Hello health probes of the workers." in
-    Arg.(value & opt int 1000 & info [ "health-interval-ms" ] ~doc)
-  in
-  let run listen workers replicas health_ms backlog obs =
+  let run listen workers replicas health_ms hedge_max_ms backlog obs =
     wrap obs (fun () ->
         let router =
-          Serve.Router.create ~replicas
+          Serve.Router.create ~replicas ~hedge:(hedge_of_ms hedge_max_ms)
             (List.map Serve.Transport.parse workers)
         in
         let server =
@@ -1057,12 +1086,187 @@ let router_cmd =
        ~doc:
          "Run the fleet front end: consistent-hash jobs across the \
           $(b,--worker) daemons (same NDJSON protocol as $(b,serve)), with \
-          Hello health probes and automatic failover to the next worker on \
-          the ring.  Stats replies aggregate the whole fleet.  Runs in the \
-          foreground until a shutdown request arrives.")
+          per-worker circuit breakers fed by Hello health probes, hedged \
+          requests against the tail, and automatic failover to the next \
+          worker on the ring.  Stats replies aggregate the whole fleet.  \
+          Runs in the foreground until a shutdown request arrives.")
     Term.(
       const run $ listen_arg $ worker_args $ replicas_arg $ health_arg
-      $ backlog_arg $ obs_term)
+      $ hedge_max_arg $ backlog_arg $ obs_term)
+
+let fleet_cmd =
+  let size_arg =
+    let doc = "Worker daemons to supervise." in
+    Arg.(value & opt int 2 & info [ "size" ] ~docv:"N" ~doc)
+  in
+  let dir_arg =
+    let doc =
+      "Fleet state directory: worker Unix sockets live at \
+       $(b,DIR/worker-<i>.sock) (stable across restarts, so the hash ring \
+       never moves) and, unless $(b,--disk-cache) overrides it, the shared \
+       persistent result cache at $(b,DIR/cache)."
+    in
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let grace_arg =
+    let doc =
+      "Seconds between shutdown-escalation rungs (protocol shutdown, then \
+       SIGTERM, then SIGKILL)."
+    in
+    Arg.(value & opt float 2.0 & info [ "grace-s" ] ~doc)
+  in
+  let crash_budget_arg =
+    let doc =
+      "Crashes a worker slot may burn within 30 s before the supervisor \
+       gives it up (the rest of the fleet keeps serving)."
+    in
+    Arg.(
+      value
+      & opt int Serve.Supervisor.default_config.Serve.Supervisor.crash_budget
+      & info [ "crash-budget" ] ~doc)
+  in
+  let run listen size dir workers capacity queue cache_mb timeout_ms disk_cache
+      replicas health_ms hedge_max_ms backlog grace_s crash_budget obs =
+    wrap obs (fun () ->
+        if size < 1 then begin
+          Printf.eprintf "error: --size must be >= 1\n";
+          exit 2
+        end;
+        let rec mkdir_p d =
+          if not (Sys.file_exists d) then begin
+            let parent = Filename.dirname d in
+            if parent <> d then mkdir_p parent;
+            try Unix.mkdir d 0o755
+            with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+          end
+        in
+        mkdir_p dir;
+        let sleepf s =
+          try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        in
+        let sock i = Filename.concat dir (Printf.sprintf "worker-%d.sock" i) in
+        let cache_dir =
+          match disk_cache with
+          | Some d -> d
+          | None -> Filename.concat dir "cache"
+        in
+        (* Each slot execs a plain [symref serve] on its fixed socket — a
+           restarted worker rebinds the same address, so the ring (and every
+           client's routing) is untouched by the crash. *)
+        let spawn ~slot =
+          (* Glued --opt=value spelling: a bare negative value would read
+             as an unknown option to the worker's own parser. *)
+          let args =
+            [|
+              Sys.executable_name; "serve";
+              "--socket=" ^ sock slot;
+              "--workers=" ^ string_of_int workers;
+              "--capacity=" ^ string_of_int capacity;
+              "--queue=" ^ string_of_int (if queue < 0 then capacity else queue);
+              "--cache-mb=" ^ string_of_int cache_mb;
+              "--timeout-ms=" ^ string_of_int timeout_ms;
+              "--disk-cache=" ^ cache_dir;
+            |]
+          in
+          Unix.create_process args.(0) args Unix.stdin Unix.stdout Unix.stderr
+        in
+        let sup =
+          Serve.Supervisor.create
+            ~config:
+              {
+                Serve.Supervisor.default_config with
+                Serve.Supervisor.crash_budget;
+              }
+            ~slots:size ~spawn ()
+        in
+        let monitor = Serve.Supervisor.run sup in
+        (* Wait (bounded) for the first generation to answer Hello, so the
+           front opens with closed breakers instead of tripping them all on
+           the first probe round. *)
+        let quick =
+          { Serve.Client.default_backoff with Serve.Client.attempts = 1 }
+        in
+        let answers addr =
+          match
+            Serve.Client.retry_request ~backoff:quick ~addr Serve.Protocol.Hello
+          with
+          | _ -> true
+          | exception _ -> false
+        in
+        for i = 0 to size - 1 do
+          let addr = Serve.Transport.Unix_sock (sock i) in
+          let tries = ref 0 in
+          while (not (answers addr)) && !tries < 100 do
+            incr tries;
+            sleepf 0.1
+          done
+        done;
+        let addrs =
+          List.init size (fun i -> Serve.Transport.Unix_sock (sock i))
+        in
+        let router =
+          Serve.Router.create ~replicas ~hedge:(hedge_of_ms hedge_max_ms) addrs
+        in
+        let server =
+          Serve.Router.create_server ~backlog ~health_interval_ms:health_ms
+            ~listen:[ Serve.Transport.parse listen ]
+            router
+        in
+        (* Signals only flip a flag; the watchdog thread does the actual
+           stop, so no lock is ever taken from a signal handler. *)
+        let stop_flag = Atomic.make false in
+        let old_term =
+          Sys.signal Sys.sigterm
+            (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true))
+        in
+        let old_int =
+          Sys.signal Sys.sigint
+            (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true))
+        in
+        let watchdog =
+          Thread.create
+            (fun () ->
+              while not (Atomic.get stop_flag) do
+                sleepf 0.1
+              done;
+              Serve.Router.request_stop server)
+            ()
+        in
+        Printf.eprintf "symref %s fleet: %d workers under %s, front on %s\n%!"
+          Serve.Version.version size dir
+          (String.concat ", "
+             (List.map Serve.Transport.to_string
+                (Serve.Router.server_addresses server)));
+        Serve.Router.serve server;
+        Atomic.set stop_flag true;
+        Thread.join watchdog;
+        let notify ~slot ~pid:_ =
+          ignore
+            (Serve.Client.retry_request ~backoff:quick
+               ~addr:(Serve.Transport.Unix_sock (sock slot))
+               Serve.Protocol.Shutdown)
+        in
+        Serve.Supervisor.stop ~grace_s ~notify sup;
+        Thread.join monitor;
+        Sys.set_signal Sys.sigterm old_term;
+        Sys.set_signal Sys.sigint old_int)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a self-healing serve fleet under one command: spawn $(b,--size) \
+          worker daemons on fixed sockets under $(b,--dir), supervise them \
+          (crashed workers restart with capped backoff; a slot that crashes \
+          past $(b,--crash-budget) is given up), and front them with the \
+          consistent-hash router — circuit breakers, hedged requests, \
+          failover.  SIGTERM (or a shutdown request to the front) drains \
+          gracefully: protocol shutdown to every worker, then SIGTERM, then \
+          SIGKILL, each $(b,--grace-s) apart.")
+    Term.(
+      const run $ listen_arg $ size_arg $ dir_arg $ workers_arg $ capacity_arg
+      $ queue_arg $ cache_mb_arg $ timeout_ms_arg $ disk_cache_arg
+      $ replicas_arg $ health_arg $ hedge_max_arg $ backlog_arg $ grace_arg
+      $ crash_budget_arg $ obs_term)
 
 let main =
   let doc = "numerical reference generation for symbolic analysis of analog circuits" in
@@ -1088,6 +1292,7 @@ let main =
       submit_cmd;
       batch_cmd;
       router_cmd;
+      fleet_cmd;
     ]
 
 let () =

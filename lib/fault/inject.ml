@@ -121,6 +121,14 @@ let eval_delay = register "evaluator.delay"
 let serve_drop = register "serve.drop_connection"
 let serve_partial = register "serve.partial_write"
 
+(* Fleet-level faults: a worker that answers slowly (the hedging trigger)
+   and a worker that dies abruptly on the n-th job (the supervisor's
+   restart trigger).  [serve.crash] is acted out by the daemon with
+   [Unix._exit], so it only makes sense armed in a real worker process —
+   the chaos bench arms it through the child's environment. *)
+let serve_slow = register "serve.slow_worker"
+let serve_crash = register "serve.crash"
+
 (* --- environment arming --------------------------------------------------
 
    SYMREF_FAULT="point:key=val,...;point2:..." arms points at program start

@@ -102,6 +102,18 @@ val serve_partial : point
 (** [serve.partial_write] — the daemon writes half the reply line, then
     shuts the socket down. *)
 
+val serve_slow : point
+(** [serve.slow_worker] — the daemon sleeps [payload] milliseconds before
+    handling a submit request: a deterministically slow worker, the trigger
+    the router's hedged requests are built to beat. *)
+
+val serve_crash : point
+(** [serve.crash] — the daemon process exits abruptly ([Unix._exit]) when a
+    submit request arrives: crash-on-nth-job, the supervisor's restart and
+    crash-loop machinery's trigger.  Only arm this in a dedicated worker
+    process (via [SYMREF_FAULT] in its environment) — firing it in-process
+    kills the host. *)
+
 (** {1 Environment arming}
 
     [SYMREF_FAULT="point:key=val,...;point2:..."] arms points from the

@@ -147,6 +147,20 @@ let router_failovers = counter "router.failovers"
 let router_health_checks = counter "router.health_checks"
 let router_dead_workers = counter "router.dead_workers"
 
+(* Resilience additions: overload shedding in the scheduler, the disk-cache
+   scrubber, request hedging and the per-worker circuit breakers in the
+   router, and the fleet supervisor's restart accounting. *)
+let serve_shed_jobs = counter "serve.shed_jobs"
+let serve_evicted_jobs = counter "serve.evicted_jobs"
+let serve_disk_cache_scrubbed = counter "serve.disk_cache_scrubbed"
+let router_hedges = counter "router.hedges"
+let router_hedge_wins = counter "router.hedge_wins"
+let router_breaker_opens = counter "router.breaker_open"
+let router_breaker_half_opens = counter "router.breaker_half_open"
+let router_breaker_closes = counter "router.breaker_close"
+let fleet_restarts = counter "fleet.restarts"
+let fleet_giveups = counter "fleet.giveups"
+
 (* The simplify family: the reference-driven simplification pipeline
    ([Symref_simplify.Pipeline]).  Retries are tightened SDG/SAG re-runs
    after a failed verification; fallbacks are runs that ended on the exact

@@ -216,7 +216,52 @@ val router_health_checks : counter
 (** Hello health probes sent to workers. *)
 
 val router_dead_workers : counter
-(** Health transitions from alive to dead. *)
+(** Health transitions from alive to dead (the breaker opening). *)
+
+(** {2 The resilience family}
+
+    Overload shedding, hedged requests, circuit breakers and the fleet
+    supervisor (see [doc/robustness.mld], "Fleet resilience"). *)
+
+val serve_shed_jobs : counter
+(** Submissions shed by admission control: the wait queue was full, or the
+    estimated queue wait already exceeded the job's deadline.  Shed jobs get
+    a typed [overloaded] reply carrying [retry_after_ms]. *)
+
+val serve_evicted_jobs : counter
+(** Queued jobs evicted at dequeue because their deadline passed while they
+    waited.  Also counted under [serve.shed_jobs]. *)
+
+val serve_disk_cache_scrubbed : counter
+(** Orphaned [.tmp.*] staging files removed when the on-disk cache
+    directory was opened — debris of a writer that crashed mid-store. *)
+
+val router_hedges : counter
+(** Forwards that issued a hedge request to the next ring candidate after
+    the deterministic p99-derived delay. *)
+
+val router_hedge_wins : counter
+(** Hedged forwards where the hedge replied first (the primary was
+    abandoned). *)
+
+val router_breaker_opens : counter
+(** Circuit-breaker transitions closed/half-open → open (consecutive
+    failures reached the threshold, or the half-open probe failed). *)
+
+val router_breaker_half_opens : counter
+(** Breaker transitions open → half-open (cooldown elapsed; one probe
+    request is let through). *)
+
+val router_breaker_closes : counter
+(** Breaker transitions half-open/open → closed (a request or probe
+    succeeded). *)
+
+val fleet_restarts : counter
+(** Worker processes restarted by the supervisor after a crash. *)
+
+val fleet_giveups : counter
+(** Worker slots the supervisor stopped restarting because the crash-loop
+    budget was exhausted. *)
 
 (** {2 The simplify family}
 

@@ -34,10 +34,20 @@ type t = {
   serve_disk_cache_misses : int;
   serve_disk_cache_writes : int;
   serve_disk_cache_corrupt : int;
+  serve_disk_cache_scrubbed : int;
+  serve_shed_jobs : int;
+  serve_evicted_jobs : int;
   router_requests : int;
   router_failovers : int;
   router_health_checks : int;
   router_dead_workers : int;
+  router_hedges : int;
+  router_hedge_wins : int;
+  router_breaker_opens : int;
+  router_breaker_half_opens : int;
+  router_breaker_closes : int;
+  fleet_restarts : int;
+  fleet_giveups : int;
   simplify_requests : int;
   simplify_retries : int;
   simplify_fallbacks : int;
@@ -84,10 +94,20 @@ let zero =
     serve_disk_cache_misses = 0;
     serve_disk_cache_writes = 0;
     serve_disk_cache_corrupt = 0;
+    serve_disk_cache_scrubbed = 0;
+    serve_shed_jobs = 0;
+    serve_evicted_jobs = 0;
     router_requests = 0;
     router_failovers = 0;
     router_health_checks = 0;
     router_dead_workers = 0;
+    router_hedges = 0;
+    router_hedge_wins = 0;
+    router_breaker_opens = 0;
+    router_breaker_half_opens = 0;
+    router_breaker_closes = 0;
+    fleet_restarts = 0;
+    fleet_giveups = 0;
     simplify_requests = 0;
     simplify_retries = 0;
     simplify_fallbacks = 0;
@@ -134,10 +154,22 @@ let capture () =
     serve_disk_cache_misses = Metrics.value Metrics.serve_disk_cache_misses;
     serve_disk_cache_writes = Metrics.value Metrics.serve_disk_cache_writes;
     serve_disk_cache_corrupt = Metrics.value Metrics.serve_disk_cache_corrupt;
+    serve_disk_cache_scrubbed =
+      Metrics.value Metrics.serve_disk_cache_scrubbed;
+    serve_shed_jobs = Metrics.value Metrics.serve_shed_jobs;
+    serve_evicted_jobs = Metrics.value Metrics.serve_evicted_jobs;
     router_requests = Metrics.value Metrics.router_requests;
     router_failovers = Metrics.value Metrics.router_failovers;
     router_health_checks = Metrics.value Metrics.router_health_checks;
     router_dead_workers = Metrics.value Metrics.router_dead_workers;
+    router_hedges = Metrics.value Metrics.router_hedges;
+    router_hedge_wins = Metrics.value Metrics.router_hedge_wins;
+    router_breaker_opens = Metrics.value Metrics.router_breaker_opens;
+    router_breaker_half_opens =
+      Metrics.value Metrics.router_breaker_half_opens;
+    router_breaker_closes = Metrics.value Metrics.router_breaker_closes;
+    fleet_restarts = Metrics.value Metrics.fleet_restarts;
+    fleet_giveups = Metrics.value Metrics.fleet_giveups;
     simplify_requests = Metrics.value Metrics.simplify_requests;
     simplify_retries = Metrics.value Metrics.simplify_retries;
     simplify_fallbacks = Metrics.value Metrics.simplify_fallbacks;
@@ -246,6 +278,15 @@ let fields =
     ( "serve.disk_cache_corrupt",
       (fun t -> t.serve_disk_cache_corrupt),
       fun t v -> { t with serve_disk_cache_corrupt = v } );
+    ( "serve.disk_cache_scrubbed",
+      (fun t -> t.serve_disk_cache_scrubbed),
+      fun t v -> { t with serve_disk_cache_scrubbed = v } );
+    ( "serve.shed_jobs",
+      (fun t -> t.serve_shed_jobs),
+      fun t v -> { t with serve_shed_jobs = v } );
+    ( "serve.evicted_jobs",
+      (fun t -> t.serve_evicted_jobs),
+      fun t v -> { t with serve_evicted_jobs = v } );
     ( "router.requests",
       (fun t -> t.router_requests),
       fun t v -> { t with router_requests = v } );
@@ -258,6 +299,27 @@ let fields =
     ( "router.dead_workers",
       (fun t -> t.router_dead_workers),
       fun t v -> { t with router_dead_workers = v } );
+    ( "router.hedges",
+      (fun t -> t.router_hedges),
+      fun t v -> { t with router_hedges = v } );
+    ( "router.hedge_wins",
+      (fun t -> t.router_hedge_wins),
+      fun t v -> { t with router_hedge_wins = v } );
+    ( "router.breaker_open",
+      (fun t -> t.router_breaker_opens),
+      fun t v -> { t with router_breaker_opens = v } );
+    ( "router.breaker_half_open",
+      (fun t -> t.router_breaker_half_opens),
+      fun t v -> { t with router_breaker_half_opens = v } );
+    ( "router.breaker_close",
+      (fun t -> t.router_breaker_closes),
+      fun t v -> { t with router_breaker_closes = v } );
+    ( "fleet.restarts",
+      (fun t -> t.fleet_restarts),
+      fun t v -> { t with fleet_restarts = v } );
+    ( "fleet.giveups",
+      (fun t -> t.fleet_giveups),
+      fun t v -> { t with fleet_giveups = v } );
     ( "simplify.requests",
       (fun t -> t.simplify_requests),
       fun t v -> { t with simplify_requests = v } );

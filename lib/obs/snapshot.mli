@@ -44,10 +44,21 @@ type t = {
   serve_disk_cache_misses : int;  (** on-disk lookups with no valid entry *)
   serve_disk_cache_writes : int;  (** payloads persisted to disk *)
   serve_disk_cache_corrupt : int;  (** checksum-rejected on-disk entries *)
+  serve_disk_cache_scrubbed : int;
+      (** orphaned staging files removed on cache open *)
+  serve_shed_jobs : int;  (** submissions shed by admission control *)
+  serve_evicted_jobs : int;  (** queued jobs evicted past their deadline *)
   router_requests : int;  (** requests forwarded by the front router *)
   router_failovers : int;  (** requests re-routed after a worker failure *)
   router_health_checks : int;  (** Hello health probes sent *)
-  router_dead_workers : int;  (** alive-to-dead health transitions *)
+  router_dead_workers : int;  (** breaker open transitions *)
+  router_hedges : int;  (** hedge requests issued against the tail *)
+  router_hedge_wins : int;  (** races won by the hedged duplicate *)
+  router_breaker_opens : int;  (** circuit breakers opened *)
+  router_breaker_half_opens : int;  (** half-open probe admissions *)
+  router_breaker_closes : int;  (** breakers closed by a success *)
+  fleet_restarts : int;  (** crashed workers restarted by the supervisor *)
+  fleet_giveups : int;  (** worker slots abandoned past the crash budget *)
   simplify_requests : int;  (** simplification pipeline runs started *)
   simplify_retries : int;  (** tightened SDG/SAG re-runs after verification *)
   simplify_fallbacks : int;  (** runs ending on the exact pruned expression *)

@@ -93,6 +93,19 @@ let backoff_delay b n =
 let backoff_schedule b =
   Array.init (Int.max 0 (b.attempts - 1)) (fun n -> backoff_delay b n)
 
+(* When a backpressure reply carries the server's own drain estimate, that
+   estimate replaces the fixed schedule for this attempt — the server knows
+   its queue; the geometric schedule is the fallback for servers (or
+   failures) that say nothing.  Still pure in (backoff, attempt, hint):
+   the same jittered factor as [backoff_delay], a 1 ms floor against
+   busy-spinning on a zero hint, the same cap against an absurd one. *)
+let delay_after b ~attempt ~retry_after_ms =
+  match retry_after_ms with
+  | None -> backoff_delay b attempt
+  | Some ms ->
+      let capped = Float.min b.max_delay_ms (Float.max 1. ms) in
+      capped *. (1. +. (b.jitter *. (uniform ~seed:b.seed attempt -. 0.5)))
+
 (* Connection-level failures a fresh attempt can plausibly outlive: the
    daemon restarting (refused / socket file missing), a connection torn
    down mid-exchange (reset / pipe), or transient resource pressure. *)
@@ -114,14 +127,21 @@ let retry_request ?(backoff = default_backoff)
     | exception Errors.Error e when Errors.transient e -> Error (`Typed e)
     | exception Sys_error _ -> Error `Sys
   in
+  let backpressure (reply : Protocol.reply) =
+    match reply.Protocol.status with
+    | Protocol.Busy | Protocol.Overloaded -> true
+    | Protocol.Ok | Protocol.Error | Protocol.Timeout -> false
+  in
   let rec go n =
     let last = n = backoff.attempts - 1 in
     match attempt () with
-    | Ok reply when reply.Protocol.status = Protocol.Busy && not last ->
+    | Ok reply when backpressure reply && not last ->
         Metrics.incr Metrics.serve_client_retries;
-        sleep (backoff_delay backoff n);
+        sleep
+          (delay_after backoff ~attempt:n
+             ~retry_after_ms:(Protocol.retry_after_ms reply));
         go (n + 1)
-    | Ok reply -> reply (* success, a structured error, or the final Busy *)
+    | Ok reply -> reply (* success, a structured error, or the final give-up *)
     | Error failure ->
         if last then begin
           (* Budget exhausted: surface the terminal failure as-is. *)

@@ -60,6 +60,13 @@ val backoff_schedule : backoff -> float array
     [min max_delay (base * multiplier^n)] scaled by the deterministic
     jitter factor.  Pure — tests assert against it. *)
 
+val delay_after : backoff -> attempt:int -> retry_after_ms:float option -> float
+(** The delay (ms) actually slept after [attempt]: with a server-provided
+    [retry_after_ms] hint (a [Busy]/[Overloaded] reply), the hint — floored
+    at 1 ms, capped at [max_delay_ms], scaled by the same deterministic
+    jitter factor as {!backoff_schedule}; without one, the fixed schedule's
+    entry.  Pure — tests assert against it. *)
+
 val retry_request :
   ?backoff:backoff ->
   ?sleep:(float -> unit) ->
@@ -67,12 +74,13 @@ val retry_request :
   Protocol.request ->
   Protocol.reply
 (** One logical request with retries: each attempt opens a fresh
-    connection, sends [req] and reads the reply.  A [Busy] reply
-    (backpressure) or a transient failure — [ECONNREFUSED], [ECONNRESET],
-    [EPIPE], [ENOENT], [EAGAIN], a dropped connection, a missing banner —
-    sleeps the next scheduled delay and tries again; each retry counts in
-    the [serve.client_retries] metric.  When the attempt budget runs out
-    the final [Busy] reply is returned as-is (structured give-up), and a
-    final transient failure re-raises.  Non-transient failures propagate
-    immediately.  [sleep] (default [Unix.sleepf] of ms) is injectable so
-    tests run instantly. *)
+    connection, sends [req] and reads the reply.  A [Busy] or [Overloaded]
+    reply (backpressure) or a transient failure — [ECONNREFUSED],
+    [ECONNRESET], [EPIPE], [ENOENT], [EAGAIN], a dropped connection, a
+    missing banner — sleeps {!delay_after} (the server's [retry_after_ms]
+    hint when the reply carried one, the fixed schedule otherwise) and
+    tries again; each retry counts in the [serve.client_retries] metric.
+    When the attempt budget runs out the final backpressure reply is
+    returned as-is (structured give-up), and a final transient failure
+    re-raises.  Non-transient failures propagate immediately.  [sleep]
+    (default [Unix.sleepf] of ms) is injectable so tests run instantly. *)

@@ -58,11 +58,24 @@ let handle_request t = function
       request_stop t;
       Protocol.ok (Json.Obj [ ("shutting_down", Json.Bool true) ])
   | Protocol.Submit job -> (
+      (* The two fleet-level faults act out {e before} admission, where a
+         real slow or dying worker would stall or vanish: [serve.slow]
+         delays the whole exchange (the router's hedge trigger),
+         [serve.crash] kills the process abruptly mid-connection — exactly
+         what the supervisor's restart loop and the router's breakers are
+         built to absorb. *)
+      if Inject.fire Inject.serve_slow then Inject.sleep_payload Inject.serve_slow;
+      if Inject.fire Inject.serve_crash then Unix._exit 70;
       match Service.submit t.service job with
       | `Rejected r -> r
       | `Ticket ticket -> (
           match Scheduler.await ticket with
           | Ok reply -> reply
+          | Error (Scheduler.Evicted { retry_after_ms }) ->
+              (* Queued past its deadline: shed late, same typed reply as
+                 shed-at-admission. *)
+              Protocol.overloaded ~id:job.Protocol.id ~retry_after_ms
+                "job evicted from the queue past its deadline"
           | Error e ->
               (* Service catches every expected failure inside the job, so
                  only a genuinely unexpected exception lands here. *)

@@ -30,8 +30,30 @@ let rec mkdir_p dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+let tmp_prefix = ".tmp."
+
+(* A writer that died between staging and rename leaves its temp file
+   behind forever — nothing else ever touches that name again (it embeds
+   the dead pid).  Opening the cache is the natural janitor moment: any
+   [.tmp.*] file present then is either such an orphan or the in-flight
+   staging of a concurrent process — and losing the latter's rename race
+   is already a handled (and harmless) case in [store], so scrubbing is
+   safe either way. *)
+let scrub_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | files ->
+      Array.iter
+        (fun f ->
+          if String.starts_with ~prefix:tmp_prefix f then
+            match Sys.remove (Filename.concat dir f) with
+            | () -> Metrics.incr Metrics.serve_disk_cache_scrubbed
+            | exception Sys_error _ -> ())
+        files
+
 let create ~dir =
   mkdir_p dir;
+  scrub_tmp dir;
   { dir }
 
 let dir t = t.dir
@@ -106,7 +128,7 @@ let store t ~key payload =
        atomic within the directory. *)
     let tmp =
       Filename.concat t.dir
-        (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) key)
+        (Printf.sprintf "%s%d.%s" tmp_prefix (Unix.getpid ()) key)
     in
     match Out_channel.open_bin tmp with
     | exception Sys_error _ -> ()

@@ -19,7 +19,12 @@
 type t
 
 val create : dir:string -> t
-(** Create (mkdir -p) the cache directory if needed.
+(** Create (mkdir -p) the cache directory if needed, then scrub orphaned
+    [.tmp.*] staging files left by writers that crashed between staging
+    and rename (counted in [serve.disk_cache_scrubbed]).  A concurrent
+    writer's in-flight staging file may be scrubbed too — it then loses
+    its rename race, which [store] already tolerates (the write is
+    dropped, costing one future recompute).
     @raise Unix.Unix_error when the directory cannot be created. *)
 
 val dir : t -> string

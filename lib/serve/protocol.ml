@@ -6,7 +6,8 @@
 
 module Json = Symref_obs.Json
 
-let protocol_version = 1
+(* v2 added the [overloaded] status and its [retry_after_ms] hint. *)
+let protocol_version = 2
 
 let fail fmt = Printf.ksprintf failwith fmt
 
@@ -184,19 +185,21 @@ let request_of_json j =
 
 (* --- replies --- *)
 
-type status = Ok | Error | Timeout | Busy
+type status = Ok | Error | Timeout | Busy | Overloaded
 
 let status_to_string = function
   | Ok -> "ok"
   | Error -> "error"
   | Timeout -> "timeout"
   | Busy -> "busy"
+  | Overloaded -> "overloaded"
 
 let status_of_string = function
   | "ok" -> Ok
   | "error" -> Error
   | "timeout" -> Timeout
   | "busy" -> Busy
+  | "overloaded" -> Overloaded
   | s -> fail "protocol: unknown status %S" s
 
 type reply = {
@@ -218,6 +221,29 @@ let error ?(id = None) ?(status = Error) ~kind message =
     version = Version.version;
     body = Json.Obj [ ("kind", str kind); ("message", str message) ];
   }
+
+(* Load shedding: a typed backpressure reply whose [retry_after_ms] tells
+   the client when the queue is expected to have drained enough to admit
+   the job — {!Client.retry_request} honours it over its fixed schedule. *)
+let overloaded ?(id = None) ~retry_after_ms message =
+  {
+    reply_id = id;
+    status = Overloaded;
+    cached = false;
+    version = Version.version;
+    body =
+      Json.Obj
+        [
+          ("kind", str "overloaded");
+          ("message", str message);
+          ("retry_after_ms", num retry_after_ms);
+        ];
+  }
+
+let retry_after_ms r =
+  match r.status with
+  | Busy | Overloaded -> get_num "retry_after_ms" r.body
+  | Ok | Error | Timeout -> None
 
 let reply_to_json r =
   Json.Obj

@@ -73,7 +73,11 @@ type status =
   | Ok
   | Error  (** structured failure: parse error, unsupported circuit, ... *)
   | Timeout  (** the job's wall-clock deadline expired *)
-  | Busy  (** backpressure: the job queue is full, retry later *)
+  | Busy  (** backpressure: the daemon is shutting down, retry elsewhere *)
+  | Overloaded
+      (** load shed: admission control refused the job (queue full, or the
+          estimated wait already exceeds the deadline); the error body
+          carries [retry_after_ms] *)
 
 val status_to_string : status -> string
 
@@ -91,6 +95,15 @@ val ok : ?id:string option -> ?cached:bool -> Json.t -> reply
 val error : ?id:string option -> ?status:status -> kind:string -> string -> reply
 (** [error ~kind msg] builds a structured failure reply ([status] defaults
     to [Error]). *)
+
+val overloaded : ?id:string option -> retry_after_ms:float -> string -> reply
+(** The typed load-shed reply: status [Overloaded], error kind
+    [overloaded], and a [retry_after_ms] hint in the body — the estimated
+    time until the shedding queue has drained enough to admit the job. *)
+
+val retry_after_ms : reply -> float option
+(** The [retry_after_ms] hint of a [Busy] or [Overloaded] reply, if the
+    server provided one; [None] on every other status. *)
 
 val reply_to_json : reply -> Json.t
 val reply_of_json : Json.t -> reply

@@ -9,23 +9,77 @@
    (warm) share.
 
    The router holds no job state: it forwards one request, relays one
-   reply.  Worker health is a soft signal — dead workers are skipped when
-   routing, but when every candidate is marked dead the walk tries them
-   all anyway (the marks may be stale; a wrong "dead" must degrade to a
-   slow request, not an outage). *)
+   reply.  Worker health is tracked by a per-worker circuit breaker
+   (closed -> open on failures -> half-open probe -> closed), but the
+   marks stay advisory: when every candidate's breaker refuses, the walk
+   tries them all anyway — a stale "open" must degrade to a slow request,
+   not an outage.
+
+   Tail latency is covered by hedging: when the owner has not answered
+   after a delay derived from recent forward latencies (p99, clamped), the
+   same job is re-issued to the next ring candidate and the first reply
+   wins.  Workers are deterministic and idempotent, so a duplicated job
+   can only waste one worker's time, never change the answer. *)
 
 module Json = Symref_obs.Json
 module Metrics = Symref_obs.Metrics
 
-type worker = { addr : Transport.address; mutable alive : bool }
+(* --- circuit breakers --- *)
+
+type breaker_state =
+  | Closed
+  | Open of { until : float }
+  | Half_open of { since : float }
+
+type breaker_view = [ `Closed | `Open | `Half_open ]
+
+type breaker_config = {
+  threshold : int;  (* consecutive forward failures that open the breaker *)
+  cooldown_ms : float;  (* first open interval; doubles per re-open *)
+  max_cooldown_ms : float;
+}
+
+let default_breaker =
+  { threshold = 3; cooldown_ms = 250.; max_cooldown_ms = 10_000. }
+
+(* --- hedging --- *)
+
+type hedge_config = {
+  after_ms_min : float;
+  after_ms_max : float;
+  percentile : float;  (* of recent forward latencies, e.g. 0.99 *)
+}
+
+let default_hedge = { after_ms_min = 25.; after_ms_max = 500.; percentile = 0.99 }
+
+type worker = {
+  addr : Transport.address;
+  mutable state : breaker_state;
+  mutable failures : int;  (* consecutive failures while Closed *)
+  mutable streak : int;  (* opens since the last close, paces re-probing *)
+  mutable probes : int;  (* probes sent, salts the deterministic jitter *)
+  mutable next_probe : float;  (* prober schedule, unix time *)
+}
+
+let lat_window = 256
 
 type t = {
   workers : worker array;
   ring : (int64 * int) array; (* (vnode hash, worker index), sorted *)
   replicas : int;
   backoff : Client.backoff;
-  lock : Mutex.t; (* guards the alive flags *)
+  breaker : breaker_config;
+  hedge : hedge_config option;
+  lat : float array; (* ring buffer of forward latencies, ms *)
+  mutable lat_n : int; (* samples recorded, saturates at lat_window *)
+  mutable lat_i : int; (* next write slot *)
+  lock : Mutex.t; (* guards breaker fields and the latency buffer *)
 }
+
+(* A signal must never unwind a serve loop or strand a hedge race: an
+   interrupted nap just ends early (callers all re-check their clocks). *)
+let sleepf s =
+  try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
 let hash64 s =
   let d = Digest.string s in
@@ -40,11 +94,25 @@ let hash64 s =
 let default_backoff =
   { Client.default_backoff with Client.attempts = 2; base_delay_ms = 10. }
 
-let create ?(replicas = 64) ?(backoff = default_backoff) addrs =
+let create ?(replicas = 64) ?(backoff = default_backoff)
+    ?(breaker = default_breaker) ?(hedge = Some default_hedge) addrs =
   if addrs = [] then invalid_arg "Router.create: no workers";
   if replicas < 1 then invalid_arg "Router.create: replicas must be >= 1";
+  if breaker.threshold < 1 then
+    invalid_arg "Router.create: breaker threshold must be >= 1";
   let workers =
-    Array.of_list (List.map (fun addr -> { addr; alive = true }) addrs)
+    Array.of_list
+      (List.map
+         (fun addr ->
+           {
+             addr;
+             state = Closed;
+             failures = 0;
+             streak = 0;
+             probes = 0;
+             next_probe = 0.;
+           })
+         addrs)
   in
   let ring =
     Array.init
@@ -59,7 +127,18 @@ let create ?(replicas = 64) ?(backoff = default_backoff) addrs =
     (fun (a, wa) (b, wb) ->
       match Int64.unsigned_compare a b with 0 -> compare wa wb | c -> c)
     ring;
-  { workers; ring; replicas; backoff; lock = Mutex.create () }
+  {
+    workers;
+    ring;
+    replicas;
+    backoff;
+    breaker;
+    hedge;
+    lat = Array.make lat_window 0.;
+    lat_n = 0;
+    lat_i = 0;
+    lock = Mutex.create ();
+  }
 
 let workers t = Array.to_list (Array.map (fun w -> w.addr) t.workers)
 
@@ -118,62 +197,319 @@ let owner t key =
   | w :: _ -> t.workers.(w).addr
   | [] -> assert false (* create requires >= 1 worker *)
 
-let alive t w =
-  Mutex.lock t.lock;
-  let a = t.workers.(w).alive in
-  Mutex.unlock t.lock;
-  a
+(* --- breaker transitions (all under t.lock) --- *)
 
-let set_alive t w v =
+let with_lock t f =
   Mutex.lock t.lock;
-  let was = t.workers.(w).alive in
-  t.workers.(w).alive <- v;
+  let v = try f () with e -> Mutex.unlock t.lock; raise e in
   Mutex.unlock t.lock;
-  if was && not v then Metrics.incr Metrics.router_dead_workers
+  v
+
+(* splitmix64 finalizer: a full-avalanche bijection, so consecutive probe
+   counts give independent-looking jitter without any hidden state. *)
+let mix64 x =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+(* Deterministic probe jitter in [0.8, 1.2): spelled by (worker, probe
+   count) alone, so replays schedule identically while distinct workers
+   never probe in lockstep. *)
+let probe_jitter ~salt n =
+  let h = mix64 (Int64.of_int ((salt * 1_000_003) + n)) in
+  let u =
+    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+  in
+  0.8 +. (0.4 *. u)
+
+let cooldown_s t (w : worker) =
+  Float.min t.breaker.max_cooldown_ms
+    (t.breaker.cooldown_ms *. Float.pow 2. (float_of_int (Int.min w.streak 10)))
+  /. 1000.
+
+let open_locked t (w : worker) now =
+  w.state <- Open { until = now +. cooldown_s t w };
+  w.streak <- w.streak + 1;
+  w.failures <- 0;
+  Metrics.incr Metrics.router_breaker_opens;
+  Metrics.incr Metrics.router_dead_workers
+
+let record_success t wi =
+  with_lock t (fun () ->
+      let w = t.workers.(wi) in
+      (match w.state with
+      | Closed -> ()
+      | Open _ | Half_open _ ->
+          w.state <- Closed;
+          Metrics.incr Metrics.router_breaker_closes);
+      w.failures <- 0;
+      w.streak <- 0)
+
+(* A failed forward: below the threshold it only counts; at the threshold
+   the breaker opens.  A failed half-open probe re-opens with a doubled
+   cooldown (capped), which is what paces re-probing of a worker that
+   stays down. *)
+let record_failure t wi =
+  with_lock t (fun () ->
+      let w = t.workers.(wi) in
+      let now = Unix.gettimeofday () in
+      match w.state with
+      | Closed ->
+          w.failures <- w.failures + 1;
+          if w.failures >= t.breaker.threshold then open_locked t w now
+      | Half_open _ -> open_locked t w now
+      | Open _ -> ())
+
+(* The dedicated prober is authoritative: a worker that cannot answer
+   Hello is down now, whatever the forward count says. *)
+let trip t wi =
+  with_lock t (fun () ->
+      let w = t.workers.(wi) in
+      let now = Unix.gettimeofday () in
+      match w.state with
+      | Open _ -> ()
+      | Closed | Half_open _ -> open_locked t w now)
+
+(* May this worker take a request right now?  Closed: yes.  Open past its
+   cooldown: yes, and this caller becomes the single half-open probe.
+   Half-open (a probe is already in flight) or still cooling: no. *)
+let admits t wi =
+  with_lock t (fun () ->
+      let w = t.workers.(wi) in
+      let now = Unix.gettimeofday () in
+      match w.state with
+      | Closed -> true
+      | Open { until } when now >= until ->
+          w.state <- Half_open { since = now };
+          Metrics.incr Metrics.router_breaker_half_opens;
+          true
+      | Open _ | Half_open _ -> false)
+
+let breaker_state t wi : breaker_view =
+  with_lock t (fun () ->
+      match t.workers.(wi).state with
+      | Closed -> `Closed
+      | Open _ -> `Open
+      | Half_open _ -> `Half_open)
+
+let breaker_label = function
+  | `Closed -> "closed"
+  | `Open -> "open"
+  | `Half_open -> "half_open"
+
+(* --- latency book-keeping and the hedge delay --- *)
+
+let record_latency t ms =
+  with_lock t (fun () ->
+      t.lat.(t.lat_i) <- ms;
+      t.lat_i <- (t.lat_i + 1) mod lat_window;
+      if t.lat_n < lat_window then t.lat_n <- t.lat_n + 1)
+
+(* The hedge delay: the configured percentile of recent forward latencies,
+   clamped into [after_ms_min, after_ms_max].  With no samples yet the
+   delay is the max — hedging starts conservative and tightens as the
+   router learns the fleet's actual tail. *)
+let hedge_delay_ms t =
+  match t.hedge with
+  | None -> infinity
+  | Some h ->
+      if t.lat_n = 0 then h.after_ms_max
+      else
+        let sample =
+          with_lock t (fun () -> Array.sub t.lat 0 t.lat_n)
+        in
+        Array.sort compare sample;
+        let i =
+          Int.min
+            (Array.length sample - 1)
+            (int_of_float (h.percentile *. float_of_int (Array.length sample)))
+        in
+        Float.max h.after_ms_min (Float.min h.after_ms_max sample.(i))
 
 (* One forwarded exchange; transient failures surface as [Error] so the
    walk can fail over.  Anything non-transient (a version mismatch, a bad
    spec mapped by the worker) propagates — the next worker would only say
    the same thing. *)
 let try_worker t w req =
+  let t0 = Unix.gettimeofday () in
   match Client.retry_request ~backoff:t.backoff ~addr:t.workers.(w).addr req with
   | reply ->
-      set_alive t w true;
+      record_success t w;
+      (match req with
+      | Protocol.Submit _ ->
+          record_latency t ((Unix.gettimeofday () -. t0) *. 1000.)
+      | Protocol.Hello | Protocol.Stats | Protocol.Shutdown -> ());
       Ok reply
   | exception Unix.Unix_error (e, _, _) when Client.transient_errno e ->
+      record_failure t w;
       Error (`Unix e)
-  | exception Errors.Error e when Errors.transient e -> Error (`Typed e)
-  | exception Sys_error m -> Error (`Sys m)
+  | exception Errors.Error e when Errors.transient e ->
+      record_failure t w;
+      Error (`Typed e)
+  | exception Sys_error m ->
+      record_failure t w;
+      Error (`Sys m)
+
+(* Race the owner against the next candidate: the primary goes out now,
+   the hedge fires once [delay_ms] passes without a primary verdict — or
+   immediately if the primary fails first (then it is ordinary failover,
+   not a hedge).  First Ok wins; the loser is abandoned, not joined —
+   its thread just finds the race decided and exits, costing at most one
+   wasted worker computation (idempotent by construction). *)
+let hedged_pair t job w1 w2 delay_ms =
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let first_ok = ref None in
+  let backpressure = ref None in
+  let primary_bp = ref false in
+  let primary_failed = ref false in
+  let completed = ref 0 in
+  let is_bp (reply : Protocol.reply) =
+    reply.Protocol.status = Protocol.Busy
+    || reply.Protocol.status = Protocol.Overloaded
+  in
+  let finish outcome ~hedged =
+    Mutex.lock m;
+    (match outcome with
+    | Ok reply when is_bp reply ->
+        (* Backpressure from the owner ends the race at once — exactly the
+           unhedged relay, and hedging must not duplicate load onto the
+           rest of an overloaded fleet.  Backpressure from the hedge is
+           only a fallback: the owner may still produce a real answer. *)
+        if (not hedged) || !backpressure = None then backpressure := Some reply;
+        if not hedged then primary_bp := true
+    | Ok reply when !first_ok = None -> first_ok := Some (reply, hedged)
+    | Ok _ -> ()
+    | Error _ -> if not hedged then primary_failed := true);
+    incr completed;
+    Condition.signal cv;
+    Mutex.unlock m
+  in
+  let _primary =
+    Thread.create
+      (fun () -> finish (try_worker t w1 (Protocol.Submit job)) ~hedged:false)
+      ()
+  in
+  let _hedge =
+    Thread.create
+      (fun () ->
+        let deadline = Unix.gettimeofday () +. (delay_ms /. 1000.) in
+        let decided = ref false in
+        let fire = ref false in
+        while not !decided do
+          Mutex.lock m;
+          if !first_ok <> None || !primary_bp then decided := true
+          else if !primary_failed then begin
+            (* Primary already lost: fire now as plain failover. *)
+            decided := true;
+            fire := true
+          end
+          else if Unix.gettimeofday () >= deadline then begin
+            decided := true;
+            fire := true;
+            Metrics.incr Metrics.router_hedges
+          end;
+          Mutex.unlock m;
+          if not !decided then
+            sleepf (Float.min 0.005 (Float.max 0.0005 (delay_ms /. 4000.)))
+        done;
+        if !fire then begin
+          if !primary_failed then Metrics.incr Metrics.router_failovers;
+          finish (try_worker t w2 (Protocol.Submit job)) ~hedged:true
+        end
+        else finish (Error `Abandoned) ~hedged:true)
+      ()
+  in
+  Mutex.lock m;
+  while !first_ok = None && (not !primary_bp) && !completed < 2 do
+    Condition.wait cv m
+  done;
+  let verdict = !first_ok in
+  Mutex.unlock m;
+  match verdict with
+  | Some (reply, hedged) ->
+      if hedged && not !primary_failed then
+        Metrics.incr Metrics.router_hedge_wins;
+      Some reply
+  | None -> !backpressure
+
+let no_worker_reply (job : Protocol.job) =
+  (* Every candidate failed: a structured error, so one dead fleet never
+     crashes the router's connection handler. *)
+  Protocol.error ~id:job.Protocol.id ~kind:"connection"
+    "router: no worker reachable for this job"
 
 let forward t (job : Protocol.job) =
   Metrics.incr Metrics.router_requests;
   let order = route t (job_key job) in
   let candidates =
-    match List.filter (alive t) order with [] -> order | live -> live
+    match List.filter (admits t) order with [] -> order | live -> live
   in
   let rec walk first = function
-    | [] ->
-        (* Every candidate failed: a structured error, so one dead fleet
-           never crashes the router's connection handler. *)
-        Protocol.error ~id:job.Protocol.id ~kind:"connection"
-          "router: no worker reachable for this job"
+    | [] -> no_worker_reply job
     | w :: rest -> (
         if not first then Metrics.incr Metrics.router_failovers;
         match try_worker t w (Protocol.Submit job) with
         | Ok reply -> reply
-        | Error _ ->
-            set_alive t w false;
-            walk false rest)
+        | Error _ -> walk false rest)
   in
-  walk true candidates
+  match (t.hedge, candidates) with
+  | Some _, w1 :: w2 :: rest -> (
+      match hedged_pair t job w1 w2 (hedge_delay_ms t) with
+      | Some reply -> reply
+      | None -> walk false rest)
+  | _, _ -> walk true candidates
 
-let health_check t =
+(* --- health probing --- *)
+
+(* One Hello probe, authoritative either way: success closes the breaker,
+   failure trips it open on the spot. *)
+let probe t wi =
+  Metrics.incr Metrics.router_health_checks;
+  with_lock t (fun () ->
+      let w = t.workers.(wi) in
+      w.probes <- w.probes + 1);
+  match try_worker t wi Protocol.Hello with
+  | Ok _ -> ()
+  | Error _ -> trip t wi
+
+let health_check t = Array.iteri (fun wi _ -> probe t wi) t.workers
+
+(* The paced prober: closed workers re-probe every interval, open workers
+   only once their (exponentially growing) cooldown has passed — a worker
+   that stays down costs ever fewer probes, one that comes back is noticed
+   within its current cooldown.  Jitter keeps a fleet of routers from
+   probing in lockstep while staying a pure function of (worker, probe
+   count). *)
+let probe_due ?now ~interval_ms t =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
   Array.iteri
-    (fun w _ ->
-      Metrics.incr Metrics.router_health_checks;
-      match try_worker t w Protocol.Hello with
-      | Ok _ -> ()
-      | Error _ -> set_alive t w false)
+    (fun wi _ ->
+      let due, salt, probes =
+        with_lock t (fun () ->
+            let w = t.workers.(wi) in
+            let ready =
+              now >= w.next_probe
+              &&
+              match w.state with
+              | Closed -> true
+              | Open { until } -> now >= until
+              | Half_open { since } ->
+                  (* A half-open probe that never reported back (its
+                     thread died mid-flight) must not wedge the breaker:
+                     after a cooldown's grace the prober takes over. *)
+                  now >= since +. cooldown_s t w
+            in
+            (ready, wi, w.probes))
+      in
+      if due then begin
+        with_lock t (fun () ->
+            t.workers.(wi).next_probe <-
+              now
+              +. float_of_int interval_ms /. 1000. *. probe_jitter ~salt probes);
+        probe t wi
+      end)
     t.workers
 
 let stats_json t =
@@ -181,10 +517,18 @@ let stats_json t =
     Array.to_list
       (Array.mapi
          (fun w (worker : worker) ->
+           let view = breaker_state t w in
+           let failures, streak =
+             with_lock t (fun () ->
+                 (t.workers.(w).failures, t.workers.(w).streak))
+           in
            let base =
              [
                ("addr", Json.Str (Transport.to_string worker.addr));
-               ("alive", Json.Bool (alive t w));
+               ("alive", Json.Bool (view = `Closed));
+               ("breaker", Json.Str (breaker_label view));
+               ("failures", Json.Num (float_of_int failures));
+               ("opens_streak", Json.Num (float_of_int streak));
              ]
            in
            match try_worker t w Protocol.Stats with
@@ -198,6 +542,11 @@ let stats_json t =
       ("version", Json.Str Version.version);
       ("role", Json.Str "router");
       ("replicas", Json.Num (float_of_int t.replicas));
+      ("hedging", Json.Bool (t.hedge <> None));
+      ( "hedge_delay_ms",
+        match t.hedge with
+        | None -> Json.Null
+        | Some _ -> Json.Num (hedge_delay_ms t) );
       ("workers", Json.Arr per_worker);
     ]
 
@@ -288,20 +637,15 @@ let handle_conn s fd =
 
 let serve s =
   (* Health probing on its own thread, so a slow worker never delays
-     accepts; it winds down with the accept loop. *)
+     accepts; the 0.2 s tick only *considers* probing — [probe_due] sends
+     a Hello when a worker's own schedule (interval for closed breakers,
+     backed-off cooldown for open ones) says it is time. *)
   let prober =
     Thread.create
       (fun () ->
-        let interval = float_of_int s.health_interval_ms /. 1000. in
         while not (stopping s) do
-          health_check s.router;
-          (* Sleep in short slices so shutdown is prompt. *)
-          let remaining = ref interval in
-          while !remaining > 0. && not (stopping s) do
-            let slice = Float.min 0.2 !remaining in
-            Unix.sleepf slice;
-            remaining := !remaining -. slice
-          done
+          probe_due ~interval_ms:s.health_interval_ms s.router;
+          sleepf 0.2
         done)
       ()
   in
@@ -309,6 +653,7 @@ let serve s =
   let rec accept_loop () =
     if not (stopping s) then begin
       (match Unix.select socks [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | [], _, _ -> ()
       | ready, _, _ ->
           List.iter

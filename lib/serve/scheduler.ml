@@ -1,11 +1,19 @@
-(* Bounded scheduler: admission control + completion tracking on top of
-   Domain_pool.async, with a private fallback thread for single-core hosts.
+(* Bounded scheduler: admission control, a shedding wait queue and
+   completion tracking on top of Domain_pool.async, with a private fallback
+   thread for single-core hosts.
+
+   Jobs run on up to [cap] pool workers at once.  Excess submissions wait
+   in a bounded FIFO queue; when the queue is full, or the EWMA-estimated
+   queue wait already exceeds the job's deadline, the submission is *shed*
+   with a [retry_after_ms] estimate instead of being queued to fail.  A
+   queued job whose deadline passes while it waits is evicted at dispatch
+   time — its ticket resolves to [Error (Evicted _)] without ever running.
 
    The pool's workers execute jobs in parallel (they are separate domains);
-   tickets and the in-flight counter are the only shared state, each behind
-   its own mutex.  Mutex/Condition work across domains and systhreads
-   alike, so a connection thread awaiting a ticket wakes correctly when a
-   worker domain resolves it. *)
+   tickets, the queue and the running counter are the only shared state,
+   each behind its own mutex.  Mutex/Condition work across domains and
+   systhreads alike, so a connection thread awaiting a ticket wakes
+   correctly when a worker domain resolves it. *)
 
 module Metrics = Symref_obs.Metrics
 module Domain_pool = Symref_core.Domain_pool
@@ -16,12 +24,25 @@ type 'a ticket = {
   mutable value : ('a, exn) result option;
 }
 
+exception Evicted of { retry_after_ms : float }
+
+type entry = {
+  e_deadline : float option;
+  e_start : unit -> unit; (* run the job (caller dispatches off-lock) *)
+  e_evict : float -> unit; (* resolve the ticket with [Evicted] *)
+}
+
 type t = {
   lock : Mutex.t;
-  changed : Condition.t; (* in_flight decreased *)
+  changed : Condition.t; (* running/queue shrank *)
   cap : int;
-  mutable in_flight : int;
+  queue_cap : int;
+  mutable running : int;
+  queue : entry Queue.t;
   mutable accepting : bool;
+  (* EWMA of job service time (ms): the admission estimator.  Seeded
+     pessimistically enough that an empty scheduler never sheds. *)
+  mutable ewma_ms : float;
   (* Fallback lane for machines where the domain pool has no workers. *)
   fb_lock : Mutex.t;
   fb_work : Condition.t;
@@ -30,7 +51,12 @@ type t = {
   mutable fb_stop : bool;
 }
 
-let create ?(capacity = 64) ?(workers = 0) () =
+type 'a submission =
+  | Admitted of 'a ticket
+  | Shed of { retry_after_ms : float }
+  | Stopped
+
+let create ?(capacity = 64) ?(queue = 64) ?(workers = 0) () =
   let workers =
     if workers > 0 then workers
     else Int.max 1 (Domain.recommended_domain_count () - 1)
@@ -40,8 +66,11 @@ let create ?(capacity = 64) ?(workers = 0) () =
     lock = Mutex.create ();
     changed = Condition.create ();
     cap = Int.max 1 capacity;
-    in_flight = 0;
+    queue_cap = Int.max 0 queue;
+    running = 0;
+    queue = Queue.create ();
     accepting = true;
+    ewma_ms = 50.;
     fb_lock = Mutex.create ();
     fb_work = Condition.create ();
     fb_queue = Queue.create ();
@@ -79,33 +108,109 @@ let run_on_fallback t job =
   Condition.signal t.fb_work;
   Mutex.unlock t.fb_lock
 
-let submit t f =
+let dispatch t run = if not (Domain_pool.async run) then run_on_fallback t run
+
+(* The estimated wait (ms) before a submission arriving *now* would start:
+   everything already queued, plus itself, drained at one EWMA service time
+   per [cap] slots.  Also the [retry_after_ms] a shed job is told — by the
+   time it retries the backlog it saw has (in estimate) drained. *)
+let estimate_locked t =
+  t.ewma_ms *. float_of_int (Queue.length t.queue + 1) /. float_of_int t.cap
+
+let resolve ticket v =
+  Mutex.lock ticket.t_lock;
+  ticket.value <- Some v;
+  Condition.broadcast ticket.t_done;
+  Mutex.unlock ticket.t_lock
+
+(* Called with [t.lock] held after [running] shrank: start queued jobs while
+   slots are free, evicting the ones whose deadline already passed.  Returns
+   the thunks to dispatch once the lock is released. *)
+let promote_locked t =
+  let now = Unix.gettimeofday () in
+  let starts = ref [] in
+  let rec pull () =
+    if t.running < t.cap then
+      match Queue.take_opt t.queue with
+      | None -> ()
+      | Some e -> (
+          match e.e_deadline with
+          | Some d when now >= d ->
+              Metrics.incr Metrics.serve_evicted_jobs;
+              Metrics.incr Metrics.serve_shed_jobs;
+              let retry = estimate_locked t in
+              e.e_evict retry;
+              pull ()
+          | _ ->
+              t.running <- t.running + 1;
+              starts := e.e_start :: !starts;
+              pull ())
+  in
+  pull ();
+  List.rev !starts
+
+let finish t dur_ms =
   Mutex.lock t.lock;
-  let admitted = t.accepting && t.in_flight < t.cap in
-  if admitted then t.in_flight <- t.in_flight + 1;
+  t.running <- t.running - 1;
+  (* alpha = 0.2: reactive enough to track a load shift within a few jobs,
+     smooth enough that one outlier doesn't flap the admission estimate. *)
+  t.ewma_ms <- (0.8 *. t.ewma_ms) +. (0.2 *. dur_ms);
+  let starts = promote_locked t in
+  Condition.broadcast t.changed;
   Mutex.unlock t.lock;
-  if not admitted then begin
+  List.iter (dispatch t) starts
+
+let submit ?deadline t f =
+  let ticket =
+    { t_lock = Mutex.create (); t_done = Condition.create (); value = None }
+  in
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    let v = try Ok (f ()) with e -> Error e in
+    resolve ticket v;
+    finish t ((Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  Mutex.lock t.lock;
+  if not t.accepting then begin
+    Mutex.unlock t.lock;
     Metrics.incr Metrics.serve_jobs_rejected;
-    None
+    Stopped
+  end
+  else if t.running < t.cap then begin
+    t.running <- t.running + 1;
+    Mutex.unlock t.lock;
+    Metrics.incr Metrics.serve_jobs_submitted;
+    dispatch t run;
+    Admitted ticket
   end
   else begin
-    Metrics.incr Metrics.serve_jobs_submitted;
-    let ticket =
-      { t_lock = Mutex.create (); t_done = Condition.create (); value = None }
+    let est = estimate_locked t in
+    let queue_full = Queue.length t.queue >= t.queue_cap in
+    let hopeless =
+      match deadline with
+      | Some d -> Unix.gettimeofday () +. (est /. 1000.) >= d
+      | None -> false
     in
-    let run () =
-      let v = try Ok (f ()) with e -> Error e in
-      Mutex.lock ticket.t_lock;
-      ticket.value <- Some v;
-      Condition.broadcast ticket.t_done;
-      Mutex.unlock ticket.t_lock;
-      Mutex.lock t.lock;
-      t.in_flight <- t.in_flight - 1;
-      Condition.broadcast t.changed;
-      Mutex.unlock t.lock
-    in
-    if not (Domain_pool.async run) then run_on_fallback t run;
-    Some ticket
+    if queue_full || hopeless then begin
+      Mutex.unlock t.lock;
+      Metrics.incr Metrics.serve_jobs_rejected;
+      Metrics.incr Metrics.serve_shed_jobs;
+      Shed { retry_after_ms = est }
+    end
+    else begin
+      Queue.add
+        {
+          e_deadline = deadline;
+          e_start = run;
+          e_evict =
+            (fun retry_after_ms ->
+              resolve ticket (Error (Evicted { retry_after_ms })));
+        }
+        t.queue;
+      Mutex.unlock t.lock;
+      Metrics.incr Metrics.serve_jobs_submitted;
+      Admitted ticket
+    end
   end
 
 let await ticket =
@@ -129,15 +234,28 @@ let peek ticket =
 
 let pending t =
   Mutex.lock t.lock;
-  let n = t.in_flight in
+  let n = t.running + Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let queued t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
   Mutex.unlock t.lock;
   n
 
 let capacity t = t.cap
+let queue_capacity t = t.queue_cap
+
+let retry_after_estimate t =
+  Mutex.lock t.lock;
+  let est = estimate_locked t in
+  Mutex.unlock t.lock;
+  est
 
 let wait_until_below t n =
   Mutex.lock t.lock;
-  while t.in_flight >= n do
+  while t.running + Queue.length t.queue >= n do
     Condition.wait t.changed t.lock
   done;
   Mutex.unlock t.lock
@@ -149,7 +267,7 @@ let stop t =
 
 let drain t =
   Mutex.lock t.lock;
-  while t.in_flight > 0 do
+  while t.running > 0 || not (Queue.is_empty t.queue) do
     Condition.wait t.changed t.lock
   done;
   Mutex.unlock t.lock

@@ -1,9 +1,17 @@
-(** Bounded job scheduler over {!Symref_core.Domain_pool}.
+(** Bounded job scheduler with admission control and load shedding, over
+    {!Symref_core.Domain_pool}.
 
-    Jobs are opaque thunks; admission is bounded by [capacity] (queued plus
-    running), the excess being refused immediately so the caller can send a
-    backpressure reply instead of letting the daemon's memory grow without
-    bound.  Admitted jobs run on the persistent worker domains of
+    Jobs are opaque thunks; up to [capacity] run at once, the next [queue]
+    submissions wait in FIFO order, and the excess is {e shed} — refused
+    with a [retry_after_ms] estimate so the caller can send a typed
+    [Overloaded] backpressure reply instead of letting the daemon's memory
+    grow without bound.  Admission is deadline-aware: a submission whose
+    estimated queue wait (an EWMA of recent service times, scaled by the
+    backlog) already exceeds its deadline is shed up front, and a queued job
+    whose deadline passes while it waits is evicted at dispatch time — its
+    ticket resolves to [Error (Evicted _)] without the job ever running.
+
+    Admitted jobs run on the persistent worker domains of
     {!Symref_core.Domain_pool} ({!Symref_core.Domain_pool.async}); on a
     single-core machine — where the pool has no workers — a private fallback
     thread runs them instead, so the scheduler works everywhere.
@@ -21,27 +29,52 @@ type t
 
 type 'a ticket
 
-val create : ?capacity:int -> ?workers:int -> unit -> t
-(** [capacity] (default 64) bounds jobs in flight; [workers] (default
+exception Evicted of { retry_after_ms : float }
+(** Resolves the ticket of a queued job whose deadline passed before a slot
+    freed: the job never ran.  [retry_after_ms] is the drain estimate at
+    eviction time — {!Daemon} maps this to the [Overloaded] reply. *)
+
+(** What {!submit} did with the thunk. *)
+type 'a submission =
+  | Admitted of 'a ticket  (** running now, or waiting in the queue *)
+  | Shed of { retry_after_ms : float }
+      (** refused by admission control: the queue is full, or the estimated
+          wait already exceeds the job's deadline — retry after the hint *)
+  | Stopped  (** the scheduler is no longer accepting (shutdown) *)
+
+val create : ?capacity:int -> ?queue:int -> ?workers:int -> unit -> t
+(** [capacity] (default 64) bounds jobs running at once; [queue] (default
+    64, [0] disables queueing — full capacity sheds immediately) bounds the
+    submissions waiting behind them; [workers] (default
     [Domain.recommended_domain_count () - 1], at least 1) pre-sizes the
     domain pool so the first jobs do not pay spawn latency. *)
 
-val submit : t -> (unit -> 'a) -> 'a ticket option
-(** [None] when the scheduler is full or no longer accepting — the caller
-    replies [Busy].  Counts [serve.jobs_submitted] / [serve.jobs_rejected]
-    in {!Symref_obs.Metrics}. *)
+val submit : ?deadline:float -> t -> (unit -> 'a) -> 'a submission
+(** [deadline] (absolute [Unix.gettimeofday] seconds) enables the
+    deadline-aware paths: shed-up-front at admission, eviction at dispatch.
+    Counts [serve.jobs_submitted] / [serve.jobs_rejected] /
+    [serve.shed_jobs] / [serve.evicted_jobs] in {!Symref_obs.Metrics}. *)
 
 val await : 'a ticket -> ('a, exn) result
 (** Block until the job finishes.  [Error e] only for exceptions that
-    escaped the thunk. *)
+    escaped the thunk, or {!Evicted} for a queued job whose deadline
+    passed. *)
 
 val peek : 'a ticket -> ('a, exn) result option
 (** Non-blocking view of a ticket. *)
 
 val pending : t -> int
-(** Jobs admitted and not yet finished. *)
+(** Jobs admitted and not yet finished (running plus queued). *)
+
+val queued : t -> int
+(** Jobs waiting in the queue (admitted, not yet running). *)
 
 val capacity : t -> int
+val queue_capacity : t -> int
+
+val retry_after_estimate : t -> float
+(** The current admission estimate (ms): EWMA service time scaled by the
+    backlog — what a shed submission would be told right now. *)
 
 val wait_until_below : t -> int -> unit
 (** Block until [pending t < n] — how the in-process batch sweep feeds an
@@ -49,10 +82,10 @@ val wait_until_below : t -> int -> unit
     waiting. *)
 
 val stop : t -> unit
-(** Refuse new submissions; running jobs are unaffected. *)
+(** Refuse new submissions; running and queued jobs are unaffected. *)
 
 val drain : t -> unit
-(** Block until every admitted job has finished. *)
+(** Block until every admitted job has finished (the queue included). *)
 
 val shutdown : t -> unit
 (** [stop] + [drain] + join the fallback thread (if one was spawned).

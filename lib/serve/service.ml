@@ -31,6 +31,7 @@ module Inject = Symref_fault.Inject
 type config = {
   workers : int;
   capacity : int;
+  queue : int;
   cache_bytes : int;
   default_timeout_ms : int option;
   disk_cache_dir : string option;
@@ -42,6 +43,7 @@ let default_config =
   {
     workers = 0;
     capacity = 64;
+    queue = 64;
     cache_bytes = 64 * 1024 * 1024;
     default_timeout_ms = None;
     disk_cache_dir = None;
@@ -61,7 +63,9 @@ let create ?(config = default_config) () =
     cfg = config;
     cache = Cache.create ~max_bytes:config.cache_bytes ();
     disk = Option.map (fun dir -> Disk_cache.create ~dir) config.disk_cache_dir;
-    sched = Scheduler.create ~capacity:config.capacity ~workers:config.workers ();
+    sched =
+      Scheduler.create ~capacity:config.capacity ~queue:config.queue
+        ~workers:config.workers ();
   }
 
 exception Deadline_exceeded
@@ -498,12 +502,16 @@ let submit t (job : Protocol.job) =
   let deadline =
     Option.map (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)) timeout_ms
   in
-  match Scheduler.submit t.sched (fun () -> run_job t ?deadline job) with
-  | Some ticket -> `Ticket ticket
-  | None ->
+  match Scheduler.submit ?deadline t.sched (fun () -> run_job t ?deadline job) with
+  | Scheduler.Admitted ticket -> `Ticket ticket
+  | Scheduler.Shed { retry_after_ms } ->
+      `Rejected
+        (Protocol.overloaded ~id:job.Protocol.id ~retry_after_ms
+           "job shed by admission control, retry after the hint")
+  | Scheduler.Stopped ->
       `Rejected
         (Protocol.error ~id:job.Protocol.id ~status:Protocol.Busy ~kind:"busy"
-           "job queue is full, retry later")
+           "daemon is shutting down, retry elsewhere")
 
 let stats_json t =
   Json.Obj
@@ -519,7 +527,10 @@ let stats_json t =
         Json.Obj
           [
             ("pending", inum (Scheduler.pending t.sched));
+            ("queued", inum (Scheduler.queued t.sched));
             ("capacity", inum (Scheduler.capacity t.sched));
+            ("queue_capacity", inum (Scheduler.queue_capacity t.sched));
+            ("retry_after_ms", num (Scheduler.retry_after_estimate t.sched));
           ] );
       ("counters", Snapshot.to_json (Snapshot.capture ()));
     ])

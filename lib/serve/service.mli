@@ -9,7 +9,10 @@
 
 type config = {
   workers : int;  (** domain-pool size hint; [0] = cores - 1 *)
-  capacity : int;  (** job-queue bound (backpressure above it) *)
+  capacity : int;  (** jobs running at once (see {!Scheduler}) *)
+  queue : int;
+      (** submissions waiting behind them; the excess is shed with a typed
+          [Overloaded] reply carrying [retry_after_ms] *)
   cache_bytes : int;  (** result-cache byte budget *)
   default_timeout_ms : int option;
       (** applied to jobs that do not carry their own [timeout_ms] *)
@@ -23,8 +26,8 @@ type config = {
 }
 
 val default_config : config
-(** 0 workers (auto), capacity 64, 64 MiB cache, no default timeout, no
-    disk cache, backlog 16, default socket permissions. *)
+(** 0 workers (auto), capacity 64, queue 64, 64 MiB cache, no default
+    timeout, no disk cache, backlog 16, default socket permissions. *)
 
 type t
 
@@ -75,7 +78,11 @@ val run_job : t -> ?deadline:float -> Protocol.job -> Protocol.reply
 
 val submit : t -> Protocol.job -> [ `Ticket of Protocol.reply Scheduler.ticket | `Rejected of Protocol.reply ]
 (** Admit through the bounded queue.  [`Rejected] carries the ready-made
-    [Busy] backpressure reply.  The job's deadline starts now. *)
+    backpressure reply: [Overloaded] (with [retry_after_ms]) when admission
+    control shed the job, [Busy] when the scheduler is shutting down.  The
+    job's deadline starts now — queueing time counts against it, and a
+    queued job whose deadline passes is evicted without running (its
+    awaited reply is the same [Overloaded]). *)
 
 val scheduler : t -> Scheduler.t
 val cache : t -> Cache.t

@@ -154,4 +154,5 @@ module Serve_batch = Symref_serve.Batch
 module Serve_transport = Symref_serve.Transport
 module Serve_disk_cache = Symref_serve.Disk_cache
 module Serve_router = Symref_serve.Router
+module Serve_supervisor = Symref_serve.Supervisor
 module Version = Symref_serve.Version

@@ -295,7 +295,10 @@ let with_gated_daemon f =
   let dir = Filename.temp_dir "symref-fault" "" in
   let socket_path = Filename.concat dir "symref.sock" in
   let addr = Serve.Transport.Unix_sock socket_path in
-  let config = { Service.default_config with Service.capacity = 1; workers = 1 } in
+  (* queue:0 — backpressure must surface as a reply, not as queueing. *)
+  let config =
+    { Service.default_config with Service.capacity = 1; queue = 0; workers = 1 }
+  in
   let daemon = Serve.Daemon.create ~config ~listen:[ addr ] () in
   let daemon_thread = Thread.create Serve.Daemon.serve daemon in
   let sched = Service.scheduler (Serve.Daemon.service daemon) in
@@ -318,8 +321,9 @@ let with_gated_daemon f =
           Mutex.unlock gate;
           Protocol.ok (Json.Obj []))
     with
-    | Some _ -> ()
-    | None -> Alcotest.fail "gated job must be admitted"
+    | Scheduler.Admitted _ -> ()
+    | Scheduler.Shed _ | Scheduler.Stopped ->
+        Alcotest.fail "gated job must be admitted"
   in
   Fun.protect
     ~finally:(fun () ->
@@ -338,6 +342,9 @@ let with_gated_daemon f =
 let test_busy_retry_until_admitted () =
   with_gated_daemon (fun ~addr ~sched ~hold ~release ->
       hold ();
+      (* The shed reply's retry hint is the scheduler's own estimate — read
+         it up front so the slept delay can be asserted exactly. *)
+      let hint = Scheduler.retry_after_estimate sched in
       let slept = ref [] in
       let sleep ms =
         slept := ms :: !slept;
@@ -353,13 +360,17 @@ let test_busy_retry_until_admitted () =
       Alcotest.(check bool) "admitted after backoff" true
         (reply.Protocol.status = Protocol.Ok);
       Alcotest.(check int) "exactly one retry slept" 1 (List.length !slept);
-      let expected = (Client.backoff_schedule Client.default_backoff).(0) in
-      Alcotest.(check (float 1e-9)) "slept the scheduled delay" expected
-        (List.hd !slept))
+      let expected =
+        Client.delay_after Client.default_backoff ~attempt:0
+          ~retry_after_ms:(Some hint)
+      in
+      Alcotest.(check (float 1e-9)) "slept the server's retry-after hint"
+        expected (List.hd !slept))
 
 let test_busy_giveup_is_structured () =
-  with_gated_daemon (fun ~addr ~sched:_ ~hold ~release:_ ->
+  with_gated_daemon (fun ~addr ~sched ~hold ~release:_ ->
       hold ();
+      let hint = Scheduler.retry_after_estimate sched in
       let backoff = { Client.default_backoff with Client.attempts = 3 } in
       let slept = ref [] in
       let sleep ms = slept := ms :: !slept in
@@ -367,14 +378,23 @@ let test_busy_giveup_is_structured () =
         Client.retry_request ~backoff ~sleep ~addr
           (Protocol.Submit (reference_job ~id:"always-busy" rc_text))
       in
-      (* Budget exhausted: the final Busy reply comes back as a value, not
-         an exception — the caller decides what backpressure means. *)
-      Alcotest.(check bool) "gave up with the Busy reply" true
-        (reply.Protocol.status = Protocol.Busy);
-      Alcotest.(check (option string)) "busy kind" (Some "busy")
+      (* Budget exhausted: the final Overloaded reply comes back as a value,
+         not an exception — the caller decides what backpressure means. *)
+      Alcotest.(check bool) "gave up with the Overloaded reply" true
+        (reply.Protocol.status = Protocol.Overloaded);
+      Alcotest.(check (option string)) "overloaded kind" (Some "overloaded")
         (Protocol.error_kind reply);
-      let expected = Array.to_list (Client.backoff_schedule backoff) in
-      Alcotest.(check (list (float 1e-9))) "slept the whole schedule" expected
+      Alcotest.(check bool) "reply carries the retry hint" true
+        (Protocol.retry_after_ms reply <> None);
+      (* Every attempt saw the same empty queue, so every hint is the same;
+         the jitter still varies by attempt. *)
+      let expected =
+        List.map
+          (fun n ->
+            Client.delay_after backoff ~attempt:n ~retry_after_ms:(Some hint))
+          [ 0; 1 ]
+      in
+      Alcotest.(check (list (float 1e-9))) "slept the hinted schedule" expected
         (List.rev !slept))
 
 (* --- daemon socket faults --- *)

@@ -68,8 +68,17 @@ let test_cache_oversize_and_replace () =
 
 (* --- scheduler --- *)
 
+let ticket_of = function
+  | Scheduler.Admitted t -> t
+  | Scheduler.Shed _ -> Alcotest.fail "submission shed"
+  | Scheduler.Stopped -> Alcotest.fail "submission refused (stopped)"
+
+let is_admitted = function Scheduler.Admitted _ -> true | _ -> false
+let is_shed = function Scheduler.Shed _ -> true | _ -> false
+
 let test_scheduler_backpressure () =
-  let s = Scheduler.create ~capacity:2 () in
+  (* queue:0 = the pre-queue semantics — full capacity sheds immediately. *)
+  let s = Scheduler.create ~capacity:2 ~queue:0 () in
   let gate = Mutex.create () in
   let open_gate = Condition.create () in
   let released = ref false in
@@ -83,38 +92,112 @@ let test_scheduler_backpressure () =
   in
   let t1 = Scheduler.submit s blocked in
   let t2 = Scheduler.submit s blocked in
-  Alcotest.(check bool) "two admitted" true (t1 <> None && t2 <> None);
-  Alcotest.(check bool) "third refused (queue full)" true
-    (Scheduler.submit s blocked = None);
+  Alcotest.(check bool) "two admitted" true (is_admitted t1 && is_admitted t2);
+  (match Scheduler.submit s blocked with
+  | Scheduler.Shed { retry_after_ms } ->
+      Alcotest.(check bool) "shed carries a positive retry hint" true
+        (retry_after_ms > 0.)
+  | _ -> Alcotest.fail "third submission must be shed (queue disabled)");
   Mutex.lock gate;
   released := true;
   Condition.broadcast open_gate;
   Mutex.unlock gate;
-  (match t1 with
-  | Some t ->
-      Alcotest.(check bool) "job result" true (Scheduler.await t = Ok 42)
-  | None -> ());
+  Alcotest.(check bool) "job result" true
+    (Scheduler.await (ticket_of t1) = Ok 42);
   Scheduler.drain s;
   Alcotest.(check int) "drained" 0 (Scheduler.pending s);
   Alcotest.(check bool) "slot free again" true
-    (Scheduler.submit s (fun () -> 7) <> None);
+    (is_admitted (Scheduler.submit s (fun () -> 7)));
   Scheduler.shutdown s;
   Alcotest.(check bool) "stopped scheduler refuses" true
-    (Scheduler.submit s (fun () -> 7) = None)
+    (Scheduler.submit s (fun () -> 7) = Scheduler.Stopped)
+
+let test_scheduler_queue_and_shed () =
+  let s = Scheduler.create ~capacity:1 ~queue:2 () in
+  let gate = Mutex.create () in
+  let open_gate = Condition.create () in
+  let released = ref false in
+  let blocked v () =
+    Mutex.lock gate;
+    while not !released do
+      Condition.wait open_gate gate
+    done;
+    Mutex.unlock gate;
+    v
+  in
+  let t1 = Scheduler.submit s (blocked 1) in
+  let t2 = Scheduler.submit s (blocked 2) in
+  let t3 = Scheduler.submit s (blocked 3) in
+  Alcotest.(check bool) "one running, two queued" true
+    (is_admitted t1 && is_admitted t2 && is_admitted t3);
+  Alcotest.(check int) "queued" 2 (Scheduler.queued s);
+  Alcotest.(check int) "pending counts the queue" 3 (Scheduler.pending s);
+  Alcotest.(check bool) "fourth shed (queue full)" true
+    (is_shed (Scheduler.submit s (blocked 4)));
+  Mutex.lock gate;
+  released := true;
+  Condition.broadcast open_gate;
+  Mutex.unlock gate;
+  (* FIFO: every queued job runs to completion in order. *)
+  Alcotest.(check bool) "first" true (Scheduler.await (ticket_of t1) = Ok 1);
+  Alcotest.(check bool) "second" true (Scheduler.await (ticket_of t2) = Ok 2);
+  Alcotest.(check bool) "third" true (Scheduler.await (ticket_of t3) = Ok 3);
+  Scheduler.shutdown s
+
+let test_scheduler_deadline_shed_and_evict () =
+  let s = Scheduler.create ~capacity:1 ~queue:4 () in
+  let gate = Mutex.create () in
+  let open_gate = Condition.create () in
+  let released = ref false in
+  let blocked () =
+    Mutex.lock gate;
+    while not !released do
+      Condition.wait open_gate gate
+    done;
+    Mutex.unlock gate;
+    0
+  in
+  let t1 = Scheduler.submit s blocked in
+  Alcotest.(check bool) "holder admitted" true (is_admitted t1);
+  (* A deadline already in the past cannot be met by any queue estimate:
+     shed up front, never queued. *)
+  let hopeless =
+    Scheduler.submit ~deadline:(Unix.gettimeofday () -. 1.) s (fun () -> 9)
+  in
+  Alcotest.(check bool) "hopeless deadline shed up front" true
+    (is_shed hopeless);
+  (* A queued job whose deadline passes while it waits is evicted at
+     dispatch, and its ticket says so. *)
+  (* Slack (250 ms) comfortably above the 50 ms EWMA estimate: admitted. *)
+  let doomed =
+    Scheduler.submit ~deadline:(Unix.gettimeofday () +. 0.25) s (fun () -> 9)
+  in
+  Alcotest.(check bool) "near deadline admitted to the queue" true
+    (is_admitted doomed);
+  Unix.sleepf 0.3;
+  Mutex.lock gate;
+  released := true;
+  Condition.broadcast open_gate;
+  Mutex.unlock gate;
+  (match Scheduler.await (ticket_of doomed) with
+  | Error (Scheduler.Evicted { retry_after_ms }) ->
+      Alcotest.(check bool) "eviction carries a positive retry hint" true
+        (retry_after_ms > 0.)
+  | Ok _ -> Alcotest.fail "doomed job must not run"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Printexc.to_string e));
+  Alcotest.(check bool) "holder finished" true
+    (Scheduler.await (ticket_of t1) = Ok 0);
+  Scheduler.shutdown s
 
 let test_scheduler_exception_isolation () =
   let s = Scheduler.create ~capacity:4 () in
   let t = Scheduler.submit s (fun () -> failwith "boom") in
-  (match t with
-  | Some t -> (
-      match Scheduler.await t with
-      | Error (Failure m) -> Alcotest.(check string) "exn carried" "boom" m
-      | _ -> Alcotest.fail "expected Error (Failure boom)")
-  | None -> Alcotest.fail "submission refused");
+  (match Scheduler.await (ticket_of t) with
+  | Error (Failure m) -> Alcotest.(check string) "exn carried" "boom" m
+  | _ -> Alcotest.fail "expected Error (Failure boom)");
   (* The worker survives the exception. *)
-  match Scheduler.submit s (fun () -> 1 + 1) with
-  | Some t -> Alcotest.(check bool) "worker alive" true (Scheduler.await t = Ok 2)
-  | None -> Alcotest.fail "submission refused"
+  let t = Scheduler.submit s (fun () -> 1 + 1) in
+  Alcotest.(check bool) "worker alive" true (Scheduler.await (ticket_of t) = Ok 2)
 
 (* --- service --- *)
 
@@ -598,6 +681,270 @@ let test_router_determinism_and_failover () =
   Service.shutdown standalone;
   rm_rf dir
 
+(* --- resilience layer: jitter, breakers, supervisor, hedging, scrub --- *)
+
+module Metrics = Symref_obs.Metrics
+module Snapshot = Symref_obs.Snapshot
+module Supervisor = Serve.Supervisor
+
+let test_probe_jitter () =
+  (* Pure in (salt, n) and bounded: the prober's and the supervisor's
+     deterministic jitter — a replayed schedule must be identical. *)
+  for salt = 0 to 5 do
+    for n = 0 to 20 do
+      let j = Serve.Router.probe_jitter ~salt n in
+      Alcotest.(check bool) "jitter in [0.8, 1.2)" true (j >= 0.8 && j < 1.2);
+      Alcotest.(check (float 0.)) "jitter pure" j
+        (Serve.Router.probe_jitter ~salt n)
+    done
+  done;
+  let all = List.init 32 (fun n -> Serve.Router.probe_jitter ~salt:1 n) in
+  Alcotest.(check bool) "jitter varies across probes" true
+    (List.exists (fun j -> Float.abs (j -. List.hd all) > 1e-6) all)
+
+let rc_text name =
+  Printf.sprintf "%s\nv1 in 0 ac 1\nr1 in out 2k\nc1 out 0 1n\n.end\n" name
+
+let norm_reply r =
+  Json.to_string (Protocol.reply_to_json { r with Protocol.cached = false })
+
+let test_breaker_lifecycle () =
+  let dir = temp_dir "symref-breaker" in
+  let addr = Serve.Transport.Unix_sock (Filename.concat dir "w.sock") in
+  Metrics.reset ();
+  Metrics.enable ();
+  let breaker =
+    { Serve.Router.threshold = 2; cooldown_ms = 50.; max_cooldown_ms = 1_000. }
+  in
+  let router = Serve.Router.create ~breaker ~hedge:None [ addr ] in
+  let job = reference_job ~id:"breaker" (rc_text "breaker") in
+  (* No daemon behind the socket: failures accumulate to the threshold,
+     then the circuit opens. *)
+  let r1 = Serve.Router.forward router job in
+  Alcotest.(check bool) "first failure relayed as error" true
+    (r1.Protocol.status = Protocol.Error);
+  Alcotest.(check bool) "below threshold stays closed" true
+    (Serve.Router.breaker_state router 0 = `Closed);
+  ignore (Serve.Router.forward router job);
+  Alcotest.(check bool) "threshold opens the breaker" true
+    (Serve.Router.breaker_state router 0 = `Open);
+  (* Past the cooldown and against a live daemon, the half-open probe
+     admits one request and its success closes the circuit. *)
+  let d = Serve.Daemon.create ~listen:[ addr ] () in
+  let th = Thread.create Serve.Daemon.serve d in
+  Unix.sleepf 0.08;
+  let r3 = Serve.Router.forward router job in
+  Alcotest.(check bool) "half-open probe succeeds" true
+    (r3.Protocol.status = Protocol.Ok);
+  Alcotest.(check bool) "success closes the breaker" true
+    (Serve.Router.breaker_state router 0 = `Closed);
+  let snap = Snapshot.capture () in
+  Alcotest.(check bool) "open/half-open/close all counted" true
+    (snap.Snapshot.router_breaker_opens >= 1
+    && snap.Snapshot.router_breaker_half_opens >= 1
+    && snap.Snapshot.router_breaker_closes >= 1);
+  Serve.Daemon.request_stop d;
+  Thread.join th;
+  Metrics.disable ();
+  Metrics.reset ();
+  rm_rf dir
+
+let sh_spawn cmd =
+  Unix.create_process "/bin/sh"
+    [| "sh"; "-c"; cmd |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+let test_supervisor_restart_and_giveup () =
+  let config =
+    {
+      Supervisor.restart_delay_ms = 5.;
+      max_restart_delay_ms = 10.;
+      crash_budget = 2;
+      crash_window_s = 60.;
+    }
+  in
+  let sup =
+    Supervisor.create ~config ~slots:1
+      ~spawn:(fun ~slot:_ -> sh_spawn "exit 7")
+      ()
+  in
+  Supervisor.start sup;
+  (* Drive the supervision loop by hand with a far-future clock: every
+     beat reaps the instantly-crashing child and restarts it, until the
+     crash budget gives the slot up — no real backoff waiting needed. *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec drive () =
+    match Supervisor.slot_state sup 0 with
+    | Supervisor.Given_up -> ()
+    | _ when Unix.gettimeofday () > deadline ->
+        Alcotest.fail "supervisor never exhausted the crash budget"
+    | _ ->
+        Supervisor.step ~now:(Unix.gettimeofday () +. 3600.) sup;
+        Unix.sleepf 0.01;
+        drive ()
+  in
+  drive ();
+  Alcotest.(check int) "budget-many restarts before giving up" 2
+    (Supervisor.restarts sup);
+  Supervisor.stop ~grace_s:0.1 sup
+
+let test_supervisor_stop_terminates () =
+  let sup =
+    Supervisor.create ~slots:2
+      ~spawn:(fun ~slot:_ -> sh_spawn "exec sleep 30")
+      ()
+  in
+  Supervisor.start sup;
+  let pids =
+    List.filter_map
+      (fun i ->
+        match Supervisor.slot_state sup i with
+        | Supervisor.Running pid -> Some pid
+        | _ -> None)
+      [ 0; 1 ]
+  in
+  Alcotest.(check int) "both slots running" 2 (List.length pids);
+  let t0 = Unix.gettimeofday () in
+  Supervisor.stop ~grace_s:0.5 sup;
+  Alcotest.(check bool) "stop escalates and returns promptly" true
+    (Unix.gettimeofday () -. t0 < 5.);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "slot wound down" true
+        (Supervisor.slot_state sup i = Supervisor.Given_up))
+    [ 0; 1 ];
+  List.iter
+    (fun pid ->
+      let gone =
+        match Unix.kill pid 0 with
+        | () -> false
+        | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+        | exception Unix.Unix_error _ -> true
+      in
+      Alcotest.(check bool) "child reaped, no zombie left" true gone)
+    pids
+
+let test_hedged_unhedged_identity () =
+  let dir = temp_dir "symref-hedge" in
+  let mk name =
+    let addr = Serve.Transport.Unix_sock (Filename.concat dir name) in
+    let d = Serve.Daemon.create ~listen:[ addr ] () in
+    (addr, d, Thread.create Serve.Daemon.serve d)
+  in
+  let addr_a, daemon_a, thread_a = mk "a.sock" in
+  let addr_b, daemon_b, thread_b = mk "b.sock" in
+  let addrs = [ addr_a; addr_b ] in
+  (* Zero hedge delay duplicates every submit: whichever copy wins the
+     race, the reply must be the same bytes an unhedged walk produces. *)
+  let hedged =
+    Serve.Router.create
+      ~hedge:
+        (Some
+           { Serve.Router.default_hedge with after_ms_min = 0.; after_ms_max = 0. })
+      addrs
+  in
+  let unhedged = Serve.Router.create ~hedge:None addrs in
+  Alcotest.(check (float 0.)) "hedge delay clamps to the forced max" 0.
+    (Serve.Router.hedge_delay_ms hedged);
+  for i = 0 to 3 do
+    let job =
+      reference_job ~id:"hedge" (rc_text (Printf.sprintf "hedge%d" i))
+    in
+    let ru = Serve.Router.forward unhedged job in
+    let rh = Serve.Router.forward hedged job in
+    Alcotest.(check bool) "unhedged ok" true (ru.Protocol.status = Protocol.Ok);
+    Alcotest.(check bool) "hedged ok" true (rh.Protocol.status = Protocol.Ok);
+    Alcotest.(check string) "hedged reply byte-identical to unhedged"
+      (norm_reply ru) (norm_reply rh)
+  done;
+  List.iter
+    (fun (d, th) ->
+      Serve.Daemon.request_stop d;
+      Thread.join th)
+    [ (daemon_a, thread_a); (daemon_b, thread_b) ];
+  rm_rf dir
+
+let test_worker_flapping_chaos () =
+  let dir = temp_dir "symref-flap" in
+  let addr i = Serve.Transport.Unix_sock (Filename.concat dir (Printf.sprintf "w%d.sock" i)) in
+  let start i =
+    let d = Serve.Daemon.create ~listen:[ addr i ] () in
+    (d, Thread.create Serve.Daemon.serve d)
+  in
+  let daemons = [| start 0; start 1 |] in
+  Metrics.reset ();
+  Metrics.enable ();
+  let breaker =
+    { Serve.Router.threshold = 1; cooldown_ms = 30.; max_cooldown_ms = 200. }
+  in
+  let router = Serve.Router.create ~breaker ~hedge:None [ addr 0; addr 1 ] in
+  let job = reference_job ~id:"flap" (rc_text "flap") in
+  let owner = List.hd (Serve.Router.route router (Serve.Router.job_key job)) in
+  let baseline = Serve.Router.forward router job in
+  Alcotest.(check bool) "healthy forward ok" true
+    (baseline.Protocol.status = Protocol.Ok);
+  (* Flap the owner twice: kill it mid-fleet, watch the failover reply stay
+     byte-identical and the breaker open; restart it on the same socket and
+     watch the half-open probe close the circuit again. *)
+  for _round = 1 to 2 do
+    let d, th = daemons.(owner) in
+    Serve.Daemon.request_stop d;
+    Thread.join th;
+    let r = Serve.Router.forward router job in
+    Alcotest.(check bool) "failover ok" true (r.Protocol.status = Protocol.Ok);
+    Alcotest.(check string) "failover byte-identical" (norm_reply baseline)
+      (norm_reply r);
+    Alcotest.(check bool) "owner breaker open" true
+      (Serve.Router.breaker_state router owner = `Open);
+    daemons.(owner) <- start owner;
+    Unix.sleepf 0.08;
+    let r2 = Serve.Router.forward router job in
+    Alcotest.(check bool) "recovered ok" true (r2.Protocol.status = Protocol.Ok);
+    Alcotest.(check string) "recovered byte-identical" (norm_reply baseline)
+      (norm_reply r2);
+    Alcotest.(check bool) "owner breaker closed again" true
+      (Serve.Router.breaker_state router owner = `Closed)
+  done;
+  let snap = Snapshot.capture () in
+  Alcotest.(check bool) "flap transitions counted" true
+    (snap.Snapshot.router_breaker_opens >= 2
+    && snap.Snapshot.router_breaker_closes >= 2);
+  Metrics.disable ();
+  Metrics.reset ();
+  Array.iter
+    (fun (d, th) ->
+      Serve.Daemon.request_stop d;
+      Thread.join th)
+    daemons;
+  rm_rf dir
+
+let test_disk_cache_scrub () =
+  let dir = temp_dir "symref-scrub" in
+  let plant name =
+    Out_channel.with_open_bin (Filename.concat dir name) (fun oc ->
+        Out_channel.output_string oc "junk")
+  in
+  plant ".tmp.123.abc";
+  plant ".tmp.9999.def";
+  Metrics.reset ();
+  Metrics.enable ();
+  let d = Serve.Disk_cache.create ~dir in
+  let snap = Snapshot.capture () in
+  Alcotest.(check int) "orphaned staging files scrubbed" 2
+    snap.Snapshot.serve_disk_cache_scrubbed;
+  Alcotest.(check bool) "tmp files gone from the directory" true
+    (Array.for_all
+       (fun f -> not (String.starts_with ~prefix:".tmp." f))
+       (Sys.readdir dir));
+  (* The scrubbed directory still works as a cache (keys are hex digests). *)
+  let key = Digest.to_hex (Digest.string "scrub") in
+  Serve.Disk_cache.store d ~key "payload";
+  Alcotest.(check (option string)) "entry round-trips" (Some "payload")
+    (Serve.Disk_cache.find d ~key);
+  Metrics.disable ();
+  Metrics.reset ();
+  rm_rf dir
+
 let suite =
   [
     ( "serve",
@@ -608,6 +955,10 @@ let suite =
           test_cache_oversize_and_replace;
         Alcotest.test_case "scheduler: bounded admission + backpressure" `Quick
           test_scheduler_backpressure;
+        Alcotest.test_case "scheduler: FIFO queue, shed above it" `Quick
+          test_scheduler_queue_and_shed;
+        Alcotest.test_case "scheduler: deadline shed up front, evict in queue"
+          `Quick test_scheduler_deadline_shed_and_evict;
         Alcotest.test_case "scheduler: job exception isolation" `Quick
           test_scheduler_exception_isolation;
         Alcotest.test_case "service: cache hit is bit-identical" `Quick
@@ -638,5 +989,19 @@ let suite =
           test_client_version_mismatch;
         Alcotest.test_case "router: deterministic ring and live failover"
           `Quick test_router_determinism_and_failover;
+        Alcotest.test_case "router: probe jitter is pure and bounded" `Quick
+          test_probe_jitter;
+        Alcotest.test_case "router: breaker closed/open/half-open lifecycle"
+          `Quick test_breaker_lifecycle;
+        Alcotest.test_case "router: hedged replies byte-identical to unhedged"
+          `Quick test_hedged_unhedged_identity;
+        Alcotest.test_case "router: flapping worker, breakers + byte identity"
+          `Quick test_worker_flapping_chaos;
+        Alcotest.test_case "supervisor: crash budget restarts then gives up"
+          `Quick test_supervisor_restart_and_giveup;
+        Alcotest.test_case "supervisor: stop escalates and reaps" `Quick
+          test_supervisor_stop_terminates;
+        Alcotest.test_case "disk cache: orphaned staging files scrubbed"
+          `Quick test_disk_cache_scrub;
       ] );
   ]
