@@ -19,15 +19,18 @@ let connect ~addr =
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Errors.fail Errors.No_banner
   in
-  (* Version check at Hello: refuse to speak to a daemon whose banner
-     advertises a different protocol (or none at all) before any request
-     crosses the wire. *)
+  (* Version check at Hello, before any request crosses the wire: accept
+     any protocol in [min_protocol_version, protocol_version] — older
+     compatible peers keep a mixed-version fleet talking during a rolling
+     restart — and refuse a missing field or a peer newer than this build
+     (whose changes we cannot vouch for). *)
   let got =
     match Json.member "protocol" banner with
     | Some v -> ( try Json.to_int v with Failure _ -> 0)
     | None -> 0
   in
-  if got <> Protocol.protocol_version then begin
+  if got < Protocol.min_protocol_version || got > Protocol.protocol_version
+  then begin
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Errors.fail
       (Errors.Version_mismatch { got; want = Protocol.protocol_version })

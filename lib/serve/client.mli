@@ -17,7 +17,9 @@ val connect : addr:Transport.address -> t
     daemon's hello banner, checking its advertised protocol version.
     @raise Errors.Error [No_banner] when the connection closes first,
     [Version_mismatch] when the banner's [protocol] field is missing or
-    differs from {!Protocol.protocol_version}. *)
+    outside [[{!Protocol.min_protocol_version},
+    {!Protocol.protocol_version}]] — older compatible peers are accepted
+    so a rolling restart never needs a flag day. *)
 
 val banner : t -> Symref_obs.Json.t
 (** The greeting the daemon sent on connect

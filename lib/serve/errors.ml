@@ -14,7 +14,7 @@ type t =
   | Bad_spec of { what : string; message : string }
       (* a malformed or unresolvable input/output specification *)
   | Version_mismatch of { got : int; want : int }
-      (* the daemon's hello banner advertised a different protocol *)
+      (* the daemon's hello banner advertised an incompatible protocol *)
 
 exception Error of t
 

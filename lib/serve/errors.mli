@@ -16,8 +16,9 @@ type t =
       (** a malformed or unresolvable input/output specification ([what]
           names the offending spec, e.g. ["input"] or the raw string) *)
   | Version_mismatch of { got : int; want : int }
-      (** the daemon's hello banner advertised protocol [got] where this
-          client speaks [want] — refused at connect, before any request *)
+      (** the daemon's hello banner advertised protocol [got], outside
+          the [[{!Protocol.min_protocol_version}, want]] range this
+          client accepts — refused at connect, before any request *)
 
 exception Error of t
 

@@ -6,8 +6,12 @@
 
 module Json = Symref_obs.Json
 
-(* v2 added the [overloaded] status and its [retry_after_ms] hint. *)
+(* v2 added the [overloaded] status and its [retry_after_ms] hint — a pure
+   extension, so v1 peers stay understandable and [min_protocol_version]
+   stays 1: a rolling restart may mix versions without a flag day.  A peer
+   *newer* than us is still refused (we cannot know it stayed compatible). *)
 let protocol_version = 2
+let min_protocol_version = 1
 
 let fail fmt = Printf.ksprintf failwith fmt
 

@@ -14,7 +14,16 @@
 module Json = Symref_obs.Json
 
 val protocol_version : int
-(** Bumped on incompatible wire changes; carried by the hello banner. *)
+(** The protocol this build speaks; carried by the hello banner.  Bumped
+    on every wire change — but additive changes keep
+    {!min_protocol_version} where it was, so mixed-version fleets keep
+    talking during a rolling restart. *)
+
+val min_protocol_version : int
+(** Oldest peer protocol this build still accepts: every version in
+    [[min_protocol_version, protocol_version]] differs from ours only by
+    additions (new statuses, optional fields) we can ignore or they will.
+    {!Client.connect} refuses banners outside the range. *)
 
 (** {1 Analyses} *)
 

@@ -272,19 +272,33 @@ let trip t wi =
       | Closed | Half_open _ -> open_locked t w now)
 
 (* May this worker take a request right now?  Closed: yes.  Open past its
-   cooldown: yes, and this caller becomes the single half-open probe.
-   Half-open (a probe is already in flight) or still cooling: no. *)
+   cooldown: yes.  Half-open (a probe is already in flight) or still
+   cooling: no.  Read-only on purpose: merely being listed as a candidate
+   must not burn the single half-open probe slot — a walk that ends
+   before reaching an expired-open worker leaves it Open, and the claim
+   happens only when a request is actually sent ({!claim_half_open}). *)
 let admits t wi =
   with_lock t (fun () ->
       let w = t.workers.(wi) in
       let now = Unix.gettimeofday () in
       match w.state with
       | Closed -> true
+      | Open { until } -> now >= until
+      | Half_open _ -> false)
+
+(* The moment an exchange actually goes out: an Open breaker past its
+   cooldown flips to Half_open here and nowhere else, so this request is
+   the single probe and an untried candidate never gets parked
+   Half_open (which would refuse its traffic until the prober's grace). *)
+let claim_half_open t wi =
+  with_lock t (fun () ->
+      let w = t.workers.(wi) in
+      let now = Unix.gettimeofday () in
+      match w.state with
       | Open { until } when now >= until ->
           w.state <- Half_open { since = now };
-          Metrics.incr Metrics.router_breaker_half_opens;
-          true
-      | Open _ | Half_open _ -> false)
+          Metrics.incr Metrics.router_breaker_half_opens
+      | Closed | Open _ | Half_open _ -> ())
 
 let breaker_state t wi : breaker_view =
   with_lock t (fun () ->
@@ -329,9 +343,14 @@ let hedge_delay_ms t =
 
 (* One forwarded exchange; transient failures surface as [Error] so the
    walk can fail over.  Anything non-transient (a version mismatch, a bad
-   spec mapped by the worker) propagates — the next worker would only say
-   the same thing. *)
+   spec mapped by the worker, a malformed reply) surfaces as
+   [Error (`Fatal _)] — the next worker would only say the same thing, but
+   the exception must stay a value: letting it escape would strand a hedge
+   race mid-wait or kill a connection handler without a reply.  A fatal
+   exchange feeds neither breaker direction — the worker answered, so it
+   is not down, and a bad job must not open a healthy worker's circuit. *)
 let try_worker t w req =
+  claim_half_open t w;
   let t0 = Unix.gettimeofday () in
   match Client.retry_request ~backoff:t.backoff ~addr:t.workers.(w).addr req with
   | reply ->
@@ -350,6 +369,20 @@ let try_worker t w req =
   | exception Sys_error m ->
       record_failure t w;
       Error (`Sys m)
+  | exception e -> Error (`Fatal e)
+
+(* A non-transient exchange failure becomes the client's structured reply:
+   it is deterministic in the job (every worker would say the same), so
+   relaying it is as correct as a worker saying it — and the connection
+   handler never has to survive an exception. *)
+let fatal_reply (job : Protocol.job) e =
+  let kind, msg =
+    match e with
+    | Errors.Error err -> (Errors.kind err, Errors.message err)
+    | Failure m -> ("protocol", m)
+    | e -> ("internal", Printexc.to_string e)
+  in
+  Protocol.error ~id:job.Protocol.id ~kind msg
 
 (* Race the owner against the next candidate: the primary goes out now,
    the hedge fires once [delay_ms] passes without a primary verdict — or
@@ -362,7 +395,9 @@ let hedged_pair t job w1 w2 delay_ms =
   let cv = Condition.create () in
   let first_ok = ref None in
   let backpressure = ref None in
+  let fatal = ref None in
   let primary_bp = ref false in
+  let primary_fatal = ref false in
   let primary_failed = ref false in
   let completed = ref 0 in
   let is_bp (reply : Protocol.reply) =
@@ -381,16 +416,29 @@ let hedged_pair t job w1 w2 delay_ms =
         if not hedged then primary_bp := true
     | Ok reply when !first_ok = None -> first_ok := Some (reply, hedged)
     | Ok _ -> ()
+    | Error (`Fatal e) ->
+        (* Deterministic in the job, not a failover trigger: primary-side
+           it must end the race — the hedge could only repeat the same
+           verdict — and either side it is the reply of last resort. *)
+        if !fatal = None then fatal := Some e;
+        if not hedged then primary_fatal := true
     | Error _ -> if not hedged then primary_failed := true);
     incr completed;
     Condition.signal cv;
     Mutex.unlock m
   in
-  let _primary =
-    Thread.create
-      (fun () -> finish (try_worker t w1 (Protocol.Submit job)) ~hedged:false)
-      ()
+  (* A racer must always report back through [finish]: an exception that
+     escaped a racer thread would leave [completed] short and the
+     coordinator in Condition.wait forever (hanging the client connection
+     and, later, router shutdown's Thread.join).  [try_worker] is total by
+     construction; the catch-all is the belt for whatever it misses. *)
+  let race w ~hedged =
+    let outcome =
+      try try_worker t w (Protocol.Submit job) with e -> Error (`Fatal e)
+    in
+    finish outcome ~hedged
   in
+  let _primary = Thread.create (fun () -> race w1 ~hedged:false) () in
   let _hedge =
     Thread.create
       (fun () ->
@@ -399,7 +447,8 @@ let hedged_pair t job w1 w2 delay_ms =
         let fire = ref false in
         while not !decided do
           Mutex.lock m;
-          if !first_ok <> None || !primary_bp then decided := true
+          if !first_ok <> None || !primary_bp || !primary_fatal then
+            decided := true
           else if !primary_failed then begin
             (* Primary already lost: fire now as plain failover. *)
             decided := true;
@@ -416,23 +465,34 @@ let hedged_pair t job w1 w2 delay_ms =
         done;
         if !fire then begin
           if !primary_failed then Metrics.incr Metrics.router_failovers;
-          finish (try_worker t w2 (Protocol.Submit job)) ~hedged:true
+          race w2 ~hedged:true
         end
         else finish (Error `Abandoned) ~hedged:true)
       ()
   in
   Mutex.lock m;
-  while !first_ok = None && (not !primary_bp) && !completed < 2 do
+  while
+    !first_ok = None
+    && (not !primary_bp)
+    && (not !primary_fatal)
+    && !completed < 2
+  do
     Condition.wait cv m
   done;
-  let verdict = !first_ok in
+  let verdict = !first_ok
+  and bp = !backpressure
+  and fatal_exn = !fatal
+  and primary_lost = !primary_failed in
   Mutex.unlock m;
   match verdict with
   | Some (reply, hedged) ->
-      if hedged && not !primary_failed then
+      if hedged && not primary_lost then
         Metrics.incr Metrics.router_hedge_wins;
       Some reply
-  | None -> !backpressure
+  | None -> (
+      match bp with
+      | Some _ -> bp
+      | None -> Option.map (fatal_reply job) fatal_exn)
 
 let no_worker_reply (job : Protocol.job) =
   (* Every candidate failed: a structured error, so one dead fleet never
@@ -452,6 +512,11 @@ let forward t (job : Protocol.job) =
         if not first then Metrics.incr Metrics.router_failovers;
         match try_worker t w (Protocol.Submit job) with
         | Ok reply -> reply
+        | Error (`Fatal e) ->
+            (* Non-transient: the next worker would only say the same
+               thing, so answer now instead of walking (and misreporting
+               a deterministic failure as "no worker reachable"). *)
+            fatal_reply job e
         | Error _ -> walk false rest)
   in
   match (t.hedge, candidates) with

@@ -91,8 +91,11 @@ val forward : t -> Protocol.job -> Protocol.reply
 (** Submit through the ring: the owner first (hedged against the next
     candidate when hedging is on), then failover.  Transient failures
     (connection refused/reset/dropped, no banner) feed the worker's
-    breaker and move on; non-transient failures propagate.  When no
-    worker is reachable the reply is a structured [connection] error. *)
+    breaker and move on; non-transient failures (version mismatch, bad
+    spec, malformed reply) are deterministic in the job and end the walk
+    with a structured reply of the matching kind — [forward] never
+    raises.  When no worker is reachable the reply is a structured
+    [connection] error. *)
 
 val breaker_state : t -> int -> breaker_view
 (** The breaker of worker index [w] (as listed by {!workers}), now. *)

@@ -6,8 +6,10 @@
    in a bounded FIFO queue; when the queue is full, or the EWMA-estimated
    queue wait already exceeds the job's deadline, the submission is *shed*
    with a [retry_after_ms] estimate instead of being queued to fail.  A
-   queued job whose deadline passes while it waits is evicted at dispatch
-   time — its ticket resolves to [Error (Evicted _)] without ever running.
+   queued job whose deadline passes while it waits is evicted promptly —
+   the queue is swept at every submission and completion and by a lazy
+   background sweeper tick, so eviction never waits for a running slot to
+   free — its ticket resolves to [Error (Evicted _)] without ever running.
 
    The pool's workers execute jobs in parallel (they are separate domains);
    tickets, the queue and the running counter are the only shared state,
@@ -43,6 +45,11 @@ type t = {
   (* EWMA of job service time (ms): the admission estimator.  Seeded
      pessimistically enough that an empty scheduler never sheds. *)
   mutable ewma_ms : float;
+  (* Deadline sweeper: evicts expired queued jobs on a tick, so eviction
+     never depends on a running slot freeing up.  Spawned lazily by the
+     first deadline-carrying job that queues. *)
+  mutable sweeper : Thread.t option;
+  mutable sweeper_stop : bool;
   (* Fallback lane for machines where the domain pool has no workers. *)
   fb_lock : Mutex.t;
   fb_work : Condition.t;
@@ -71,6 +78,8 @@ let create ?(capacity = 64) ?(queue = 64) ?(workers = 0) () =
     queue = Queue.create ();
     accepting = true;
     ewma_ms = 50.;
+    sweeper = None;
+    sweeper_stop = false;
     fb_lock = Mutex.create ();
     fb_work = Condition.create ();
     fb_queue = Queue.create ();
@@ -123,28 +132,68 @@ let resolve ticket v =
   Condition.broadcast ticket.t_done;
   Mutex.unlock ticket.t_lock
 
+(* Resolve every queued entry whose deadline has already passed ([t.lock]
+   held) — whether or not any slot is free, so a client blocked in [await]
+   learns its fate at the deadline, not when a long job eventually
+   finishes.  Evictions count only in [serve.evicted_jobs]:
+   [serve.shed_jobs] is the admission-shed path, and keeping the two
+   disjoint keeps them additive with [serve.jobs_rejected].  Returns how
+   many entries were evicted so callers can wake waiters. *)
+let evict_expired_locked t =
+  if Queue.is_empty t.queue then 0
+  else begin
+    let now = Unix.gettimeofday () in
+    let expired e =
+      match e.e_deadline with Some d -> now >= d | None -> false
+    in
+    let keep = Queue.create () in
+    let dead = ref [] in
+    Queue.iter
+      (fun e -> if expired e then dead := e :: !dead else Queue.add e keep)
+      t.queue;
+    match !dead with
+    | [] -> 0
+    | dead ->
+        Queue.clear t.queue;
+        Queue.transfer keep t.queue;
+        List.iter
+          (fun e ->
+            Metrics.incr Metrics.serve_evicted_jobs;
+            e.e_evict (estimate_locked t))
+          (List.rev dead);
+        List.length dead
+  end
+
+(* The sweeper thread: a coarse tick is enough — eviction precision only
+   has to beat the client's own patience, not the EWMA. *)
+let sweeper_loop t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let stop = t.sweeper_stop in
+    if (not stop) && evict_expired_locked t > 0 then
+      Condition.broadcast t.changed;
+    Mutex.unlock t.lock;
+    if not stop then begin
+      Thread.delay 0.02;
+      loop ()
+    end
+  in
+  loop ()
+
 (* Called with [t.lock] held after [running] shrank: start queued jobs while
    slots are free, evicting the ones whose deadline already passed.  Returns
    the thunks to dispatch once the lock is released. *)
 let promote_locked t =
-  let now = Unix.gettimeofday () in
+  ignore (evict_expired_locked t : int);
   let starts = ref [] in
   let rec pull () =
     if t.running < t.cap then
       match Queue.take_opt t.queue with
       | None -> ()
-      | Some e -> (
-          match e.e_deadline with
-          | Some d when now >= d ->
-              Metrics.incr Metrics.serve_evicted_jobs;
-              Metrics.incr Metrics.serve_shed_jobs;
-              let retry = estimate_locked t in
-              e.e_evict retry;
-              pull ()
-          | _ ->
-              t.running <- t.running + 1;
-              starts := e.e_start :: !starts;
-              pull ())
+      | Some e ->
+          t.running <- t.running + 1;
+          starts := e.e_start :: !starts;
+          pull ()
   in
   pull ();
   List.rev !starts
@@ -171,6 +220,10 @@ let submit ?deadline t f =
     finish t ((Unix.gettimeofday () -. t0) *. 1000.)
   in
   Mutex.lock t.lock;
+  (* Each submission also sweeps the queue: with every slot pinned by a
+     long job, expired entries must still resolve without waiting for a
+     completion to run [promote_locked]. *)
+  if evict_expired_locked t > 0 then Condition.broadcast t.changed;
   if not t.accepting then begin
     Mutex.unlock t.lock;
     Metrics.incr Metrics.serve_jobs_rejected;
@@ -207,6 +260,10 @@ let submit ?deadline t f =
               resolve ticket (Error (Evicted { retry_after_ms })));
         }
         t.queue;
+      (* The first deadline-carrying entry starts the sweeper: schedulers
+         that never queue deadlines never pay for the thread. *)
+      if deadline <> None && t.sweeper = None && not t.sweeper_stop then
+        t.sweeper <- Some (Thread.create (sweeper_loop t) ());
       Mutex.unlock t.lock;
       Metrics.incr Metrics.serve_jobs_submitted;
       Admitted ticket
@@ -275,6 +332,12 @@ let drain t =
 let shutdown t =
   stop t;
   drain t;
+  Mutex.lock t.lock;
+  t.sweeper_stop <- true;
+  let sweeper = t.sweeper in
+  t.sweeper <- None;
+  Mutex.unlock t.lock;
+  Option.iter Thread.join sweeper;
   Mutex.lock t.fb_lock;
   t.fb_stop <- true;
   Condition.broadcast t.fb_work;

@@ -8,7 +8,9 @@
     grow without bound.  Admission is deadline-aware: a submission whose
     estimated queue wait (an EWMA of recent service times, scaled by the
     backlog) already exceeds its deadline is shed up front, and a queued job
-    whose deadline passes while it waits is evicted at dispatch time — its
+    whose deadline passes while it waits is evicted promptly — swept at
+    every submission, at every completion, and by a background sweeper
+    tick, so eviction never waits for a running slot to free — its
     ticket resolves to [Error (Evicted _)] without the job ever running.
 
     Admitted jobs run on the persistent worker domains of
@@ -30,9 +32,9 @@ type t
 type 'a ticket
 
 exception Evicted of { retry_after_ms : float }
-(** Resolves the ticket of a queued job whose deadline passed before a slot
-    freed: the job never ran.  [retry_after_ms] is the drain estimate at
-    eviction time — {!Daemon} maps this to the [Overloaded] reply. *)
+(** Resolves the ticket of a queued job whose deadline passed before it
+    could start: the job never ran.  [retry_after_ms] is the drain estimate
+    at eviction time — {!Daemon} maps this to the [Overloaded] reply. *)
 
 (** What {!submit} did with the thunk. *)
 type 'a submission =
@@ -51,9 +53,10 @@ val create : ?capacity:int -> ?queue:int -> ?workers:int -> unit -> t
 
 val submit : ?deadline:float -> t -> (unit -> 'a) -> 'a submission
 (** [deadline] (absolute [Unix.gettimeofday] seconds) enables the
-    deadline-aware paths: shed-up-front at admission, eviction at dispatch.
-    Counts [serve.jobs_submitted] / [serve.jobs_rejected] /
-    [serve.shed_jobs] / [serve.evicted_jobs] in {!Symref_obs.Metrics}. *)
+    deadline-aware paths: shed-up-front at admission, prompt eviction from
+    the queue.  Counts [serve.jobs_submitted] / [serve.jobs_rejected] /
+    [serve.shed_jobs] (admission sheds only) / [serve.evicted_jobs]
+    (queue evictions only) in {!Symref_obs.Metrics}. *)
 
 val await : 'a ticket -> ('a, exn) result
 (** Block until the job finishes.  [Error e] only for exceptions that
@@ -88,6 +91,7 @@ val drain : t -> unit
 (** Block until every admitted job has finished (the queue included). *)
 
 val shutdown : t -> unit
-(** [stop] + [drain] + join the fallback thread (if one was spawned).
+(** [stop] + [drain] + join the sweeper and fallback threads (those that
+    were spawned).
     The domain pool itself is left alone — it is process-wide and other
     subsystems ({!Symref_core.Interp}) share it. *)

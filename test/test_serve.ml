@@ -945,6 +945,214 @@ let test_disk_cache_scrub () =
   Metrics.reset ();
   rm_rf dir
 
+let test_client_version_compat () =
+  (* An older daemon whose protocol is still within
+     [min_protocol_version, protocol_version] must be accepted: rolling
+     restarts mix versions, and v2 is a pure extension of v1. *)
+  let dir = temp_dir "symref-compat" in
+  let addr = Serve.Transport.Unix_sock (Filename.concat dir "v1.sock") in
+  let listener = Serve.Transport.listen addr in
+  let elder =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listener in
+        let oc = Unix.out_channel_of_descr fd in
+        output_string oc
+          (Printf.sprintf
+             "{\"hello\":\"symref\",\"version\":\"0.0.0\",\"protocol\":%d}\n"
+             Protocol.min_protocol_version);
+        flush oc;
+        (try ignore (Unix.read fd (Bytes.create 1) 0 1)
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      ()
+  in
+  (match Serve.Client.connect ~addr with
+  | c ->
+      let got =
+        match Json.member "protocol" (Serve.Client.banner c) with
+        | Some v -> Json.to_int v
+        | None -> -1
+      in
+      Alcotest.(check int) "banner carries the elder protocol"
+        Protocol.min_protocol_version got;
+      Serve.Client.close c
+  | exception e ->
+      Alcotest.fail
+        ("compatible older protocol refused: " ^ Printexc.to_string e));
+  Thread.join elder;
+  Serve.Transport.close_listener addr listener;
+  rm_rf dir
+
+let test_hedged_fatal_no_hang () =
+  (* Both ring candidates greet with an incompatible protocol: every
+     exchange raises the non-transient [Version_mismatch].  The hedged
+     race must still resolve — each racer reports the fatal outcome
+     instead of dying with it — and the client gets a structured
+     [protocol] reply rather than a hang (the review-flagged deadlock:
+     an escaped racer exception left the coordinator in Condition.wait
+     forever). *)
+  let dir = temp_dir "symref-fatal" in
+  let stop = ref false in
+  let mk name =
+    let addr = Serve.Transport.Unix_sock (Filename.concat dir name) in
+    let listener = Serve.Transport.listen addr in
+    let th =
+      Thread.create
+        (fun () ->
+          (* Poll-accept like the real daemons: a blocking accept would
+             never notice the listener closing under it and wedge the
+             test's own Thread.join. *)
+          let rec loop () =
+            if not !stop then begin
+              (match Unix.select [ listener ] [] [] 0.05 with
+              | exception Unix.Unix_error _ -> ()
+              | [], _, _ -> ()
+              | _ :: _, _, _ -> (
+                  match Unix.accept listener with
+                  | fd, _ ->
+                      let oc = Unix.out_channel_of_descr fd in
+                      (try
+                         output_string oc
+                           "{\"hello\":\"symref\",\"version\":\"0.0.0\",\"protocol\":99}\n";
+                         flush oc
+                       with Sys_error _ | Unix.Unix_error _ -> ());
+                      (try Unix.close fd with Unix.Unix_error _ -> ())
+                  | exception Unix.Unix_error _ -> ()));
+              loop ()
+            end
+          in
+          loop ())
+        ()
+    in
+    (addr, listener, th)
+  in
+  let a = mk "a.sock" and b = mk "b.sock" in
+  let addr_of (addr, _, _) = addr in
+  let router =
+    Serve.Router.create
+      ~hedge:
+        (Some
+           { Serve.Router.default_hedge with after_ms_min = 0.; after_ms_max = 0. })
+      [ addr_of a; addr_of b ]
+  in
+  let reply =
+    Serve.Router.forward router (reference_job ~id:"fatal" (rc_text "fatal"))
+  in
+  Alcotest.(check bool) "fatal race resolves to an error reply" true
+    (reply.Protocol.status = Protocol.Error);
+  Alcotest.(check (option string)) "reply kind names the protocol failure"
+    (Some "protocol")
+    (Protocol.error_kind reply);
+  stop := true;
+  List.iter
+    (fun (addr, listener, th) ->
+      Thread.join th;
+      Serve.Transport.close_listener addr listener)
+    [ a; b ];
+  rm_rf dir
+
+let test_breaker_untried_candidate_stays_open () =
+  (* A recovered-but-untried candidate must keep its [Open] state: only a
+     request actually sent claims the half-open probe slot.  (The flagged
+     bug: merely filtering candidates flipped every expired-open breaker
+     to Half_open, parking a recovered worker out of rotation.) *)
+  let dir = temp_dir "symref-unclaimed" in
+  let addr i =
+    Serve.Transport.Unix_sock (Filename.concat dir (Printf.sprintf "w%d.sock" i))
+  in
+  let d = Serve.Daemon.create ~listen:[ addr 0 ] () in
+  let th = Thread.create Serve.Daemon.serve d in
+  let breaker =
+    { Serve.Router.threshold = 1; cooldown_ms = 30.; max_cooldown_ms = 200. }
+  in
+  (* Worker 1 has no daemon behind it. *)
+  let router = Serve.Router.create ~breaker ~hedge:None [ addr 0; addr 1 ] in
+  let job_owned_by w =
+    let rec find i =
+      if i > 200 then Alcotest.fail "no job found for owner"
+      else
+        let job =
+          reference_job ~id:"owner" (rc_text (Printf.sprintf "own%d" i))
+        in
+        if List.hd (Serve.Router.route router (Serve.Router.job_key job)) = w
+        then job
+        else find (i + 1)
+    in
+    find 0
+  in
+  (* Open the dead worker's breaker by routing one job it owns. *)
+  let r = Serve.Router.forward router (job_owned_by 1) in
+  Alcotest.(check bool) "failover still answers" true
+    (r.Protocol.status = Protocol.Ok);
+  Alcotest.(check bool) "dead owner's breaker open" true
+    (Serve.Router.breaker_state router 1 = `Open);
+  (* Past the cooldown, forward a job the live worker owns: worker 1 is a
+     listed candidate but never contacted, so it must stay Open — not be
+     flipped Half_open by candidate filtering. *)
+  Unix.sleepf 0.06;
+  let r2 = Serve.Router.forward router (job_owned_by 0) in
+  Alcotest.(check bool) "live owner answers" true
+    (r2.Protocol.status = Protocol.Ok);
+  Alcotest.(check bool) "untried candidate keeps its Open state" true
+    (Serve.Router.breaker_state router 1 = `Open);
+  Serve.Daemon.request_stop d;
+  Thread.join th;
+  rm_rf dir
+
+let test_scheduler_sweeper_eviction () =
+  (* Every running slot is pinned and no further submission arrives: the
+     background sweeper alone must evict the expired queued job, or the
+     daemon's blocking await would hold its client past the deadline
+     indefinitely.  Eviction counts only in [serve.evicted_jobs] —
+     [serve.shed_jobs] stays the admission-shed path. *)
+  Metrics.reset ();
+  Metrics.enable ();
+  let s = Scheduler.create ~capacity:1 ~queue:4 () in
+  let gate = Mutex.create () in
+  let open_gate = Condition.create () in
+  let released = ref false in
+  let blocked () =
+    Mutex.lock gate;
+    while not !released do
+      Condition.wait open_gate gate
+    done;
+    Mutex.unlock gate;
+    0
+  in
+  let holder = Scheduler.submit s blocked in
+  Alcotest.(check bool) "holder admitted" true (is_admitted holder);
+  let doomed =
+    Scheduler.submit ~deadline:(Unix.gettimeofday () +. 0.15) s (fun () -> 9)
+  in
+  Alcotest.(check bool) "doomed admitted to the queue" true
+    (is_admitted doomed);
+  (* No slot frees and nothing else is submitted: only the sweeper can
+     resolve the ticket.  [await] returning at all is the regression
+     assertion. *)
+  (match Scheduler.await (ticket_of doomed) with
+  | Error (Scheduler.Evicted { retry_after_ms }) ->
+      Alcotest.(check bool) "eviction carries a positive retry hint" true
+        (retry_after_ms > 0.)
+  | Ok _ -> Alcotest.fail "doomed job must not run"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Printexc.to_string e));
+  Alcotest.(check bool) "holder still running while doomed resolved" true
+    (Scheduler.peek (ticket_of holder) = None);
+  let snap = Snapshot.capture () in
+  Alcotest.(check int) "eviction counted once" 1
+    snap.Snapshot.serve_evicted_jobs;
+  Alcotest.(check int) "eviction does not count as shed" 0
+    snap.Snapshot.serve_shed_jobs;
+  Mutex.lock gate;
+  released := true;
+  Condition.broadcast open_gate;
+  Mutex.unlock gate;
+  Alcotest.(check bool) "holder finished" true
+    (Scheduler.await (ticket_of holder) = Ok 0);
+  Scheduler.shutdown s;
+  Metrics.disable ();
+  Metrics.reset ()
+
 let suite =
   [
     ( "serve",
@@ -987,6 +1195,8 @@ let suite =
           `Quick test_daemon_dual_transport_parity;
         Alcotest.test_case "client: protocol version mismatch refused" `Quick
           test_client_version_mismatch;
+        Alcotest.test_case "client: compatible older protocol accepted" `Quick
+          test_client_version_compat;
         Alcotest.test_case "router: deterministic ring and live failover"
           `Quick test_router_determinism_and_failover;
         Alcotest.test_case "router: probe jitter is pure and bounded" `Quick
@@ -997,6 +1207,12 @@ let suite =
           `Quick test_hedged_unhedged_identity;
         Alcotest.test_case "router: flapping worker, breakers + byte identity"
           `Quick test_worker_flapping_chaos;
+        Alcotest.test_case "router: hedged race over fatal workers resolves"
+          `Quick test_hedged_fatal_no_hang;
+        Alcotest.test_case "router: untried candidate keeps its Open breaker"
+          `Quick test_breaker_untried_candidate_stays_open;
+        Alcotest.test_case "scheduler: sweeper evicts with all slots pinned"
+          `Quick test_scheduler_sweeper_eviction;
         Alcotest.test_case "supervisor: crash budget restarts then gives up"
           `Quick test_supervisor_restart_and_giveup;
         Alcotest.test_case "supervisor: stop escalates and reaps" `Quick
